@@ -1,0 +1,143 @@
+(* CLI for the Hoard reproduction: list experiments, run one or all, at
+   quick or full scale, as ASCII tables or CSV.
+
+     hoard_bench list
+     hoard_bench run fig_threadtest --full --procs 1,2,4,8,14
+     hoard_bench all --quick --csv
+*)
+
+open Cmdliner
+
+let scale_of_flag full = if full then Experiments.Full else Experiments.Quick
+
+let parse_procs = function
+  | None -> None
+  | Some s ->
+    let parts = String.split_on_char ',' s in
+    Some
+      (List.map
+         (fun p ->
+           match int_of_string_opt (String.trim p) with
+           | Some n when n >= 1 -> n
+           | _ -> failwith (Printf.sprintf "bad processor count %S" p))
+         parts)
+
+let print_output ~csv (out : Experiments.output) =
+  List.iter
+    (fun tbl ->
+      if csv then print_string (Table.to_csv tbl)
+      else begin
+        Table.print tbl;
+        print_newline ()
+      end)
+    out.Experiments.tables;
+  match out.Experiments.plot with
+  | Some plot when not csv -> print_string plot
+  | _ -> ()
+
+let list_cmd =
+  let doc = "List the registered experiments (one per paper table/figure)." in
+  let run () =
+    let tbl =
+      Table.create ~title:"Experiments"
+        ~columns:[ ("id", Table.Left); ("paper item", Table.Left); ("description", Table.Left) ]
+    in
+    List.iter
+      (fun e -> Table.add_row tbl [ e.Experiments.id; e.Experiments.paper_ref; e.Experiments.describe ])
+      (Experiments.all ());
+    Table.print tbl
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let full_flag =
+  Arg.(value & flag & info [ "full" ] ~doc:"Run at full scale (the EXPERIMENTS.md configuration).")
+
+let csv_flag = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of ASCII tables.")
+
+let procs_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "procs" ] ~docv:"P1,P2,.." ~doc:"Processor counts to sweep (default depends on scale).")
+
+let run_cmd =
+  let doc = "Run one experiment by id." in
+  let id_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id (see list).") in
+  let run id full csv procs =
+    match Experiments.find id with
+    | None ->
+      Printf.eprintf "unknown experiment %S; try: %s\n" id (String.concat " " (Experiments.ids ()));
+      exit 1
+    | Some e -> print_output ~csv (e.Experiments.run (scale_of_flag full) ~procs:(parse_procs procs))
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ id_arg $ full_flag $ csv_flag $ procs_opt)
+
+let all_cmd =
+  let doc = "Run every experiment in order." in
+  let run full csv procs =
+    List.iter
+      (fun e ->
+        Printf.printf "### %s (%s)\n\n" e.Experiments.title e.Experiments.id;
+        print_output ~csv (e.Experiments.run (scale_of_flag full) ~procs:(parse_procs procs)))
+      (Experiments.all ())
+  in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ full_flag $ csv_flag $ procs_opt)
+
+let workload_arg =
+  Arg.(
+    value
+    & opt string "threadtest"
+    & info [ "workload"; "w" ] ~docv:"NAME"
+        ~doc:(Printf.sprintf "Benchmark to drive (%s)." (String.concat ", " Experiments.workload_names)))
+
+let nprocs_arg = Arg.(value & opt int 8 & info [ "procs"; "p" ] ~doc:"Simulated processors.")
+
+let get_workload name full =
+  match Experiments.workload name (scale_of_flag full) with
+  | Some w -> w
+  | None ->
+    Printf.eprintf "unknown workload %S; known: %s\n" name (String.concat ", " Experiments.workload_names);
+    exit 1
+
+let inspect_cmd =
+  let doc = "Run a benchmark under Hoard, then dump the allocator's heap state." in
+  let run name full nprocs =
+    let w = get_workload name full in
+    let sim = Sim.create ~nprocs () in
+    let pf = Sim.platform sim in
+    let h = Hoard.create pf in
+    let a = Hoard.allocator h in
+    w.Workload_intf.spawn sim pf a ~nthreads:nprocs;
+    Sim.run sim;
+    a.Alloc_intf.check ();
+    let s = a.Alloc_intf.stats () in
+    Printf.printf "%s on %d processors: %d cycles\n%s\n\n" name nprocs (Sim.total_cycles sim)
+      (Format.asprintf "%a" Alloc_stats.pp_snapshot s);
+    Format.printf "%a@." Hoard.pp_heaps h
+  in
+  Cmd.v (Cmd.info "inspect" ~doc) Term.(const run $ workload_arg $ full_flag $ nprocs_arg)
+
+let sweep_cmd =
+  let doc = "Run one benchmark under Hoard with explicit algorithm parameters." in
+  let f_arg = Arg.(value & opt float 0.25 & info [ "f" ] ~doc:"Emptiness fraction f.") in
+  let k_arg = Arg.(value & opt int 4 & info [ "k" ] ~doc:"Slack K (superblocks).") in
+  let s_arg = Arg.(value & opt int 8192 & info [ "sbsize" ] ~doc:"Superblock size S.") in
+  let run name full nprocs f k sbsize =
+    let config =
+      { Hoard_config.default with Hoard_config.empty_fraction = f; slack = k; sb_size = sbsize }
+    in
+    let w = get_workload name full in
+    let r = Runner.run (Runner.spec w (Hoard.factory ~config ()) ~nprocs) in
+    Printf.printf "%s P=%d %s: %d cycles, %.1f ops/Mcycle, frag %.2f, transfers %d/%d, %d invalidations\n"
+      name nprocs
+      (Format.asprintf "%a" Hoard_config.pp config)
+      r.Runner.r_cycles (Runner.ops_per_mcycle r) (Runner.fragmentation r)
+      r.Runner.r_stats.Alloc_stats.sb_to_global r.Runner.r_stats.Alloc_stats.sb_from_global
+      r.Runner.r_invalidations
+  in
+  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ workload_arg $ full_flag $ nprocs_arg $ f_arg $ k_arg $ s_arg)
+
+let () =
+  let doc = "Reproduction harness for 'Hoard: A Scalable Memory Allocator' (ASPLOS 2000)." in
+  let info = Cmd.info "hoard_bench" ~version:"1.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; inspect_cmd; sweep_cmd ]))

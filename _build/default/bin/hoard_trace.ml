@@ -1,0 +1,133 @@
+(* Allocation-trace tooling:
+
+     hoard_trace generate --ops 10000 --threads 4 --out t.trace
+     hoard_trace validate t.trace
+     hoard_trace replay t.trace --allocator hoard --procs 4
+     hoard_trace bench t.trace            # compare all allocators
+*)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let load path =
+  match Trace.of_string (read_file path) with
+  | Ok t -> t
+  | Error m ->
+    Printf.eprintf "%s: %s\n" path m;
+    exit 1
+
+let factories =
+  [
+    ("serial", Serial_alloc.factory ());
+    ("concurrent-single", Concurrent_single.factory ());
+    ("pure-private", Pure_private.factory ());
+    ("private-ownership", Private_ownership.factory ());
+    ("private-threshold", Private_threshold.factory ());
+    ("hoard", Hoard.factory ());
+  ]
+
+let factory_of name =
+  match List.assoc_opt name factories with
+  | Some f -> f
+  | None ->
+    Printf.eprintf "unknown allocator %S; known: %s\n" name (String.concat ", " (List.map fst factories));
+    exit 1
+
+let replay_trace trace factory ~procs =
+  let sim = Sim.create ~nprocs:procs () in
+  let a = factory.Alloc_intf.instantiate (Sim.platform sim) in
+  Trace.replay_sim trace sim a ~nthreads:procs;
+  Sim.run sim;
+  a.Alloc_intf.check ();
+  (Sim.total_cycles sim, a.Alloc_intf.stats (), Cache.total_invalidations (Sim.cache sim))
+
+let generate_cmd =
+  let doc = "Generate a synthetic allocation trace." in
+  let ops = Arg.(value & opt int 10_000 & info [ "ops" ] ~doc:"Operation count.") in
+  let threads = Arg.(value & opt int 4 & info [ "threads" ] ~doc:"Logical threads.") in
+  let live = Arg.(value & opt int 50 & info [ "live" ] ~doc:"Live objects per thread (target).") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let min_size = Arg.(value & opt int 8 & info [ "min-size" ] ~doc:"Minimum object size.") in
+  let max_size = Arg.(value & opt int 1024 & info [ "max-size" ] ~doc:"Maximum object size.") in
+  let out = Arg.(required & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output file.") in
+  let run ops threads live seed min_size max_size out =
+    let t = Trace.generate ~seed ~ops ~threads ~live_target:live ~size_dist:(Trace.Uniform (min_size, max_size)) () in
+    write_file out (Trace.to_string t);
+    Printf.printf "wrote %d ops (peak live %d bytes) to %s\n" (Trace.length t) (Trace.max_live_bytes t) out
+  in
+  Cmd.v (Cmd.info "generate" ~doc)
+    Term.(const run $ ops $ threads $ live $ seed $ min_size $ max_size $ out)
+
+let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace file.")
+
+let validate_cmd =
+  let doc = "Check a trace file for well-formedness." in
+  let run path =
+    let t = load path in
+    match Trace.validate t with
+    | Ok () ->
+      Printf.printf "%s: %d ops, peak live %d bytes, %d objects leaked at end\n" path (Trace.length t)
+        (Trace.max_live_bytes t)
+        (List.length (Trace.live_at_end t))
+    | Error m ->
+      Printf.eprintf "%s: INVALID: %s\n" path m;
+      exit 1
+  in
+  Cmd.v (Cmd.info "validate" ~doc) Term.(const run $ file_arg)
+
+let procs_arg = Arg.(value & opt int 4 & info [ "procs" ] ~doc:"Simulated processors.")
+
+let replay_cmd =
+  let doc = "Replay a trace against one allocator on the simulator." in
+  let alloc = Arg.(value & opt string "hoard" & info [ "allocator"; "a" ] ~doc:"Allocator to drive.") in
+  let run path alloc procs =
+    let t = load path in
+    let cycles, stats, invals = replay_trace t (factory_of alloc) ~procs in
+    Printf.printf "%s on %d procs: %d cycles, frag %.2f, %d invalidations\n" alloc procs cycles
+      (Alloc_stats.fragmentation stats) invals
+  in
+  Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ file_arg $ alloc $ procs_arg)
+
+let bench_cmd =
+  let doc = "Replay a trace against every allocator and compare." in
+  let run path procs =
+    let t = load path in
+    let tbl =
+      Table.create ~title:(Printf.sprintf "%s on %d processors" path procs)
+        ~columns:
+          [
+            ("allocator", Table.Left);
+            ("cycles", Table.Right);
+            ("frag", Table.Right);
+            ("invalidations", Table.Right);
+            ("os maps", Table.Right);
+          ]
+    in
+    List.iter
+      (fun (name, f) ->
+        let cycles, stats, invals = replay_trace t f ~procs in
+        Table.add_row tbl
+          [
+            name;
+            string_of_int cycles;
+            Table.cell_float (Alloc_stats.fragmentation stats);
+            string_of_int invals;
+            string_of_int stats.Alloc_stats.os_maps;
+          ])
+      factories;
+    Table.print tbl
+  in
+  Cmd.v (Cmd.info "bench" ~doc) Term.(const run $ file_arg $ procs_arg)
+
+let () =
+  let doc = "Allocation-trace tooling for the Hoard reproduction." in
+  exit (Cmd.eval (Cmd.group (Cmd.info "hoard_trace" ~version:"1.0" ~doc) [ generate_cmd; validate_cmd; replay_cmd; bench_cmd ]))

@@ -1,0 +1,1 @@
+examples/barnes_hut_demo.ml: Barnes_hut Hoard List Printf Runner Serial_alloc

@@ -1,0 +1,1 @@
+examples/barnes_hut_demo.mli:

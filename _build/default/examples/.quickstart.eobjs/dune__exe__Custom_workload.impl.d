@@ -1,0 +1,1 @@
+examples/custom_workload.ml: Alloc_intf Alloc_stats Cache Hoard List Printf Private_ownership Pure_private Serial_alloc Sim String Trace

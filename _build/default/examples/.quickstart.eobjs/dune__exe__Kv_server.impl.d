@@ -1,0 +1,1 @@
+examples/kv_server.ml: Alloc_intf Alloc_stats Array Cache Hoard Kv_store Printf Rng Sim

@@ -1,0 +1,1 @@
+examples/larson_server.ml: Alloc_intf Array Concurrent_single Hoard Larson List Printf Private_ownership Runner Serial_alloc Sys

@@ -1,0 +1,1 @@
+examples/larson_server.mli:

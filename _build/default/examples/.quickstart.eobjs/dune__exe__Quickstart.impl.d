@@ -1,0 +1,1 @@
+examples/quickstart.ml: Alloc_intf Alloc_stats Array Hoard Platform Printf Sim

@@ -1,0 +1,43 @@
+(* Quickstart: build a 4-processor simulated machine, run four threads that
+   allocate and free through Hoard, and read the allocator's accounting.
+
+     dune exec examples/quickstart.exe
+*)
+
+let () =
+  (* A simulated 4-processor machine with the default cost model. *)
+  let sim = Sim.create ~nprocs:4 () in
+  let platform = Sim.platform sim in
+
+  (* The paper's allocator, with its default configuration (S = 8 KiB,
+     f = 1/4). Baselines expose the same [Alloc_intf.t] interface. *)
+  let hoard = Hoard.create platform in
+  let a = Hoard.allocator hoard in
+
+  (* Four threads, one per processor: each allocates a batch of objects,
+     writes to them, and frees them. *)
+  for t = 0 to 3 do
+    ignore
+      (Sim.spawn sim (fun () ->
+           let objs = Array.init 1000 (fun i -> a.Alloc_intf.malloc (8 + (8 * (i mod 32)))) in
+           Array.iter (fun p -> platform.Platform.write ~addr:p ~len:8) objs;
+           Sim.work 1000;
+           Array.iter a.Alloc_intf.free objs;
+           Printf.printf "thread %d done on processor %d\n" t (Sim.self_proc ())))
+  done;
+
+  Sim.run sim;
+
+  let s = a.Alloc_intf.stats () in
+  Printf.printf "\ncompleted in %d simulated cycles\n" (Sim.total_cycles sim);
+  Printf.printf "mallocs: %d  frees: %d\n" s.Alloc_stats.mallocs s.Alloc_stats.frees;
+  Printf.printf "peak live: %d bytes, peak held from OS: %d bytes (fragmentation %.2f)\n"
+    s.Alloc_stats.peak_live_bytes s.Alloc_stats.peak_held_bytes (Alloc_stats.fragmentation s);
+  Printf.printf "superblock transfers to/from global heap: %d/%d\n" s.Alloc_stats.sb_to_global
+    s.Alloc_stats.sb_from_global;
+  (* Per-heap view: heap 0 is the global heap. *)
+  for i = 0 to Hoard.nheaps hoard do
+    let info = Hoard.heap_info hoard i in
+    Printf.printf "heap %d: %d superblocks, u=%dB a=%dB\n" i info.Hoard.superblocks info.Hoard.u_bytes
+      info.Hoard.a_bytes
+  done

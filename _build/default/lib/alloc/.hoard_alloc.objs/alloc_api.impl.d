@@ -1,0 +1,1 @@
+lib/alloc/alloc_api.ml: Alloc_intf Platform

@@ -1,0 +1,1 @@
+lib/alloc/alloc_api.mli: Alloc_intf Platform

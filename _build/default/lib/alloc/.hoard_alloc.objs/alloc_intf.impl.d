@@ -1,0 +1,1 @@
+lib/alloc/alloc_intf.ml: Alloc_stats Atomic Platform

@@ -1,0 +1,1 @@
+lib/alloc/alloc_intf.mli: Alloc_stats Platform

@@ -1,0 +1,1 @@
+lib/alloc/alloc_stats.ml: Format

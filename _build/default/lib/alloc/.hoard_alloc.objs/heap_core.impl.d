@@ -1,0 +1,1 @@
+lib/alloc/heap_core.ml: Array Dlist Size_class Superblock

@@ -1,0 +1,1 @@
+lib/alloc/heap_core.mli: Size_class Superblock

@@ -1,0 +1,1 @@
+lib/alloc/large_alloc.ml: Alloc_stats Hashtbl Platform

@@ -1,0 +1,1 @@
+lib/alloc/large_alloc.mli: Alloc_stats Platform

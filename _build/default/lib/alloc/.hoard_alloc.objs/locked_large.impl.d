@@ -1,0 +1,1 @@
+lib/alloc/locked_large.ml: Large_alloc Platform

@@ -1,0 +1,1 @@
+lib/alloc/locked_large.mli: Alloc_stats Platform

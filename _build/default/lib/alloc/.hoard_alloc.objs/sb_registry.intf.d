@@ -1,0 +1,1 @@
+lib/alloc/sb_registry.mli: Superblock

@@ -1,0 +1,1 @@
+lib/alloc/superblock.ml: Array Bytes Dlist

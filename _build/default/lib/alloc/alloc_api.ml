@@ -1,0 +1,32 @@
+let calloc (pf : Platform.t) (a : Alloc_intf.t) ~count ~size =
+  if count <= 0 || size <= 0 then invalid_arg "Alloc_api.calloc: count and size must be positive";
+  if count > max_int / size then invalid_arg "Alloc_api.calloc: size overflow";
+  let total = count * size in
+  let addr = a.Alloc_intf.malloc total in
+  pf.Platform.write ~addr ~len:total;
+  addr
+
+let realloc (pf : Platform.t) (a : Alloc_intf.t) ~addr ~size =
+  if size <= 0 then invalid_arg "Alloc_api.realloc: size must be positive";
+  let old_usable = a.Alloc_intf.usable_size addr in
+  if size <= old_usable then addr
+  else begin
+    let fresh = a.Alloc_intf.malloc size in
+    let copied = min old_usable size in
+    pf.Platform.read ~addr ~len:copied;
+    pf.Platform.write ~addr:fresh ~len:copied;
+    a.Alloc_intf.free addr;
+    fresh
+  end
+
+let aligned_alloc (pf : Platform.t) (a : Alloc_intf.t) ~align ~size =
+  if size <= 0 then invalid_arg "Alloc_api.aligned_alloc: size must be positive";
+  if align <= 0 || align land (align - 1) <> 0 then
+    invalid_arg "Alloc_api.aligned_alloc: align must be a positive power of two";
+  if align <= 8 then a.Alloc_intf.malloc size
+  else if align > pf.Platform.page_size then
+    invalid_arg "Alloc_api.aligned_alloc: alignment beyond the page size is not supported"
+  else
+    (* Force the page-aligned large-object path; pages satisfy any
+       alignment up to their own size. *)
+    a.Alloc_intf.malloc (max size (a.Alloc_intf.large_threshold + 1))

@@ -1,0 +1,28 @@
+(** The rest of the C allocation API, built uniformly over any
+    {!Alloc_intf.t}: [calloc], [realloc] and an aligned-allocation helper.
+
+    These mirror how the paper's allocator exposes the full malloc
+    interface on top of its core malloc/free: [calloc] zeroes through the
+    platform (charging the stores), and [realloc] grows by
+    allocate-copy-free — staying in place whenever the existing block's
+    usable size already covers the request, which with geometric size
+    classes absorbs most small growth steps. *)
+
+val calloc : Platform.t -> Alloc_intf.t -> count:int -> size:int -> int
+(** [calloc pf a ~count ~size] allocates [count * size] bytes and writes
+    the whole block (the zeroing traffic of C's calloc). Raises
+    [Invalid_argument] on non-positive arguments or overflow. *)
+
+val realloc : Platform.t -> Alloc_intf.t -> addr:int -> size:int -> int
+(** [realloc pf a ~addr ~size] returns a block of at least [size] bytes
+    holding the old block's prefix. In-place when the current block
+    already has room; otherwise allocates, copies (charged as reads and
+    writes of the copied bytes) and frees the old block. *)
+
+val aligned_alloc : Platform.t -> Alloc_intf.t -> align:int -> size:int -> int
+(** [aligned_alloc pf a ~align ~size] returns a block whose address is a
+    multiple of [align] (a power of two). Alignments up to 8 use the
+    normal path; larger alignments are served page-aligned from the
+    allocator's large-object path by over-rounding the request, trading
+    memory for alignment, and are only supported up to the platform page
+    size. *)

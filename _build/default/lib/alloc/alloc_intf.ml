@@ -1,0 +1,20 @@
+type t = {
+  name : string;
+  owner : int;
+  large_threshold : int;
+  malloc : int -> int;
+  free : int -> unit;
+  usable_size : int -> int;
+  stats : unit -> Alloc_stats.snapshot;
+  check : unit -> unit;
+}
+
+type factory = {
+  label : string;
+  description : string;
+  instantiate : Platform.t -> t;
+}
+
+let owner_counter = Atomic.make 1
+
+let next_owner () = Atomic.fetch_and_add owner_counter 1

@@ -1,0 +1,33 @@
+(** The allocator interface every implementation exposes.
+
+    Mirrors [malloc]/[free]: [malloc size] returns the simulated address of
+    a block of at least [size] bytes; [free addr] releases a block
+    previously returned by the same allocator. *)
+
+type t = {
+  name : string;
+  owner : int;  (** this allocator's {!Vmem} owner tag *)
+  large_threshold : int;
+      (** requests strictly above this size take the page-direct
+          large-object path (S/2 in the paper) *)
+  malloc : int -> int;
+  free : int -> unit;
+  usable_size : int -> int;
+      (** actual capacity of the block at the given address; raises
+          [Invalid_argument] on a foreign address *)
+  stats : unit -> Alloc_stats.snapshot;
+  check : unit -> unit;
+      (** validates internal invariants, raising [Failure] on corruption;
+          cheap enough to call from tests after every operation *)
+}
+
+type factory = {
+  label : string;
+  description : string;
+  instantiate : Platform.t -> t;
+}
+(** How the harness creates a fresh allocator per experiment run. *)
+
+val next_owner : unit -> int
+(** Process-unique {!Vmem} owner tags, so several allocators can share one
+    address space with separate accounting. *)

@@ -1,0 +1,77 @@
+type snapshot = {
+  mallocs : int;
+  frees : int;
+  bytes_requested : int;
+  live_bytes : int;
+  peak_live_bytes : int;
+  held_bytes : int;
+  peak_held_bytes : int;
+  os_maps : int;
+  os_unmaps : int;
+  sb_to_global : int;
+  sb_from_global : int;
+  remote_frees : int;
+}
+
+type t = { mutable s : snapshot }
+
+let zero =
+  {
+    mallocs = 0;
+    frees = 0;
+    bytes_requested = 0;
+    live_bytes = 0;
+    peak_live_bytes = 0;
+    held_bytes = 0;
+    peak_held_bytes = 0;
+    os_maps = 0;
+    os_unmaps = 0;
+    sb_to_global = 0;
+    sb_from_global = 0;
+    remote_frees = 0;
+  }
+
+let create () = { s = zero }
+
+let on_malloc t ~requested ~usable =
+  let s = t.s in
+  let live = s.live_bytes + usable in
+  t.s <-
+    {
+      s with
+      mallocs = s.mallocs + 1;
+      bytes_requested = s.bytes_requested + requested;
+      live_bytes = live;
+      peak_live_bytes = max s.peak_live_bytes live;
+    }
+
+let on_free t ~usable =
+  let s = t.s in
+  t.s <- { s with frees = s.frees + 1; live_bytes = s.live_bytes - usable }
+
+let on_map t ~bytes =
+  let s = t.s in
+  let held = s.held_bytes + bytes in
+  t.s <- { s with held_bytes = held; peak_held_bytes = max s.peak_held_bytes held; os_maps = s.os_maps + 1 }
+
+let on_unmap t ~bytes =
+  let s = t.s in
+  t.s <- { s with held_bytes = s.held_bytes - bytes; os_unmaps = s.os_unmaps + 1 }
+
+let on_transfer_to_global t = t.s <- { t.s with sb_to_global = t.s.sb_to_global + 1 }
+
+let on_transfer_from_global t = t.s <- { t.s with sb_from_global = t.s.sb_from_global + 1 }
+
+let on_remote_free t = t.s <- { t.s with remote_frees = t.s.remote_frees + 1 }
+
+let snapshot t = t.s
+
+let fragmentation s =
+  if s.peak_live_bytes = 0 then nan else float_of_int s.peak_held_bytes /. float_of_int s.peak_live_bytes
+
+let pp_snapshot fmt s =
+  Format.fprintf fmt
+    "mallocs=%d frees=%d live=%dB peak_live=%dB held=%dB peak_held=%dB frag=%.2f maps=%d unmaps=%d to_glob=%d \
+     from_glob=%d remote_frees=%d"
+    s.mallocs s.frees s.live_bytes s.peak_live_bytes s.held_bytes s.peak_held_bytes (fragmentation s) s.os_maps
+    s.os_unmaps s.sb_to_global s.sb_from_global s.remote_frees

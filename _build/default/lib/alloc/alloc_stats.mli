@@ -1,0 +1,50 @@
+(** Accounting shared by every allocator implementation.
+
+    Tracks the two quantities the paper's fragmentation and blowup
+    definitions are built from:
+    - [live]: bytes currently allocated to the program (in usable-size
+      terms), with its high-water mark ["U"];
+    - [held]: bytes currently held from the OS, with its high-water mark
+      ["A"].
+
+    Fragmentation (paper Table 4) is [A_peak / U_peak]. *)
+
+type t
+
+type snapshot = {
+  mallocs : int;
+  frees : int;
+  bytes_requested : int;  (** sum of requested sizes over all mallocs *)
+  live_bytes : int;  (** usable bytes currently allocated to the program *)
+  peak_live_bytes : int;
+  held_bytes : int;  (** bytes currently held from the OS *)
+  peak_held_bytes : int;
+  os_maps : int;
+  os_unmaps : int;
+  sb_to_global : int;  (** superblock transfers heap -> global *)
+  sb_from_global : int;  (** superblock transfers global -> heap *)
+  remote_frees : int;  (** frees whose block belongs to another heap *)
+}
+
+val create : unit -> t
+
+val on_malloc : t -> requested:int -> usable:int -> unit
+
+val on_free : t -> usable:int -> unit
+
+val on_map : t -> bytes:int -> unit
+
+val on_unmap : t -> bytes:int -> unit
+
+val on_transfer_to_global : t -> unit
+
+val on_transfer_from_global : t -> unit
+
+val on_remote_free : t -> unit
+
+val snapshot : t -> snapshot
+
+val fragmentation : snapshot -> float
+(** [peak_held / peak_live]; [nan] before any allocation. *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit

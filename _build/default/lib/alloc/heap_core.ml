@@ -1,0 +1,227 @@
+type t = {
+  heap_id : int;
+  classes : Size_class.t;
+  ngroups : int;
+  sbsz : int;
+  groups : Superblock.t Dlist.t array array; (* [class].[bin]; bin ngroups = full *)
+  empties : Superblock.t Dlist.t; (* completely empty, any class *)
+  mutable in_use : int;
+  mutable held : int;
+  mutable usable : int; (* sum over superblocks of n_blocks * block_size *)
+  class_counts : int array; (* linked superblocks per size class *)
+}
+
+(* Group encoding stored in each superblock: bins 0..ngroups-1 are partial
+   fullness ranges, bin ngroups is "full", bin ngroups+1 means "in the
+   empties pool", -1 means unlinked. *)
+let empties_bin t = t.ngroups + 1
+
+let create ~id ~classes ?(ngroups = 8) ~sb_size () =
+  if ngroups < 1 then invalid_arg "Heap_core.create: ngroups must be >= 1";
+  {
+    heap_id = id;
+    classes;
+    ngroups;
+    sbsz = sb_size;
+    groups = Array.init (Size_class.count classes) (fun _ -> Array.init (ngroups + 1) (fun _ -> Dlist.create ()));
+    empties = Dlist.create ();
+    in_use = 0;
+    held = 0;
+    usable = 0;
+    class_counts = Array.make (Size_class.count classes) 0;
+  }
+
+let id t = t.heap_id
+
+let sb_size t = t.sbsz
+
+let u t = t.in_use
+
+let a t = t.held
+
+let usable_a t = t.usable
+
+let bin_of t sb =
+  if Superblock.is_empty sb then empties_bin t
+  else if Superblock.is_full sb then t.ngroups
+  else Superblock.used sb * t.ngroups / Superblock.n_blocks sb
+
+let list_for t sb bin = if bin = empties_bin t then t.empties else t.groups.(Superblock.sclass sb).(bin)
+
+let unlink t sb =
+  match Superblock.group_node sb with
+  | None -> invalid_arg "Heap_core: superblock not linked"
+  | Some node ->
+    Dlist.remove (list_for t sb (Superblock.group_index sb)) node;
+    Superblock.set_group sb (-1) None
+
+let link t sb =
+  let bin = bin_of t sb in
+  let node = Dlist.push_front (list_for t sb bin) sb in
+  Superblock.set_group sb bin (Some node)
+
+(* Move a superblock to its correct group after a fullness change. *)
+let reposition t sb =
+  let bin = bin_of t sb in
+  if bin <> Superblock.group_index sb then begin
+    unlink t sb;
+    link t sb
+  end
+
+let contribution sb = Superblock.used sb * Superblock.block_size sb
+
+let usable_contribution sb = Superblock.n_blocks sb * Superblock.block_size sb
+
+let insert t sb =
+  Superblock.set_owner sb t.heap_id;
+  t.held <- t.held + Superblock.sb_size sb;
+  t.in_use <- t.in_use + contribution sb;
+  t.usable <- t.usable + usable_contribution sb;
+  t.class_counts.(Superblock.sclass sb) <- t.class_counts.(Superblock.sclass sb) + 1;
+  link t sb
+
+let remove t sb =
+  unlink t sb;
+  t.held <- t.held - Superblock.sb_size sb;
+  t.in_use <- t.in_use - contribution sb;
+  t.usable <- t.usable - usable_contribution sb;
+  t.class_counts.(Superblock.sclass sb) <- t.class_counts.(Superblock.sclass sb) - 1
+
+let superblock_count t = t.held / t.sbsz
+
+let empty_superblock_count t = Dlist.length t.empties
+
+(* Fullest-first search among the partial bins of a class. *)
+let find_partial t sclass =
+  let rec scan bin =
+    if bin < 0 then None
+    else
+      match Dlist.peek_front t.groups.(sclass).(bin) with
+      | Some sb -> Some sb
+      | None -> scan (bin - 1)
+  in
+  scan (t.ngroups - 1)
+
+let find_allocatable t ~sclass =
+  match find_partial t sclass with
+  | Some _ -> true
+  | None -> not (Dlist.is_empty t.empties)
+
+let malloc t ~sclass ~block_size =
+  let sb =
+    match find_partial t sclass with
+    | Some sb -> Some sb
+    | None ->
+      (match Dlist.peek_front t.empties with
+       | None -> None
+       | Some sb ->
+         if Superblock.sclass sb <> sclass || Superblock.block_size sb <> block_size then begin
+           t.usable <- t.usable - usable_contribution sb;
+           t.class_counts.(Superblock.sclass sb) <- t.class_counts.(Superblock.sclass sb) - 1;
+           Superblock.reinit sb ~sclass ~block_size;
+           t.usable <- t.usable + usable_contribution sb;
+           t.class_counts.(sclass) <- t.class_counts.(sclass) + 1
+         end;
+         Some sb)
+  in
+  match sb with
+  | None -> None
+  | Some sb ->
+    let addr = Superblock.alloc_block sb in
+    t.in_use <- t.in_use + Superblock.block_size sb;
+    reposition t sb;
+    Some (addr, sb)
+
+let free t sb addr =
+  if Superblock.owner sb <> t.heap_id then invalid_arg "Heap_core.free: superblock owned by another heap";
+  Superblock.free_block sb addr;
+  t.in_use <- t.in_use - Superblock.block_size sb;
+  reposition t sb
+
+let take_for_class t ~sclass =
+  let sb =
+    match find_partial t sclass with
+    | Some sb -> Some sb
+    | None -> Dlist.peek_front t.empties
+  in
+  match sb with
+  | None -> None
+  | Some sb ->
+    remove t sb;
+    Some sb
+
+let find_victim t ~max_fullness ~protect_last =
+  match Dlist.peek_front t.empties with
+  | Some sb -> Some sb
+  | None ->
+    let eligible sb =
+      Superblock.fullness sb <= max_fullness
+      && ((not protect_last) || t.class_counts.(Superblock.sclass sb) > 1)
+    in
+    let rec scan bin =
+      if bin >= t.ngroups then None
+      else if float_of_int bin /. float_of_int t.ngroups > max_fullness then None
+      else
+        let found = ref None in
+        let each_class sclass =
+          if !found = None then
+            match Dlist.find eligible t.groups.(sclass).(bin) with
+            | Some sb -> found := Some sb
+            | None -> ()
+        in
+        for sclass = 0 to Size_class.count t.classes - 1 do
+          each_class sclass
+        done;
+        (match !found with
+         | Some sb -> Some sb
+         | None -> scan (bin + 1))
+    in
+    scan 0
+
+let has_victim t ~max_fullness ~protect_last = find_victim t ~max_fullness ~protect_last <> None
+
+let pick_victim ?(protect_last = false) t ~max_fullness =
+  match find_victim t ~max_fullness ~protect_last with
+  | None -> None
+  | Some sb ->
+    remove t sb;
+    Some sb
+
+let iter t f =
+  Array.iter (fun bins -> Array.iter (fun l -> Dlist.iter f l) bins) t.groups;
+  Dlist.iter f t.empties
+
+let check t =
+  let held = ref 0 and in_use = ref 0 and usable = ref 0 in
+  let visit expected_bin sb =
+    Superblock.check sb;
+    if Superblock.owner sb <> t.heap_id then failwith "Heap_core.check: wrong owner";
+    if Superblock.group_index sb <> expected_bin then failwith "Heap_core.check: group index mismatch";
+    if bin_of t sb <> expected_bin then failwith "Heap_core.check: superblock in wrong group";
+    if Superblock.sb_size sb <> t.sbsz then failwith "Heap_core.check: wrong superblock size";
+    held := !held + Superblock.sb_size sb;
+    in_use := !in_use + contribution sb;
+    usable := !usable + usable_contribution sb
+  in
+  Array.iteri
+    (fun sclass bins ->
+      Array.iteri
+        (fun bin l ->
+          Dlist.iter
+            (fun sb ->
+              if Superblock.sclass sb <> sclass then failwith "Heap_core.check: superblock in wrong class list";
+              visit bin sb)
+            l)
+        bins)
+    t.groups;
+  Dlist.iter
+    (fun sb ->
+      if not (Superblock.is_empty sb) then failwith "Heap_core.check: non-empty superblock in empties pool";
+      visit (empties_bin t) sb)
+    t.empties;
+  if !held <> t.held then failwith "Heap_core.check: held bytes mismatch";
+  if !in_use <> t.in_use then failwith "Heap_core.check: in-use bytes mismatch";
+  if !usable <> t.usable then failwith "Heap_core.check: usable bytes mismatch";
+  let counts = Array.make (Size_class.count t.classes) 0 in
+  iter t (fun sb -> counts.(Superblock.sclass sb) <- counts.(Superblock.sclass sb) + 1);
+  if counts <> t.class_counts then failwith "Heap_core.check: class counts mismatch"

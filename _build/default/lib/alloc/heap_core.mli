@@ -1,0 +1,84 @@
+(** One heap: superblocks segregated by size class and sorted into fullness
+    groups.
+
+    This is the machinery shared by Hoard's per-processor heaps, its global
+    heap, the serial allocator and the ptmalloc-style arenas: allocation
+    searches a size class's groups from fullest to emptiest (the policy the
+    paper uses to keep superblocks densely packed), completely empty
+    superblocks are pooled class-agnostically for reuse by any class, and
+    the [u_i] (bytes in use) / [a_i] (bytes held) pair needed by Hoard's
+    emptiness invariant is maintained incrementally.
+
+    Heap_core performs no locking and no platform access: callers wrap
+    operations in their own locks and charge their own costs. *)
+
+type t
+
+val create : id:int -> classes:Size_class.t -> ?ngroups:int -> sb_size:int -> unit -> t
+(** [ngroups] (default 8) is the number of partial-fullness bins. *)
+
+val id : t -> int
+
+val sb_size : t -> int
+
+val u : t -> int
+(** Bytes in use by the program from this heap's superblocks. *)
+
+val a : t -> int
+(** Bytes held by this heap's superblocks ([count * sb_size]). *)
+
+val usable_a : t -> int
+(** Usable bytes held: sum over superblocks of [n_blocks * block_size]
+    (i.e. [a] minus header and carving waste). Hoard's emptiness invariant
+    is defined on this quantity so that "too empty" always implies an
+    f-empty superblock exists (the averaging argument of the paper's
+    analysis, made exact in the presence of per-superblock overhead). *)
+
+val superblock_count : t -> int
+
+val empty_superblock_count : t -> int
+
+val insert : t -> Superblock.t -> unit
+(** Adopts a superblock (possibly partially full): sets its owner, links it
+    into the right group and accounts its [a]/[u] contribution. *)
+
+val remove : t -> Superblock.t -> unit
+(** Unlinks a superblock and removes its [a]/[u] contribution. Its owner
+    field is left for the caller to reassign. *)
+
+val malloc : t -> sclass:int -> block_size:int -> (int * Superblock.t) option
+(** Allocates a block of the given class, preferring the fullest
+    non-full superblock, then recycling an empty superblock (reinitialised
+    to the class if needed). [None] when the heap has nothing suitable —
+    the caller then goes to the global heap or the OS. *)
+
+val free : t -> Superblock.t -> int -> unit
+(** Frees a block belonging to one of this heap's superblocks and
+    repositions the superblock in its fullness groups. *)
+
+val take_for_class : t -> sclass:int -> Superblock.t option
+(** Removes and returns the fullest non-full superblock of the given class,
+    or failing that an empty superblock (left un-reinitialised). This is
+    the global-heap side of Hoard's superblock transfer. *)
+
+val pick_victim : ?protect_last:bool -> t -> max_fullness:float -> Superblock.t option
+(** Removes and returns a superblock whose fullness is at most
+    [max_fullness], preferring empty ones, then emptier bins (paper: the
+    superblock moved to the global heap is at least [f]-empty). With
+    [protect_last] (default false), a size class's last superblock in this
+    heap is never chosen unless it is completely empty — transferring it
+    would only force the next allocation of that class straight back to
+    the global heap (see DESIGN.md on global-heap ping-pong). [None] if no
+    superblock qualifies. *)
+
+val has_victim : t -> max_fullness:float -> protect_last:bool -> bool
+(** Whether {!pick_victim} would succeed, without removing anything. *)
+
+val find_allocatable : t -> sclass:int -> bool
+(** Whether {!malloc} would succeed for this class without new memory. *)
+
+val iter : t -> (Superblock.t -> unit) -> unit
+
+val check : t -> unit
+(** Full structural validation (group membership, accounting, per-
+    superblock consistency). Raises [Failure] on corruption. *)

@@ -1,0 +1,44 @@
+type entry = { usable : int; mapped : int }
+
+type t = {
+  pf : Platform.t;
+  owner : int;
+  stats : Alloc_stats.t;
+  table : (int, entry) Hashtbl.t;
+  mutable live_b : int;
+}
+
+let create pf ~owner ~stats = { pf; owner; stats; table = Hashtbl.create 64; live_b = 0 }
+
+let round_up x align = (x + align - 1) / align * align
+
+let malloc t size =
+  if size <= 0 then invalid_arg "Large_alloc.malloc: size must be positive";
+  let usable = round_up size 8 in
+  let mapped = round_up size t.pf.Platform.page_size in
+  let addr = t.pf.Platform.page_map ~bytes:mapped ~align:t.pf.Platform.page_size ~owner:t.owner in
+  Hashtbl.replace t.table addr { usable; mapped };
+  Alloc_stats.on_map t.stats ~bytes:mapped;
+  Alloc_stats.on_malloc t.stats ~requested:size ~usable;
+  t.live_b <- t.live_b + usable;
+  addr
+
+let free t ~addr =
+  match Hashtbl.find_opt t.table addr with
+  | None -> false
+  | Some { usable; mapped } ->
+    Hashtbl.remove t.table addr;
+    t.pf.Platform.page_unmap ~addr;
+    Alloc_stats.on_unmap t.stats ~bytes:mapped;
+    Alloc_stats.on_free t.stats ~usable;
+    t.live_b <- t.live_b - usable;
+    true
+
+let usable_size t ~addr =
+  match Hashtbl.find_opt t.table addr with
+  | None -> None
+  | Some { usable; _ } -> Some usable
+
+let live_count t = Hashtbl.length t.table
+
+let live_bytes t = t.live_b

@@ -1,0 +1,22 @@
+(** Large-object path: requests above S/2 bypass the superblock machinery
+    and are served directly from the OS, page-rounded, as in the paper.
+
+    Not thread-safe by itself — callers guard it with their own lock. *)
+
+type t
+
+val create : Platform.t -> owner:int -> stats:Alloc_stats.t -> t
+
+val malloc : t -> int -> int
+(** Maps fresh pages for a request of the given size; returns the block
+    address. *)
+
+val free : t -> addr:int -> bool
+(** Unmaps the large object at [addr]; [false] if [addr] is not a live
+    large object (the caller then tries its superblock path). *)
+
+val usable_size : t -> addr:int -> int option
+
+val live_count : t -> int
+
+val live_bytes : t -> int

@@ -1,0 +1,22 @@
+type t = { large : Large_alloc.t; lock : Platform.lock; threshold : int }
+
+let create pf ~owner ~stats ~threshold =
+  { large = Large_alloc.create pf ~owner ~stats; lock = pf.Platform.new_lock "large"; threshold }
+
+let is_large t size = size > t.threshold
+
+let malloc t size =
+  t.lock.acquire ();
+  let addr = Large_alloc.malloc t.large size in
+  t.lock.release ();
+  addr
+
+let try_free t ~addr =
+  t.lock.acquire ();
+  let found = Large_alloc.free t.large ~addr in
+  t.lock.release ();
+  found
+
+let usable_size t ~addr = Large_alloc.usable_size t.large ~addr
+
+let live_bytes t = Large_alloc.live_bytes t.large

@@ -1,0 +1,18 @@
+(** {!Large_alloc} behind its own lock, with the size threshold test —
+    the large-object path shared by every allocator implementation. *)
+
+type t
+
+val create : Platform.t -> owner:int -> stats:Alloc_stats.t -> threshold:int -> t
+
+val is_large : t -> int -> bool
+(** Whether a request of this size takes the large path. *)
+
+val malloc : t -> int -> int
+
+val try_free : t -> addr:int -> bool
+(** [true] if [addr] was a live large object (now freed). *)
+
+val usable_size : t -> addr:int -> int option
+
+val live_bytes : t -> int

@@ -1,0 +1,23 @@
+type t = { size : int; table : (int, Superblock.t) Hashtbl.t }
+
+let create ~sb_size =
+  if sb_size <= 0 || sb_size land (sb_size - 1) <> 0 then
+    invalid_arg "Sb_registry.create: sb_size must be a positive power of two";
+  { size = sb_size; table = Hashtbl.create 256 }
+
+let sb_size t = t.size
+
+let slot t addr = addr / t.size
+
+let register t sb =
+  let key = slot t (Superblock.base sb) in
+  if Hashtbl.mem t.table key then invalid_arg "Sb_registry.register: slot already occupied";
+  Hashtbl.replace t.table key sb
+
+let unregister t sb = Hashtbl.remove t.table (slot t (Superblock.base sb))
+
+let lookup t ~addr = Hashtbl.find_opt t.table (slot t addr)
+
+let count t = Hashtbl.length t.table
+
+let iter t f = Hashtbl.iter (fun _ sb -> f sb) t.table

@@ -1,0 +1,25 @@
+(** O(1) pointer-to-superblock resolution.
+
+    Superblocks are S-aligned in the address space, so the superblock
+    containing an address is found by indexing [addr / S] — the same trick
+    the paper's implementation uses to make [free] constant-time. One
+    registry is shared by all heaps of an allocator. *)
+
+type t
+
+val create : sb_size:int -> t
+
+val sb_size : t -> int
+
+val register : t -> Superblock.t -> unit
+
+val unregister : t -> Superblock.t -> unit
+(** Called when a superblock is returned to the OS. *)
+
+val lookup : t -> addr:int -> Superblock.t option
+(** The live superblock whose span contains [addr], if any. *)
+
+val count : t -> int
+
+val iter : t -> (Superblock.t -> unit) -> unit
+(** Iterates over registered superblocks in unspecified order. *)

@@ -1,0 +1,79 @@
+(** Superblocks: fixed-size (S-byte) chunks carved into equal blocks of one
+    size class.
+
+    The first [header_bytes] of a superblock model its header; allocators
+    touch that range through the platform on every operation so metadata
+    coherence traffic is measured. Blocks are handed out bump-first, then
+    from a LIFO free list (same order as the paper's implementation, which
+    improves locality). An allocation bitmap detects double frees and
+    foreign pointers.
+
+    A fully empty superblock may be {!reinit}ialised to a different size
+    class — this is how the global heap recycles superblocks across
+    classes. *)
+
+type t
+
+val header_bytes : int
+(** Reserved at the base of every superblock (64: one cache line). *)
+
+val create : base:int -> sb_size:int -> sclass:int -> block_size:int -> t
+(** [base] must be [sb_size]-aligned; [block_size] in
+    [\[8, sb_size - header_bytes\]]. *)
+
+val base : t -> int
+
+val sb_size : t -> int
+
+val block_size : t -> int
+
+val sclass : t -> int
+
+val n_blocks : t -> int
+(** Capacity in blocks. *)
+
+val used : t -> int
+(** Blocks currently allocated. *)
+
+val fullness : t -> float
+(** [used / n_blocks] in [\[0, 1\]]. *)
+
+val is_empty : t -> bool
+
+val is_full : t -> bool
+
+val owner : t -> int
+(** Id of the heap currently owning this superblock. *)
+
+val set_owner : t -> int -> unit
+
+val alloc_block : t -> int
+(** Address of a fresh block. Raises [Failure] when full. *)
+
+val free_block : t -> int -> unit
+(** Returns the block at the given address. Raises [Invalid_argument] on
+    an address outside this superblock or not at a block boundary, and
+    [Failure] on double free. *)
+
+val contains : t -> int -> bool
+(** Whether an address lies within this superblock's block area. *)
+
+val is_block_live : t -> int -> bool
+(** Whether the block at this address is currently allocated. *)
+
+val reinit : t -> sclass:int -> block_size:int -> unit
+(** Re-dedicates an empty superblock to another size class. Raises
+    [Failure] if any block is live. *)
+
+(** {2 Fullness-group bookkeeping (used by {!Heap_core})} *)
+
+val group_index : t -> int
+(** Current fullness-group slot, or -1 when unlinked. *)
+
+val set_group : t -> int -> t Dlist.node option -> unit
+
+val group_node : t -> t Dlist.node option
+
+val check : t -> unit
+(** Internal consistency: counts, free list and bitmap agree. Raises
+    [Failure] otherwise. *)

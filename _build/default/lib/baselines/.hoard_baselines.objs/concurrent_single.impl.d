@@ -1,0 +1,1 @@
+lib/baselines/concurrent_single.ml: Alloc_intf Alloc_stats Array Heap_core Locked_large Platform Printf Sb_registry Size_class Superblock

@@ -1,0 +1,1 @@
+lib/baselines/concurrent_single.mli: Alloc_intf Platform

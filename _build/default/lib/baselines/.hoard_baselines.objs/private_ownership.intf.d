@@ -1,0 +1,1 @@
+lib/baselines/private_ownership.mli: Alloc_intf Platform

@@ -1,0 +1,1 @@
+lib/baselines/private_threshold.ml: Alloc_intf Alloc_stats Array Hashtbl List Locked_large Platform Printf Sb_registry Size_class Superblock

@@ -1,0 +1,1 @@
+lib/baselines/private_threshold.mli: Alloc_intf Platform

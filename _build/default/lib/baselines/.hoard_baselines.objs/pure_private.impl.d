@@ -1,0 +1,1 @@
+lib/baselines/pure_private.ml: Alloc_intf Alloc_stats Array Hashtbl List Locked_large Platform Sb_registry Size_class Superblock

@@ -1,0 +1,1 @@
+lib/baselines/pure_private.mli: Alloc_intf Platform

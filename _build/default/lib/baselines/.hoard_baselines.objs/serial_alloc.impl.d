@@ -1,0 +1,1 @@
+lib/baselines/serial_alloc.ml: Alloc_intf Alloc_stats Heap_core Locked_large Platform Sb_registry Size_class Superblock

@@ -1,0 +1,1 @@
+lib/baselines/serial_alloc.mli: Alloc_intf Platform

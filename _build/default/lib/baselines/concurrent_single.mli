@@ -1,0 +1,18 @@
+(** Concurrent single heap ("concurrent single heap" taxonomy row).
+
+    One shared pool of superblocks, but fine-grained locking: each size
+    class has its own sub-heap and lock, so threads allocating different
+    sizes proceed in parallel. Still a single logical heap: all threads
+    draw blocks from the same superblocks, so active false sharing is
+    rampant, and same-size-class traffic serialises on one lock. Blowup
+    stays O(1), as in the paper's analysis of this family. *)
+
+type t
+
+val create : ?sb_size:int -> ?path_work:int -> ?release_threshold:int -> Platform.t -> t
+
+val allocator : t -> Alloc_intf.t
+
+val factory : ?sb_size:int -> unit -> Alloc_intf.factory
+
+val check : t -> unit

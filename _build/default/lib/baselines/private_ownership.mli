@@ -1,0 +1,21 @@
+(** Private heaps with ownership ("private heaps with ownership" taxonomy
+    row; models Ptmalloc/MTmalloc arenas).
+
+    One heap per processor, each with its own lock. A freed block returns
+    to the heap *owning* its superblock, so — unlike pure private heaps —
+    blowup is bounded; but because no memory ever moves between heaps or
+    back to the OS, each heap retains its high-water mark and worst-case
+    consumption is O(P * U), the factor-of-P blowup the paper measures for
+    this family. *)
+
+type t
+
+val create : ?sb_size:int -> ?path_work:int -> ?nheaps:int -> Platform.t -> t
+
+val allocator : t -> Alloc_intf.t
+
+val factory : ?sb_size:int -> unit -> Alloc_intf.factory
+
+val heap_held_bytes : t -> heap:int -> int
+
+val check : t -> unit

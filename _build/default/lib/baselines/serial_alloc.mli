@@ -1,0 +1,17 @@
+(** Serial single-heap allocator ("serial single heap" row of the paper's
+    taxonomy; models Solaris malloc).
+
+    One heap of superblocks behind one lock. Fast and memory-efficient on
+    one processor; on multiprocessors every malloc and free serialises on
+    the lock (heap contention) and consecutive allocations by different
+    threads share cache lines (actively induced false sharing). *)
+
+type t
+
+val create : ?sb_size:int -> ?path_work:int -> ?release_threshold:int -> Platform.t -> t
+
+val allocator : t -> Alloc_intf.t
+
+val factory : ?sb_size:int -> unit -> Alloc_intf.factory
+
+val check : t -> unit

@@ -1,0 +1,1 @@
+lib/core/hoard.ml: Alloc_intf Alloc_stats Array Format Heap_core Hoard_config Locked_large Platform Printf Sb_registry Size_class Superblock

@@ -1,0 +1,1 @@
+lib/core/hoard.mli: Alloc_intf Format Hoard_config Platform

@@ -1,0 +1,1 @@
+lib/core/hoard_config.ml: Format

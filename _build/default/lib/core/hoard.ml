@@ -1,0 +1,280 @@
+type heap = { core : Heap_core.t; lock : Platform.lock }
+
+type t = {
+  pf : Platform.t;
+  cfg : Hoard_config.t;
+  classes : Size_class.t;
+  reg : Sb_registry.t;
+  stats : Alloc_stats.t;
+  owner : int;
+  global : heap;
+  heaps : heap array; (* per-processor heaps, ids 1..N *)
+  large : Locked_large.t;
+}
+
+type heap_info = {
+  heap_id : int;
+  u_bytes : int;
+  a_bytes : int;
+  superblocks : int;
+  empty_superblocks : int;
+}
+
+let create ?(config = Hoard_config.default) pf =
+  Hoard_config.validate config;
+  if config.sb_size < pf.Platform.page_size then
+    invalid_arg "Hoard.create: sb_size must be at least the platform page size";
+  let n =
+    match config.nheaps with
+    | Some n -> n
+    | None -> pf.Platform.nprocs
+  in
+  let classes = Size_class.create ~growth:config.growth ~max_small:(Hoard_config.max_small config) () in
+  let mk_heap id =
+    {
+      core = Heap_core.create ~id ~classes ~ngroups:config.ngroups ~sb_size:config.sb_size ();
+      lock = pf.Platform.new_lock (Printf.sprintf "hoard.heap%d" id);
+    }
+  in
+  let stats = Alloc_stats.create () in
+  let owner = Alloc_intf.next_owner () in
+  {
+    pf;
+    cfg = config;
+    classes;
+    reg = Sb_registry.create ~sb_size:config.sb_size;
+    stats;
+    owner;
+    global = mk_heap 0;
+    heaps = Array.init n (fun i -> mk_heap (i + 1));
+    large = Locked_large.create pf ~owner ~stats ~threshold:(Hoard_config.max_small config);
+  }
+
+let config t = t.cfg
+
+let nheaps t = Array.length t.heaps
+
+let heap_by_id t id = if id = 0 then t.global else t.heaps.(id - 1)
+
+(* Fibonacci hash so consecutive thread ids spread across heaps. *)
+let hash_tid tid = (tid * 2654435761) land max_int
+
+let my_heap t =
+  let slot =
+    if t.cfg.assign_by_tid then hash_tid (t.pf.Platform.self_tid ()) else t.pf.Platform.self_proc ()
+  in
+  t.heaps.(slot mod Array.length t.heaps)
+
+(* Emptiness threshold crossed: both clauses of the invariant fail. The
+   comparison uses usable bytes (excluding header and carving waste) so
+   that crossing the threshold guarantees an at-least-f-empty superblock
+   exists to transfer. *)
+let too_empty t core =
+  let u = Heap_core.u core and a = Heap_core.usable_a core in
+  u < a - (t.cfg.slack * t.cfg.sb_size) && float_of_int u < (1.0 -. t.cfg.empty_fraction) *. float_of_int a
+
+let touch_header t sb = t.pf.Platform.write ~addr:(Superblock.base sb) ~len:16
+
+(* Global heap: drop surplus empty superblocks back to the OS. Caller holds
+   the global lock. *)
+let release_surplus t =
+  if t.cfg.release_to_os then
+    while Heap_core.empty_superblock_count t.global.core > t.cfg.release_threshold do
+      match Heap_core.pick_victim t.global.core ~max_fullness:0.0 with
+      | None -> assert false (* the count said an empty superblock exists *)
+      | Some sb ->
+        Sb_registry.unregister t.reg sb;
+        t.pf.Platform.page_unmap ~addr:(Superblock.base sb);
+        Alloc_stats.on_unmap t.stats ~bytes:(Superblock.sb_size sb)
+    done
+
+(* Fetch a superblock usable for [sclass], from the global heap if
+   possible, otherwise from the OS, and insert it into [h] (whose lock the
+   caller holds). *)
+let refill t h ~sclass ~block_size =
+  let from_global =
+    t.global.lock.acquire ();
+    let sb = Heap_core.take_for_class t.global.core ~sclass in
+    (* Flip ownership before releasing the global lock: a concurrent free
+       must either see the old owner (and retry against our heap lock,
+       which we hold) or block here until the handoff is complete. *)
+    (match sb with
+     | Some sb -> Superblock.set_owner sb (Heap_core.id h.core)
+     | None -> ());
+    t.global.lock.release ();
+    sb
+  in
+  let sb =
+    match from_global with
+    | Some sb ->
+      if Superblock.is_empty sb && (Superblock.sclass sb <> sclass || Superblock.block_size sb <> block_size)
+      then Superblock.reinit sb ~sclass ~block_size;
+      Alloc_stats.on_transfer_from_global t.stats;
+      sb
+    | None ->
+      let base = t.pf.Platform.page_map ~bytes:t.cfg.sb_size ~align:t.cfg.sb_size ~owner:t.owner in
+      let sb = Superblock.create ~base ~sb_size:t.cfg.sb_size ~sclass ~block_size in
+      Sb_registry.register t.reg sb;
+      Alloc_stats.on_map t.stats ~bytes:t.cfg.sb_size;
+      sb
+  in
+  Heap_core.insert h.core sb;
+  touch_header t sb
+
+let malloc t size =
+  if size <= 0 then invalid_arg "Hoard.malloc: size must be positive";
+  t.pf.Platform.work t.cfg.path_work;
+  if Locked_large.is_large t.large size then Locked_large.malloc t.large size
+  else begin
+    let sclass = Size_class.class_of_size t.classes size in
+    let block_size = Size_class.size_of_class t.classes sclass in
+    let h = my_heap t in
+    h.lock.acquire ();
+    let addr =
+      match Heap_core.malloc h.core ~sclass ~block_size with
+      | Some (addr, sb) ->
+        touch_header t sb;
+        addr
+      | None ->
+        refill t h ~sclass ~block_size;
+        (match Heap_core.malloc h.core ~sclass ~block_size with
+         | Some (addr, sb) ->
+           touch_header t sb;
+           addr
+         | None -> assert false (* refill installed an allocatable superblock *))
+    in
+    Alloc_stats.on_malloc t.stats ~requested:size ~usable:block_size;
+    (* The allocator links free blocks through their first word. *)
+    t.pf.Platform.write ~addr ~len:8;
+    h.lock.release ();
+    addr
+  end
+
+(* Lock the heap owning [sb], re-checking ownership after acquisition: the
+   superblock may migrate to the global heap between the read and the lock
+   (the paper's free protocol). *)
+let rec lock_owner t sb =
+  let id = Superblock.owner sb in
+  let h = heap_by_id t id in
+  h.lock.acquire ();
+  if Superblock.owner sb = Heap_core.id h.core then h
+  else begin
+    h.lock.release ();
+    lock_owner t sb
+  end
+
+let free t addr =
+  t.pf.Platform.work t.cfg.path_work;
+  match Sb_registry.lookup t.reg ~addr with
+  | Some sb ->
+    let h = lock_owner t sb in
+    let my = my_heap t in
+    if h != my && h != t.global then Alloc_stats.on_remote_free t.stats;
+    t.pf.Platform.write ~addr ~len:8;
+    Heap_core.free h.core sb addr;
+    touch_header t sb;
+    Alloc_stats.on_free t.stats ~usable:(Superblock.block_size sb);
+    if Heap_core.id h.core = 0 then release_surplus t
+    else if too_empty t h.core then begin
+      (* The paper's free path: crossing the emptiness threshold moves ONE
+         at-least-f-empty superblock to the global heap. One is enough to
+         restore the invariant when it held before the free (each free
+         releases at most one block); heaps that malloc drove far below the
+         threshold converge back over subsequent frees instead of exiling
+         their superblocks all at once. *)
+      match Heap_core.pick_victim ~protect_last:true h.core ~max_fullness:(1.0 -. t.cfg.empty_fraction) with
+      | None -> ()
+      | Some victim ->
+        t.global.lock.acquire ();
+        Heap_core.insert t.global.core victim;
+        touch_header t victim;
+        Alloc_stats.on_transfer_to_global t.stats;
+        release_surplus t;
+        t.global.lock.release ()
+    end;
+    h.lock.release ()
+  | None -> if not (Locked_large.try_free t.large ~addr) then invalid_arg "Hoard.free: foreign pointer"
+
+let usable_size t addr =
+  match Sb_registry.lookup t.reg ~addr with
+  | Some sb ->
+    if Superblock.is_block_live sb addr then Superblock.block_size sb
+    else invalid_arg "Hoard.usable_size: dead block"
+  | None ->
+    (match Locked_large.usable_size t.large ~addr with
+     | Some n -> n
+     | None -> invalid_arg "Hoard.usable_size: foreign pointer")
+
+let heap_info t id =
+  let h = heap_by_id t id in
+  {
+    heap_id = id;
+    u_bytes = Heap_core.u h.core;
+    a_bytes = Heap_core.a h.core;
+    superblocks = Heap_core.superblock_count h.core;
+    empty_superblocks = Heap_core.empty_superblock_count h.core;
+  }
+
+let invariant_holds t ~heap_id =
+  (* The invariant a free restores: either the heap is not too empty, or
+     no transferable superblock remains (every candidate is some class's
+     last, protected against ping-pong). *)
+  let core = (heap_by_id t heap_id).core in
+  (not (too_empty t core))
+  || not (Heap_core.has_victim core ~max_fullness:(1.0 -. t.cfg.empty_fraction) ~protect_last:true)
+
+let check t =
+  Heap_core.check t.global.core;
+  Array.iter (fun h -> Heap_core.check h.core) t.heaps;
+  let s = Alloc_stats.snapshot t.stats in
+  let total_u = Array.fold_left (fun acc h -> acc + Heap_core.u h.core) (Heap_core.u t.global.core) t.heaps in
+  if total_u + Locked_large.live_bytes t.large <> s.live_bytes then
+    failwith "Hoard.check: live-bytes accounting mismatch"
+
+let allocator t =
+  {
+    Alloc_intf.name = "hoard";
+    owner = t.owner;
+    large_threshold = Hoard_config.max_small t.cfg;
+    malloc = (fun size -> malloc t size);
+    free = (fun addr -> free t addr);
+    usable_size = (fun addr -> usable_size t addr);
+    stats = (fun () -> Alloc_stats.snapshot t.stats);
+    check = (fun () -> check t);
+  }
+
+let factory ?(config = Hoard_config.default) () =
+  {
+    Alloc_intf.label = "hoard";
+    description = "per-processor heaps + global heap, emptiness invariant (the paper's allocator)";
+    instantiate = (fun pf -> allocator (create ~config pf));
+  }
+
+let pp_heaps fmt t =
+  let pp_heap h =
+    let core = h.core in
+    let label = if Heap_core.id core = 0 then "global" else Printf.sprintf "heap %d" (Heap_core.id core) in
+    Format.fprintf fmt "@[<v 2>%s: %d superblocks, u=%dB a=%dB (%d empty)@," label
+      (Heap_core.superblock_count core) (Heap_core.u core) (Heap_core.a core)
+      (Heap_core.empty_superblock_count core);
+    (* Aggregate per size class. *)
+    let nclasses = Size_class.count t.classes in
+    let count = Array.make nclasses 0 and used = Array.make nclasses 0 and cap = Array.make nclasses 0 in
+    Heap_core.iter core (fun sb ->
+        let c = Superblock.sclass sb in
+        count.(c) <- count.(c) + 1;
+        used.(c) <- used.(c) + Superblock.used sb;
+        cap.(c) <- cap.(c) + Superblock.n_blocks sb);
+    for c = 0 to nclasses - 1 do
+      if count.(c) > 0 then
+        Format.fprintf fmt "class %4dB: %2d sb, %4d/%4d blocks (%.0f%%)@,"
+          (Size_class.size_of_class t.classes c)
+          count.(c) used.(c) cap.(c)
+          (100.0 *. float_of_int used.(c) /. float_of_int (max 1 cap.(c)))
+    done;
+    Format.fprintf fmt "@]@,"
+  in
+  Format.fprintf fmt "@[<v>";
+  pp_heap t.global;
+  Array.iter pp_heap t.heaps;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,62 @@
+(** The Hoard allocator (the paper's contribution).
+
+    Structure: one global heap (heap 0) plus N per-processor heaps. A
+    thread running on processor p allocates from heap [1 + p mod N]. Small
+    requests (<= S/2) are served from superblocks; each heap keeps its
+    superblocks segregated by size class and sorted into fullness groups,
+    and allocation takes the fullest superblock with space (keeping memory
+    densely packed). When a heap has nothing suitable it pulls a superblock
+    from the global heap, and only when the global heap is also empty does
+    it map fresh memory from the OS.
+
+    [free] returns a block to the superblock's *owning* heap (never the
+    caller's), which prevents actively-induced false sharing and, combined
+    with the emptiness invariant, bounds blowup: after every free, a
+    per-processor heap with [u] bytes in use out of [a] bytes held must
+    satisfy [u >= a - K*S] or [u >= (1-f)*a]; if both fail, a superblock
+    that is at least f-empty is moved to the global heap, from which any
+    processor can reuse it. Empty superblocks beyond a threshold are
+    returned from the global heap to the OS.
+
+    Requests above S/2 go straight to the OS (large-object path). *)
+
+type t
+
+val create : ?config:Hoard_config.t -> Platform.t -> t
+
+val allocator : t -> Alloc_intf.t
+(** The public allocator interface backed by this instance. *)
+
+val factory : ?config:Hoard_config.t -> unit -> Alloc_intf.factory
+
+val config : t -> Hoard_config.t
+
+val nheaps : t -> int
+(** Number of per-processor heaps (excluding the global heap). *)
+
+(** {2 Introspection (tests, experiments)} *)
+
+type heap_info = {
+  heap_id : int;  (** 0 = global *)
+  u_bytes : int;
+  a_bytes : int;
+  superblocks : int;
+  empty_superblocks : int;
+}
+
+val heap_info : t -> int -> heap_info
+(** [heap_info t i] for [i] in [0 .. nheaps t]. *)
+
+val invariant_holds : t -> heap_id:int -> bool
+(** The emptiness invariant [u >= a - K*S || u >= (1-f)*a] for a
+    per-processor heap. Guaranteed immediately after any [free] into that
+    heap; a malloc that installs a fresh superblock may transiently exceed
+    it (the paper's algorithm enforces the invariant only on frees). *)
+
+val check : t -> unit
+(** Deep structural validation of every heap. *)
+
+val pp_heaps : Format.formatter -> t -> unit
+(** Human-readable dump of every heap: per size class, the superblock
+    count and aggregate fullness — the view used by
+    [hoard_bench inspect]. *)

@@ -1,0 +1,50 @@
+type t = {
+  sb_size : int;
+  empty_fraction : float;
+  slack : int;
+  growth : float;
+  ngroups : int;
+  nheaps : int option;
+  assign_by_tid : bool;
+  release_to_os : bool;
+  release_threshold : int;
+  path_work : int;
+}
+
+let default =
+  {
+    sb_size = 8192;
+    empty_fraction = 0.25;
+    slack = 4;
+    growth = 1.2;
+    ngroups = 8;
+    nheaps = None;
+    assign_by_tid = false;
+    release_to_os = true;
+    release_threshold = 4;
+    path_work = 30;
+  }
+
+let validate t =
+  if t.sb_size < 1024 || t.sb_size land (t.sb_size - 1) <> 0 then
+    invalid_arg "Hoard_config: sb_size must be a power of two >= 1024";
+  if not (t.empty_fraction > 0.0 && t.empty_fraction < 1.0) then
+    invalid_arg "Hoard_config: empty_fraction must lie in (0, 1)";
+  if t.slack < 0 then invalid_arg "Hoard_config: slack must be non-negative";
+  if t.growth <= 1.0 then invalid_arg "Hoard_config: growth must exceed 1.0";
+  if t.ngroups < 1 then invalid_arg "Hoard_config: ngroups must be >= 1";
+  (match t.nheaps with
+   | Some n when n < 1 -> invalid_arg "Hoard_config: nheaps must be >= 1"
+   | _ -> ());
+  if t.release_threshold < 0 then invalid_arg "Hoard_config: release_threshold must be non-negative";
+  if t.path_work < 0 then invalid_arg "Hoard_config: path_work must be non-negative"
+
+let max_small t = t.sb_size / 2
+
+let pp fmt t =
+  Format.fprintf fmt "S=%d f=%.3f K=%d b=%.2f groups=%d heaps=%s release=%b/%d" t.sb_size t.empty_fraction
+    t.slack t.growth t.ngroups
+    (match t.nheaps with
+     | None -> "per-proc"
+     | Some n -> string_of_int n)
+    t.release_to_os t.release_threshold

@@ -1,0 +1,40 @@
+(** Tunables of the Hoard algorithm, with the paper's defaults. *)
+
+type t = {
+  sb_size : int;
+      (** S: superblock size in bytes; power of two (paper: 8 KiB). *)
+  empty_fraction : float;
+      (** f: a heap may keep at most a fraction f of its superblock bytes
+          free before crossing the emptiness threshold (paper: 1/4). *)
+  slack : int;
+      (** K: number of superblocks' worth of free space a heap may hold
+          regardless of f. The paper's analysis uses K = 0; the
+          implementation keeps a small positive K (default 4) so that
+          batch-free workloads such as threadtest do not thrash
+          superblocks through the global heap (see the abl_k ablation). *)
+  growth : float;  (** size-class growth factor b (paper: 1.2). *)
+  ngroups : int;  (** fullness groups per size class (paper: groups of f). *)
+  nheaps : int option;
+      (** number of per-processor heaps; [None] means one per processor. *)
+  assign_by_tid : bool;
+      (** map threads to heaps by hashing the thread id (the released
+          implementation's policy, useful when threads outnumber
+          processors) instead of by executing processor (the paper's
+          presentation). Default false. *)
+  release_to_os : bool;
+      (** return empty superblocks from the global heap to the OS. *)
+  release_threshold : int;
+      (** empty superblocks the global heap retains before releasing. *)
+  path_work : int;
+      (** instruction cycles charged per malloc/free beyond memory ops. *)
+}
+
+val default : t
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on out-of-range parameters. *)
+
+val max_small : t -> int
+(** Largest request served from superblocks: S/2, as in the paper. *)
+
+val pp : Format.formatter -> t -> unit

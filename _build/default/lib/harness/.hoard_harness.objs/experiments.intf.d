@@ -1,0 +1,1 @@
+lib/harness/experiments.mli: Alloc_intf Table Workload_intf

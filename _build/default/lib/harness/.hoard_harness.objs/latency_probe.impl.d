@@ -1,0 +1,1 @@
+lib/harness/latency_probe.ml: Alloc_intf Histogram Sim

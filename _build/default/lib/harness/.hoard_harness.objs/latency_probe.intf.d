@@ -1,0 +1,1 @@
+lib/harness/latency_probe.mli: Alloc_intf Histogram

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Alloc_intf Alloc_stats Cache Cost_model List Sim Workload_intf

@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Alloc_intf Alloc_stats Cost_model Sim Workload_intf

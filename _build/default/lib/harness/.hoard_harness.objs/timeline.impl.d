@@ -1,0 +1,1 @@
+lib/harness/timeline.ml: Alloc_intf Alloc_stats Ascii_plot List Sim

@@ -1,0 +1,22 @@
+type t = { mallocs : Histogram.t; frees : Histogram.t }
+
+let bounds = Histogram.exponential_bounds ~lo:8 ~hi:4_194_304
+
+let wrap (a : Alloc_intf.t) =
+  let probe = { mallocs = Histogram.create ~bounds; frees = Histogram.create ~bounds } in
+  let timed hist f =
+    let t0 = Sim.now () in
+    let r = f () in
+    Histogram.add hist (Sim.now () - t0);
+    r
+  in
+  ( probe,
+    {
+      a with
+      Alloc_intf.malloc = (fun size -> timed probe.mallocs (fun () -> a.Alloc_intf.malloc size));
+      free = (fun addr -> timed probe.frees (fun () -> a.Alloc_intf.free addr));
+    } )
+
+let malloc_latencies t = t.mallocs
+
+let free_latencies t = t.frees

@@ -1,0 +1,20 @@
+(** Per-operation latency instrumentation.
+
+    Wraps an allocator so that every [malloc] and [free] records its
+    duration in simulated cycles (read from the executing processor's
+    clock, so lock spinning and cache misses are included). Only
+    meaningful on the simulated platform — {!Sim.now} must be callable,
+    i.e. the wrapped allocator must run inside simulated threads.
+
+    This extends the paper's evaluation (which reports only completion
+    times) with tail-latency visibility: heap contention shows up as a
+    long malloc tail rather than just a slower total. *)
+
+type t
+
+val wrap : Alloc_intf.t -> t * Alloc_intf.t
+(** The returned allocator behaves identically but records latencies. *)
+
+val malloc_latencies : t -> Histogram.t
+
+val free_latencies : t -> Histogram.t

@@ -1,0 +1,60 @@
+type spec = {
+  workload : Workload_intf.t;
+  allocator : Alloc_intf.factory;
+  nprocs : int;
+  nthreads : int option;
+  cost : Cost_model.t;
+  lock_kind : Sim.lock_kind;
+}
+
+let spec ?nthreads ?(cost = Cost_model.default) ?(lock_kind = Sim.Spin) workload allocator ~nprocs =
+  { workload; allocator; nprocs; nthreads; cost; lock_kind }
+
+type result = {
+  r_workload : string;
+  r_allocator : string;
+  r_nprocs : int;
+  r_nthreads : int;
+  r_cycles : int;
+  r_ops : int;
+  r_stats : Alloc_stats.snapshot;
+  r_invalidations : int;
+  r_coherence_misses : int;
+  r_lock_acquisitions : int;
+  r_lock_spins : int;
+}
+
+let run { workload; allocator; nprocs; nthreads; cost; lock_kind } =
+  let nthreads =
+    match nthreads with
+    | Some n -> n
+    | None -> nprocs
+  in
+  let sim = Sim.create ~cost ~lock_kind ~nprocs () in
+  let pf = Sim.platform sim in
+  let a = allocator.Alloc_intf.instantiate pf in
+  workload.Workload_intf.spawn sim pf a ~nthreads;
+  Sim.run sim;
+  a.Alloc_intf.check ();
+  let acqs, spins =
+    List.fold_left (fun (acc_a, acc_s) (_, a', s') -> (acc_a + a', acc_s + s')) (0, 0) (Sim.lock_stats sim)
+  in
+  {
+    r_workload = workload.Workload_intf.w_name;
+    r_allocator = allocator.Alloc_intf.label;
+    r_nprocs = nprocs;
+    r_nthreads = nthreads;
+    r_cycles = Sim.total_cycles sim;
+    r_ops = workload.Workload_intf.total_ops ~nthreads;
+    r_stats = a.Alloc_intf.stats ();
+    r_invalidations = Cache.total_invalidations (Sim.cache sim);
+    r_coherence_misses = Cache.total_coherence_misses (Sim.cache sim);
+    r_lock_acquisitions = acqs;
+    r_lock_spins = spins;
+  }
+
+let speedup ~base r = float_of_int base.r_cycles /. float_of_int r.r_cycles
+
+let ops_per_mcycle r = 1_000_000.0 *. float_of_int r.r_ops /. float_of_int r.r_cycles
+
+let fragmentation r = Alloc_stats.fragmentation r.r_stats

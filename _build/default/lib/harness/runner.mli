@@ -1,0 +1,49 @@
+(** Executes one (workload, allocator, machine-size) combination on a fresh
+    simulated machine and collects every metric the paper's tables and
+    figures are built from. *)
+
+type spec = {
+  workload : Workload_intf.t;
+  allocator : Alloc_intf.factory;
+  nprocs : int;
+  nthreads : int option;  (** defaults to [nprocs] *)
+  cost : Cost_model.t;
+  lock_kind : Sim.lock_kind;  (** defaults to {!Sim.Spin} *)
+}
+
+val spec :
+  ?nthreads:int ->
+  ?cost:Cost_model.t ->
+  ?lock_kind:Sim.lock_kind ->
+  Workload_intf.t ->
+  Alloc_intf.factory ->
+  nprocs:int ->
+  spec
+
+type result = {
+  r_workload : string;
+  r_allocator : string;
+  r_nprocs : int;
+  r_nthreads : int;
+  r_cycles : int;  (** completion time in simulated cycles *)
+  r_ops : int;  (** memory operations the workload reports *)
+  r_stats : Alloc_stats.snapshot;
+  r_invalidations : int;
+  r_coherence_misses : int;
+  r_lock_acquisitions : int;
+  r_lock_spins : int;
+}
+
+val run : spec -> result
+(** Deterministic: same spec, same result. *)
+
+val speedup : base:result -> result -> float
+(** [base.cycles / r.cycles] — the paper's speedup metric, with [base]
+    normally the same allocator at one processor. *)
+
+val ops_per_mcycle : result -> float
+(** Throughput: memory operations per million simulated cycles (the
+    Larson figure's y-axis). *)
+
+val fragmentation : result -> float
+(** Peak held / peak live (the paper's Table 4 metric). *)

@@ -1,0 +1,41 @@
+type sample = { at : int; held : int; live : int }
+
+type t = { mutable rev_samples : sample list; mutable ops : int; every : int }
+
+let record t (a : Alloc_intf.t) =
+  t.ops <- t.ops + 1;
+  if t.ops mod t.every = 0 then begin
+    let s = a.Alloc_intf.stats () in
+    t.rev_samples <-
+      { at = Sim.now (); held = s.Alloc_stats.held_bytes; live = s.Alloc_stats.live_bytes } :: t.rev_samples
+  end
+
+let wrap ?(every = 32) (a : Alloc_intf.t) =
+  if every < 1 then invalid_arg "Timeline.wrap: every must be >= 1";
+  let t = { rev_samples = []; ops = 0; every } in
+  ( t,
+    {
+      a with
+      Alloc_intf.malloc =
+        (fun size ->
+          let p = a.Alloc_intf.malloc size in
+          record t a;
+          p);
+      free =
+        (fun addr ->
+          a.Alloc_intf.free addr;
+          record t a);
+    } )
+
+let samples t = List.rev t.rev_samples
+
+let peak_held t = List.fold_left (fun acc s -> max acc s.held) 0 t.rev_samples
+
+let plot labelled ~title =
+  let series =
+    List.map
+      (fun (label, t) ->
+        (label, List.map (fun s -> (float_of_int s.at, float_of_int s.held /. 1024.0)) (samples t)))
+      labelled
+  in
+  Ascii_plot.render ~title ~x_label:"cycles" ~y_label:"held KiB" ~series ()

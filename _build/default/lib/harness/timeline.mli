@@ -1,0 +1,23 @@
+(** Memory-consumption timelines.
+
+    Wraps an allocator to sample (simulated time, held bytes, live bytes)
+    every few operations, turning the blowup *bound* experiments into
+    curves: pure private heaps' held memory climbs forever under
+    producer-consumer while Hoard's stays pinned to the live line. *)
+
+type sample = { at : int;  (** simulated cycles *) held : int; live : int }
+
+type t
+
+val wrap : ?every:int -> Alloc_intf.t -> t * Alloc_intf.t
+(** Samples once per [every] operations (default 32). Simulated-platform
+    only (timestamps come from {!Sim.now}). *)
+
+val samples : t -> sample list
+(** In chronological order. *)
+
+val peak_held : t -> int
+
+val plot : (string * t) list -> title:string -> string
+(** Held-bytes-over-time curves (KiB) for several labelled timelines on
+    one chart. *)

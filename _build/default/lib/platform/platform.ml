@@ -1,0 +1,57 @@
+type lock = {
+  acquire : unit -> unit;
+  release : unit -> unit;
+  lock_name : string;
+}
+
+type t = {
+  nprocs : int;
+  page_size : int;
+  self_proc : unit -> int;
+  self_tid : unit -> int;
+  work : int -> unit;
+  read : addr:int -> len:int -> unit;
+  write : addr:int -> len:int -> unit;
+  new_lock : string -> lock;
+  page_map : bytes:int -> align:int -> owner:int -> int;
+  page_unmap : addr:int -> unit;
+  mapped_bytes : owner:int -> int;
+  peak_mapped_bytes : owner:int -> int;
+}
+
+(* Registry recovering the vmem behind a host platform, keyed by physical
+   equality; only tests use it and platforms are few. *)
+let host_vmems : (t * Vmem.t) list ref = ref []
+
+let host ?(page_size = 4096) ?(nprocs = 1) () =
+  let vmem = Vmem.create ~page_size () in
+  let vmem_lock = Mutex.create () in
+  let locked f =
+    Mutex.lock vmem_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock vmem_lock) f
+  in
+  let self_tid () = (Domain.self () :> int) in
+  let t =
+    {
+      nprocs;
+      page_size;
+      self_proc = (fun () -> self_tid () mod nprocs);
+      self_tid;
+      work = (fun _ -> ());
+      read = (fun ~addr:_ ~len:_ -> ());
+      write = (fun ~addr:_ ~len:_ -> ());
+      new_lock =
+        (fun lock_name ->
+          let m = Mutex.create () in
+          { acquire = (fun () -> Mutex.lock m); release = (fun () -> Mutex.unlock m); lock_name });
+      page_map = (fun ~bytes ~align ~owner -> locked (fun () -> Vmem.map vmem ~owner ~bytes ~align ()));
+      page_unmap = (fun ~addr -> locked (fun () -> Vmem.unmap vmem ~addr));
+      mapped_bytes = (fun ~owner -> locked (fun () -> Vmem.mapped_bytes_of_owner vmem owner));
+      peak_mapped_bytes = (fun ~owner -> locked (fun () -> Vmem.peak_bytes_of_owner vmem owner));
+    }
+  in
+  host_vmems := (t, vmem) :: !host_vmems;
+  t
+
+let host_vmem t =
+  List.find_map (fun (t', v) -> if t' == t then Some v else None) !host_vmems

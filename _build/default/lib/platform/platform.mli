@@ -1,0 +1,46 @@
+(** The machine interface allocators are written against.
+
+    An allocator never touches the simulator directly: it receives a
+    [Platform.t] record providing threads-and-memory primitives. Two
+    implementations exist:
+
+    - {!host}: direct execution — locks are [Mutex.t], memory traffic is
+      not modelled, cycles are not charged. Used for unit tests of
+      allocator logic and for Bechamel micro-benchmarks of the allocator
+      code paths themselves.
+    - the simulated platform built by [Hoard_sim.Sim.platform]: every
+      primitive charges cycles, drives the cache-coherence simulator and
+      participates in deterministic scheduling.
+
+    Addresses are simulated-byte addresses (see {!Vmem}). *)
+
+type lock = {
+  acquire : unit -> unit;
+  release : unit -> unit;
+  lock_name : string;
+}
+
+type t = {
+  nprocs : int;  (** number of processors the program runs on *)
+  page_size : int;
+  self_proc : unit -> int;  (** processor executing the calling thread *)
+  self_tid : unit -> int;  (** calling thread's id *)
+  work : int -> unit;  (** spend n cycles of pure computation *)
+  read : addr:int -> len:int -> unit;  (** memory load of [len] bytes *)
+  write : addr:int -> len:int -> unit;  (** memory store of [len] bytes *)
+  new_lock : string -> lock;
+  page_map : bytes:int -> align:int -> owner:int -> int;
+      (** obtain memory from the OS; returns the base address *)
+  page_unmap : addr:int -> unit;  (** return a region to the OS *)
+  mapped_bytes : owner:int -> int;  (** bytes currently held by [owner] *)
+  peak_mapped_bytes : owner:int -> int;
+}
+
+val host : ?page_size:int -> ?nprocs:int -> unit -> t
+(** A direct-execution platform ([nprocs] defaults to 1). Thread ids come
+    from the calling domain, so it is safe under real [Domain]-based
+    parallelism; locks are real mutexes. *)
+
+val host_vmem : t -> Vmem.t option
+(** The address space behind a {!host} platform ([None] for other
+    platforms). Exposed for tests that inspect accounting. *)

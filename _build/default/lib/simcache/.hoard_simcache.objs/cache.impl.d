@@ -1,0 +1,1 @@
+lib/simcache/cache.ml: Array Dlist Hashtbl

@@ -1,0 +1,1 @@
+lib/simcache/cache.mli:

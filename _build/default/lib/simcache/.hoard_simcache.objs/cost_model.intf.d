@@ -1,0 +1,1 @@
+lib/simcache/cost_model.mli:

@@ -1,0 +1,260 @@
+type proc = int
+
+type outcome = Hit | Cold_miss | Coherence_miss
+
+type summary = {
+  hits : int;
+  cold_misses : int;
+  coherence_misses : int;
+  invalidations_sent : int;
+  cross_node_events : int;
+}
+
+type proc_stats = {
+  p_hits : int;
+  p_cold_misses : int;
+  p_coherence_misses : int;
+  p_invalidations_sent : int;
+  p_invalidations_received : int;
+  p_evictions : int;
+}
+
+(* Directory entry: which processors hold the line, and whether one of them
+   holds it exclusively (dirty). [mask] is a processor bit set. *)
+type line_state = { mutable mask : int; mutable exclusive : bool }
+
+type counters = {
+  mutable hits : int;
+  mutable cold : int;
+  mutable coher : int;
+  mutable inval_sent : int;
+  mutable inval_recv : int;
+  mutable evictions : int;
+}
+
+(* Per-processor LRU tracking for finite caches: a doubly-linked list in
+   recency order plus a line -> node index. *)
+type lru = { order : int Dlist.t; nodes : (int, int Dlist.node) Hashtbl.t }
+
+type t = {
+  line_size : int;
+  line_shift : int;
+  nprocs : int;
+  capacity_lines : int option;
+  node_of : int -> int;
+  directory : (int, line_state) Hashtbl.t; (* line index -> state *)
+  counters : counters array;
+  lrus : lru array; (* used only when capacity_lines is set *)
+  mutable cross_node_total : int;
+}
+
+let create ?(line_size = 64) ?capacity_lines ?(node_of = fun _ -> 0) ~nprocs () =
+  if line_size <= 0 || line_size land (line_size - 1) <> 0 then
+    invalid_arg "Cache.create: line_size must be a positive power of two";
+  if nprocs < 1 || nprocs > 62 then invalid_arg "Cache.create: nprocs must be in [1, 62]";
+  (match capacity_lines with
+   | Some c when c < 1 -> invalid_arg "Cache.create: capacity_lines must be >= 1"
+   | _ -> ());
+  let rec log2 n = if n = 1 then 0 else 1 + log2 (n / 2) in
+  {
+    line_size;
+    line_shift = log2 line_size;
+    nprocs;
+    capacity_lines;
+    node_of;
+    directory = Hashtbl.create 4096;
+    counters =
+      Array.init nprocs (fun _ -> { hits = 0; cold = 0; coher = 0; inval_sent = 0; inval_recv = 0; evictions = 0 });
+    lrus = Array.init nprocs (fun _ -> { order = Dlist.create (); nodes = Hashtbl.create 256 });
+    cross_node_total = 0;
+  }
+
+let line_size t = t.line_size
+
+let nprocs t = t.nprocs
+
+let line_of_addr t addr = addr lsr t.line_shift
+
+let popcount mask =
+  let rec loop m acc = if m = 0 then acc else loop (m land (m - 1)) (acc + 1) in
+  loop mask 0
+
+let credit_invalidations t p remote_mask =
+  let n = popcount remote_mask in
+  if n > 0 then begin
+    t.counters.(p).inval_sent <- t.counters.(p).inval_sent + n;
+    for q = 0 to t.nprocs - 1 do
+      if remote_mask land (1 lsl q) <> 0 then t.counters.(q).inval_recv <- t.counters.(q).inval_recv + 1
+    done
+  end;
+  n
+
+let state_of t line =
+  match Hashtbl.find_opt t.directory line with
+  | Some s -> s
+  | None ->
+    let s = { mask = 0; exclusive = false } in
+    Hashtbl.replace t.directory line s;
+    s
+
+(* Coherence events whose peer lives on another node. For an invalidating
+   write, each remote copy is an event; for a served miss, one event if any
+   current holder is remote-node. *)
+let cross_node_of_mask t p mask =
+  let my = t.node_of p in
+  let n = ref 0 in
+  for q = 0 to t.nprocs - 1 do
+    if mask land (1 lsl q) <> 0 && t.node_of q <> my then incr n
+  done;
+  !n
+
+let access_line t p line ~is_write =
+  let s = state_of t line in
+  let bit = 1 lsl p in
+  let holds = s.mask land bit <> 0 in
+  let remote = s.mask land lnot bit in
+  if is_write then
+    if holds && remote = 0 then begin
+      (* Already sole holder: silent upgrade to exclusive. *)
+      s.exclusive <- true;
+      t.counters.(p).hits <- t.counters.(p).hits + 1;
+      (Hit, 0)
+    end
+    else if holds then begin
+      (* Upgrade: kill the other copies but the data is local. *)
+      let n = credit_invalidations t p remote in
+      s.mask <- bit;
+      s.exclusive <- true;
+      t.counters.(p).hits <- t.counters.(p).hits + 1;
+      (Hit, n)
+    end
+    else if remote <> 0 then begin
+      let n = credit_invalidations t p remote in
+      s.mask <- bit;
+      s.exclusive <- true;
+      t.counters.(p).coher <- t.counters.(p).coher + 1;
+      (Coherence_miss, n)
+    end
+    else begin
+      s.mask <- bit;
+      s.exclusive <- true;
+      t.counters.(p).cold <- t.counters.(p).cold + 1;
+      (Cold_miss, 0)
+    end
+  else if holds then begin
+    t.counters.(p).hits <- t.counters.(p).hits + 1;
+    (Hit, 0)
+  end
+  else if remote <> 0 then begin
+    (* Served cache-to-cache; an exclusive holder is downgraded to shared
+       (no invalidation: the remote copy survives). *)
+    s.mask <- s.mask lor bit;
+    s.exclusive <- false;
+    t.counters.(p).coher <- t.counters.(p).coher + 1;
+    (Coherence_miss, 0)
+  end
+  else begin
+    s.mask <- bit;
+    s.exclusive <- false;
+    t.counters.(p).cold <- t.counters.(p).cold + 1;
+    (Cold_miss, 0)
+  end
+
+(* Record that processor [p] now caches [line]; evict its least recently
+   used line when over capacity (the victim silently drops out of the
+   directory — writebacks are modelled as free/asynchronous). *)
+let lru_touch t p line =
+  match t.capacity_lines with
+  | None -> ()
+  | Some capacity ->
+    let lru = t.lrus.(p) in
+    (match Hashtbl.find_opt lru.nodes line with
+     | Some node -> Dlist.remove lru.order node
+     | None -> ());
+    Hashtbl.replace lru.nodes line (Dlist.push_front lru.order line);
+    if Dlist.length lru.order > capacity then
+      match Dlist.peek_back lru.order with
+      | None -> ()
+      | Some victim ->
+        (match Hashtbl.find_opt lru.nodes victim with
+         | Some node -> Dlist.remove lru.order node
+         | None -> ());
+        Hashtbl.remove lru.nodes victim;
+        (match Hashtbl.find_opt t.directory victim with
+         | Some st ->
+           st.mask <- st.mask land lnot (1 lsl p);
+           if st.mask = 0 then st.exclusive <- false
+         | None -> ());
+        t.counters.(p).evictions <- t.counters.(p).evictions + 1
+
+let access t p ~addr ~len ~is_write =
+  if len <= 0 then invalid_arg "Cache.access: len must be positive";
+  if p < 0 || p >= t.nprocs then invalid_arg "Cache.access: bad processor id";
+  let first = line_of_addr t addr and last = line_of_addr t (addr + len - 1) in
+  let acc = ref { hits = 0; cold_misses = 0; coherence_misses = 0; invalidations_sent = 0; cross_node_events = 0 } in
+  for line = first to last do
+    (* Snapshot the holder set before the transition to attribute
+       cross-node traffic. *)
+    let pre_mask =
+      match Hashtbl.find_opt t.directory line with
+      | Some s -> s.mask land lnot (1 lsl p)
+      | None -> 0
+    in
+    let outcome, invals = access_line t p line ~is_write in
+    lru_touch t p line;
+    let cross =
+      if is_write && invals > 0 then cross_node_of_mask t p pre_mask
+      else if outcome = Coherence_miss then min 1 (cross_node_of_mask t p pre_mask)
+      else 0
+    in
+    t.cross_node_total <- t.cross_node_total + cross;
+    let a = !acc in
+    acc :=
+      {
+        hits = (a.hits + if outcome = Hit then 1 else 0);
+        cold_misses = (a.cold_misses + if outcome = Cold_miss then 1 else 0);
+        coherence_misses = (a.coherence_misses + if outcome = Coherence_miss then 1 else 0);
+        invalidations_sent = a.invalidations_sent + invals;
+        cross_node_events = a.cross_node_events + cross;
+      }
+  done;
+  !acc
+
+let read t p ~addr ~len = access t p ~addr ~len ~is_write:false
+
+let write t p ~addr ~len = access t p ~addr ~len ~is_write:true
+
+let stats t p =
+  let c = t.counters.(p) in
+  {
+    p_hits = c.hits;
+    p_cold_misses = c.cold;
+    p_coherence_misses = c.coher;
+    p_invalidations_sent = c.inval_sent;
+    p_invalidations_received = c.inval_recv;
+    p_evictions = c.evictions;
+  }
+
+let total_cross_node_events t = t.cross_node_total
+
+let total_invalidations t = Array.fold_left (fun acc c -> acc + c.inval_recv) 0 t.counters
+
+let total_coherence_misses t = Array.fold_left (fun acc c -> acc + c.coher) 0 t.counters
+
+let sharers t ~line =
+  match Hashtbl.find_opt t.directory line with
+  | None -> []
+  | Some s ->
+    let rec loop q acc = if q < 0 then acc else loop (q - 1) (if s.mask land (1 lsl q) <> 0 then q :: acc else acc) in
+    loop (t.nprocs - 1) []
+
+let reset_stats t =
+  Array.iter
+    (fun c ->
+      c.hits <- 0;
+      c.cold <- 0;
+      c.coher <- 0;
+      c.inval_sent <- 0;
+      c.inval_recv <- 0;
+      c.evictions <- 0)
+    t.counters

@@ -1,0 +1,85 @@
+(** Directory-based cache-coherence simulator.
+
+    Models the property false sharing is defined by: at any instant each
+    cache line is either uncached, held Shared by a set of processors, or
+    held Exclusive (dirty) by one processor. Reads and writes update the
+    directory MESI-style and are classified as hits, cold misses (line
+    never cached by this processor before and not supplied by a peer) or
+    coherence misses (another processor's copy had to be downgraded or
+    invalidated). Writes invalidate remote copies; every invalidation is
+    counted on both sides, which is the direct measurement behind the
+    paper's active/passive false-sharing experiments.
+
+    Caches are infinite by default (no capacity evictions): the
+    experiments target coherence traffic, not working-set effects, and an
+    infinite cache gives a *lower bound* on misses that still exposes
+    false sharing exactly. Pass [capacity_lines] for a finite LRU cache
+    per processor. *)
+
+type t
+
+type proc = int
+
+(** Classification of one line access. *)
+type outcome =
+  | Hit
+  | Cold_miss  (** first touch of this line by this processor, no remote copy *)
+  | Coherence_miss  (** a remote copy was downgraded or invalidated to serve it *)
+
+type summary = {
+  hits : int;
+  cold_misses : int;
+  coherence_misses : int;
+  invalidations_sent : int;  (** remote copies killed by this access *)
+  cross_node_events : int;
+      (** coherence events (miss service or invalidation) whose peer sits
+          on a different NUMA node; 0 on flat machines *)
+}
+(** Aggregate over the (possibly several) lines an access spans. *)
+
+type proc_stats = {
+  p_hits : int;
+  p_cold_misses : int;
+  p_coherence_misses : int;
+  p_invalidations_sent : int;
+  p_invalidations_received : int;
+  p_evictions : int;  (** capacity evictions (finite caches only) *)
+}
+
+val create : ?line_size:int -> ?capacity_lines:int -> ?node_of:(proc -> int) -> nprocs:int -> unit -> t
+(** [line_size] defaults to 64 bytes and must be a power of two. [nprocs]
+    must be in [\[1, 62\]] (processor sets are bit masks).
+    [node_of], when given, assigns each processor to a NUMA node;
+    coherence events between processors on different nodes are counted in
+    [cross_node_events] (the simulator charges them extra).
+    [capacity_lines], when given, bounds each processor's cache to that
+    many lines with LRU replacement; a line evicted for capacity must be
+    fetched again on the next access (classified as a cold miss when no
+    remote copy exists, a coherence miss otherwise). By default caches are
+    infinite: the false-sharing experiments want pure coherence traffic. *)
+
+val line_size : t -> int
+
+val nprocs : t -> int
+
+val read : t -> proc -> addr:int -> len:int -> summary
+
+val write : t -> proc -> addr:int -> len:int -> summary
+
+val stats : t -> proc -> proc_stats
+
+val total_cross_node_events : t -> int
+
+val total_invalidations : t -> int
+(** Sum over processors of invalidations received. *)
+
+val total_coherence_misses : t -> int
+
+val line_of_addr : t -> int -> int
+(** Line index containing an address (for tests). *)
+
+val sharers : t -> line:int -> proc list
+(** Processors currently holding the line (empty if uncached). *)
+
+val reset_stats : t -> unit
+(** Zeroes all counters; directory state is preserved. *)

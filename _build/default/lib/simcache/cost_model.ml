@@ -1,0 +1,68 @@
+type t = {
+  cache_hit : int;
+  cold_miss : int;
+  coherence_miss : int;
+  invalidation : int;
+  lock_uncontended : int;
+  lock_spin : int;
+  lock_release : int;
+  page_map : int;
+  page_unmap : int;
+  cross_node : int;
+}
+
+let default =
+  {
+    cache_hit = 1;
+    cold_miss = 60;
+    coherence_miss = 80;
+    invalidation = 25;
+    lock_uncontended = 30;
+    lock_spin = 40;
+    lock_release = 10;
+    page_map = 400;
+    page_unmap = 300;
+    cross_node = 120;
+  }
+
+let uniform_memory =
+  {
+    cache_hit = 1;
+    cold_miss = 1;
+    coherence_miss = 1;
+    invalidation = 0;
+    lock_uncontended = 1;
+    lock_spin = 1;
+    lock_release = 1;
+    page_map = 1;
+    page_unmap = 1;
+    cross_node = 0;
+  }
+
+let cheap_memory =
+  {
+    cache_hit = 1;
+    cold_miss = 3;
+    coherence_miss = 4;
+    invalidation = 1;
+    lock_uncontended = 5;
+    lock_spin = 6;
+    lock_release = 2;
+    page_map = 40;
+    page_unmap = 30;
+    cross_node = 6;
+  }
+
+let expensive_memory =
+  {
+    cache_hit = 1;
+    cold_miss = 180;
+    coherence_miss = 240;
+    invalidation = 75;
+    lock_uncontended = 90;
+    lock_spin = 120;
+    lock_release = 30;
+    page_map = 1200;
+    page_unmap = 900;
+    cross_node = 360;
+  }

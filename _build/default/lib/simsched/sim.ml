@@ -1,0 +1,330 @@
+open Effect
+open Effect.Deep
+
+type lock_kind = Spin | Ticket
+
+type lock = {
+  l_name : string;
+  l_addr : int; (* cache line holding the lock word *)
+  l_kind : lock_kind;
+  mutable holder : int option; (* tid *)
+  mutable acqs : int;
+  mutable spins : int;
+  mutable waiters : int list; (* FIFO ticket queue (Ticket kind only) *)
+}
+
+(* What the scheduler should do next with a thread. *)
+type pending =
+  | Start of (unit -> unit) (* body not yet started *)
+  | Resume of (unit -> unit) (* stored continuation step *)
+  | Try_acquire of lock * (unit -> unit) (* spinning on a lock *)
+  | Blocked (* parked on a barrier *)
+  | Done
+
+type thread = { tid : int; proc : int; mutable pending : pending }
+
+type barrier = {
+  b_addr : int;
+  parties : int;
+  mutable arrived : int;
+  mutable waiting : (thread * (unit -> unit)) list;
+}
+
+type schedule = Exact | Fuzzed of Rng.t
+
+type t = {
+  nprocs : int;
+  lock_kind : lock_kind;
+  schedule : schedule;
+  cost : Cost_model.t;
+  cch : Cache.t;
+  vm : Vmem.t;
+  clocks : int array;
+  runq : thread Queue.t array;
+  mutable live : int;
+  mutable next_tid : int;
+  mutable next_meta : int; (* addresses for lock/barrier words *)
+  mutable locks_rev : lock list;
+  mutable started : bool;
+}
+
+exception Deadlock of string
+
+type _ Effect.t +=
+  | E_work : int -> unit Effect.t
+  | E_read : (int * int) -> unit Effect.t
+  | E_write : (int * int) -> unit Effect.t
+  | E_acquire : lock -> unit Effect.t
+  | E_release : lock -> unit Effect.t
+  | E_barrier : barrier -> unit Effect.t
+  | E_self : (int * int) Effect.t
+  | E_now : int Effect.t
+  | E_page_map : (int * int * int) -> int Effect.t (* bytes, align, owner *)
+  | E_page_unmap : int -> unit Effect.t
+
+let create ?(cost = Cost_model.default) ?(lock_kind = Spin) ?fuzz_schedule ?(line_size = 64)
+    ?cache_capacity_lines ?node_of ?(page_size = 4096) ~nprocs () =
+  if nprocs < 1 then invalid_arg "Sim.create: nprocs must be >= 1";
+  {
+    nprocs;
+    lock_kind;
+    schedule =
+      (match fuzz_schedule with
+       | None -> Exact
+       | Some seed -> Fuzzed (Rng.create seed));
+    cost;
+    cch = Cache.create ~line_size ?capacity_lines:cache_capacity_lines ?node_of ~nprocs ();
+    vm = Vmem.create ~page_size ();
+    clocks = Array.make nprocs 0;
+    runq = Array.init nprocs (fun _ -> Queue.create ());
+    live = 0;
+    next_tid = 0;
+    next_meta = 0x0800_0000; (* below the Vmem base: never collides with heap data *)
+    locks_rev = [];
+    started = false;
+  }
+
+let nprocs t = t.nprocs
+
+let cache t = t.cch
+
+let vmem t = t.vm
+
+let total_cycles t = Array.fold_left max 0 t.clocks
+
+let proc_cycles t p = t.clocks.(p)
+
+let fresh_meta_addr t =
+  let a = t.next_meta in
+  t.next_meta <- a + Cache.line_size t.cch;
+  a
+
+let new_lock t l_name =
+  let l =
+    { l_name; l_addr = fresh_meta_addr t; l_kind = t.lock_kind; holder = None; acqs = 0; spins = 0; waiters = [] }
+  in
+  t.locks_rev <- l :: t.locks_rev;
+  l
+
+let lock_acquisitions l = l.acqs
+
+let lock_spins l = l.spins
+
+let lock_stats t = List.rev_map (fun l -> (l.l_name, l.acqs, l.spins)) t.locks_rev
+
+let new_barrier t ~parties =
+  if parties < 1 then invalid_arg "Sim.new_barrier: parties must be >= 1";
+  { b_addr = fresh_meta_addr t; parties; arrived = 0; waiting = [] }
+
+(* Thread-side primitives: just effects. *)
+let work n = if n > 0 then perform (E_work n)
+
+let read ~addr ~len = perform (E_read (addr, len))
+
+let write ~addr ~len = perform (E_write (addr, len))
+
+let self_proc () = fst (perform E_self)
+
+let self_tid () = snd (perform E_self)
+
+let now () = perform E_now
+
+let acquire l = perform (E_acquire l)
+
+let release l = perform (E_release l)
+
+let barrier_wait b = perform (E_barrier b)
+
+let charge_access t p (s : Cache.summary) =
+  let c = t.cost in
+  t.clocks.(p) <-
+    t.clocks.(p)
+    + (s.hits * c.cache_hit)
+    + (s.cold_misses * c.cold_miss)
+    + (s.coherence_misses * c.coherence_miss)
+    + (s.invalidations_sent * c.invalidation)
+    + (s.cross_node_events * c.cross_node)
+
+let charge t p n = t.clocks.(p) <- t.clocks.(p) + n
+
+(* The per-thread effect handler. Scheduling effects park the continuation
+   in [th.pending] and return to the engine; [E_self] resumes inline since
+   it has no cost. *)
+let handler t th =
+  {
+    retc = (fun () -> th.pending <- Done; t.live <- t.live - 1);
+    exnc = (fun e -> raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | E_work n ->
+          Some
+            (fun (k : (a, unit) continuation) ->
+              charge t th.proc n;
+              th.pending <- Resume (fun () -> continue k ()))
+        | E_read (addr, len) ->
+          Some
+            (fun k ->
+              charge_access t th.proc (Cache.read t.cch th.proc ~addr ~len);
+              th.pending <- Resume (fun () -> continue k ()))
+        | E_write (addr, len) ->
+          Some
+            (fun k ->
+              charge_access t th.proc (Cache.write t.cch th.proc ~addr ~len);
+              th.pending <- Resume (fun () -> continue k ()))
+        | E_acquire l -> Some (fun k -> th.pending <- Try_acquire (l, fun () -> continue k ()))
+        | E_release l ->
+          Some
+            (fun k ->
+              if l.holder <> Some th.tid then
+                discontinue k (Invalid_argument ("Sim.release: thread does not hold " ^ l.l_name))
+              else begin
+                l.holder <- None;
+                charge_access t th.proc (Cache.write t.cch th.proc ~addr:l.l_addr ~len:8);
+                charge t th.proc t.cost.lock_release;
+                th.pending <- Resume (fun () -> continue k ())
+              end)
+        | E_barrier b ->
+          Some
+            (fun k ->
+              charge_access t th.proc (Cache.write t.cch th.proc ~addr:b.b_addr ~len:8);
+              b.arrived <- b.arrived + 1;
+              if b.arrived < b.parties then begin
+                th.pending <- Blocked;
+                b.waiting <- (th, fun () -> continue k ()) :: b.waiting
+              end
+              else begin
+                (* Last arrival: release everyone at this instant. *)
+                let now = t.clocks.(th.proc) in
+                List.iter
+                  (fun (w, resume) ->
+                    w.pending <- Resume resume;
+                    if t.clocks.(w.proc) < now then t.clocks.(w.proc) <- now;
+                    Queue.push w t.runq.(w.proc))
+                  b.waiting;
+                b.waiting <- [];
+                b.arrived <- 0;
+                th.pending <- Resume (fun () -> continue k ())
+              end)
+        | E_self -> Some (fun k -> continue k (th.proc, th.tid))
+        | E_now -> Some (fun k -> continue k t.clocks.(th.proc))
+        | E_page_map (bytes, align, owner) ->
+          Some
+            (fun k ->
+              charge t th.proc t.cost.page_map;
+              let addr = Vmem.map t.vm ~owner ~bytes ~align () in
+              th.pending <- Resume (fun () -> continue k addr))
+        | E_page_unmap addr ->
+          Some
+            (fun k ->
+              charge t th.proc t.cost.page_unmap;
+              Vmem.unmap t.vm ~addr;
+              th.pending <- Resume (fun () -> continue k ()))
+        | _ -> None);
+  }
+
+let spawn t ?proc body =
+  if t.started then invalid_arg "Sim.spawn: simulation already running";
+  let tid = t.next_tid in
+  t.next_tid <- tid + 1;
+  let proc =
+    match proc with
+    | Some p ->
+      if p < 0 || p >= t.nprocs then invalid_arg "Sim.spawn: bad processor";
+      p
+    | None -> tid mod t.nprocs
+  in
+  let th = { tid; proc; pending = Start body } in
+  Queue.push th t.runq.(proc);
+  t.live <- t.live + 1;
+  tid
+
+let step t th =
+  match th.pending with
+  | Start body -> match_with body () (handler t th)
+  | Resume f -> f ()
+  | Try_acquire (l, resume) ->
+    let may_enter =
+      match l.l_kind with
+      | Spin -> l.holder = None
+      | Ticket ->
+        (* Take a ticket on the first attempt; enter only at the head of
+           the queue (FIFO fairness). *)
+        if not (List.mem th.tid l.waiters) then l.waiters <- l.waiters @ [ th.tid ];
+        l.holder = None
+        && (match l.waiters with
+            | head :: _ -> head = th.tid
+            | [] -> true)
+    in
+    if may_enter then begin
+      (match l.l_kind with
+       | Ticket -> l.waiters <- (match l.waiters with _ :: rest -> rest | [] -> [])
+       | Spin -> ());
+      l.holder <- Some th.tid;
+      l.acqs <- l.acqs + 1;
+      charge_access t th.proc (Cache.write t.cch th.proc ~addr:l.l_addr ~len:8);
+      charge t th.proc t.cost.lock_uncontended;
+      resume ()
+    end
+    else begin
+      (* Spin: re-read the lock word and burn a retry quantum. *)
+      l.spins <- l.spins + 1;
+      charge_access t th.proc (Cache.read t.cch th.proc ~addr:l.l_addr ~len:8);
+      charge t th.proc t.cost.lock_spin
+    end
+  | Blocked | Done -> assert false
+
+let pick_proc t =
+  match t.schedule with
+  | Exact ->
+    let best = ref (-1) in
+    for p = t.nprocs - 1 downto 0 do
+      if not (Queue.is_empty t.runq.(p)) && (!best < 0 || t.clocks.(p) <= t.clocks.(!best)) then best := p
+    done;
+    !best
+  | Fuzzed rng ->
+    (* Correctness fuzzing: any runnable processor may go next. The run
+       explores a legal interleaving (effect-granularity atomicity is
+       unchanged) but its clocks are not meaningful as timing. *)
+    let runnable = ref [] in
+    for p = t.nprocs - 1 downto 0 do
+      if not (Queue.is_empty t.runq.(p)) then runnable := p :: !runnable
+    done;
+    (match !runnable with
+     | [] -> -1
+     | ps -> List.nth ps (Rng.int rng (List.length ps)))
+
+let run ?(max_steps = 2_000_000_000) t =
+  if t.started then invalid_arg "Sim.run: already ran";
+  t.started <- true;
+  let steps = ref 0 in
+  while t.live > 0 do
+    incr steps;
+    if !steps > max_steps then failwith "Sim.run: max_steps exceeded (livelock?)";
+    let p = pick_proc t in
+    if p < 0 then raise (Deadlock (Printf.sprintf "%d thread(s) blocked with empty run queues" t.live));
+    let th = Queue.pop t.runq.(p) in
+    step t th;
+    (match th.pending with
+     | Done | Blocked -> ()
+     | Start _ | Resume _ | Try_acquire _ -> Queue.push th t.runq.(p))
+  done
+
+let platform t =
+  {
+    Platform.nprocs = t.nprocs;
+    page_size = Vmem.page_size t.vm;
+    self_proc;
+    self_tid;
+    work;
+    read = (fun ~addr ~len -> read ~addr ~len);
+    write = (fun ~addr ~len -> write ~addr ~len);
+    new_lock =
+      (fun name ->
+        let l = new_lock t name in
+        { Platform.acquire = (fun () -> acquire l); release = (fun () -> release l); lock_name = name });
+    page_map = (fun ~bytes ~align ~owner -> perform (E_page_map (bytes, align, owner)));
+    page_unmap = (fun ~addr -> perform (E_page_unmap addr));
+    mapped_bytes = (fun ~owner -> Vmem.mapped_bytes_of_owner t.vm owner);
+    peak_mapped_bytes = (fun ~owner -> Vmem.peak_bytes_of_owner t.vm owner);
+  }

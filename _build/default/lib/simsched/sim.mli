@@ -1,0 +1,121 @@
+(** Deterministic discrete-event multiprocessor simulator.
+
+    Threads are ordinary OCaml closures that interact with the machine
+    through effects ({!work}, {!read}, {!write}, lock operations, …). A
+    scheduler resumes, at every step, one thread of the processor with the
+    smallest virtual clock (ties broken by processor id), so a run is a
+    pure function of its inputs — speedup curves are bit-reproducible on
+    any host.
+
+    Costs: each primitive advances the executing processor's clock
+    according to {!Cost_model.t}; loads and stores are classified by the
+    directory-based {!Cache} simulator (hit / cold miss / coherence miss /
+    invalidations) and charged accordingly. Locks are spin locks: a failed
+    acquisition re-reads the lock word and charges a spin-retry, so lock
+    contention appears as both cycles and coherence traffic.
+
+    This is the substrate substituting for the paper's 14-processor Sun
+    Enterprise: scalability is measured in simulated cycles rather than
+    wall-clock seconds. *)
+
+type t
+
+type lock
+
+(** Lock discipline for every lock of a machine: plain test-and-set spin
+    locks, or FIFO ticket locks (fair, slightly more coherence traffic). *)
+type lock_kind = Spin | Ticket
+
+type barrier
+
+exception Deadlock of string
+(** Raised by {!run} when live threads remain but none is runnable. *)
+
+val create :
+  ?cost:Cost_model.t ->
+  ?lock_kind:lock_kind ->
+  ?fuzz_schedule:int ->
+  ?line_size:int ->
+  ?cache_capacity_lines:int ->
+  ?node_of:(int -> int) ->
+  ?page_size:int ->
+  nprocs:int ->
+  unit ->
+  t
+(** [cache_capacity_lines] bounds each processor's cache (LRU); by default
+    caches are infinite (see {!Cache.create}).
+
+    [node_of] assigns processors to NUMA nodes; coherence events crossing
+    nodes pay the cost model's [cross_node] surcharge.
+
+    [fuzz_schedule seed] replaces min-clock scheduling with a seeded
+    random choice among runnable processors: a schedule *fuzzer* for
+    exploring interleavings in correctness tests. Runs remain
+    deterministic per seed, but reported cycles are not meaningful
+    timing. *)
+
+val nprocs : t -> int
+
+val cache : t -> Cache.t
+
+val vmem : t -> Vmem.t
+
+val spawn : t -> ?proc:int -> (unit -> unit) -> int
+(** [spawn t fn] registers a thread to run when {!run} is called; returns
+    its thread id. Threads are placed round-robin on processors unless
+    [proc] pins them. Must be called before {!run}. *)
+
+val run : ?max_steps:int -> t -> unit
+(** Executes all spawned threads to completion. [max_steps] (default
+    [2_000_000_000]) bounds scheduler steps as a livelock backstop.
+    Raises {!Deadlock} if every remaining thread is blocked. *)
+
+val total_cycles : t -> int
+(** Completion time: the maximum processor clock. *)
+
+val proc_cycles : t -> int -> int
+
+(** {2 Primitives — call only from inside a simulated thread} *)
+
+val work : int -> unit
+
+val read : addr:int -> len:int -> unit
+
+val write : addr:int -> len:int -> unit
+
+val self_proc : unit -> int
+
+val self_tid : unit -> int
+
+(** {2 Synchronisation} *)
+
+val new_lock : t -> string -> lock
+(** Creates a spin lock. Its lock word occupies a private cache line. May
+    be called from inside or outside threads. *)
+
+val acquire : lock -> unit
+
+val release : lock -> unit
+(** Raises [Invalid_argument] if the calling thread does not hold it. *)
+
+val lock_acquisitions : lock -> int
+
+val lock_spins : lock -> int
+(** Number of failed (spinning) acquisition attempts. *)
+
+val lock_stats : t -> (string * int * int) list
+(** [(name, acquisitions, spins)] for every lock, in creation order. *)
+
+val now : unit -> int
+(** The executing processor's current clock, from inside a thread. *)
+
+val new_barrier : t -> parties:int -> barrier
+
+val barrier_wait : barrier -> unit
+
+(** {2 Platform} *)
+
+val platform : t -> Platform.t
+(** The {!Platform.t} exposing this machine to allocators and workloads.
+    Its [page_map]/[page_unmap] charge OS-call costs and account into the
+    simulator's {!Vmem}. *)

@@ -1,0 +1,39 @@
+type t = {
+  mutable n : int;
+  mutable total : float;
+  mutable mn : float;
+  mutable mx : float;
+  mutable mean_acc : float;
+  mutable m2 : float;
+}
+
+let create () = { n = 0; total = 0.0; mn = nan; mx = nan; mean_acc = 0.0; m2 = 0.0 }
+
+let add t x =
+  t.n <- t.n + 1;
+  t.total <- t.total +. x;
+  if t.n = 1 then begin
+    t.mn <- x;
+    t.mx <- x
+  end
+  else begin
+    if x < t.mn then t.mn <- x;
+    if x > t.mx then t.mx <- x
+  end;
+  let delta = x -. t.mean_acc in
+  t.mean_acc <- t.mean_acc +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean_acc))
+
+let count t = t.n
+
+let sum t = t.total
+
+let min_value t = t.mn
+
+let max_value t = t.mx
+
+let mean t = if t.n = 0 then nan else t.mean_acc
+
+let variance t = if t.n = 0 then nan else t.m2 /. float_of_int t.n
+
+let stddev t = sqrt (variance t)

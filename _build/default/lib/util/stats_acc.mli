@@ -1,0 +1,27 @@
+(** Running scalar statistics (count / sum / min / max / mean / variance).
+
+    Welford's algorithm; numerically stable for long benchmark runs. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val sum : t -> float
+
+val min_value : t -> float
+(** [nan] when empty. *)
+
+val max_value : t -> float
+(** [nan] when empty. *)
+
+val mean : t -> float
+(** [nan] when empty. *)
+
+val variance : t -> float
+(** Population variance; [nan] when empty. *)
+
+val stddev : t -> float

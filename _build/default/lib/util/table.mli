@@ -1,0 +1,35 @@
+(** ASCII and CSV rendering for the tables and figure series that the
+    benchmark harness regenerates. *)
+
+type align = Left | Right
+
+type t
+
+val create : title:string -> columns:(string * align) list -> t
+(** [create ~title ~columns] begins a table with the given header. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row; must have exactly one cell per column. *)
+
+val add_int_row : t -> string -> int list -> unit
+(** [add_int_row t label xs] is a convenience for a label cell followed by
+    integer cells. *)
+
+val add_separator : t -> unit
+(** Inserts a horizontal rule between row groups. *)
+
+val render : t -> string
+(** Boxed ASCII rendering. *)
+
+val to_csv : t -> string
+(** Comma-separated rendering (header row included, title omitted). Cells
+    containing commas or quotes are quoted. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val cell_float : float -> string
+(** Canonical float formatting used across reports ("%.2f"). *)
+
+val cell_ratio : float -> string
+(** Ratio formatting ("%.2fx"). *)

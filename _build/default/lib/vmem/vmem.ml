@@ -1,0 +1,138 @@
+type region = { bytes : int; owner : int }
+
+type owner_acct = { mutable cur : int; mutable peak : int }
+
+type t = {
+  page_size : int;
+  mutable next_addr : int;
+  regions : (int, region) Hashtbl.t; (* base addr -> region *)
+  free_by_size : (int, int list ref) Hashtbl.t; (* size -> free base addrs *)
+  owners : (int, owner_acct) Hashtbl.t;
+  mutable mapped : int;
+  mutable peak : int;
+  mutable maps : int;
+  mutable unmaps : int;
+  mutable max_region : int; (* largest region ever mapped; bounds is_mapped's walk *)
+}
+
+let create ?(page_size = 4096) ?(base = 0x1000_0000) () =
+  if page_size <= 0 || page_size land (page_size - 1) <> 0 then
+    invalid_arg "Vmem.create: page_size must be a positive power of two";
+  {
+    page_size;
+    next_addr = base;
+    regions = Hashtbl.create 1024;
+    free_by_size = Hashtbl.create 64;
+    owners = Hashtbl.create 16;
+    mapped = 0;
+    peak = 0;
+    maps = 0;
+    unmaps = 0;
+    max_region = 0;
+  }
+
+let page_size t = t.page_size
+
+let round_up x align = (x + align - 1) land lnot (align - 1)
+
+let owner_acct t owner =
+  match Hashtbl.find_opt t.owners owner with
+  | Some a -> a
+  | None ->
+    let a = { cur = 0; peak = 0 } in
+    Hashtbl.replace t.owners owner a;
+    a
+
+(* Exact-size reuse: pop the first free region of this size whose base
+   satisfies the alignment. *)
+let take_free t bytes align =
+  match Hashtbl.find_opt t.free_by_size bytes with
+  | None -> None
+  | Some lst ->
+    let rec pick acc = function
+      | [] -> None
+      | addr :: rest when addr land (align - 1) = 0 ->
+        lst := List.rev_append acc rest;
+        Some addr
+      | addr :: rest -> pick (addr :: acc) rest
+    in
+    pick [] !lst
+
+let map t ?(owner = 0) ~bytes ~align () =
+  if bytes <= 0 then invalid_arg "Vmem.map: bytes must be positive";
+  if align < t.page_size || align land (align - 1) <> 0 then
+    invalid_arg "Vmem.map: align must be a power of two >= page_size";
+  let bytes = round_up bytes t.page_size in
+  let addr =
+    match take_free t bytes align with
+    | Some addr -> addr
+    | None ->
+      let addr = round_up t.next_addr align in
+      t.next_addr <- addr + bytes;
+      addr
+  in
+  Hashtbl.replace t.regions addr { bytes; owner };
+  t.mapped <- t.mapped + bytes;
+  if t.mapped > t.peak then t.peak <- t.mapped;
+  let acct = owner_acct t owner in
+  acct.cur <- acct.cur + bytes;
+  if acct.cur > acct.peak then acct.peak <- acct.cur;
+  t.maps <- t.maps + 1;
+  if bytes > t.max_region then t.max_region <- bytes;
+  addr
+
+let unmap t ~addr =
+  match Hashtbl.find_opt t.regions addr with
+  | None -> invalid_arg "Vmem.unmap: not a live region base"
+  | Some { bytes; owner } ->
+    Hashtbl.remove t.regions addr;
+    t.mapped <- t.mapped - bytes;
+    (owner_acct t owner).cur <- (owner_acct t owner).cur - bytes;
+    t.unmaps <- t.unmaps + 1;
+    let lst =
+      match Hashtbl.find_opt t.free_by_size bytes with
+      | Some lst -> lst
+      | None ->
+        let lst = ref [] in
+        Hashtbl.replace t.free_by_size bytes lst;
+        lst
+    in
+    lst := addr :: !lst
+
+let region_size t ~addr =
+  match Hashtbl.find_opt t.regions addr with
+  | None -> None
+  | Some { bytes; _ } -> Some bytes
+
+let is_mapped t ~addr =
+  (* Regions are page-aligned and page-sized, so walking back page by page
+     from [addr] finds the candidate base. *)
+  let floor = addr - t.max_region in
+  let rec back page =
+    if page < 0 || page < floor then false
+    else
+      match Hashtbl.find_opt t.regions page with
+      | Some { bytes; _ } -> addr < page + bytes
+      | None -> if page = 0 then false else back (page - t.page_size)
+  in
+  addr >= 0 && back (addr land lnot (t.page_size - 1))
+
+let mapped_bytes t = t.mapped
+
+let peak_bytes t = t.peak
+
+let mapped_bytes_of_owner t owner =
+  match Hashtbl.find_opt t.owners owner with
+  | None -> 0
+  | Some a -> a.cur
+
+let peak_bytes_of_owner t owner =
+  match Hashtbl.find_opt t.owners owner with
+  | None -> 0
+  | Some a -> a.peak
+
+let map_count t = t.maps
+
+let unmap_count t = t.unmaps
+
+let iter_regions t f = Hashtbl.iter (fun addr { bytes; owner } -> f ~addr ~bytes ~owner) t.regions

@@ -1,0 +1,57 @@
+(** Simulated OS virtual memory.
+
+    Stands in for the [mmap]/[munmap] interface the paper's allocators sit
+    on. Addresses are plain integers in a private simulated address space;
+    no backing store is kept because the experiments only require address
+    arithmetic, cache-line identity and accounting.
+
+    The allocator-visible quantities of the paper — memory *held* from the
+    OS (the "A" of the blowup definition) and its high-water mark — are
+    tracked here exactly, per owner tag, so fragmentation and blowup are
+    measured rather than estimated.
+
+    Freed regions are recycled (exact-size reuse, then first-fit with
+    coalescing of the tail bump region), so address reuse patterns resemble
+    a real OS enough for false-sharing experiments. *)
+
+type t
+
+val create : ?page_size:int -> ?base:int -> unit -> t
+(** [create ()] makes an empty address space. [page_size] defaults to 4096;
+    [base] (default [0x1000_0000]) is the first address handed out. *)
+
+val page_size : t -> int
+
+val map : t -> ?owner:int -> bytes:int -> align:int -> unit -> int
+(** [map t ~bytes ~align ()] reserves [bytes] (rounded up to whole pages)
+    at an address that is a multiple of [align] (a power of two, at least
+    [page_size]). [owner] tags the region for per-allocator accounting
+    (default 0). Returns the base address. *)
+
+val unmap : t -> addr:int -> unit
+(** Releases a region previously returned by {!map}. Raises
+    [Invalid_argument] on an address that is not a live region base. *)
+
+val region_size : t -> addr:int -> int option
+(** Size in bytes of the live region based at [addr], if any. *)
+
+val is_mapped : t -> addr:int -> bool
+(** True when [addr] falls inside any live region. *)
+
+val mapped_bytes : t -> int
+(** Total bytes currently held from the simulated OS. *)
+
+val peak_bytes : t -> int
+(** High-water mark of {!mapped_bytes}. *)
+
+val mapped_bytes_of_owner : t -> int -> int
+
+val peak_bytes_of_owner : t -> int -> int
+
+val map_count : t -> int
+(** Number of {!map} calls ever made (OS traffic). *)
+
+val unmap_count : t -> int
+
+val iter_regions : t -> (addr:int -> bytes:int -> owner:int -> unit) -> unit
+(** Iterates over live regions in unspecified order. *)

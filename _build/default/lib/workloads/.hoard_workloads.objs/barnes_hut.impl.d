@@ -1,0 +1,1 @@
+lib/workloads/barnes_hut.ml: Alloc_intf Array Float List Platform Printf Rng Sim Workload_intf

@@ -1,0 +1,1 @@
+lib/workloads/bem_like.ml: Alloc_intf Array Platform Printf Rng Sim Workload_intf

@@ -1,0 +1,1 @@
+lib/workloads/bem_like.mli: Workload_intf

@@ -1,0 +1,1 @@
+lib/workloads/doc_tree.ml: Alloc_intf List Platform Printf Rng Sim Workload_intf

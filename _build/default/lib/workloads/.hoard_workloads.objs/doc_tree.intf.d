@@ -1,0 +1,1 @@
+lib/workloads/doc_tree.mli: Alloc_intf Platform Rng Workload_intf

@@ -1,0 +1,1 @@
+lib/workloads/false_sharing.ml: Alloc_intf Array Platform Printf Sim Workload_intf

@@ -1,0 +1,1 @@
+lib/workloads/false_sharing.mli: Workload_intf

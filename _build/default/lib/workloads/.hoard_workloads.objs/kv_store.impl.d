@@ -1,0 +1,1 @@
+lib/workloads/kv_store.ml: Alloc_intf Array List Platform Printf Rng Sim Workload_intf

@@ -1,0 +1,1 @@
+lib/workloads/kv_store.mli: Alloc_intf Platform Workload_intf

@@ -1,0 +1,1 @@
+lib/workloads/larson.ml: Alloc_intf Array Platform Printf Rng Sim Workload_intf

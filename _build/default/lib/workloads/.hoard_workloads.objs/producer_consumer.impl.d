@@ -1,0 +1,1 @@
+lib/workloads/producer_consumer.ml: Alloc_intf Array Platform Printf Sim Workload_intf

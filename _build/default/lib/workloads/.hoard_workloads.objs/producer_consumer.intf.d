@@ -1,0 +1,1 @@
+lib/workloads/producer_consumer.mli: Workload_intf

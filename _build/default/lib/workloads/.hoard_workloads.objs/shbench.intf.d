@@ -1,0 +1,1 @@
+lib/workloads/shbench.mli: Workload_intf

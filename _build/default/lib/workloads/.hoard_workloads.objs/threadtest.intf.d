@@ -1,0 +1,1 @@
+lib/workloads/threadtest.mli: Workload_intf

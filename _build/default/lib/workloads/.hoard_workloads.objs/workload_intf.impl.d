@@ -1,0 +1,1 @@
+lib/workloads/workload_intf.ml: Alloc_intf Platform Sim

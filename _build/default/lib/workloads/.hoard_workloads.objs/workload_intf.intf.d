@@ -1,0 +1,1 @@
+lib/workloads/workload_intf.mli: Alloc_intf Platform Sim

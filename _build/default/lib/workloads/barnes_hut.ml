@@ -1,0 +1,297 @@
+type params = {
+  nbodies : int;
+  steps : int;
+  theta : float;
+  dt : float;
+  work_per_interaction : int;
+  seed : int;
+}
+
+let default_params = { nbodies = 256; steps = 4; theta = 0.35; dt = 0.01; work_per_interaction = 30; seed = 6000 }
+
+(* --- physics core (independent of the simulator) --- *)
+
+type system = {
+  p : params;
+  px : float array;
+  py : float array;
+  pz : float array;
+  vx : float array;
+  vy : float array;
+  vz : float array;
+  fx : float array;
+  fy : float array;
+  fz : float array;
+  mass : float array;
+}
+
+type node = {
+  n_addr : int; (* simulated allocation backing this node; 0 in pure mode *)
+  cx : float;
+  cy : float;
+  cz : float;
+  half : float;
+  mutable m : float; (* total mass *)
+  mutable mx : float; (* mass-weighted position accumulators *)
+  mutable my : float;
+  mutable mz : float;
+  mutable body : int; (* single body if >= 0 and no children *)
+  mutable nchildren : int;
+  children : node option array; (* 8 octants *)
+  mutable crowd : int list; (* bodies at max depth sharing a point *)
+}
+
+let min_half = 1e-6
+
+let init_system p =
+  let n = p.nbodies in
+  let rng = Rng.create p.seed in
+  let mk f = Array.init n f in
+  {
+    p;
+    px = mk (fun _ -> Rng.float rng 1.0);
+    py = mk (fun _ -> Rng.float rng 1.0);
+    pz = mk (fun _ -> Rng.float rng 1.0);
+    vx = Array.make n 0.0;
+    vy = Array.make n 0.0;
+    vz = Array.make n 0.0;
+    fx = Array.make n 0.0;
+    fy = Array.make n 0.0;
+    fz = Array.make n 0.0;
+    mass = Array.make n 1.0;
+  }
+
+let total_mass s = Array.fold_left ( +. ) 0.0 s.mass
+
+let kinetic_energy s =
+  let e = ref 0.0 in
+  for i = 0 to Array.length s.mass - 1 do
+    e := !e +. (0.5 *. s.mass.(i) *. ((s.vx.(i) ** 2.) +. (s.vy.(i) ** 2.) +. (s.vz.(i) ** 2.)))
+  done;
+  !e
+
+let positions s = Array.init (Array.length s.px) (fun i -> (s.px.(i), s.py.(i), s.pz.(i)))
+
+let mk_node ~alloc ~cx ~cy ~cz ~half =
+  {
+    n_addr = alloc ();
+    cx;
+    cy;
+    cz;
+    half;
+    m = 0.0;
+    mx = 0.0;
+    my = 0.0;
+    mz = 0.0;
+    body = -1;
+    nchildren = 0;
+    children = Array.make 8 None;
+    crowd = [];
+  }
+
+let octant node x y z =
+  (if x >= node.cx then 1 else 0) lor (if y >= node.cy then 2 else 0) lor if z >= node.cz then 4 else 0
+
+let child_center node o =
+  let q = node.half /. 2.0 in
+  ( (node.cx +. if o land 1 <> 0 then q else -.q),
+    (node.cy +. if o land 2 <> 0 then q else -.q),
+    node.cz +. if o land 4 <> 0 then q else -.q )
+
+(* Insert body [i]; leaves split on second occupancy, degenerating into a
+   crowd list when cells reach the minimum size. *)
+let rec insert s ~alloc node i =
+  if node.half <= min_half then node.crowd <- i :: node.crowd
+  else if node.nchildren = 0 && node.body < 0 && node.crowd = [] then node.body <- i
+  else begin
+    (if node.body >= 0 then begin
+       let j = node.body in
+       node.body <- -1;
+       insert_into_child s ~alloc node j
+     end);
+    insert_into_child s ~alloc node i
+  end
+
+and insert_into_child s ~alloc node i =
+  let o = octant node s.px.(i) s.py.(i) s.pz.(i) in
+  let child =
+    match node.children.(o) with
+    | Some c -> c
+    | None ->
+      let cx, cy, cz = child_center node o in
+      let c = mk_node ~alloc ~cx ~cy ~cz ~half:(node.half /. 2.0) in
+      node.children.(o) <- Some c;
+      node.nchildren <- node.nchildren + 1;
+      c
+  in
+  insert s ~alloc child i
+
+(* Bottom-up mass and centre-of-mass summary. *)
+let rec summarise s node =
+  node.m <- 0.0;
+  node.mx <- 0.0;
+  node.my <- 0.0;
+  node.mz <- 0.0;
+  let add_body i =
+    node.m <- node.m +. s.mass.(i);
+    node.mx <- node.mx +. (s.mass.(i) *. s.px.(i));
+    node.my <- node.my +. (s.mass.(i) *. s.py.(i));
+    node.mz <- node.mz +. (s.mass.(i) *. s.pz.(i))
+  in
+  if node.body >= 0 then add_body node.body;
+  List.iter add_body node.crowd;
+  Array.iter
+    (function
+      | None -> ()
+      | Some c ->
+        summarise s c;
+        node.m <- node.m +. c.m;
+        node.mx <- node.mx +. (c.m *. c.mx);
+        node.my <- node.my +. (c.m *. c.my);
+        node.mz <- node.mz +. (c.m *. c.mz))
+    node.children;
+  if node.m > 0.0 then begin
+    node.mx <- node.mx /. node.m;
+    node.my <- node.my /. node.m;
+    node.mz <- node.mz /. node.m
+  end
+
+let softening = 1e-4
+
+(* Accumulate the force node exerts on body [i]; [visit] is the hook the
+   simulated version uses to charge memory traffic per visited node. *)
+let rec force s ~theta ~visit node i =
+  visit node;
+  if node.m > 0.0 && not (node.body = i && node.nchildren = 0 && node.crowd = []) then begin
+    let dx = node.mx -. s.px.(i) and dy = node.my -. s.py.(i) and dz = node.mz -. s.pz.(i) in
+    let d2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) +. softening in
+    let d = sqrt d2 in
+    let leafish = node.nchildren = 0 in
+    if leafish || 2.0 *. node.half /. d < theta then begin
+      (* Aggregate interaction (skip self-contribution in crowded leaves:
+         negligible for the benchmark's purposes). *)
+      let f = node.m /. (d2 *. d) in
+      s.fx.(i) <- s.fx.(i) +. (f *. dx);
+      s.fy.(i) <- s.fy.(i) +. (f *. dy);
+      s.fz.(i) <- s.fz.(i) +. (f *. dz)
+    end
+    else
+      Array.iter
+        (function
+          | None -> ()
+          | Some c -> force s ~theta ~visit c i)
+        node.children
+  end
+
+let build_tree s ~alloc =
+  let root = mk_node ~alloc ~cx:0.5 ~cy:0.5 ~cz:0.5 ~half:0.5 in
+  for i = 0 to Array.length s.px - 1 do
+    insert s ~alloc root i
+  done;
+  summarise s root;
+  root
+
+let rec iter_nodes f node =
+  f node;
+  Array.iter
+    (function
+      | None -> ()
+      | Some c -> iter_nodes f c)
+    node.children
+
+let integrate s ~lo ~hi =
+  let dt = s.p.dt in
+  for i = lo to hi do
+    s.vx.(i) <- s.vx.(i) +. (s.fx.(i) *. dt);
+    s.vy.(i) <- s.vy.(i) +. (s.fy.(i) *. dt);
+    s.vz.(i) <- s.vz.(i) +. (s.fz.(i) *. dt);
+    s.px.(i) <- Float.max 0.0 (Float.min 1.0 (s.px.(i) +. (s.vx.(i) *. dt)));
+    s.py.(i) <- Float.max 0.0 (Float.min 1.0 (s.py.(i) +. (s.vy.(i) *. dt)));
+    s.pz.(i) <- Float.max 0.0 (Float.min 1.0 (s.pz.(i) +. (s.vz.(i) *. dt)));
+    s.fx.(i) <- 0.0;
+    s.fy.(i) <- 0.0;
+    s.fz.(i) <- 0.0
+  done
+
+let step_sequential s =
+  let root = build_tree s ~alloc:(fun () -> 0) in
+  for i = 0 to Array.length s.px - 1 do
+    force s ~theta:s.p.theta ~visit:(fun _ -> ()) root i
+  done;
+  ignore root;
+  integrate s ~lo:0 ~hi:(Array.length s.px - 1)
+
+(* --- simulated workload --- *)
+
+let node_bytes = 96
+
+let body_bytes = 48
+
+let make ?(params = default_params) () =
+  let spawn sim (pf : Platform.t) (a : Alloc_intf.t) ~nthreads =
+    let s = init_system params in
+    let n = params.nbodies in
+    let barrier = Sim.new_barrier sim ~parties:nthreads in
+    let root = ref None in
+    let body_addr = Array.make n 0 in
+    for t = 0 to nthreads - 1 do
+      let lo = n * t / nthreads and hi = (n * (t + 1) / nthreads) - 1 in
+      ignore
+        (Sim.spawn sim (fun () ->
+             (* Bodies themselves are heap objects. *)
+             for i = lo to hi do
+               body_addr.(i) <- a.Alloc_intf.malloc body_bytes;
+               pf.Platform.write ~addr:body_addr.(i) ~len:body_bytes
+             done;
+             Sim.barrier_wait barrier;
+             for _ = 1 to params.steps do
+               (* Serial tree build by thread 0 — each node is a malloc. *)
+               if t = 0 then begin
+                 let alloc () =
+                   let p = a.Alloc_intf.malloc node_bytes in
+                   pf.Platform.write ~addr:p ~len:32;
+                   p
+                 in
+                 root := Some (build_tree s ~alloc)
+               end;
+               Sim.barrier_wait barrier;
+               (* Parallel force computation over this thread's slice. *)
+               let tree =
+                 match !root with
+                 | Some r -> r
+                 | None -> assert false
+               in
+               for i = lo to hi do
+                 force s ~theta:params.theta
+                   ~visit:(fun nd ->
+                     pf.Platform.read ~addr:nd.n_addr ~len:32;
+                     Sim.work params.work_per_interaction)
+                   tree i
+               done;
+               Sim.barrier_wait barrier;
+               (* Integrate own slice, then thread 0 tears the tree down. *)
+               integrate s ~lo ~hi;
+               for i = lo to hi do
+                 pf.Platform.write ~addr:body_addr.(i) ~len:body_bytes
+               done;
+               if t = 0 then begin
+                 iter_nodes (fun nd -> a.Alloc_intf.free nd.n_addr) tree;
+                 root := None
+               end;
+               Sim.barrier_wait barrier
+             done;
+             for i = lo to hi do
+               a.Alloc_intf.free body_addr.(i)
+             done))
+    done
+  in
+  {
+    Workload_intf.w_name = "barnes-hut";
+    w_describe =
+      Printf.sprintf "octree n-body: %d bodies, %d steps, theta=%.2f (tree nodes heap-allocated per step)"
+        params.nbodies params.steps params.theta;
+    spawn;
+    (* Tree size varies with the distribution; report body traffic plus an
+       estimate of two nodes per body per step. *)
+    total_ops = (fun ~nthreads:_ -> (2 * params.nbodies) + (params.steps * 4 * params.nbodies));
+  }

@@ -1,0 +1,41 @@
+(** Barnes-Hut n-body simulation (paper Table 2).
+
+    A genuine octree gravity simulation, not a stub: bodies live in the
+    unit cube, every step (re)builds an octree whose nodes are allocated
+    from the allocator under test, forces are computed in parallel with
+    the theta opening criterion, and the tree is torn down. The workload
+    is compute-dominated with a serial tree-build phase, so — as in the
+    paper — all scalable allocators do fine and the serial allocator lags
+    only moderately.
+
+    Determinism: body initialisation and traversal order are driven by a
+    seeded {!Rng}, so identical parameters give identical simulated runs. *)
+
+type params = {
+  nbodies : int;
+  steps : int;
+  theta : float;  (** opening criterion (typical: 0.5) *)
+  dt : float;
+  work_per_interaction : int;  (** cycles per body-node interaction *)
+  seed : int;
+}
+
+val default_params : params
+
+val make : ?params:params -> unit -> Workload_intf.t
+
+(** {2 Physics core — exposed for unit tests and the example binary} *)
+
+type system
+
+val init_system : params -> system
+
+val step_sequential : system -> unit
+(** Advances one step without any allocator/simulator involvement (pure
+    OCaml octree), used by tests to validate the physics. *)
+
+val total_mass : system -> float
+
+val kinetic_energy : system -> float
+
+val positions : system -> (float * float * float) array

@@ -1,0 +1,95 @@
+type params = {
+  panels : int;
+  assemble_rows : int;
+  row_bytes : int;
+  solve_iters : int;
+  scratch_bytes : int;
+  small_per_iter : int;
+  work_per_op : int;
+  seed : int;
+}
+
+let default_params =
+  {
+    panels = 400;
+    assemble_rows = 320;
+    row_bytes = 512;
+    solve_iters = 12;
+    scratch_bytes = 16_384;
+    small_per_iter = 1400;
+    work_per_op = 30;
+    seed = 5000;
+  }
+
+let make ?(params = default_params) () =
+  let { panels; assemble_rows; row_bytes; solve_iters; scratch_bytes; small_per_iter; work_per_op; seed } =
+    params
+  in
+  let spawn sim (pf : Platform.t) (a : Alloc_intf.t) ~nthreads =
+    let mesh = Array.make panels 0 in
+    let rows = Array.make assemble_rows 0 in
+    let barrier = Sim.new_barrier sim ~parties:nthreads in
+    for t = 0 to nthreads - 1 do
+      ignore
+        (Sim.spawn sim (fun () ->
+             let rng = Rng.create (seed + t) in
+             (* Phase 1 — serial setup: thread 0 builds the mesh (small,
+                long-lived structs of mixed sizes). *)
+             if t = 0 then
+               for i = 0 to panels - 1 do
+                 let p = a.Alloc_intf.malloc (32 + (8 * (i mod 12))) in
+                 pf.Platform.write ~addr:p ~len:32;
+                 mesh.(i) <- p;
+                 Sim.work work_per_op
+               done;
+             Sim.barrier_wait barrier;
+             (* Phase 2 — parallel assembly: each thread builds its share
+                of long-lived row blocks, with short-lived temporaries. *)
+             let lo = assemble_rows * t / nthreads and hi = (assemble_rows * (t + 1) / nthreads) - 1 in
+             for i = lo to hi do
+               let tmp = a.Alloc_intf.malloc (Rng.int_in rng 16 128) in
+               let row = a.Alloc_intf.malloc row_bytes in
+               pf.Platform.write ~addr:row ~len:64;
+               Sim.work (4 * work_per_op);
+               a.Alloc_intf.free tmp;
+               rows.(i) <- row
+             done;
+             Sim.barrier_wait barrier;
+             (* Phase 3 — solve: thread 0 allocates the shared large
+                scratch; each thread churns small per-thread temporaries
+                while reading the rows (shared, read-only). *)
+             for _ = 1 to solve_iters do
+               let scratch = if t = 0 then a.Alloc_intf.malloc scratch_bytes else a.Alloc_intf.malloc 2048 in
+               pf.Platform.write ~addr:scratch ~len:256;
+               let per_thread = small_per_iter / nthreads in
+               for _ = 1 to per_thread do
+                 let tmp = a.Alloc_intf.malloc (Rng.int_in rng 24 96) in
+                 pf.Platform.write ~addr:tmp ~len:24;
+                 let i = lo + if hi >= lo then Rng.int rng (hi - lo + 1) else 0 in
+                 if hi >= lo then pf.Platform.read ~addr:rows.(i) ~len:64;
+                 Sim.work work_per_op;
+                 a.Alloc_intf.free tmp
+               done;
+               a.Alloc_intf.free scratch;
+               Sim.barrier_wait barrier
+             done;
+             (* Phase 4 — teardown by thread 0. *)
+             Sim.barrier_wait barrier;
+             if t = 0 then begin
+               Array.iter a.Alloc_intf.free rows;
+               Array.iter a.Alloc_intf.free mesh
+             end))
+    done
+  in
+  {
+    Workload_intf.w_name = "bem";
+    w_describe =
+      Printf.sprintf
+        "BEM-profile substitute: %d-panel setup, %d row blocks of %dB, %d solve iterations with %dB scratch"
+        panels assemble_rows row_bytes solve_iters scratch_bytes;
+    spawn;
+    total_ops =
+      (fun ~nthreads ->
+        (2 * panels) + (4 * assemble_rows)
+        + (solve_iters * ((2 * nthreads) + (2 * nthreads * (small_per_iter / nthreads)))));
+  }

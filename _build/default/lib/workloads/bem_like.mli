@@ -1,0 +1,24 @@
+(** Synthetic stand-in for BEMengine (paper Table 2).
+
+    The paper's BEMengine is a proprietary boundary-element-method solid
+    modeling/electromagnetics engine (Coyote Systems); its code is not
+    available, so this workload replays its allocation *profile* as
+    described: distinct phases (serial mesh setup, parallel system
+    assembly, iterative solve) mixing many small short-lived objects with
+    large long-lived matrix blocks, with cross-phase lifetimes. The
+    substitution is documented in DESIGN.md. *)
+
+type params = {
+  panels : int;  (** mesh panels created in setup, divided among rows *)
+  assemble_rows : int;  (** row blocks built in the parallel assembly phase *)
+  row_bytes : int;  (** size of a long-lived row block *)
+  solve_iters : int;  (** iterations of the solve phase *)
+  scratch_bytes : int;  (** large per-iteration scratch buffer *)
+  small_per_iter : int;  (** short-lived temporaries per iteration *)
+  work_per_op : int;
+  seed : int;
+}
+
+val default_params : params
+
+val make : ?params:params -> unit -> Workload_intf.t

@@ -1,0 +1,99 @@
+type params = {
+  documents : int;
+  max_depth : int;
+  fanout : int;
+  text_mean : float;
+  work_per_node : int;
+  seed : int;
+}
+
+let default_params =
+  { documents = 160; max_depth = 5; fanout = 4; text_mean = 80.0; work_per_node = 6; seed = 9000 }
+
+type node = {
+  elem_addr : int; (* element struct on the heap under test *)
+  text_addr : int; (* text blob, 0 if none *)
+  text_len : int;
+  children : node list;
+}
+
+type doc = { root : node; nodes : int }
+
+let elem_bytes = 80
+
+let rec build_node (pf : Platform.t) (a : Alloc_intf.t) rng p ~depth ~count =
+  let elem_addr = a.Alloc_intf.malloc elem_bytes in
+  pf.Platform.write ~addr:elem_addr ~len:elem_bytes;
+  incr count;
+  let text_len = if Rng.bool rng then 1 + int_of_float (Rng.exponential rng p.text_mean) else 0 in
+  let text_addr =
+    if text_len > 0 then begin
+      let addr = a.Alloc_intf.malloc text_len in
+      pf.Platform.write ~addr ~len:(min text_len 256);
+      incr count;
+      addr
+    end
+    else 0
+  in
+  let children =
+    if depth >= p.max_depth then []
+    else begin
+      (* Explicit order: List.init's evaluation order is unspecified and
+         the RNG must be drawn deterministically. *)
+      let n = Rng.int rng (p.fanout + 1) in
+      let rec mk i acc = if i = 0 then List.rev acc else mk (i - 1) (build_node pf a rng p ~depth:(depth + 1) ~count :: acc) in
+      mk n []
+    end
+  in
+  { elem_addr; text_addr; text_len; children }
+
+let build pf a rng p =
+  let count = ref 0 in
+  let root = build_node pf a rng p ~depth:0 ~count in
+  { root; nodes = !count }
+
+let node_count d = d.nodes
+
+let traverse (pf : Platform.t) d ~work_per_node =
+  let rec visit n =
+    pf.Platform.read ~addr:n.elem_addr ~len:32;
+    if n.text_addr <> 0 then pf.Platform.read ~addr:n.text_addr ~len:(min n.text_len 128);
+    Sim.work work_per_node;
+    List.iter visit n.children
+  in
+  visit d.root
+
+let destroy (a : Alloc_intf.t) d =
+  let rec free_node n =
+    List.iter free_node n.children;
+    if n.text_addr <> 0 then a.Alloc_intf.free n.text_addr;
+    a.Alloc_intf.free n.elem_addr
+  in
+  free_node d.root
+
+let make ?(params = default_params) () =
+  let spawn sim (pf : Platform.t) (a : Alloc_intf.t) ~nthreads =
+    let per_thread = params.documents / nthreads in
+    for t = 0 to nthreads - 1 do
+      ignore
+        (Sim.spawn sim (fun () ->
+             let rng = Rng.create (params.seed + t) in
+             for _ = 1 to per_thread do
+               let doc = build pf a rng params in
+               traverse pf doc ~work_per_node:params.work_per_node;
+               destroy a doc
+             done))
+    done
+  in
+  {
+    Workload_intf.w_name = "doc-tree";
+    w_describe =
+      Printf.sprintf "parser churn: %d documents, depth <= %d, fanout <= %d, text ~%.0fB" params.documents
+        params.max_depth params.fanout params.text_mean;
+    spawn;
+    (* Tree sizes are random; approximate by expected nodes per document. *)
+    total_ops =
+      (fun ~nthreads ->
+        let expected_nodes = 3 * int_of_float (float_of_int params.fanout ** 2.5) in
+        2 * (params.documents / nthreads) * nthreads * expected_nodes);
+  }

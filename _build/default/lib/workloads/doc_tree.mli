@@ -1,0 +1,35 @@
+(** A DOM-style document builder — parser-like allocation churn.
+
+    Each thread repeatedly parses a "document": it builds a random tree
+    whose element nodes and text blobs are allocator blocks, traverses it
+    (reads plus compute), and tears the whole thing down. The pattern —
+    bursts of small allocations with correlated lifetimes ending in a bulk
+    free — is the classic browser/compiler workload, and is thread-local
+    (no sharing), complementing the server-style {!Kv_store}. *)
+
+type params = {
+  documents : int;  (** documents parsed in total, divided among threads *)
+  max_depth : int;
+  fanout : int;  (** maximum children per element *)
+  text_mean : float;  (** mean text-blob size (geometric), bytes *)
+  work_per_node : int;
+  seed : int;
+}
+
+val default_params : params
+
+val make : ?params:params -> unit -> Workload_intf.t
+
+(** {2 Direct API (tests)} *)
+
+type doc
+
+val build : Platform.t -> Alloc_intf.t -> Rng.t -> params -> doc
+(** Parse one document (allocates its nodes). *)
+
+val node_count : doc -> int
+
+val traverse : Platform.t -> doc -> work_per_node:int -> unit
+
+val destroy : Alloc_intf.t -> doc -> unit
+(** Frees every node and text blob. *)

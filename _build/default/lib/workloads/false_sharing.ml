@@ -1,0 +1,65 @@
+type params = {
+  loops : int;
+  writes_per_object : int;
+  size : int;
+  seed : int;
+}
+
+let default_params = { loops = 800; writes_per_object = 100; size = 8; seed = 4000 }
+
+(* The inner loop shared by both variants. *)
+let churn (pf : Platform.t) (a : Alloc_intf.t) ~loops ~writes ~size =
+  for _ = 1 to loops do
+    let p = a.Alloc_intf.malloc size in
+    for _ = 1 to writes do
+      pf.Platform.write ~addr:p ~len:size
+    done;
+    a.Alloc_intf.free p
+  done
+
+let active ?(params = default_params) () =
+  let { loops; writes_per_object; size; _ } = params in
+  let spawn sim pf a ~nthreads =
+    let per_thread = loops / nthreads in
+    for _ = 1 to nthreads do
+      ignore (Sim.spawn sim (fun () -> churn pf a ~loops:per_thread ~writes:writes_per_object ~size))
+    done
+  in
+  {
+    Workload_intf.w_name = "active-false";
+    w_describe =
+      Printf.sprintf "%d alloc/[%d writes]/free cycles of %dB objects" loops writes_per_object size;
+    spawn;
+    total_ops = (fun ~nthreads -> 2 * (loops / nthreads) * nthreads);
+  }
+
+let passive ?(params = default_params) () =
+  let { loops; writes_per_object; size; _ } = params in
+  let spawn sim pf (a : Alloc_intf.t) ~nthreads =
+    let per_thread = loops / nthreads in
+    let handout = Array.make nthreads 0 in
+    let barrier = Sim.new_barrier sim ~parties:nthreads in
+    for t = 0 to nthreads - 1 do
+      ignore
+        (Sim.spawn sim (fun () ->
+             (* Thread 0 allocates everyone's seed object back-to-back, so
+                they share cache lines. *)
+             if t = 0 then
+               for i = 0 to nthreads - 1 do
+                 handout.(i) <- a.Alloc_intf.malloc size
+               done;
+             Sim.barrier_wait barrier;
+             (* Each thread frees "its" object — putting memory adjacent to
+                other threads' objects into its own purview — then churns. *)
+             a.Alloc_intf.free handout.(t);
+             churn pf a ~loops:per_thread ~writes:writes_per_object ~size))
+    done
+  in
+  {
+    Workload_intf.w_name = "passive-false";
+    w_describe =
+      Printf.sprintf "seed objects handed out by thread 0, then %d alloc/[%d writes]/free cycles of %dB"
+        loops writes_per_object size;
+    spawn;
+    total_ops = (fun ~nthreads -> (2 * (loops / nthreads) * nthreads) + (2 * nthreads));
+  }

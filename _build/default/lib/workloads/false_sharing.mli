@@ -1,0 +1,26 @@
+(** The paper's false-sharing micro-benchmarks.
+
+    [active]: each thread loops \{ allocate a small object, write it many
+    times, free it \}. An allocator that hands blocks from one cache line
+    to different processors (any shared-heap design) *actively induces*
+    false sharing and the writes ping-pong the line.
+
+    [passive]: one thread allocates all the objects up front and hands one
+    to each thread; each thread frees its object and then enters the same
+    allocate/write/free loop. Allocators that let a thread reuse memory
+    freed from another thread's cache line *passively induce* false
+    sharing even though they never split a line across threads at
+    allocation time. *)
+
+type params = {
+  loops : int;  (** alloc/write/free cycles, divided among threads *)
+  writes_per_object : int;  (** paper: thousands of writes per object *)
+  size : int;  (** paper: 8 bytes — several objects per cache line *)
+  seed : int;
+}
+
+val default_params : params
+
+val active : ?params:params -> unit -> Workload_intf.t
+
+val passive : ?params:params -> unit -> Workload_intf.t

@@ -1,0 +1,174 @@
+type params = {
+  buckets : int;
+  stripes : int;
+  ops : int;
+  key_space : int;
+  value_min : int;
+  value_max : int;
+  read_pct : int;
+  work_per_op : int;
+  seed : int;
+}
+
+let default_params =
+  {
+    buckets = 4096;
+    stripes = 64;
+    ops = 20_000;
+    key_space = 2400;
+    value_min = 16;
+    value_max = 1500;
+    read_pct = 90;
+    work_per_op = 10;
+    seed = 8000;
+  }
+
+(* An entry's node is itself an allocator block (the store's metadata
+   lives on the heap under test); the OCaml record mirrors it so lookups
+   don't need simulated pointer chasing beyond explicit touches. *)
+type entry = { key : int; node_addr : int; mutable val_addr : int; mutable val_size : int }
+
+type t = {
+  pf : Platform.t;
+  alloc : Alloc_intf.t;
+  table : entry list array;
+  locks : Platform.lock array;
+  counts : int array; (* entries per stripe *)
+}
+
+let node_bytes = 48
+
+let create pf alloc ~buckets ~stripes =
+  if buckets < 1 || stripes < 1 || stripes > buckets then invalid_arg "Kv_store.create: bad shape";
+  {
+    pf;
+    alloc;
+    table = Array.make buckets [];
+    locks = Array.init stripes (fun i -> pf.Platform.new_lock (Printf.sprintf "kv.stripe%d" i));
+    counts = Array.make stripes 0;
+  }
+
+(* Fibonacci hashing keeps adjacent keys apart. *)
+let bucket_of t key = (key * 2654435761) land max_int mod Array.length t.table
+
+let stripe_of t key = bucket_of t key mod Array.length t.locks
+
+let with_stripe t key f =
+  let lock = t.locks.(stripe_of t key) in
+  lock.Platform.acquire ();
+  let r = f () in
+  lock.Platform.release ();
+  r
+
+let find_entry t key = List.find_opt (fun e -> e.key = key) t.table.(bucket_of t key)
+
+let put t ~key ~size =
+  if size <= 0 then invalid_arg "Kv_store.put: size must be positive";
+  with_stripe t key (fun () ->
+      match find_entry t key with
+      | Some e ->
+        (* Replace the value in place. *)
+        t.alloc.Alloc_intf.free e.val_addr;
+        e.val_addr <- t.alloc.Alloc_intf.malloc size;
+        e.val_size <- size;
+        t.pf.Platform.write ~addr:e.val_addr ~len:(min size 256);
+        t.pf.Platform.write ~addr:e.node_addr ~len:16
+      | None ->
+        let node_addr = t.alloc.Alloc_intf.malloc node_bytes in
+        let val_addr = t.alloc.Alloc_intf.malloc size in
+        t.pf.Platform.write ~addr:node_addr ~len:node_bytes;
+        t.pf.Platform.write ~addr:val_addr ~len:(min size 256);
+        let b = bucket_of t key in
+        t.table.(b) <- { key; node_addr; val_addr; val_size = size } :: t.table.(b);
+        t.counts.(stripe_of t key) <- t.counts.(stripe_of t key) + 1)
+
+let get t ~key =
+  with_stripe t key (fun () ->
+      match find_entry t key with
+      | Some e ->
+        t.pf.Platform.read ~addr:e.node_addr ~len:16;
+        t.pf.Platform.read ~addr:e.val_addr ~len:(min e.val_size 256);
+        Some e.val_size
+      | None -> None)
+
+let delete t ~key =
+  with_stripe t key (fun () ->
+      let b = bucket_of t key in
+      match find_entry t key with
+      | Some e ->
+        t.alloc.Alloc_intf.free e.val_addr;
+        t.alloc.Alloc_intf.free e.node_addr;
+        t.table.(b) <- List.filter (fun e' -> e'.key <> key) t.table.(b);
+        t.counts.(stripe_of t key) <- t.counts.(stripe_of t key) - 1;
+        true
+      | None -> false)
+
+let length t = Array.fold_left ( + ) 0 t.counts
+
+let clear t =
+  Array.iteri
+    (fun b entries ->
+      List.iter
+        (fun e ->
+          t.alloc.Alloc_intf.free e.val_addr;
+          t.alloc.Alloc_intf.free e.node_addr;
+          t.counts.(stripe_of t e.key) <- t.counts.(stripe_of t e.key) - 1)
+        entries;
+      t.table.(b) <- [])
+    t.table
+
+let check t =
+  let entries = ref 0 in
+  Array.iteri
+    (fun b lst ->
+      List.iter
+        (fun e ->
+          incr entries;
+          if bucket_of t e.key <> b then failwith "Kv_store.check: entry in wrong bucket";
+          if t.alloc.Alloc_intf.usable_size e.val_addr < e.val_size then
+            failwith "Kv_store.check: value block too small")
+        lst)
+    t.table;
+  if !entries <> length t then failwith "Kv_store.check: stripe counts disagree with buckets"
+
+let make ?(params = default_params) () =
+  let { buckets; stripes; ops; key_space; value_min; value_max; read_pct; work_per_op; seed } = params in
+  let spawn sim (pf : Platform.t) (a : Alloc_intf.t) ~nthreads =
+    let store = create pf a ~buckets ~stripes in
+    let barrier = Sim.new_barrier sim ~parties:nthreads in
+    let per_thread = ops / nthreads in
+    for t = 0 to nthreads - 1 do
+      ignore
+        (Sim.spawn sim (fun () ->
+             let rng = Rng.create (seed + t) in
+             (* Warm the store with a slice of the key space. *)
+             let lo = key_space * t / nthreads and hi = (key_space * (t + 1) / nthreads) - 1 in
+             for key = lo to hi do
+               put store ~key ~size:(Rng.int_in rng value_min value_max)
+             done;
+             Sim.barrier_wait barrier;
+             for _ = 1 to per_thread do
+               let key = Rng.int rng key_space in
+               let r = Rng.int rng 100 in
+               if r < read_pct then ignore (get store ~key)
+               else if r < read_pct + ((100 - read_pct) * 3 / 4) then
+                 put store ~key ~size:(Rng.int_in rng value_min value_max)
+               else ignore (delete store ~key);
+               Sim.work work_per_op
+             done;
+             Sim.barrier_wait barrier;
+             if t = 0 then begin
+               check store;
+               clear store
+             end))
+    done
+  in
+  {
+    Workload_intf.w_name = "kv-store";
+    w_describe =
+      Printf.sprintf "hash-table server: %d ops over %d keys (%d%% get), values %d-%dB, %d stripes" ops
+        key_space read_pct value_min value_max stripes;
+    spawn;
+    (* Approximate: warm-up + one alloc or free per mutating op. *)
+    total_ops = (fun ~nthreads -> (2 * key_space) + (2 * (ops / nthreads) * nthreads * (100 - read_pct) / 100));
+  }

@@ -1,0 +1,50 @@
+(** An in-memory key-value store (memcached-style) running on the
+    allocator under test — an application-level workload beyond the
+    paper's suite, exercising the server pattern its introduction
+    motivates.
+
+    The store is a striped-lock hash table whose entry nodes and values
+    are allocator blocks; values are replaced in place by put (free old,
+    allocate new), and deletions free entry and value, whichever thread
+    performs them — so cross-thread frees, mixed sizes and long-lived
+    metadata all occur naturally. *)
+
+type params = {
+  buckets : int;  (** hash-table buckets *)
+  stripes : int;  (** lock stripes guarding bucket ranges *)
+  ops : int;  (** total operations, divided among threads *)
+  key_space : int;  (** keys are drawn from [\[0, key_space)] *)
+  value_min : int;
+  value_max : int;
+  read_pct : int;  (** percentage of gets; the rest split puts/deletes 3:1 *)
+  work_per_op : int;
+  seed : int;
+}
+
+val default_params : params
+
+val make : ?params:params -> unit -> Workload_intf.t
+
+(** {2 Direct store API (tests, examples)} *)
+
+type t
+
+val create : Platform.t -> Alloc_intf.t -> buckets:int -> stripes:int -> t
+(** Build a store on an allocator. Usable from simulated threads (locks
+    are platform locks). *)
+
+val put : t -> key:int -> size:int -> unit
+(** Insert or replace; the value is a fresh allocator block of [size]. *)
+
+val get : t -> key:int -> int option
+(** Value size if present (also touches the value's memory). *)
+
+val delete : t -> key:int -> bool
+
+val length : t -> int
+
+val clear : t -> unit
+(** Frees every entry and value. *)
+
+val check : t -> unit
+(** Structural validation against the allocator's accounting. *)

@@ -1,0 +1,60 @@
+type params = {
+  rounds : int;
+  handoffs : int;
+  objects_per_thread : int;
+  min_size : int;
+  max_size : int;
+  work_per_op : int;
+  seed : int;
+}
+
+let default_params =
+  { rounds = 400; handoffs = 5; objects_per_thread = 50; min_size = 10; max_size = 100; work_per_op = 5; seed = 3000 }
+
+let make ?(params = default_params) () =
+  let { rounds; handoffs; objects_per_thread; min_size; max_size; work_per_op; seed } = params in
+  let spawn sim (pf : Platform.t) (a : Alloc_intf.t) ~nthreads =
+    (* One mailbox per thread; handoffs rotate object sets around the ring
+       under barrier synchronisation, so thread t frees what t-1 allocated. *)
+    let mailboxes = Array.make nthreads [||] in
+    let barrier = Sim.new_barrier sim ~parties:nthreads in
+    for t = 0 to nthreads - 1 do
+      ignore
+        (Sim.spawn sim (fun () ->
+             let rng = Rng.create (seed + t) in
+             let mine =
+               ref
+                 (Array.init objects_per_thread (fun _ ->
+                      let size = Rng.int_in rng min_size max_size in
+                      let p = a.Alloc_intf.malloc size in
+                      pf.Platform.write ~addr:p ~len:(min size 64);
+                      p))
+             in
+             for _ = 1 to handoffs do
+               for _ = 1 to rounds do
+                 let i = Rng.int rng objects_per_thread in
+                 a.Alloc_intf.free !mine.(i);
+                 let size = Rng.int_in rng min_size max_size in
+                 let p = a.Alloc_intf.malloc size in
+                 pf.Platform.write ~addr:p ~len:(min size 64);
+                 !mine.(i) <- p;
+                 Sim.work work_per_op
+               done;
+               (* Bleed: publish my set, take my predecessor's. *)
+               mailboxes.(t) <- !mine;
+               Sim.barrier_wait barrier;
+               mine := mailboxes.((t + nthreads - 1) mod nthreads);
+               Sim.barrier_wait barrier
+             done;
+             Array.iter a.Alloc_intf.free !mine))
+    done
+  in
+  {
+    Workload_intf.w_name = "larson";
+    w_describe =
+      Printf.sprintf "server loop: %d objects/thread (%d-%dB), %d replaces x %d ring handoffs"
+        objects_per_thread min_size max_size rounds handoffs;
+    spawn;
+    total_ops =
+      (fun ~nthreads -> nthreads * ((2 * rounds * handoffs) + (2 * objects_per_thread)));
+  }

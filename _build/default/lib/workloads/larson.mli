@@ -1,0 +1,23 @@
+(** Larson server benchmark (paper Table 2; Larson & Krishnan's "bleeding"
+    benchmark).
+
+    Simulates a server: each thread owns a set of objects and continually
+    replaces random ones; periodically a thread hands its whole set to the
+    next thread in the ring, so objects are freed by a different thread
+    than allocated them ("bleeding"). The paper reports throughput (memory
+    operations per second) as threads scale; the harness reports
+    operations per million simulated cycles. *)
+
+type params = {
+  rounds : int;  (** replace operations per thread between handoffs *)
+  handoffs : int;  (** ring handoffs over the run *)
+  objects_per_thread : int;
+  min_size : int;
+  max_size : int;  (** paper: 10-100 bytes *)
+  work_per_op : int;
+  seed : int;
+}
+
+val default_params : params
+
+val make : ?params:params -> unit -> Workload_intf.t

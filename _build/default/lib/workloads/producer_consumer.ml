@@ -1,0 +1,76 @@
+type params = {
+  rounds : int;
+  batch : int;
+  size : int;
+  seed : int;
+}
+
+let default_params = { rounds = 50; batch = 200; size = 64; seed = 7000 }
+
+let make ?(params = default_params) () =
+  let { rounds; batch; size; _ } = params in
+  let spawn sim (pf : Platform.t) (a : Alloc_intf.t) ~nthreads =
+    let pairs = max 1 (nthreads / 2) in
+    let mailboxes = Array.make pairs [||] in
+    let barrier = Sim.new_barrier sim ~parties:nthreads in
+    for t = 0 to nthreads - 1 do
+      let pair = t / 2 in
+      let is_producer = t mod 2 = 0 || nthreads = 1 in
+      ignore
+        (Sim.spawn sim (fun () ->
+             for _ = 1 to rounds do
+               if is_producer && pair < pairs then begin
+                 mailboxes.(pair) <- Array.init batch (fun _ ->
+                     let p = a.Alloc_intf.malloc size in
+                     pf.Platform.write ~addr:p ~len:(min size 64);
+                     p)
+               end;
+               Sim.barrier_wait barrier;
+               if (not is_producer) && pair < pairs then begin
+                 Array.iter a.Alloc_intf.free mailboxes.(pair);
+                 mailboxes.(pair) <- [||]
+               end
+               else if nthreads = 1 then begin
+                 (* Degenerate single-thread case: free your own batch. *)
+                 Array.iter a.Alloc_intf.free mailboxes.(0);
+                 mailboxes.(0) <- [||]
+               end;
+               Sim.barrier_wait barrier
+             done))
+    done
+  in
+  {
+    Workload_intf.w_name = "producer-consumer";
+    w_describe = Printf.sprintf "%d rounds of %d x %dB objects passed producer -> consumer" rounds batch size;
+    spawn;
+    total_ops = (fun ~nthreads -> 2 * rounds * batch * max 1 (nthreads / 2));
+  }
+
+let phased ?(params = default_params) () =
+  let { rounds; batch; size; _ } = params in
+  let spawn sim (pf : Platform.t) (a : Alloc_intf.t) ~nthreads =
+    let barrier = Sim.new_barrier sim ~parties:nthreads in
+    for t = 0 to nthreads - 1 do
+      ignore
+        (Sim.spawn sim (fun () ->
+             for round = 0 to rounds - 1 do
+               if round mod nthreads = t then begin
+                 let ps =
+                   Array.init batch (fun _ ->
+                       let p = a.Alloc_intf.malloc size in
+                       pf.Platform.write ~addr:p ~len:(min size 64);
+                       p)
+                 in
+                 Array.iter a.Alloc_intf.free ps
+               end;
+               Sim.barrier_wait barrier
+             done))
+    done
+  in
+  {
+    Workload_intf.w_name = "phased-blowup";
+    w_describe =
+      Printf.sprintf "%d rounds, one thread at a time allocating and freeing %d x %dB" rounds batch size;
+    spawn;
+    total_ops = (fun ~nthreads:_ -> 2 * rounds * batch);
+  }

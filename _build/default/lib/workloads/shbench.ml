@@ -1,0 +1,49 @@
+type params = {
+  ops : int;
+  slots_per_thread : int;
+  min_size : int;
+  max_size : int;
+  work_per_op : int;
+  seed : int;
+}
+
+let default_params = { ops = 20_000; slots_per_thread = 100; min_size = 1; max_size = 1000; work_per_op = 6; seed = 2000 }
+
+let make ?(params = default_params) () =
+  let { ops; slots_per_thread; min_size; max_size; work_per_op; seed } = params in
+  let spawn sim (pf : Platform.t) (a : Alloc_intf.t) ~nthreads =
+    let per_thread = ops / nthreads in
+    for t = 0 to nthreads - 1 do
+      ignore
+        (Sim.spawn sim (fun () ->
+             let rng = Rng.create (seed + t) in
+             let slots = Array.make slots_per_thread 0 in
+             (* Fill the working set. *)
+             for i = 0 to slots_per_thread - 1 do
+               let size = Rng.int_in rng min_size max_size in
+               let p = a.Alloc_intf.malloc size in
+               pf.Platform.write ~addr:p ~len:(min size 64);
+               slots.(i) <- p
+             done;
+             (* Churn. *)
+             for _ = 1 to per_thread do
+               let i = Rng.int rng slots_per_thread in
+               a.Alloc_intf.free slots.(i);
+               let size = Rng.int_in rng min_size max_size in
+               let p = a.Alloc_intf.malloc size in
+               pf.Platform.write ~addr:p ~len:(min size 64);
+               slots.(i) <- p;
+               Sim.work work_per_op
+             done;
+             Array.iter a.Alloc_intf.free slots))
+    done
+  in
+  {
+    Workload_intf.w_name = "shbench";
+    w_describe =
+      Printf.sprintf "%d random-size (%d-%dB) slot replacements over %d-slot working sets" ops min_size
+        max_size slots_per_thread;
+    spawn;
+    total_ops =
+      (fun ~nthreads -> nthreads * ((2 * (ops / nthreads)) + (2 * slots_per_thread)));
+  }

@@ -1,0 +1,19 @@
+(** shbench (paper Table 2): MicroQuill SmartHeap-style benchmark.
+
+    Each thread keeps a working set of slots and continually replaces a
+    random slot with a freshly allocated object of random size, mixing
+    sizes and lifetimes. Stresses size-class management and, on shared
+    heaps, induces heavy lock traffic across classes. *)
+
+type params = {
+  ops : int;  (** total replace operations, divided among threads *)
+  slots_per_thread : int;  (** live working set per thread *)
+  min_size : int;
+  max_size : int;  (** paper: sizes up to 1000 bytes *)
+  work_per_op : int;
+  seed : int;
+}
+
+val default_params : params
+
+val make : ?params:params -> unit -> Workload_intf.t

@@ -1,0 +1,38 @@
+type params = {
+  iterations : int;
+  objects : int;
+  size : int;
+  work_per_op : int;
+}
+
+let default_params = { iterations = 10; objects = 4000; size = 8; work_per_op = 4 }
+
+let make ?(params = default_params) () =
+  let { iterations; objects; size; work_per_op } = params in
+  let spawn sim (pf : Platform.t) (a : Alloc_intf.t) ~nthreads =
+    let per_thread = objects / nthreads in
+    for _ = 1 to nthreads do
+      ignore
+        (Sim.spawn sim (fun () ->
+             let batch = Array.make per_thread 0 in
+             for _ = 1 to iterations do
+               for i = 0 to per_thread - 1 do
+                 let p = a.Alloc_intf.malloc size in
+                 pf.Platform.write ~addr:p ~len:size;
+                 Sim.work work_per_op;
+                 batch.(i) <- p
+               done;
+               for i = 0 to per_thread - 1 do
+                 a.Alloc_intf.free batch.(i);
+                 Sim.work work_per_op
+               done
+             done))
+    done
+  in
+  {
+    Workload_intf.w_name = "threadtest";
+    w_describe =
+      Printf.sprintf "%d rounds x %d objects of %dB, allocate-then-free batches" iterations objects size;
+    spawn;
+    total_ops = (fun ~nthreads -> 2 * iterations * (objects / nthreads) * nthreads);
+  }

@@ -1,0 +1,18 @@
+(** threadtest (paper Table 2): each thread repeatedly allocates a batch of
+    small objects, touches them, and frees them all.
+
+    The canonical heap-contention stress: with [t] threads the program
+    performs [iterations] rounds of [objects/t] 8-byte mallocs + frees per
+    thread. A serial allocator collapses; Hoard scales near-linearly. *)
+
+type params = {
+  iterations : int;  (** rounds per run (paper: 100) *)
+  objects : int;  (** objects per round, divided among threads (paper: 100,000) *)
+  size : int;  (** object size in bytes (paper: 8) *)
+  work_per_op : int;  (** cycles of computation between operations *)
+}
+
+val default_params : params
+(** Scaled down from the paper's parameters to simulator-friendly sizes. *)
+
+val make : ?params:params -> unit -> Workload_intf.t

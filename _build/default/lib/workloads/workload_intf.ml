@@ -1,0 +1,6 @@
+type t = {
+  w_name : string;
+  w_describe : string;
+  spawn : Sim.t -> Platform.t -> Alloc_intf.t -> nthreads:int -> unit;
+  total_ops : nthreads:int -> int;
+}

@@ -1,0 +1,17 @@
+(** Benchmark programs that drive an allocator on the simulated machine.
+
+    A workload registers its threads on a {!Sim.t}; the harness then runs
+    the simulation and reads the results. Workloads scale their total work
+    inversely with the thread count, so completion cycles at [P] threads
+    against cycles at 1 thread gives the paper's speedup curves. *)
+
+type t = {
+  w_name : string;
+  w_describe : string;
+  spawn : Sim.t -> Platform.t -> Alloc_intf.t -> nthreads:int -> unit;
+      (** Registers [nthreads] simulated threads implementing the benchmark.
+          Must be called once, before [Sim.run]. *)
+  total_ops : nthreads:int -> int;
+      (** Memory operations (mallocs + frees) a full run performs — used
+          for throughput reporting. *)
+}

@@ -1,0 +1,1 @@
+test/test_alloc_substrate.ml: Alcotest Alloc_stats Array Heap_core Large_alloc List Locked_large Platform QCheck QCheck_alcotest Sb_registry Size_class Superblock

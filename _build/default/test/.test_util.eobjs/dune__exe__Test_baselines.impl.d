@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Alloc_intf Alloc_stats Concurrent_single Hoard List Platform Printf Private_ownership Private_threshold Pure_private Rng Serial_alloc Sim

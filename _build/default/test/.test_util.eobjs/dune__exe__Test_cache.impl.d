@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Cache List Printf QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Alloc_intf Experiments Histogram Hoard Latency_probe List Printf Runner Serial_alloc Sim String Table Threadtest Timeline Workload_intf

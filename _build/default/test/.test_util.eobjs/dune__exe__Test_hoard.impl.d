@@ -1,0 +1,1 @@
+test/test_hoard.ml: Alcotest Alloc_intf Alloc_stats Array Hoard Hoard_config List Platform Printf QCheck QCheck_alcotest Rng Sim Size_class

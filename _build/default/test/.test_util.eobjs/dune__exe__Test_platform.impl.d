@@ -1,0 +1,1 @@
+test/test_platform.ml: Alcotest Array Domain List Platform Vmem

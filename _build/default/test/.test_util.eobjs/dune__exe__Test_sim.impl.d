@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Buffer Cache Cost_model List Platform Printf Sim

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Alloc_intf Alloc_stats Concurrent_single Hoard List Platform Private_ownership Pure_private QCheck QCheck_alcotest Result Serial_alloc Sim Trace

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ascii_plot Dlist Fun Histogram List Printf QCheck QCheck_alcotest Rng Stats_acc String Table

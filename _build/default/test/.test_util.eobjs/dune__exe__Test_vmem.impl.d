@@ -1,0 +1,1 @@
+test/test_vmem.ml: Alcotest List QCheck QCheck_alcotest Vmem

@@ -1,0 +1,105 @@
+(* calloc / realloc / aligned_alloc over every allocator. *)
+
+let factories =
+  [
+    Serial_alloc.factory ();
+    Concurrent_single.factory ();
+    Pure_private.factory ();
+    Private_ownership.factory ();
+    Private_threshold.factory ();
+    Hoard.factory ();
+  ]
+
+let with_alloc f k =
+  let pf = Platform.host () in
+  let a = f.Alloc_intf.instantiate pf in
+  k pf a
+
+let test_calloc_basic (f : Alloc_intf.factory) () =
+  with_alloc f (fun pf a ->
+      let p = Alloc_api.calloc pf a ~count:16 ~size:12 in
+      Alcotest.(check bool) "usable >= 192" true (a.Alloc_intf.usable_size p >= 192);
+      a.Alloc_intf.free p;
+      a.Alloc_intf.check ())
+
+let test_calloc_rejects_bad_args (f : Alloc_intf.factory) () =
+  with_alloc f (fun pf a ->
+      Alcotest.check_raises "zero count" (Invalid_argument "Alloc_api.calloc: count and size must be positive")
+        (fun () -> ignore (Alloc_api.calloc pf a ~count:0 ~size:8));
+      Alcotest.check_raises "overflow" (Invalid_argument "Alloc_api.calloc: size overflow") (fun () ->
+          ignore (Alloc_api.calloc pf a ~count:max_int ~size:8)))
+
+let test_realloc_in_place (f : Alloc_intf.factory) () =
+  with_alloc f (fun pf a ->
+      (* Growing within the block's usable size must not move it. *)
+      let p = a.Alloc_intf.malloc 100 in
+      let usable = a.Alloc_intf.usable_size p in
+      let q = Alloc_api.realloc pf a ~addr:p ~size:usable in
+      Alcotest.(check int) "in place" p q;
+      a.Alloc_intf.free q;
+      a.Alloc_intf.check ())
+
+let test_realloc_grows (f : Alloc_intf.factory) () =
+  with_alloc f (fun pf a ->
+      let p = a.Alloc_intf.malloc 64 in
+      let q = Alloc_api.realloc pf a ~addr:p ~size:50_000 in
+      Alcotest.(check bool) "moved" true (q <> p);
+      Alcotest.(check bool) "big enough" true (a.Alloc_intf.usable_size q >= 50_000);
+      Alcotest.(check int) "old block freed" (a.Alloc_intf.usable_size q)
+        (a.Alloc_intf.stats ()).Alloc_stats.live_bytes;
+      a.Alloc_intf.free q;
+      a.Alloc_intf.check ())
+
+let test_realloc_chain (f : Alloc_intf.factory) () =
+  with_alloc f (fun pf a ->
+      (* Repeated doubling, as a growing dynamic array would do. *)
+      let p = ref (a.Alloc_intf.malloc 8) in
+      let size = ref 8 in
+      for _ = 1 to 12 do
+        size := !size * 2;
+        p := Alloc_api.realloc pf a ~addr:!p ~size:!size
+      done;
+      Alcotest.(check bool) "final size" true (a.Alloc_intf.usable_size !p >= 32768);
+      a.Alloc_intf.free !p;
+      Alcotest.(check int) "clean" 0 (a.Alloc_intf.stats ()).Alloc_stats.live_bytes;
+      a.Alloc_intf.check ())
+
+let test_aligned_small (f : Alloc_intf.factory) () =
+  with_alloc f (fun pf a ->
+      let p = Alloc_api.aligned_alloc pf a ~align:8 ~size:24 in
+      Alcotest.(check int) "8-aligned" 0 (p mod 8);
+      a.Alloc_intf.free p)
+
+let test_aligned_large (f : Alloc_intf.factory) () =
+  with_alloc f (fun pf a ->
+      List.iter
+        (fun align ->
+          let p = Alloc_api.aligned_alloc pf a ~align ~size:100 in
+          Alcotest.(check int) (Printf.sprintf "%d-aligned" align) 0 (p mod align);
+          a.Alloc_intf.free p)
+        [ 16; 64; 256; 4096 ];
+      a.Alloc_intf.check ())
+
+let test_aligned_rejects (f : Alloc_intf.factory) () =
+  with_alloc f (fun pf a ->
+      Alcotest.check_raises "non power of two"
+        (Invalid_argument "Alloc_api.aligned_alloc: align must be a positive power of two") (fun () ->
+          ignore (Alloc_api.aligned_alloc pf a ~align:24 ~size:8));
+      Alcotest.check_raises "beyond page"
+        (Invalid_argument "Alloc_api.aligned_alloc: alignment beyond the page size is not supported") (fun () ->
+          ignore (Alloc_api.aligned_alloc pf a ~align:65536 ~size:8)))
+
+let suite f =
+  ( f.Alloc_intf.label,
+    [
+      Alcotest.test_case "calloc" `Quick (test_calloc_basic f);
+      Alcotest.test_case "calloc bad args" `Quick (test_calloc_rejects_bad_args f);
+      Alcotest.test_case "realloc in place" `Quick (test_realloc_in_place f);
+      Alcotest.test_case "realloc grows" `Quick (test_realloc_grows f);
+      Alcotest.test_case "realloc chain" `Quick (test_realloc_chain f);
+      Alcotest.test_case "aligned small" `Quick (test_aligned_small f);
+      Alcotest.test_case "aligned large" `Quick (test_aligned_large f);
+      Alcotest.test_case "aligned rejects" `Quick (test_aligned_rejects f);
+    ] )
+
+let () = Alcotest.run "alloc-api" (List.map suite factories)

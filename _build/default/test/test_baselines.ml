@@ -1,0 +1,294 @@
+(* Baseline allocators: per-family behaviour plus a generic correctness
+   suite run over every allocator in the taxonomy (including Hoard). *)
+
+(* --- generic correctness, parameterised over the allocator --- *)
+
+let generic_roundtrip (f : Alloc_intf.factory) () =
+  let a = f.Alloc_intf.instantiate (Platform.host ()) in
+  let p = a.Alloc_intf.malloc 100 in
+  Alcotest.(check bool) "usable >= request" true (a.Alloc_intf.usable_size p >= 100);
+  a.Alloc_intf.free p;
+  Alcotest.(check int) "live zero" 0 (a.Alloc_intf.stats ()).Alloc_stats.live_bytes;
+  a.Alloc_intf.check ()
+
+let generic_no_overlap (f : Alloc_intf.factory) () =
+  let a = f.Alloc_intf.instantiate (Platform.host ()) in
+  let rng = Rng.create 7 in
+  let live = ref [] in
+  for _ = 1 to 2000 do
+    if Rng.bool rng || !live = [] then begin
+      let size = Rng.int_in rng 1 6000 in
+      let p = a.Alloc_intf.malloc size in
+      live := (p, a.Alloc_intf.usable_size p) :: !live
+    end
+    else begin
+      match !live with
+      | (p, _) :: rest ->
+        a.Alloc_intf.free p;
+        live := rest
+      | [] -> ()
+    end
+  done;
+  a.Alloc_intf.check ();
+  let sorted = List.sort compare !live in
+  let rec disjoint = function
+    | (a1, s1) :: ((a2, _) :: _ as rest) ->
+      if a1 + s1 > a2 then failwith (Printf.sprintf "overlap: %x+%d vs %x" a1 s1 a2) else disjoint rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "live blocks disjoint" true (disjoint sorted);
+  List.iter (fun (p, _) -> a.Alloc_intf.free p) !live;
+  Alcotest.(check int) "all returned" 0 (a.Alloc_intf.stats ()).Alloc_stats.live_bytes;
+  a.Alloc_intf.check ()
+
+let generic_held_covers_live (f : Alloc_intf.factory) () =
+  let pf = Platform.host () in
+  let a = f.Alloc_intf.instantiate pf in
+  let ps = List.init 300 (fun i -> a.Alloc_intf.malloc (8 + (8 * (i mod 100)))) in
+  let s = a.Alloc_intf.stats () in
+  Alcotest.(check bool) "held >= live" true (s.Alloc_stats.held_bytes >= s.Alloc_stats.live_bytes);
+  (* Held bytes as tracked by the allocator must agree with the address
+     space's per-owner accounting. *)
+  Alcotest.(check int) "held = vmem owner bytes" (pf.Platform.mapped_bytes ~owner:a.Alloc_intf.owner)
+    s.Alloc_stats.held_bytes;
+  List.iter a.Alloc_intf.free ps
+
+let generic_sim_multithread (f : Alloc_intf.factory) () =
+  (* Four threads allocate and free concurrently on the simulator; the
+     allocator must stay sound and account every byte. *)
+  let sim = Sim.create ~nprocs:4 () in
+  let a = f.Alloc_intf.instantiate (Sim.platform sim) in
+  for t = 0 to 3 do
+    ignore
+      (Sim.spawn sim (fun () ->
+           let rng = Rng.create (1000 + t) in
+           let live = ref [] in
+           for _ = 1 to 300 do
+             if Rng.bool rng || !live = [] then live := a.Alloc_intf.malloc (Rng.int_in rng 8 256) :: !live
+             else begin
+               match !live with
+               | p :: rest ->
+                 a.Alloc_intf.free p;
+                 live := rest
+               | [] -> ()
+             end
+           done;
+           List.iter a.Alloc_intf.free !live))
+  done;
+  Sim.run sim;
+  a.Alloc_intf.check ();
+  Alcotest.(check int) "nothing live" 0 (a.Alloc_intf.stats ()).Alloc_stats.live_bytes
+
+let generic_sim_cross_thread_free (f : Alloc_intf.factory) () =
+  (* Producer on proc 0 allocates, consumer on proc 1 frees. *)
+  let sim = Sim.create ~nprocs:2 () in
+  let a = f.Alloc_intf.instantiate (Sim.platform sim) in
+  let b = Sim.new_barrier sim ~parties:2 in
+  let box = ref [] in
+  ignore
+    (Sim.spawn sim ~proc:0 (fun () ->
+         for _ = 1 to 10 do
+           box := List.init 50 (fun i -> a.Alloc_intf.malloc (8 + (8 * (i mod 16))));
+           Sim.barrier_wait b;
+           Sim.barrier_wait b
+         done));
+  ignore
+    (Sim.spawn sim ~proc:1 (fun () ->
+         for _ = 1 to 10 do
+           Sim.barrier_wait b;
+           List.iter a.Alloc_intf.free !box;
+           box := [];
+           Sim.barrier_wait b
+         done));
+  Sim.run sim;
+  a.Alloc_intf.check ();
+  Alcotest.(check int) "nothing live" 0 (a.Alloc_intf.stats ()).Alloc_stats.live_bytes
+
+let generic_suite name f =
+  ( name,
+    [
+      Alcotest.test_case "roundtrip" `Quick (generic_roundtrip f);
+      Alcotest.test_case "no overlap" `Quick (generic_no_overlap f);
+      Alcotest.test_case "held covers live" `Quick (generic_held_covers_live f);
+      Alcotest.test_case "sim multithread" `Quick (generic_sim_multithread f);
+      Alcotest.test_case "sim cross-thread free" `Quick (generic_sim_cross_thread_free f);
+    ] )
+
+(* --- family-specific behaviour --- *)
+
+let test_serial_single_lock_contention () =
+  let sim = Sim.create ~nprocs:4 () in
+  let t = Serial_alloc.create (Sim.platform sim) in
+  let a = Serial_alloc.allocator t in
+  for _ = 0 to 3 do
+    ignore
+      (Sim.spawn sim (fun () ->
+           for _ = 1 to 100 do
+             a.Alloc_intf.free (a.Alloc_intf.malloc 64)
+           done))
+  done;
+  Sim.run sim;
+  let spins = List.fold_left (fun acc (_, _, s) -> acc + s) 0 (Sim.lock_stats sim) in
+  Alcotest.(check bool) (Printf.sprintf "heap lock contended (%d spins)" spins) true (spins > 0)
+
+let test_pure_private_blowup_unbounded () =
+  (* Producer-consumer: pure-private's held memory grows with rounds even
+     though live memory is constant — the unbounded blowup of the paper. *)
+  let sim = Sim.create ~nprocs:2 () in
+  let t = Pure_private.create (Sim.platform sim) in
+  let a = Pure_private.allocator t in
+  let b = Sim.new_barrier sim ~parties:2 in
+  let box = ref [] in
+  let rounds = 40 and batch = 300 in
+  ignore
+    (Sim.spawn sim ~proc:0 (fun () ->
+         for _ = 1 to rounds do
+           box := List.init batch (fun _ -> a.Alloc_intf.malloc 64);
+           Sim.barrier_wait b;
+           Sim.barrier_wait b
+         done));
+  ignore
+    (Sim.spawn sim ~proc:1 (fun () ->
+         for _ = 1 to rounds do
+           Sim.barrier_wait b;
+           List.iter a.Alloc_intf.free !box;
+           box := [];
+           Sim.barrier_wait b
+         done));
+  Sim.run sim;
+  let s = a.Alloc_intf.stats () in
+  let blowup = float_of_int s.Alloc_stats.peak_held_bytes /. float_of_int s.Alloc_stats.peak_live_bytes in
+  Alcotest.(check bool) (Printf.sprintf "blowup %.1fx grows with rounds" blowup) true (blowup > 10.0);
+  (* The freed memory is stranded on the consumer's lists. *)
+  Alcotest.(check bool) "stranded on consumer" true (Pure_private.thread_free_bytes t ~tid:1 > 0)
+
+let test_private_ownership_blowup_bounded_by_p () =
+  (* Same adversary: ownership-based heaps stay bounded (no growth with
+     rounds), unlike pure-private. *)
+  let sim = Sim.create ~nprocs:2 () in
+  let t = Private_ownership.create (Sim.platform sim) in
+  let a = Private_ownership.allocator t in
+  let b = Sim.new_barrier sim ~parties:2 in
+  let box = ref [] in
+  let rounds = 40 and batch = 300 in
+  ignore
+    (Sim.spawn sim ~proc:0 (fun () ->
+         for _ = 1 to rounds do
+           box := List.init batch (fun _ -> a.Alloc_intf.malloc 64);
+           Sim.barrier_wait b;
+           Sim.barrier_wait b
+         done));
+  ignore
+    (Sim.spawn sim ~proc:1 (fun () ->
+         for _ = 1 to rounds do
+           Sim.barrier_wait b;
+           List.iter a.Alloc_intf.free !box;
+           box := [];
+           Sim.barrier_wait b
+         done));
+  Sim.run sim;
+  let s = a.Alloc_intf.stats () in
+  let blowup = float_of_int s.Alloc_stats.peak_held_bytes /. float_of_int s.Alloc_stats.peak_live_bytes in
+  Alcotest.(check bool) (Printf.sprintf "blowup %.1fx stays small" blowup) true (blowup < 4.0)
+
+let test_concurrent_single_classes_parallel () =
+  (* Two threads on different size classes should not contend. *)
+  let sim = Sim.create ~nprocs:2 () in
+  let t = Concurrent_single.create (Sim.platform sim) in
+  let a = Concurrent_single.allocator t in
+  ignore
+    (Sim.spawn sim ~proc:0 (fun () ->
+         for _ = 1 to 200 do
+           a.Alloc_intf.free (a.Alloc_intf.malloc 8)
+         done));
+  ignore
+    (Sim.spawn sim ~proc:1 (fun () ->
+         for _ = 1 to 200 do
+           a.Alloc_intf.free (a.Alloc_intf.malloc 1024)
+         done));
+  Sim.run sim;
+  let spins = List.fold_left (fun acc (_, _, s) -> acc + s) 0 (Sim.lock_stats sim) in
+  Alcotest.(check int) "no lock contention across classes" 0 spins
+
+let test_threshold_flushes_to_global_pool () =
+  let pf = Platform.host () in
+  let t = Private_threshold.create ~threshold:16 pf in
+  let a = Private_threshold.allocator t in
+  (* Free more than the threshold in one class: the excess must land in
+     the global pool. *)
+  let ps = List.init 40 (fun _ -> a.Alloc_intf.malloc 64) in
+  List.iter a.Alloc_intf.free ps;
+  let sclass = 7 in
+  ignore sclass;
+  let total_pool = ref 0 in
+  for c = 0 to 40 do
+    (try total_pool := !total_pool + Private_threshold.global_pool_blocks t ~sclass:c with _ -> ())
+  done;
+  Alcotest.(check bool) (Printf.sprintf "pool has blocks (%d)" !total_pool) true (!total_pool > 0);
+  a.Alloc_intf.check ()
+
+let test_threshold_blowup_bounded () =
+  (* Producer-consumer: freed blocks flow back through the global pool, so
+     consumption stays bounded, unlike pure-private. *)
+  let sim = Sim.create ~nprocs:2 () in
+  let t = Private_threshold.create (Sim.platform sim) in
+  let a = Private_threshold.allocator t in
+  let b = Sim.new_barrier sim ~parties:2 in
+  let box = ref [] in
+  let rounds = 40 and batch = 300 in
+  ignore
+    (Sim.spawn sim ~proc:0 (fun () ->
+         for _ = 1 to rounds do
+           box := List.init batch (fun _ -> a.Alloc_intf.malloc 64);
+           Sim.barrier_wait b;
+           Sim.barrier_wait b
+         done));
+  ignore
+    (Sim.spawn sim ~proc:1 (fun () ->
+         for _ = 1 to rounds do
+           Sim.barrier_wait b;
+           List.iter a.Alloc_intf.free !box;
+           box := [];
+           Sim.barrier_wait b
+         done));
+  Sim.run sim;
+  let s = a.Alloc_intf.stats () in
+  let blowup = float_of_int s.Alloc_stats.peak_held_bytes /. float_of_int s.Alloc_stats.peak_live_bytes in
+  Alcotest.(check bool) (Printf.sprintf "blowup %.1fx bounded" blowup) true (blowup < 5.0)
+
+let test_pure_private_no_locks_on_fast_path () =
+  let sim = Sim.create ~nprocs:2 () in
+  let t = Pure_private.create (Sim.platform sim) in
+  let a = Pure_private.allocator t in
+  for _ = 0 to 1 do
+    ignore
+      (Sim.spawn sim (fun () ->
+           for _ = 1 to 100 do
+             a.Alloc_intf.free (a.Alloc_intf.malloc 64)
+           done))
+  done;
+  Sim.run sim;
+  (* Only the heap-table lock is ever taken, once per thread. *)
+  let acqs = List.fold_left (fun acc (_, n, _) -> acc + n) 0 (Sim.lock_stats sim) in
+  Alcotest.(check bool) (Printf.sprintf "at most 2 acquisitions (%d)" acqs) true (acqs <= 2)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      generic_suite "generic:serial" (Serial_alloc.factory ());
+      generic_suite "generic:concurrent-single" (Concurrent_single.factory ());
+      generic_suite "generic:pure-private" (Pure_private.factory ());
+      generic_suite "generic:private-ownership" (Private_ownership.factory ());
+      generic_suite "generic:private-threshold" (Private_threshold.factory ());
+      generic_suite "generic:hoard" (Hoard.factory ());
+      ( "family",
+        [
+          Alcotest.test_case "serial lock contention" `Quick test_serial_single_lock_contention;
+          Alcotest.test_case "pure-private blowup" `Quick test_pure_private_blowup_unbounded;
+          Alcotest.test_case "ownership blowup bounded" `Quick test_private_ownership_blowup_bounded_by_p;
+          Alcotest.test_case "concurrent-single parallel classes" `Quick test_concurrent_single_classes_parallel;
+          Alcotest.test_case "pure-private lock-free" `Quick test_pure_private_no_locks_on_fast_path;
+          Alcotest.test_case "threshold flushes to pool" `Quick test_threshold_flushes_to_global_pool;
+          Alcotest.test_case "threshold blowup bounded" `Quick test_threshold_blowup_bounded;
+        ] );
+    ]

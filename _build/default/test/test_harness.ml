@@ -1,0 +1,196 @@
+(* The experiment harness: runner metrics and the experiment registry,
+   including shape assertions on the headline results (who wins, roughly
+   by how much). These run at Quick scale. *)
+
+let hoard = Hoard.factory ()
+
+let serial = Serial_alloc.factory ()
+
+let tt = Threadtest.make ~params:{ Threadtest.default_params with Threadtest.iterations = 3; objects = 1600 } ()
+
+let test_runner_basic () =
+  let r = Runner.run (Runner.spec tt hoard ~nprocs:2) in
+  Alcotest.(check string) "workload name" "threadtest" r.Runner.r_workload;
+  Alcotest.(check string) "allocator name" "hoard" r.Runner.r_allocator;
+  Alcotest.(check int) "nthreads defaults to nprocs" 2 r.Runner.r_nthreads;
+  Alcotest.(check bool) "cycles positive" true (r.Runner.r_cycles > 0);
+  Alcotest.(check bool) "ops positive" true (r.Runner.r_ops > 0)
+
+let test_runner_deterministic () =
+  let a = Runner.run (Runner.spec tt hoard ~nprocs:4) in
+  let b = Runner.run (Runner.spec tt hoard ~nprocs:4) in
+  Alcotest.(check int) "same cycles" a.Runner.r_cycles b.Runner.r_cycles;
+  Alcotest.(check int) "same invalidations" a.Runner.r_invalidations b.Runner.r_invalidations
+
+let test_speedup_metric () =
+  let base = Runner.run (Runner.spec tt hoard ~nprocs:1) in
+  Alcotest.(check (float 1e-9)) "self speedup = 1" 1.0 (Runner.speedup ~base base)
+
+let test_headline_hoard_scales_threadtest () =
+  let base = Runner.run (Runner.spec tt hoard ~nprocs:1) in
+  let at8 = Runner.run (Runner.spec tt hoard ~nprocs:8) in
+  let sp = Runner.speedup ~base at8 in
+  Alcotest.(check bool) (Printf.sprintf "hoard speedup %.2f >= 6 at 8P" sp) true (sp >= 6.0)
+
+let test_headline_serial_collapses_threadtest () =
+  let base = Runner.run (Runner.spec tt serial ~nprocs:1) in
+  let at8 = Runner.run (Runner.spec tt serial ~nprocs:8) in
+  let sp = Runner.speedup ~base at8 in
+  Alcotest.(check bool) (Printf.sprintf "serial speedup %.2f < 1 at 8P" sp) true (sp < 1.0)
+
+let test_headline_uniproc_overhead_small () =
+  let s = Runner.run (Runner.spec tt serial ~nprocs:1) in
+  let h = Runner.run (Runner.spec tt hoard ~nprocs:1) in
+  let ratio = float_of_int h.Runner.r_cycles /. float_of_int s.Runner.r_cycles in
+  Alcotest.(check bool) (Printf.sprintf "hoard/serial = %.2f within 25%%" ratio) true (ratio < 1.25)
+
+let test_headline_hoard_fragmentation_low () =
+  let r = Runner.run (Runner.spec tt hoard ~nprocs:4) in
+  let frag = Runner.fragmentation r in
+  Alcotest.(check bool) (Printf.sprintf "threadtest frag %.2f <= 3" frag) true (frag <= 3.0)
+
+let test_experiment_registry_complete () =
+  let ids = Experiments.ids () in
+  List.iter
+    (fun required ->
+      Alcotest.(check bool) (required ^ " registered") true (List.mem required ids))
+    [
+      "table1"; "table2"; "table3"; "table4"; "table5";
+      "fig_threadtest"; "fig_shbench"; "fig_larson"; "fig_active_false"; "fig_passive_false";
+      "fig_bem"; "fig_barnes"; "exp_blowup"; "exp_falseshare"; "exp_oversub"; "exp_latency";
+      "exp_apps"; "exp_timeline"; "exp_costmodel"; "exp_numa"; "abl_f"; "abl_k"; "abl_sbsize"; "abl_lock";
+      "abl_nheaps";
+    ]
+
+let test_find () =
+  Alcotest.(check bool) "finds" true (Experiments.find "table4" <> None);
+  Alcotest.(check bool) "rejects unknown" true (Experiments.find "nope" = None)
+
+let test_every_experiment_produces_tables () =
+  (* Run each experiment at Quick scale with a tiny processor sweep; every
+     one must yield at least one non-empty table. Heavy but the definitive
+     smoke test that every table/figure can regenerate. *)
+  List.iter
+    (fun e ->
+      let out = e.Experiments.run Experiments.Quick ~procs:(Some [ 1; 2 ]) in
+      Alcotest.(check bool) (e.Experiments.id ^ " yields tables") true (List.length out.Experiments.tables > 0);
+      List.iter
+        (fun tbl ->
+          let rendered = Table.render tbl in
+          Alcotest.(check bool) (e.Experiments.id ^ " table non-trivial") true (String.length rendered > 40))
+        out.Experiments.tables)
+    (Experiments.all ())
+
+let test_figures_carry_plots () =
+  match Experiments.find "fig_threadtest" with
+  | None -> Alcotest.fail "fig_threadtest missing"
+  | Some e ->
+    let out = e.Experiments.run Experiments.Quick ~procs:(Some [ 1; 2 ]) in
+    (match out.Experiments.plot with
+     | Some plot -> Alcotest.(check bool) "plot non-trivial" true (String.length plot > 200)
+     | None -> Alcotest.fail "speedup figures must render a plot")
+
+let test_workload_catalog () =
+  List.iter
+    (fun name ->
+      match Experiments.workload name Experiments.Quick with
+      | Some w -> Alcotest.(check bool) (name ^ " constructs") true (String.length w.Workload_intf.w_name > 0)
+      | None -> Alcotest.fail (name ^ " missing from catalog"))
+    Experiments.workload_names;
+  Alcotest.(check bool) "unknown rejected" true (Experiments.workload "nope" Experiments.Quick = None)
+
+let test_allocator_catalog () =
+  List.iter
+    (fun label ->
+      Alcotest.(check bool) (label ^ " found") true (Experiments.allocator label <> None))
+    [ "serial"; "concurrent-single"; "private-ownership"; "pure-private"; "private-threshold"; "hoard" ]
+
+let test_latency_probe () =
+  let sim = Sim.create ~nprocs:2 () in
+  let pf = Sim.platform sim in
+  let probe, a = Latency_probe.wrap ((Hoard.factory ()).Alloc_intf.instantiate pf) in
+  for _ = 0 to 1 do
+    ignore
+      (Sim.spawn sim (fun () ->
+           for _ = 1 to 50 do
+             a.Alloc_intf.free (a.Alloc_intf.malloc 64)
+           done))
+  done;
+  Sim.run sim;
+  let h = Latency_probe.malloc_latencies probe in
+  Alcotest.(check int) "100 mallocs sampled" 100 (Histogram.count h);
+  Alcotest.(check bool) "latencies positive" true (Histogram.mean h > 0.0);
+  Alcotest.(check int) "frees sampled too" 100 (Histogram.count (Latency_probe.free_latencies probe))
+
+let test_timeline_records () =
+  let sim = Sim.create ~nprocs:1 () in
+  let pf = Sim.platform sim in
+  let tl, a = Timeline.wrap ~every:10 ((Hoard.factory ()).Alloc_intf.instantiate pf) in
+  ignore
+    (Sim.spawn sim (fun () ->
+         let ps = List.init 100 (fun _ -> a.Alloc_intf.malloc 64) in
+         List.iter a.Alloc_intf.free ps));
+  Sim.run sim;
+  let samples = Timeline.samples tl in
+  Alcotest.(check int) "one sample per 10 ops" 20 (List.length samples);
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a.Timeline.at <= b.Timeline.at && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "timestamps monotone" true (monotone samples);
+  Alcotest.(check bool) "peak held positive" true (Timeline.peak_held tl > 0)
+
+let test_error_in_simulated_thread_surfaces () =
+  (* A double free inside the simulation must abort the run with the
+     allocator's own error, not corrupt state silently. *)
+  let sim = Sim.create ~nprocs:1 () in
+  let a = (Hoard.factory ()).Alloc_intf.instantiate (Sim.platform sim) in
+  ignore
+    (Sim.spawn sim (fun () ->
+         let p = a.Alloc_intf.malloc 64 in
+         a.Alloc_intf.free p;
+         a.Alloc_intf.free p));
+  Alcotest.check_raises "double free surfaces" (Failure "Superblock.free_block: double free") (fun () ->
+      Sim.run sim)
+
+let test_csv_export () =
+  match Experiments.find "table2" with
+  | None -> Alcotest.fail "table2 missing"
+  | Some e ->
+    let out = e.Experiments.run Experiments.Quick ~procs:None in
+    List.iter
+      (fun tbl ->
+        let csv = Table.to_csv tbl in
+        Alcotest.(check bool) "csv has header and rows" true (List.length (String.split_on_char '\n' csv) > 2))
+      out.Experiments.tables
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "runner",
+        [
+          Alcotest.test_case "basic" `Quick test_runner_basic;
+          Alcotest.test_case "deterministic" `Quick test_runner_deterministic;
+          Alcotest.test_case "speedup metric" `Quick test_speedup_metric;
+        ] );
+      ( "headline-shapes",
+        [
+          Alcotest.test_case "hoard scales" `Quick test_headline_hoard_scales_threadtest;
+          Alcotest.test_case "serial collapses" `Quick test_headline_serial_collapses_threadtest;
+          Alcotest.test_case "uniproc overhead" `Quick test_headline_uniproc_overhead_small;
+          Alcotest.test_case "fragmentation low" `Quick test_headline_hoard_fragmentation_low;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "complete" `Quick test_experiment_registry_complete;
+          Alcotest.test_case "find" `Quick test_find;
+          Alcotest.test_case "csv export" `Quick test_csv_export;
+          Alcotest.test_case "figures carry plots" `Quick test_figures_carry_plots;
+          Alcotest.test_case "workload catalog" `Quick test_workload_catalog;
+          Alcotest.test_case "allocator catalog" `Quick test_allocator_catalog;
+          Alcotest.test_case "latency probe" `Quick test_latency_probe;
+          Alcotest.test_case "timeline records" `Quick test_timeline_records;
+          Alcotest.test_case "errors surface" `Quick test_error_in_simulated_thread_surfaces;
+          Alcotest.test_case "all experiments regenerate" `Slow test_every_experiment_produces_tables;
+        ] );
+    ]

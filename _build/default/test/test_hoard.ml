@@ -1,0 +1,512 @@
+(* The Hoard allocator: API behaviour, the emptiness invariant, superblock
+   transfer, blowup bounds and multiprocessor operation on the simulator. *)
+
+let cfg = Hoard_config.default
+
+let mk () =
+  let pf = Platform.host () in
+  let h = Hoard.create pf in
+  (h, Hoard.allocator h)
+
+let test_malloc_returns_usable_block () =
+  let _, a = mk () in
+  let p = a.Alloc_intf.malloc 100 in
+  Alcotest.(check bool) "usable >= request" true (a.Alloc_intf.usable_size p >= 100);
+  a.Alloc_intf.free p;
+  a.Alloc_intf.check ()
+
+let test_live_blocks_distinct () =
+  let _, a = mk () in
+  let ps = List.init 500 (fun i -> a.Alloc_intf.malloc (8 + (i mod 200))) in
+  let sorted = List.sort compare ps in
+  let rec distinct = function
+    | x :: (y :: _ as rest) -> x <> y && distinct rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "distinct addresses" true (distinct sorted);
+  List.iter a.Alloc_intf.free ps;
+  a.Alloc_intf.check ();
+  Alcotest.(check int) "nothing live" 0 (a.Alloc_intf.stats ()).Alloc_stats.live_bytes
+
+let test_malloc_zero_rejected () =
+  let _, a = mk () in
+  Alcotest.check_raises "size 0" (Invalid_argument "Hoard.malloc: size must be positive") (fun () ->
+      ignore (a.Alloc_intf.malloc 0))
+
+let test_free_foreign_rejected () =
+  let _, a = mk () in
+  ignore (a.Alloc_intf.malloc 64);
+  Alcotest.check_raises "foreign" (Invalid_argument "Hoard.free: foreign pointer") (fun () ->
+      a.Alloc_intf.free 0xDEAD000)
+
+let test_double_free_detected () =
+  let _, a = mk () in
+  let p = a.Alloc_intf.malloc 64 in
+  a.Alloc_intf.free p;
+  Alcotest.check_raises "double free" (Failure "Superblock.free_block: double free") (fun () ->
+      a.Alloc_intf.free p)
+
+let test_large_objects () =
+  let _, a = mk () in
+  let threshold = Hoard_config.max_small cfg in
+  let p = a.Alloc_intf.malloc (threshold + 1) in
+  Alcotest.(check bool) "usable" true (a.Alloc_intf.usable_size p >= threshold + 1);
+  let q = a.Alloc_intf.malloc (10 * 8192) in
+  a.Alloc_intf.free p;
+  a.Alloc_intf.free q;
+  let s = a.Alloc_intf.stats () in
+  Alcotest.(check int) "live zero" 0 s.Alloc_stats.live_bytes;
+  Alcotest.(check int) "held zero (large released)" 0 s.Alloc_stats.held_bytes
+
+let test_boundary_sizes () =
+  let _, a = mk () in
+  let threshold = Hoard_config.max_small cfg in
+  List.iter
+    (fun size ->
+      let p = a.Alloc_intf.malloc size in
+      Alcotest.(check bool) (Printf.sprintf "size %d" size) true (a.Alloc_intf.usable_size p >= size);
+      a.Alloc_intf.free p;
+      a.Alloc_intf.check ())
+    [ 1; 7; 8; 9; 63; 64; 65; threshold - 1; threshold; threshold + 1; 8192; 8193 ]
+
+let test_memory_reused_after_free () =
+  let _, a = mk () in
+  let p1 = a.Alloc_intf.malloc 64 in
+  a.Alloc_intf.free p1;
+  let p2 = a.Alloc_intf.malloc 64 in
+  Alcotest.(check int) "same block reused (LIFO)" p1 p2
+
+let test_empty_superblocks_released_to_os () =
+  let pf = Platform.host () in
+  let h = Hoard.create pf in
+  let a = Hoard.allocator h in
+  (* Fill many superblocks, then free everything: held memory must shrink
+     to at most the release threshold (+1 in the local heap). *)
+  let ps = List.init 5000 (fun _ -> a.Alloc_intf.malloc 64) in
+  let peak = (a.Alloc_intf.stats ()).Alloc_stats.held_bytes in
+  List.iter a.Alloc_intf.free ps;
+  let after = (a.Alloc_intf.stats ()).Alloc_stats.held_bytes in
+  Alcotest.(check bool)
+    (Printf.sprintf "held shrank (%d -> %d)" peak after)
+    true
+    (after <= (cfg.Hoard_config.release_threshold + cfg.Hoard_config.slack + 2) * cfg.Hoard_config.sb_size);
+  Alcotest.(check bool) "unmaps happened" true ((a.Alloc_intf.stats ()).Alloc_stats.os_unmaps > 0);
+  a.Alloc_intf.check ()
+
+let test_invariant_after_frees () =
+  let pf = Platform.host () in
+  let h = Hoard.create pf in
+  let a = Hoard.allocator h in
+  let rng = Rng.create 99 in
+  let live = ref [] in
+  for _ = 1 to 3000 do
+    if Rng.bool rng || !live = [] then live := a.Alloc_intf.malloc (Rng.int_in rng 8 512) :: !live
+    else begin
+      let idx = Rng.int rng (List.length !live) in
+      let p = List.nth !live idx in
+      live := List.filteri (fun i _ -> i <> idx) !live;
+      let u_before = (Hoard.heap_info h 1).Hoard.u_bytes in
+      let ok_before = Hoard.invariant_holds h ~heap_id:1 in
+      a.Alloc_intf.free p;
+      (* The paper's inductive guarantee: if the emptiness invariant held
+         before a free into a heap, moving one f-empty superblock restores
+         it afterwards. (A malloc that maps a fresh superblock may break
+         it; frees then converge it back, one transfer at a time.) Only
+         check heap 1 when the free actually debited it. *)
+      if ok_before && (Hoard.heap_info h 1).Hoard.u_bytes < u_before then
+        Alcotest.(check bool) "invariant preserved by free" true (Hoard.invariant_holds h ~heap_id:1)
+    end
+  done;
+  a.Alloc_intf.check ()
+
+let test_transfer_to_global_happens () =
+  let pf = Platform.host () in
+  let h = Hoard.create pf in
+  let a = Hoard.allocator h in
+  let ps = List.init 4000 (fun _ -> a.Alloc_intf.malloc 32) in
+  List.iter a.Alloc_intf.free ps;
+  let s = a.Alloc_intf.stats () in
+  Alcotest.(check bool) "superblocks crossed to global" true (s.Alloc_stats.sb_to_global > 0);
+  ignore h
+
+let test_superblocks_return_from_global () =
+  let pf = Platform.host () in
+  let h = Hoard.create ~config:{ cfg with Hoard_config.release_to_os = false } pf in
+  let a = Hoard.allocator h in
+  let ps = List.init 4000 (fun _ -> a.Alloc_intf.malloc 32) in
+  List.iter a.Alloc_intf.free ps;
+  (* Everything sits in the global heap now; allocating again must pull
+     superblocks back rather than mapping new memory. *)
+  let maps_before = (a.Alloc_intf.stats ()).Alloc_stats.os_maps in
+  let ps = List.init 4000 (fun _ -> a.Alloc_intf.malloc 32) in
+  let s = a.Alloc_intf.stats () in
+  Alcotest.(check int) "no new OS memory" maps_before s.Alloc_stats.os_maps;
+  Alcotest.(check bool) "transfers from global" true (s.Alloc_stats.sb_from_global > 0);
+  List.iter a.Alloc_intf.free ps;
+  a.Alloc_intf.check ()
+
+let test_blowup_bounded_producer_consumer () =
+  (* The paper's adversary: producer allocates a batch, consumer frees it,
+     repeatedly. Hoard's held memory must stay O(U + P), not grow with the
+     number of rounds. *)
+  let sim = Sim.create ~nprocs:2 () in
+  let pf = Sim.platform sim in
+  let h = Hoard.create pf in
+  let a = Hoard.allocator h in
+  let rounds = 50 and batch = 200 in
+  let mailbox = ref [] in
+  let b = Sim.new_barrier sim ~parties:2 in
+  ignore
+    (Sim.spawn sim ~proc:0 (fun () ->
+         for _ = 1 to rounds do
+           mailbox := List.init batch (fun _ -> a.Alloc_intf.malloc 64);
+           Sim.barrier_wait b;
+           (* consumer frees *)
+           Sim.barrier_wait b
+         done));
+  ignore
+    (Sim.spawn sim ~proc:1 (fun () ->
+         for _ = 1 to rounds do
+           Sim.barrier_wait b;
+           List.iter a.Alloc_intf.free !mailbox;
+           mailbox := [];
+           Sim.barrier_wait b
+         done));
+  Sim.run sim;
+  let s = a.Alloc_intf.stats () in
+  let u_peak = s.Alloc_stats.peak_live_bytes in
+  let a_peak = s.Alloc_stats.peak_held_bytes in
+  (* Bound: (1/(1-f)) * U + slack for partially-filled superblocks per
+     heap/class in play, far below the unbounded growth of pure-private. *)
+  let s_bytes = cfg.Hoard_config.sb_size in
+  let slack_sbs = (cfg.Hoard_config.slack * 3) + cfg.Hoard_config.release_threshold + 4 in
+  let bound = (2 * u_peak) + (slack_sbs * s_bytes) in
+  Alcotest.(check bool)
+    (Printf.sprintf "A(%d) <= bound(%d), U=%d" a_peak bound u_peak)
+    true (a_peak <= bound);
+  Alcotest.(check int) "all freed" 0 s.Alloc_stats.live_bytes;
+  a.Alloc_intf.check ()
+
+let test_remote_free_returns_to_owner () =
+  let sim = Sim.create ~nprocs:2 () in
+  let pf = Sim.platform sim in
+  let h = Hoard.create pf in
+  let a = Hoard.allocator h in
+  let ps = ref [] in
+  let b = Sim.new_barrier sim ~parties:2 in
+  ignore
+    (Sim.spawn sim ~proc:0 (fun () ->
+         ps := List.init 100 (fun _ -> a.Alloc_intf.malloc 64);
+         Sim.barrier_wait b));
+  ignore
+    (Sim.spawn sim ~proc:1 (fun () ->
+         Sim.barrier_wait b;
+         List.iter a.Alloc_intf.free !ps));
+  Sim.run sim;
+  let s = a.Alloc_intf.stats () in
+  Alcotest.(check bool) "remote frees recorded" true (s.Alloc_stats.remote_frees > 0);
+  Alcotest.(check int) "nothing live" 0 s.Alloc_stats.live_bytes;
+  a.Alloc_intf.check ()
+
+let test_heaps_info () =
+  let pf = Platform.host ~nprocs:1 () in
+  let h = Hoard.create pf in
+  let a = Hoard.allocator h in
+  Alcotest.(check int) "one per-proc heap" 1 (Hoard.nheaps h);
+  let p = a.Alloc_intf.malloc 64 in
+  let info = Hoard.heap_info h 1 in
+  Alcotest.(check int) "u = one block" 64 info.Hoard.u_bytes;
+  Alcotest.(check int) "a = one superblock" cfg.Hoard_config.sb_size info.Hoard.a_bytes;
+  a.Alloc_intf.free p
+
+let test_nheaps_override () =
+  let pf = Platform.host ~nprocs:4 () in
+  let h = Hoard.create ~config:{ cfg with Hoard_config.nheaps = Some 2 } pf in
+  Alcotest.(check int) "two heaps" 2 (Hoard.nheaps h)
+
+let test_stats_requested_bytes () =
+  let _, a = mk () in
+  let p = a.Alloc_intf.malloc 100 in
+  let q = a.Alloc_intf.malloc 200 in
+  let s = a.Alloc_intf.stats () in
+  Alcotest.(check int) "requested" 300 s.Alloc_stats.bytes_requested;
+  Alcotest.(check int) "mallocs" 2 s.Alloc_stats.mallocs;
+  a.Alloc_intf.free p;
+  a.Alloc_intf.free q
+
+(* Property: random alloc/free sequences keep the allocator structurally
+   sound and the address space consistent with a shadow model. *)
+let test_random_ops_sound =
+  QCheck.Test.make ~name:"Hoard sound under random op sequences" ~count:30
+    QCheck.(list (pair (int_range 1 5000) bool))
+    (fun ops ->
+      let pf = Platform.host () in
+      let h = Hoard.create pf in
+      let a = Hoard.allocator h in
+      let live = ref [] in
+      List.iter
+        (fun (size, do_alloc) ->
+          if do_alloc || !live = [] then begin
+            let p = a.Alloc_intf.malloc size in
+            if a.Alloc_intf.usable_size p < size then failwith "usable too small";
+            live := (p, size) :: !live
+          end
+          else begin
+            match !live with
+            | (p, _) :: rest ->
+              a.Alloc_intf.free p;
+              live := rest
+            | [] -> ()
+          end)
+        ops;
+      a.Alloc_intf.check ();
+      (* Live blocks must not overlap. *)
+      let spans = List.map (fun (p, _) -> (p, a.Alloc_intf.usable_size p)) !live in
+      let sorted = List.sort compare spans in
+      let rec disjoint = function
+        | (a1, s1) :: ((a2, _) :: _ as rest) -> a1 + s1 <= a2 && disjoint rest
+        | _ -> true
+      in
+      List.iter (fun (p, _) -> a.Alloc_intf.free p) !live;
+      a.Alloc_intf.check ();
+      disjoint sorted && (a.Alloc_intf.stats ()).Alloc_stats.live_bytes = 0)
+
+let test_tiny_superblocks () =
+  (* S = 4096 (one page): exercises the boundary where few blocks fit per
+     superblock and large objects begin at 2 KiB. *)
+  let config = { cfg with Hoard_config.sb_size = 4096 } in
+  let pf = Platform.host () in
+  let h = Hoard.create ~config pf in
+  let a = Hoard.allocator h in
+  let ps = List.init 500 (fun i -> a.Alloc_intf.malloc (1 + (i mod 3000))) in
+  a.Alloc_intf.check ();
+  List.iter a.Alloc_intf.free ps;
+  a.Alloc_intf.check ();
+  Alcotest.(check int) "clean" 0 (a.Alloc_intf.stats ()).Alloc_stats.live_bytes
+
+let test_exact_superblock_fill () =
+  (* Fill size class 64 across exactly several superblocks and free in
+     allocation order (anti-LIFO), stressing group migration. *)
+  let pf = Platform.host () in
+  let h = Hoard.create pf in
+  let a = Hoard.allocator h in
+  let per_sb = (8192 - 64) / 64 in
+  let ps = Array.init (3 * per_sb) (fun _ -> a.Alloc_intf.malloc 64) in
+  a.Alloc_intf.check ();
+  Array.iter a.Alloc_intf.free ps;
+  a.Alloc_intf.check ();
+  Alcotest.(check int) "clean" 0 (a.Alloc_intf.stats ()).Alloc_stats.live_bytes
+
+let test_sim_random_stress =
+  QCheck.Test.make ~name:"hoard sound under random multiprocessor interleavings" ~count:10
+    QCheck.(pair (int_range 2 6) (int_range 1 500))
+    (fun (nprocs, seed) ->
+      let nprocs = max 2 (min 6 nprocs) and seed = max 1 seed in
+      let sim = Sim.create ~nprocs () in
+      let pf = Sim.platform sim in
+      let h = Hoard.create pf in
+      let a = Hoard.allocator h in
+      (* Shared mailbox: threads sometimes free blocks allocated by
+         others (racy by design; the mailbox is plain shared state whose
+         accesses are atomic at effect granularity). *)
+      let mailbox = ref [] in
+      let barrier = Sim.new_barrier sim ~parties:nprocs in
+      for t = 0 to nprocs - 1 do
+        ignore
+          (Sim.spawn sim (fun () ->
+               let rng = Rng.create (seed + (t * 7919)) in
+               let mine = ref [] in
+               for _ = 1 to 200 do
+                 match Rng.int rng 4 with
+                 | 0 | 1 -> mine := a.Alloc_intf.malloc (Rng.int_in rng 1 5000) :: !mine
+                 | 2 -> (
+                   match !mine with
+                   | p :: rest ->
+                     if Rng.bool rng then a.Alloc_intf.free p
+                     else mailbox := p :: !mailbox;
+                     mine := rest
+                   | [] -> ())
+                 | _ -> (
+                   match !mailbox with
+                   | p :: rest ->
+                     mailbox := rest;
+                     a.Alloc_intf.free p
+                   | [] -> ())
+               done;
+               List.iter a.Alloc_intf.free !mine;
+               (* Everyone done churning: thread 0 drains what remains. *)
+               Sim.barrier_wait barrier;
+               if t = 0 then begin
+                 List.iter a.Alloc_intf.free !mailbox;
+                 mailbox := []
+               end))
+      done;
+      Sim.run sim;
+      a.Alloc_intf.check ();
+      (a.Alloc_intf.stats ()).Alloc_stats.live_bytes = 0)
+
+let test_fuzzed_schedules_sound =
+  QCheck.Test.make ~name:"hoard sound under fuzzed schedules" ~count:15 (QCheck.int_range 1 10_000)
+    (fun seed ->
+      let sim = Sim.create ~fuzz_schedule:seed ~nprocs:4 () in
+      let pf = Sim.platform sim in
+      let h = Hoard.create pf in
+      let a = Hoard.allocator h in
+      let barrier = Sim.new_barrier sim ~parties:4 in
+      let box = ref [] in
+      for t = 0 to 3 do
+        ignore
+          (Sim.spawn sim (fun () ->
+               let rng = Rng.create (seed + t) in
+               let mine = ref [] in
+               for _ = 1 to 150 do
+                 if Rng.bool rng then mine := a.Alloc_intf.malloc (Rng.int_in rng 8 600) :: !mine
+                 else begin
+                   match !mine with
+                   | p :: rest ->
+                     if Rng.bool rng then a.Alloc_intf.free p else box := p :: !box;
+                     mine := rest
+                   | [] -> ()
+                 end
+               done;
+               List.iter a.Alloc_intf.free !mine;
+               Sim.barrier_wait barrier;
+               if t = 0 then begin
+                 List.iter a.Alloc_intf.free !box;
+                 box := []
+               end))
+      done;
+      Sim.run sim;
+      a.Alloc_intf.check ();
+      (a.Alloc_intf.stats ()).Alloc_stats.live_bytes = 0)
+
+let test_assign_by_tid_spreads_heaps () =
+  (* 8 threads on 2 processors: by-proc mapping uses 2 heaps, tid hashing
+     with 8 heaps uses more of them. *)
+  let used_heaps config =
+    let sim = Sim.create ~nprocs:2 () in
+    let pf = Sim.platform sim in
+    let h = Hoard.create ~config pf in
+    let a = Hoard.allocator h in
+    for _ = 0 to 7 do
+      ignore
+        (Sim.spawn sim (fun () ->
+             let ps = List.init 40 (fun _ -> a.Alloc_intf.malloc 64) in
+             List.iter a.Alloc_intf.free ps))
+    done;
+    Sim.run sim;
+    let used = ref 0 in
+    for i = 1 to Hoard.nheaps h do
+      let info = Hoard.heap_info h i in
+      if info.Hoard.a_bytes > 0 || info.Hoard.superblocks > 0 then incr used
+    done;
+    (* Heaps that returned everything to the global heap still count if
+       they ever held memory; approximate via stats: count heaps with any
+       residual superblocks, falling back to >= 1. *)
+    max 1 !used
+  in
+  let by_proc = used_heaps { cfg with Hoard_config.nheaps = Some 8 } in
+  let by_tid = used_heaps { cfg with Hoard_config.nheaps = Some 8; assign_by_tid = true } in
+  Alcotest.(check bool)
+    (Printf.sprintf "tid hashing uses more heaps (%d > %d)" by_tid by_proc)
+    true (by_tid > by_proc)
+
+let test_heap_info_reconciles_with_stats () =
+  let pf = Platform.host () in
+  let h = Hoard.create ~config:{ cfg with Hoard_config.release_to_os = false } pf in
+  let a = Hoard.allocator h in
+  let rng = Rng.create 2026 in
+  let live = ref [] in
+  for _ = 1 to 2000 do
+    if Rng.bool rng || !live = [] then live := a.Alloc_intf.malloc (Rng.int_in rng 8 2000) :: !live
+    else begin
+      match !live with
+      | p :: rest ->
+        a.Alloc_intf.free p;
+        live := rest
+      | [] -> ()
+    end
+  done;
+  (* Sum of per-heap holdings must equal the allocator's held bytes (no
+     large objects in this size range beyond 2000 < S/2? sizes up to 2000
+     are small; keep an eye on the large path via its own accounting). *)
+  let sum_a = ref 0 and sum_u = ref 0 in
+  for i = 0 to Hoard.nheaps h do
+    let info = Hoard.heap_info h i in
+    sum_a := !sum_a + info.Hoard.a_bytes;
+    sum_u := !sum_u + info.Hoard.u_bytes
+  done;
+  let s = a.Alloc_intf.stats () in
+  Alcotest.(check int) "sum of heap a = held" s.Alloc_stats.held_bytes !sum_a;
+  Alcotest.(check int) "sum of heap u = live" s.Alloc_stats.live_bytes !sum_u;
+  List.iter a.Alloc_intf.free !live;
+  a.Alloc_intf.check ()
+
+let test_usable_size_matches_class () =
+  let pf = Platform.host () in
+  let h = Hoard.create pf in
+  let a = Hoard.allocator h in
+  let classes = Size_class.create ~max_small:(Hoard_config.max_small cfg) () in
+  for size = 1 to 600 do
+    let p = a.Alloc_intf.malloc size in
+    let expected = Size_class.size_of_class classes (Size_class.class_of_size classes size) in
+    Alcotest.(check int) (Printf.sprintf "usable for %d" size) expected (a.Alloc_intf.usable_size p);
+    a.Alloc_intf.free p
+  done
+
+let test_config_validation () =
+  List.iter
+    (fun bad -> Alcotest.check_raises "rejected" (Invalid_argument bad) (fun () ->
+         Hoard_config.validate
+           (match bad with
+            | "Hoard_config: sb_size must be a power of two >= 1024" ->
+              { cfg with Hoard_config.sb_size = 5000 }
+            | "Hoard_config: empty_fraction must lie in (0, 1)" ->
+              { cfg with Hoard_config.empty_fraction = 1.5 }
+            | "Hoard_config: slack must be non-negative" -> { cfg with Hoard_config.slack = -1 }
+            | _ -> assert false)))
+    [
+      "Hoard_config: sb_size must be a power of two >= 1024";
+      "Hoard_config: empty_fraction must lie in (0, 1)";
+      "Hoard_config: slack must be non-negative";
+    ]
+
+let () =
+  Alcotest.run "hoard"
+    [
+      ( "api",
+        [
+          Alcotest.test_case "malloc usable" `Quick test_malloc_returns_usable_block;
+          Alcotest.test_case "distinct blocks" `Quick test_live_blocks_distinct;
+          Alcotest.test_case "zero rejected" `Quick test_malloc_zero_rejected;
+          Alcotest.test_case "foreign free" `Quick test_free_foreign_rejected;
+          Alcotest.test_case "double free" `Quick test_double_free_detected;
+          Alcotest.test_case "large objects" `Quick test_large_objects;
+          Alcotest.test_case "boundary sizes" `Quick test_boundary_sizes;
+          Alcotest.test_case "reuse after free" `Quick test_memory_reused_after_free;
+          Alcotest.test_case "stats" `Quick test_stats_requested_bytes;
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+        ] );
+      ( "algorithm",
+        [
+          Alcotest.test_case "release to OS" `Quick test_empty_superblocks_released_to_os;
+          Alcotest.test_case "emptiness invariant" `Quick test_invariant_after_frees;
+          Alcotest.test_case "transfer to global" `Quick test_transfer_to_global_happens;
+          Alcotest.test_case "return from global" `Quick test_superblocks_return_from_global;
+          Alcotest.test_case "heap info" `Quick test_heaps_info;
+          Alcotest.test_case "nheaps override" `Quick test_nheaps_override;
+          Alcotest.test_case "tiny superblocks" `Quick test_tiny_superblocks;
+          Alcotest.test_case "exact superblock fill" `Quick test_exact_superblock_fill;
+          Alcotest.test_case "tid-hash heap assignment" `Quick test_assign_by_tid_spreads_heaps;
+          Alcotest.test_case "heap info reconciles" `Quick test_heap_info_reconciles_with_stats;
+          Alcotest.test_case "usable matches class" `Quick test_usable_size_matches_class;
+          QCheck_alcotest.to_alcotest test_random_ops_sound;
+          QCheck_alcotest.to_alcotest test_sim_random_stress;
+          QCheck_alcotest.to_alcotest test_fuzzed_schedules_sound;
+        ] );
+      ( "multiprocessor",
+        [
+          Alcotest.test_case "blowup bounded" `Quick test_blowup_bounded_producer_consumer;
+          Alcotest.test_case "remote free" `Quick test_remote_free_returns_to_owner;
+        ] );
+    ]

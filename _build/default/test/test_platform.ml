@@ -1,0 +1,85 @@
+(* The host (direct-execution) platform: lock semantics, vmem accounting,
+   and true Domain-based parallelism for the pieces that support it. *)
+
+let test_page_map_accounting () =
+  let pf = Platform.host () in
+  let a = pf.Platform.page_map ~bytes:8192 ~align:8192 ~owner:3 in
+  Alcotest.(check int) "aligned" 0 (a mod 8192);
+  Alcotest.(check int) "owner accounted" 8192 (pf.Platform.mapped_bytes ~owner:3);
+  pf.Platform.page_unmap ~addr:a;
+  Alcotest.(check int) "released" 0 (pf.Platform.mapped_bytes ~owner:3);
+  Alcotest.(check int) "peak" 8192 (pf.Platform.peak_mapped_bytes ~owner:3)
+
+let test_work_read_write_are_noops () =
+  let pf = Platform.host () in
+  pf.Platform.work 1000;
+  pf.Platform.read ~addr:0 ~len:8;
+  pf.Platform.write ~addr:0 ~len:8
+
+let test_locks_exclude () =
+  let pf = Platform.host () in
+  let lock = pf.Platform.new_lock "m" in
+  let counter = ref 0 in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 10_000 do
+              lock.Platform.acquire ();
+              incr counter;
+              lock.Platform.release ()
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "no lost updates" 40_000 !counter
+
+let test_host_vmem_exposed () =
+  let pf = Platform.host () in
+  match Platform.host_vmem pf with
+  | None -> Alcotest.fail "host platform must expose its vmem"
+  | Some vm ->
+    ignore (pf.Platform.page_map ~bytes:4096 ~align:4096 ~owner:1);
+    Alcotest.(check int) "same address space" 4096 (Vmem.mapped_bytes vm)
+
+let test_parallel_page_map_disjoint () =
+  (* Concurrent mappings from several domains must return disjoint
+     regions (the vmem is mutex-protected inside the platform). *)
+  let pf = Platform.host () in
+  let results = Array.make 4 [] in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            let acc = ref [] in
+            for _ = 1 to 200 do
+              acc := pf.Platform.page_map ~bytes:4096 ~align:4096 ~owner:d :: !acc
+            done;
+            results.(d) <- !acc))
+  in
+  List.iter Domain.join domains;
+  let all = List.sort compare (List.concat (Array.to_list results)) in
+  let rec distinct = function
+    | a :: (b :: _ as rest) -> a <> b && distinct rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "all regions distinct" true (distinct all);
+  Alcotest.(check int) "count" 800 (List.length all)
+
+let test_self_ids_stable () =
+  let pf = Platform.host ~nprocs:4 () in
+  let t1 = pf.Platform.self_tid () and t2 = pf.Platform.self_tid () in
+  Alcotest.(check int) "tid stable" t1 t2;
+  Alcotest.(check bool) "proc in range" true
+    (pf.Platform.self_proc () >= 0 && pf.Platform.self_proc () < 4)
+
+let () =
+  Alcotest.run "platform"
+    [
+      ( "host",
+        [
+          Alcotest.test_case "page map accounting" `Quick test_page_map_accounting;
+          Alcotest.test_case "noop primitives" `Quick test_work_read_write_are_noops;
+          Alcotest.test_case "mutex exclusion (domains)" `Quick test_locks_exclude;
+          Alcotest.test_case "vmem exposed" `Quick test_host_vmem_exposed;
+          Alcotest.test_case "parallel page map" `Quick test_parallel_page_map_disjoint;
+          Alcotest.test_case "self ids" `Quick test_self_ids_stable;
+        ] );
+    ]

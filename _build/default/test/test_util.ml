@@ -1,0 +1,283 @@
+(* Utility-library tests: PRNG, intrusive lists, histograms, tables, stats. *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different streams" true (Rng.next_int64 a <> Rng.next_int64 b)
+
+let test_rng_copy_independent () =
+  let a = Rng.create 7 in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.next_int64 a) (Rng.next_int64 b);
+  ignore (Rng.next_int64 a);
+  Alcotest.(check bool) "now divergent positions" true (Rng.next_int64 a <> Rng.next_int64 b)
+
+let test_rng_bounds =
+  QCheck.Test.make ~name:"Rng.int_in stays within bounds" ~count:500
+    QCheck.(triple small_int small_int small_int)
+    (fun (seed, lo, span) ->
+      let rng = Rng.create seed in
+      let hi = lo + abs span in
+      let x = Rng.int_in rng lo hi in
+      x >= lo && x <= hi)
+
+let test_rng_int_distribution () =
+  let rng = Rng.create 123 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int rng 10 in
+    counts.(x) <- counts.(x) + 1
+  done;
+  Array.iteri
+    (fun i c -> Alcotest.(check bool) (Printf.sprintf "bucket %d roughly uniform (%d)" i c) true (c > 700 && c < 1300))
+    counts
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 5 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_exponential_positive () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "positive" true (Rng.exponential rng 10.0 >= 0.0)
+  done
+
+(* --- Dlist --- *)
+
+let test_dlist_push_pop () =
+  let l = Dlist.create () in
+  ignore (Dlist.push_back l 1);
+  ignore (Dlist.push_back l 2);
+  ignore (Dlist.push_front l 0);
+  Alcotest.(check (list int)) "order" [ 0; 1; 2 ] (Dlist.to_list l);
+  Alcotest.(check int) "length" 3 (Dlist.length l);
+  Alcotest.(check (option int)) "pop front" (Some 0) (Dlist.pop_front l);
+  Alcotest.(check (option int)) "peek front" (Some 1) (Dlist.peek_front l);
+  Alcotest.(check (option int)) "peek back" (Some 2) (Dlist.peek_back l)
+
+let test_dlist_remove_middle () =
+  let l = Dlist.create () in
+  let _a = Dlist.push_back l 'a' in
+  let b = Dlist.push_back l 'b' in
+  let _c = Dlist.push_back l 'c' in
+  Dlist.remove l b;
+  Alcotest.(check (list char)) "middle removed" [ 'a'; 'c' ] (Dlist.to_list l)
+
+let test_dlist_remove_foreign_rejected () =
+  let l1 = Dlist.create () and l2 = Dlist.create () in
+  let n = Dlist.push_back l1 1 in
+  ignore (Dlist.push_back l2 2);
+  Alcotest.check_raises "foreign node" (Invalid_argument "Dlist.remove: node not in this list") (fun () ->
+      Dlist.remove l2 n)
+
+let test_dlist_double_remove_rejected () =
+  let l = Dlist.create () in
+  let n = Dlist.push_back l 1 in
+  Dlist.remove l n;
+  Alcotest.check_raises "double remove" (Invalid_argument "Dlist.remove: node not in this list") (fun () ->
+      Dlist.remove l n)
+
+let test_dlist_find () =
+  let l = Dlist.create () in
+  List.iter (fun x -> ignore (Dlist.push_back l x)) [ 1; 3; 5; 6; 7 ];
+  Alcotest.(check (option int)) "first even" (Some 6) (Dlist.find (fun x -> x mod 2 = 0) l);
+  Alcotest.(check (option int)) "none" None (Dlist.find (fun x -> x > 100) l)
+
+(* Model-based property: a Dlist driven by random push/pop/remove agrees
+   with a plain list model. *)
+let test_dlist_model =
+  QCheck.Test.make ~name:"Dlist matches list model" ~count:200
+    QCheck.(list (int_range 0 3))
+    (fun ops ->
+      let l = Dlist.create () in
+      let nodes = ref [] in
+      let model = ref [] in
+      List.iteri
+        (fun i op ->
+          match op with
+          | 0 ->
+            nodes := !nodes @ [ Dlist.push_back l i ];
+            model := !model @ [ i ]
+          | 1 ->
+            nodes := Dlist.push_front l i :: !nodes;
+            model := i :: !model
+          | 2 ->
+            (match (!nodes, !model) with
+             | n :: rest, _ :: mrest ->
+               Dlist.remove l n;
+               nodes := rest;
+               model := mrest
+             | [], [] -> ()
+             | _ -> assert false)
+          | _ ->
+            (match (Dlist.pop_front l, !model) with
+             | Some x, m :: mrest when x = m ->
+               model := mrest;
+               nodes := List.tl !nodes
+             | None, [] -> ()
+             | _ -> failwith "pop mismatch"))
+        ops;
+      Dlist.to_list l = !model && Dlist.length l = List.length !model)
+
+(* --- Histogram --- *)
+
+let test_histogram_buckets () =
+  let h = Histogram.create ~bounds:[| 10; 100 |] in
+  List.iter (Histogram.add h) [ 5; 9; 10; 50; 100; 1000 ];
+  Alcotest.(check int) "count" 6 (Histogram.count h);
+  let buckets = Histogram.buckets h in
+  Alcotest.(check int) "under 10" 2 (let _, _, c = buckets.(0) in c);
+  Alcotest.(check int) "10..99" 2 (let _, _, c = buckets.(1) in c);
+  Alcotest.(check int) "overflow" 2 (let _, _, c = buckets.(2) in c);
+  Alcotest.(check (option int)) "min" (Some 5) (Histogram.min_value h);
+  Alcotest.(check (option int)) "max" (Some 1000) (Histogram.max_value h)
+
+let test_histogram_mean_total () =
+  let h = Histogram.create ~bounds:[| 8 |] in
+  List.iter (Histogram.add h) [ 2; 4; 6 ];
+  Alcotest.(check int) "total" 12 (Histogram.total h);
+  Alcotest.(check (float 0.001)) "mean" 4.0 (Histogram.mean h)
+
+let test_histogram_exponential_bounds () =
+  Alcotest.(check (array int)) "powers of two" [| 8; 16; 32; 64 |] (Histogram.exponential_bounds ~lo:8 ~hi:64)
+
+let test_histogram_percentiles () =
+  let h = Histogram.create ~bounds:[| 10; 100; 1000 |] in
+  for _ = 1 to 90 do
+    Histogram.add h 5
+  done;
+  for _ = 1 to 9 do
+    Histogram.add h 50
+  done;
+  Histogram.add h 5000;
+  Alcotest.(check int) "p50 in first bucket" 10 (Histogram.percentile h 0.5);
+  Alcotest.(check int) "p95 in second bucket" 100 (Histogram.percentile h 0.95);
+  Alcotest.(check int) "p100 is max" 5000 (Histogram.percentile h 1.0);
+  Alcotest.(check int) "empty is 0" 0 (Histogram.percentile (Histogram.create ~bounds:[| 1 |]) 0.5)
+
+let test_histogram_counts_consistent =
+  QCheck.Test.make ~name:"Histogram bucket counts sum to n" ~count:200
+    QCheck.(list small_nat)
+    (fun xs ->
+      let h = Histogram.create ~bounds:[| 4; 16; 64; 256 |] in
+      List.iter (Histogram.add h) xs;
+      Array.fold_left (fun acc (_, _, c) -> acc + c) 0 (Histogram.buckets h) = List.length xs)
+
+(* --- Table --- *)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+  n = 0 || at 0
+
+let test_table_render_contains_cells () =
+  let t = Table.create ~title:"demo" ~columns:[ ("name", Table.Left); ("value", Table.Right) ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "beta"; "22" ];
+  let s = Table.render t in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true (contains s needle))
+    [ "demo"; "alpha"; "beta"; "22" ]
+
+let test_table_wrong_arity_rejected () =
+  let t = Table.create ~title:"t" ~columns:[ ("a", Table.Left) ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row (t): 2 cells, 1 columns") (fun () ->
+      Table.add_row t [ "x"; "y" ])
+
+let test_table_csv () =
+  let t = Table.create ~title:"t" ~columns:[ ("a", Table.Left); ("b", Table.Right) ] in
+  Table.add_row t [ "x,y"; "2" ];
+  Alcotest.(check string) "csv quoted" "a,b\n\"x,y\",2\n" (Table.to_csv t)
+
+(* --- Ascii_plot --- *)
+
+let test_plot_contains_series () =
+  let s =
+    Ascii_plot.render ~title:"demo" ~series:[ ("alpha", [ (1.0, 1.0); (2.0, 2.0) ]); ("beta", [ (1.0, 0.5) ]) ] ()
+  in
+  List.iter
+    (fun needle -> Alcotest.(check bool) (needle ^ " present") true (contains s needle))
+    [ "demo"; "alpha"; "beta"; "*"; "+" ]
+
+let test_plot_empty () =
+  let s = Ascii_plot.render ~title:"empty" ~series:[] () in
+  Alcotest.(check bool) "renders placeholder" true (contains s "(no data)")
+
+let test_plot_flat_series () =
+  (* A constant series must not divide by zero. *)
+  let s = Ascii_plot.render ~title:"flat" ~series:[ ("c", [ (1.0, 3.0); (2.0, 3.0); (3.0, 3.0) ]) ] () in
+  Alcotest.(check bool) "renders" true (String.length s > 100)
+
+let test_plot_single_point () =
+  let s = Ascii_plot.render ~title:"pt" ~series:[ ("p", [ (5.0, 5.0) ]) ] () in
+  Alcotest.(check bool) "renders" true (contains s "*")
+
+(* --- Stats_acc --- *)
+
+let test_stats_acc_basics () =
+  let s = Stats_acc.create () in
+  List.iter (Stats_acc.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check int) "count" 4 (Stats_acc.count s);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats_acc.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats_acc.min_value s);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Stats_acc.max_value s);
+  Alcotest.(check (float 1e-9)) "variance" 1.25 (Stats_acc.variance s)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "copy" `Quick test_rng_copy_independent;
+          Alcotest.test_case "distribution" `Quick test_rng_int_distribution;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+          Alcotest.test_case "exponential positive" `Quick test_rng_exponential_positive;
+          qt test_rng_bounds;
+        ] );
+      ( "dlist",
+        [
+          Alcotest.test_case "push/pop" `Quick test_dlist_push_pop;
+          Alcotest.test_case "remove middle" `Quick test_dlist_remove_middle;
+          Alcotest.test_case "foreign remove" `Quick test_dlist_remove_foreign_rejected;
+          Alcotest.test_case "double remove" `Quick test_dlist_double_remove_rejected;
+          Alcotest.test_case "find" `Quick test_dlist_find;
+          qt test_dlist_model;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "mean/total" `Quick test_histogram_mean_total;
+          Alcotest.test_case "exponential bounds" `Quick test_histogram_exponential_bounds;
+          Alcotest.test_case "percentiles" `Quick test_histogram_percentiles;
+          qt test_histogram_counts_consistent;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render_contains_cells;
+          Alcotest.test_case "arity" `Quick test_table_wrong_arity_rejected;
+          Alcotest.test_case "csv" `Quick test_table_csv;
+        ] );
+      ( "ascii_plot",
+        [
+          Alcotest.test_case "series present" `Quick test_plot_contains_series;
+          Alcotest.test_case "empty" `Quick test_plot_empty;
+          Alcotest.test_case "flat series" `Quick test_plot_flat_series;
+          Alcotest.test_case "single point" `Quick test_plot_single_point;
+        ] );
+      ("stats_acc", [ Alcotest.test_case "basics" `Quick test_stats_acc_basics ]);
+    ]

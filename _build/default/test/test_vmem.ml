@@ -1,0 +1,133 @@
+(* Simulated OS memory: accounting, alignment, reuse, owner tagging. *)
+
+let test_map_rounds_to_pages () =
+  let vm = Vmem.create () in
+  let a = Vmem.map vm ~bytes:100 ~align:4096 () in
+  Alcotest.(check (option int)) "rounded to a page" (Some 4096) (Vmem.region_size vm ~addr:a);
+  Alcotest.(check int) "mapped" 4096 (Vmem.mapped_bytes vm)
+
+let test_alignment_respected () =
+  let vm = Vmem.create () in
+  ignore (Vmem.map vm ~bytes:4096 ~align:4096 ());
+  let a = Vmem.map vm ~bytes:8192 ~align:65536 () in
+  Alcotest.(check int) "64 KiB aligned" 0 (a mod 65536)
+
+let test_unmap_releases () =
+  let vm = Vmem.create () in
+  let a = Vmem.map vm ~bytes:8192 ~align:4096 () in
+  Vmem.unmap vm ~addr:a;
+  Alcotest.(check int) "nothing mapped" 0 (Vmem.mapped_bytes vm);
+  Alcotest.(check int) "peak remembers" 8192 (Vmem.peak_bytes vm)
+
+let test_unmap_bad_addr_rejected () =
+  let vm = Vmem.create () in
+  ignore (Vmem.map vm ~bytes:4096 ~align:4096 ());
+  Alcotest.check_raises "bad base" (Invalid_argument "Vmem.unmap: not a live region base") (fun () ->
+      Vmem.unmap vm ~addr:12345)
+
+let test_exact_size_reuse () =
+  let vm = Vmem.create () in
+  let a = Vmem.map vm ~bytes:8192 ~align:8192 () in
+  Vmem.unmap vm ~addr:a;
+  let b = Vmem.map vm ~bytes:8192 ~align:8192 () in
+  Alcotest.(check int) "freed region reused" a b
+
+let test_reuse_respects_alignment () =
+  let vm = Vmem.create () in
+  (* Free a page at an address that is not 64 KiB-aligned, then request a
+     64 KiB-aligned page: the free region must not be reused. *)
+  ignore (Vmem.map vm ~bytes:4096 ~align:4096 ());
+  let a = Vmem.map vm ~bytes:4096 ~align:4096 () in
+  Vmem.unmap vm ~addr:a;
+  if a mod 65536 <> 0 then begin
+    let b = Vmem.map vm ~bytes:4096 ~align:65536 () in
+    Alcotest.(check bool) "not reused" true (b <> a);
+    Alcotest.(check int) "aligned" 0 (b mod 65536)
+  end
+
+let test_owner_accounting () =
+  let vm = Vmem.create () in
+  let a1 = Vmem.map vm ~owner:1 ~bytes:4096 ~align:4096 () in
+  let _a2 = Vmem.map vm ~owner:2 ~bytes:8192 ~align:4096 () in
+  Alcotest.(check int) "owner 1" 4096 (Vmem.mapped_bytes_of_owner vm 1);
+  Alcotest.(check int) "owner 2" 8192 (Vmem.mapped_bytes_of_owner vm 2);
+  Vmem.unmap vm ~addr:a1;
+  Alcotest.(check int) "owner 1 released" 0 (Vmem.mapped_bytes_of_owner vm 1);
+  Alcotest.(check int) "owner 1 peak" 4096 (Vmem.peak_bytes_of_owner vm 1);
+  Alcotest.(check int) "owner 3 never mapped" 0 (Vmem.mapped_bytes_of_owner vm 3)
+
+let test_is_mapped () =
+  let vm = Vmem.create () in
+  let a = Vmem.map vm ~bytes:8192 ~align:4096 () in
+  Alcotest.(check bool) "base" true (Vmem.is_mapped vm ~addr:a);
+  Alcotest.(check bool) "interior" true (Vmem.is_mapped vm ~addr:(a + 5000));
+  Alcotest.(check bool) "just past" false (Vmem.is_mapped vm ~addr:(a + 8192));
+  Alcotest.(check bool) "before everything" false (Vmem.is_mapped vm ~addr:100)
+
+let test_map_count () =
+  let vm = Vmem.create () in
+  let a = Vmem.map vm ~bytes:4096 ~align:4096 () in
+  Vmem.unmap vm ~addr:a;
+  ignore (Vmem.map vm ~bytes:4096 ~align:4096 ());
+  Alcotest.(check int) "two maps" 2 (Vmem.map_count vm);
+  Alcotest.(check int) "one unmap" 1 (Vmem.unmap_count vm)
+
+let test_bad_args_rejected () =
+  let vm = Vmem.create () in
+  Alcotest.check_raises "zero bytes" (Invalid_argument "Vmem.map: bytes must be positive") (fun () ->
+      ignore (Vmem.map vm ~bytes:0 ~align:4096 ()));
+  Alcotest.check_raises "align below page" (Invalid_argument "Vmem.map: align must be a power of two >= page_size")
+    (fun () -> ignore (Vmem.map vm ~bytes:4096 ~align:8 ()))
+
+(* Property: live regions returned by map are pairwise disjoint, whatever
+   the interleaving of maps and unmaps. *)
+let test_regions_disjoint =
+  QCheck.Test.make ~name:"Vmem live regions pairwise disjoint" ~count:100
+    QCheck.(list (pair (int_range 1 5) bool))
+    (fun ops ->
+      let vm = Vmem.create () in
+      let live = ref [] in
+      List.iter
+        (fun (pages, unmap_one) ->
+          if unmap_one && !live <> [] then begin
+            match !live with
+            | (a, _) :: rest ->
+              Vmem.unmap vm ~addr:a;
+              live := rest
+            | [] -> ()
+          end
+          else begin
+            let bytes = pages * 4096 in
+            let a = Vmem.map vm ~bytes ~align:4096 () in
+            live := (a, bytes) :: !live
+          end)
+        ops;
+      let sorted = List.sort compare !live in
+      let rec disjoint = function
+        | (a1, s1) :: ((a2, _) :: _ as rest) -> a1 + s1 <= a2 && disjoint rest
+        | _ -> true
+      in
+      disjoint sorted
+      && Vmem.mapped_bytes vm = List.fold_left (fun acc (_, s) -> acc + s) 0 !live)
+
+let () =
+  Alcotest.run "vmem"
+    [
+      ( "map/unmap",
+        [
+          Alcotest.test_case "page rounding" `Quick test_map_rounds_to_pages;
+          Alcotest.test_case "alignment" `Quick test_alignment_respected;
+          Alcotest.test_case "unmap releases" `Quick test_unmap_releases;
+          Alcotest.test_case "bad unmap" `Quick test_unmap_bad_addr_rejected;
+          Alcotest.test_case "exact reuse" `Quick test_exact_size_reuse;
+          Alcotest.test_case "aligned reuse" `Quick test_reuse_respects_alignment;
+          Alcotest.test_case "bad args" `Quick test_bad_args_rejected;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "owners" `Quick test_owner_accounting;
+          Alcotest.test_case "is_mapped" `Quick test_is_mapped;
+          Alcotest.test_case "map count" `Quick test_map_count;
+          QCheck_alcotest.to_alcotest test_regions_disjoint;
+        ] );
+    ]
