@@ -13,63 +13,157 @@ type snapshot = {
   remote_frees : int;
 }
 
-type t = { mutable s : snapshot }
+(* One shard per lock domain (a heap, a size class, the large allocator):
+   plain mutable counters, every write made under that domain's lock, so
+   the malloc/free hot path touches no cross-heap state. *)
+type shard = {
+  mutable mallocs : int;
+  mutable frees : int;
+  mutable bytes_requested : int;
+  mutable live_bytes : int;
+  mutable peak_live_bytes : int; (* this shard's own high-water mark *)
+  mutable sb_to_global : int;
+  mutable sb_from_global : int;
+  mutable remote_frees : int;
+  mutable peers : shard array; (* every shard of the owning [t], for peak merging *)
+  merged_peak : int Atomic.t; (* shared with the owning [t] *)
+}
 
-let zero =
+(* The OS-map path (superblock-granularity, adjacent to a page_map call)
+   runs on atomics instead: exact held bytes and an exact A_peak without
+   any per-shard charging ambiguity when a superblock is mapped by one
+   heap and unmapped by another. *)
+type t = {
+  shards : shard array;
+  held : int Atomic.t;
+  peak_held : int Atomic.t;
+  os_maps : int Atomic.t;
+  os_unmaps : int Atomic.t;
+  peak_live : int Atomic.t; (* merged high-water, refreshed on map/unmap/snapshot *)
+}
+
+let new_shard merged_peak =
   {
     mallocs = 0;
     frees = 0;
     bytes_requested = 0;
     live_bytes = 0;
     peak_live_bytes = 0;
-    held_bytes = 0;
-    peak_held_bytes = 0;
-    os_maps = 0;
-    os_unmaps = 0;
     sb_to_global = 0;
     sb_from_global = 0;
     remote_frees = 0;
+    peers = [||];
+    merged_peak;
   }
 
-let create () = { s = zero }
+let create ?(shards = 1) () =
+  if shards < 1 then invalid_arg "Alloc_stats.create: shards must be >= 1";
+  let peak_live = Atomic.make 0 in
+  let shard_arr = Array.init shards (fun _ -> new_shard peak_live) in
+  Array.iter (fun sh -> sh.peers <- shard_arr) shard_arr;
+  {
+    shards = shard_arr;
+    held = Atomic.make 0;
+    peak_held = Atomic.make 0;
+    os_maps = Atomic.make 0;
+    os_unmaps = Atomic.make 0;
+    peak_live;
+  }
 
-let on_malloc t ~requested ~usable =
-  let s = t.s in
-  let live = s.live_bytes + usable in
-  t.s <-
-    {
-      s with
-      mallocs = s.mallocs + 1;
-      bytes_requested = s.bytes_requested + requested;
-      live_bytes = live;
-      peak_live_bytes = max s.peak_live_bytes live;
-    }
+let nshards t = Array.length t.shards
 
-let on_free t ~usable =
-  let s = t.s in
-  t.s <- { s with frees = s.frees + 1; live_bytes = s.live_bytes - usable }
+let shard t i = t.shards.(i)
+
+let rec store_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then store_max a v
+
+let on_malloc sh ~requested ~usable =
+  sh.mallocs <- sh.mallocs + 1;
+  sh.bytes_requested <- sh.bytes_requested + requested;
+  let live = sh.live_bytes + usable in
+  sh.live_bytes <- live;
+  if live > sh.peak_live_bytes then begin
+    sh.peak_live_bytes <- live;
+    (* Sample the merged peak while this shard is climbing past its own
+       high-water mark. The sum reads peer shards unsynchronised (stale
+       reads possible, torn ones not), giving a lower bound on the true
+       global peak; once shards plateau the branch stops firing, so the
+       steady-state hot path stays free of cross-shard traffic. *)
+    store_max sh.merged_peak (Array.fold_left (fun acc p -> acc + p.live_bytes) 0 sh.peers)
+  end
+
+let on_free sh ~usable =
+  sh.frees <- sh.frees + 1;
+  sh.live_bytes <- sh.live_bytes - usable
+
+let on_transfer_to_global sh = sh.sb_to_global <- sh.sb_to_global + 1
+
+let on_transfer_from_global sh = sh.sb_from_global <- sh.sb_from_global + 1
+
+let on_remote_free sh = sh.remote_frees <- sh.remote_frees + 1
+
+(* Cross-shard reads are unsynchronised (possibly stale, never torn); the
+   sum is exact on the deterministic simulator and at quiescent points on
+   the host, which is where peaks are read. *)
+let live_sum t = Array.fold_left (fun acc sh -> acc + sh.live_bytes) 0 t.shards
+
+let refresh_peak_live t = store_max t.peak_live (live_sum t)
 
 let on_map t ~bytes =
-  let s = t.s in
-  let held = s.held_bytes + bytes in
-  t.s <- { s with held_bytes = held; peak_held_bytes = max s.peak_held_bytes held; os_maps = s.os_maps + 1 }
+  let held = Atomic.fetch_and_add t.held bytes + bytes in
+  store_max t.peak_held held;
+  Atomic.incr t.os_maps;
+  refresh_peak_live t
 
 let on_unmap t ~bytes =
-  let s = t.s in
-  t.s <- { s with held_bytes = s.held_bytes - bytes; os_unmaps = s.os_unmaps + 1 }
+  ignore (Atomic.fetch_and_add t.held (-bytes));
+  Atomic.incr t.os_unmaps;
+  refresh_peak_live t
 
-let on_transfer_to_global t = t.s <- { t.s with sb_to_global = t.s.sb_to_global + 1 }
+let snapshot t =
+  let mallocs = ref 0
+  and frees = ref 0
+  and bytes_requested = ref 0
+  and live = ref 0
+  and to_global = ref 0
+  and from_global = ref 0
+  and remote = ref 0 in
+  Array.iter
+    (fun sh ->
+      mallocs := !mallocs + sh.mallocs;
+      frees := !frees + sh.frees;
+      bytes_requested := !bytes_requested + sh.bytes_requested;
+      live := !live + sh.live_bytes;
+      to_global := !to_global + sh.sb_to_global;
+      from_global := !from_global + sh.sb_from_global;
+      remote := !remote + sh.remote_frees)
+    t.shards;
+  (* Per-shard peaks are NOT summed here: a block malloc'd under one heap
+     may be freed under another after its superblock migrates, so the sum
+     of local peaks ratchets above any live total ever reached. The merged
+     peak is the one sampled on shard-local rises, maps/unmaps and
+     snapshots — exact when a single shard exists. *)
+  store_max t.peak_live !live;
+  {
+    mallocs = !mallocs;
+    frees = !frees;
+    bytes_requested = !bytes_requested;
+    live_bytes = !live;
+    peak_live_bytes = Atomic.get t.peak_live;
+    held_bytes = Atomic.get t.held;
+    peak_held_bytes = Atomic.get t.peak_held;
+    os_maps = Atomic.get t.os_maps;
+    os_unmaps = Atomic.get t.os_unmaps;
+    sb_to_global = !to_global;
+    sb_from_global = !from_global;
+    remote_frees = !remote;
+  }
 
-let on_transfer_from_global t = t.s <- { t.s with sb_from_global = t.s.sb_from_global + 1 }
-
-let on_remote_free t = t.s <- { t.s with remote_frees = t.s.remote_frees + 1 }
-
-let snapshot t = t.s
-
-let fragmentation s =
+let fragmentation (s : snapshot) =
   if s.peak_live_bytes = 0 then nan else float_of_int s.peak_held_bytes /. float_of_int s.peak_live_bytes
 
-let pp_snapshot fmt s =
+let pp_snapshot fmt (s : snapshot) =
   Format.fprintf fmt
     "mallocs=%d frees=%d live=%dB peak_live=%dB held=%dB peak_held=%dB frag=%.2f maps=%d unmaps=%d to_glob=%d \
      from_glob=%d remote_frees=%d"

@@ -1,4 +1,5 @@
-(** Accounting shared by every allocator implementation.
+(** Accounting shared by every allocator implementation, sharded so that
+    concurrent heaps never contend on (or race over) a common counter.
 
     Tracks the two quantities the paper's fragmentation and blowup
     definitions are built from:
@@ -7,9 +8,29 @@
     - [held]: bytes currently held from the OS, with its high-water mark
       ["A"].
 
-    Fragmentation (paper Table 4) is [A_peak / U_peak]. *)
+    Fragmentation (paper Table 4) is [A_peak / U_peak].
+
+    Concurrency contract: a {!t} is split into [shards], one per lock
+    domain of the allocator (per heap, per size class, one for the large
+    path). The per-operation counters ({!on_malloc}, {!on_free}, the
+    transfer and remote-free events) must only be called while holding the
+    lock of the shard's domain — they are plain mutable updates with no
+    internal synchronisation. The OS-map path ({!on_map}, {!on_unmap}) and
+    {!snapshot} are atomic/lock-free and may be called from any domain.
+
+    Peak semantics: [held]/[peak_held] are maintained atomically on every
+    map/unmap, so A_peak is exact. [peak_live] for a single-shard [t] is
+    exact; for a sharded [t] it is the high-water mark of the summed live
+    bytes, sampled whenever a shard climbs past its own local peak and at
+    every map, unmap and snapshot. The sample sums peer shards without
+    taking their locks, so it is a close lower bound on the true global
+    peak rather than an exact figure — the price of keeping malloc/free
+    free of cross-heap synchronisation. *)
 
 type t
+
+type shard
+(** A slice of a {!t} owned by one lock domain. *)
 
 type snapshot = {
   mallocs : int;
@@ -26,23 +47,36 @@ type snapshot = {
   remote_frees : int;  (** frees whose block belongs to another heap *)
 }
 
-val create : unit -> t
+val create : ?shards:int -> unit -> t
+(** [shards] defaults to 1 (the single-lock-domain case, exact peaks). *)
 
-val on_malloc : t -> requested:int -> usable:int -> unit
+val nshards : t -> int
 
-val on_free : t -> usable:int -> unit
+val shard : t -> int -> shard
+
+(** {2 Per-operation events — call under the shard's lock} *)
+
+val on_malloc : shard -> requested:int -> usable:int -> unit
+
+val on_free : shard -> usable:int -> unit
+
+val on_transfer_to_global : shard -> unit
+
+val on_transfer_from_global : shard -> unit
+
+val on_remote_free : shard -> unit
+
+(** {2 OS-map events — atomic, callable from any domain} *)
 
 val on_map : t -> bytes:int -> unit
 
 val on_unmap : t -> bytes:int -> unit
 
-val on_transfer_to_global : t -> unit
-
-val on_transfer_from_global : t -> unit
-
-val on_remote_free : t -> unit
+(** {2 Reading} *)
 
 val snapshot : t -> snapshot
+(** Merges all shards. Lock-free; counts are exact whenever every shard's
+    domain is quiescent (e.g. at barriers or after joining workers). *)
 
 val fragmentation : snapshot -> float
 (** [peak_held / peak_live]; [nan] before any allocation. *)

@@ -4,11 +4,12 @@ type t = {
   pf : Platform.t;
   owner : int;
   stats : Alloc_stats.t;
+  sh : Alloc_stats.shard;
   table : (int, entry) Hashtbl.t;
   mutable live_b : int;
 }
 
-let create pf ~owner ~stats = { pf; owner; stats; table = Hashtbl.create 64; live_b = 0 }
+let create pf ~owner ~stats ~shard = { pf; owner; stats; sh = shard; table = Hashtbl.create 64; live_b = 0 }
 
 let round_up x align = (x + align - 1) / align * align
 
@@ -19,7 +20,7 @@ let malloc t size =
   let addr = t.pf.Platform.page_map ~bytes:mapped ~align:t.pf.Platform.page_size ~owner:t.owner in
   Hashtbl.replace t.table addr { usable; mapped };
   Alloc_stats.on_map t.stats ~bytes:mapped;
-  Alloc_stats.on_malloc t.stats ~requested:size ~usable;
+  Alloc_stats.on_malloc t.sh ~requested:size ~usable;
   t.live_b <- t.live_b + usable;
   addr
 
@@ -30,7 +31,7 @@ let free t ~addr =
     Hashtbl.remove t.table addr;
     t.pf.Platform.page_unmap ~addr;
     Alloc_stats.on_unmap t.stats ~bytes:mapped;
-    Alloc_stats.on_free t.stats ~usable;
+    Alloc_stats.on_free t.sh ~usable;
     t.live_b <- t.live_b - usable;
     true
 

@@ -5,7 +5,10 @@
 
 type t
 
-val create : Platform.t -> owner:int -> stats:Alloc_stats.t -> t
+val create : Platform.t -> owner:int -> stats:Alloc_stats.t -> shard:Alloc_stats.shard -> t
+(** [shard] receives the malloc/free counters; the caller's lock around
+    this module is the shard's lock domain. Map/unmap accounting goes
+    through [stats]'s atomic OS-map path. *)
 
 val malloc : t -> int -> int
 (** Maps fresh pages for a request of the given size; returns the block

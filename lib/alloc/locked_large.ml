@@ -1,7 +1,16 @@
 type t = { large : Large_alloc.t; lock : Platform.lock; threshold : int }
 
-let create pf ~owner ~stats ~threshold =
-  { large = Large_alloc.create pf ~owner ~stats; lock = pf.Platform.new_lock "large"; threshold }
+let create ?shard pf ~owner ~stats ~threshold =
+  let shard_idx =
+    match shard with
+    | Some i -> i
+    | None -> Alloc_stats.nshards stats - 1
+  in
+  {
+    large = Large_alloc.create pf ~owner ~stats ~shard:(Alloc_stats.shard stats shard_idx);
+    lock = pf.Platform.new_lock "large";
+    threshold;
+  }
 
 let is_large t size = size > t.threshold
 
@@ -17,6 +26,12 @@ let try_free t ~addr =
   t.lock.release ();
   found
 
-let usable_size t ~addr = Large_alloc.usable_size t.large ~addr
+let usable_size t ~addr =
+  (* The table is mutated under [t.lock]; an unlocked read could observe a
+     Hashtbl mid-resize. *)
+  t.lock.acquire ();
+  let r = Large_alloc.usable_size t.large ~addr in
+  t.lock.release ();
+  r
 
 let live_bytes t = Large_alloc.live_bytes t.large

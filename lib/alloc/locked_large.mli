@@ -1,9 +1,17 @@
 (** {!Large_alloc} behind its own lock, with the size threshold test —
-    the large-object path shared by every allocator implementation. *)
+    the large-object path shared by every allocator implementation.
+
+    All operations that touch the object table ({!malloc}, {!try_free},
+    {!usable_size}) acquire the internal lock, so the module is safe to
+    call concurrently on the host platform. *)
 
 type t
 
-val create : Platform.t -> owner:int -> stats:Alloc_stats.t -> threshold:int -> t
+val create :
+  ?shard:int -> Platform.t -> owner:int -> stats:Alloc_stats.t -> threshold:int -> t
+(** [shard] is the index of the stats shard charged for large
+    malloc/free events (the shard's lock domain is this module's internal
+    lock); defaults to the last shard of [stats]. *)
 
 val is_large : t -> int -> bool
 (** Whether a request of this size takes the large path. *)

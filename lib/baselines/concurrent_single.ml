@@ -17,18 +17,19 @@ type t = {
 
 let create ?(sb_size = 8192) ?(path_work = 32) ?(release_threshold = 1) pf =
   let classes = Size_class.create ~max_small:(sb_size / 2) () in
-  let stats = Alloc_stats.create () in
   let owner = Alloc_intf.next_owner () in
   let n = Size_class.count classes in
+  (* One stats shard per class lock, plus one for the large path. *)
+  let stats = Alloc_stats.create ~shards:(n + 1) () in
   {
     pf;
     classes;
     subheaps = Array.init n (fun i -> Heap_core.create ~id:i ~classes ~sb_size ());
     locks = Array.init n (fun i -> pf.Platform.new_lock (Printf.sprintf "concsingle.class%d" i));
-    reg = Sb_registry.create ~sb_size;
+    reg = Sb_registry.create pf ~sb_size;
     stats;
     owner;
-    large = Locked_large.create pf ~owner ~stats ~threshold:(sb_size / 2);
+    large = Locked_large.create pf ~owner ~stats ~shard:n ~threshold:(sb_size / 2);
     sb_size;
     path_work;
     release_threshold;
@@ -73,7 +74,7 @@ let malloc t size =
          | Some (addr, _) -> addr
          | None -> assert false)
     in
-    Alloc_stats.on_malloc t.stats ~requested:size ~usable:block_size;
+    Alloc_stats.on_malloc (Alloc_stats.shard t.stats sclass) ~requested:size ~usable:block_size;
     t.pf.Platform.write ~addr ~len:8;
     lock.release ();
     addr
@@ -89,7 +90,7 @@ let free t addr =
     t.pf.Platform.write ~addr ~len:8;
     Heap_core.free t.subheaps.(sclass) sb addr;
     touch_header t sb;
-    Alloc_stats.on_free t.stats ~usable:(Superblock.block_size sb);
+    Alloc_stats.on_free (Alloc_stats.shard t.stats sclass) ~usable:(Superblock.block_size sb);
     release_surplus t sclass;
     lock.release ()
   | None ->

@@ -1,4 +1,4 @@
-type heap = { core : Heap_core.t; lock : Platform.lock }
+type heap = { core : Heap_core.t; lock : Platform.lock; sh : Alloc_stats.shard }
 
 type t = {
   pf : Platform.t;
@@ -20,7 +20,7 @@ let create ?(sb_size = 8192) ?(path_work = 28) ?nheaps pf =
   in
   if n < 1 then invalid_arg "Private_ownership.create: nheaps must be >= 1";
   let classes = Size_class.create ~max_small:(sb_size / 2) () in
-  let stats = Alloc_stats.create () in
+  let stats = Alloc_stats.create ~shards:(n + 1) () in
   let owner = Alloc_intf.next_owner () in
   {
     pf;
@@ -30,11 +30,12 @@ let create ?(sb_size = 8192) ?(path_work = 28) ?nheaps pf =
           {
             core = Heap_core.create ~id:i ~classes ~sb_size ();
             lock = pf.Platform.new_lock (Printf.sprintf "ownership.heap%d" i);
+            sh = Alloc_stats.shard stats i;
           });
-    reg = Sb_registry.create ~sb_size;
+    reg = Sb_registry.create pf ~sb_size;
     stats;
     owner;
-    large = Locked_large.create pf ~owner ~stats ~threshold:(sb_size / 2);
+    large = Locked_large.create pf ~owner ~stats ~shard:n ~threshold:(sb_size / 2);
     sb_size;
     path_work;
   }
@@ -68,7 +69,7 @@ let malloc t size =
          | Some (addr, _) -> addr
          | None -> assert false)
     in
-    Alloc_stats.on_malloc t.stats ~requested:size ~usable:block_size;
+    Alloc_stats.on_malloc h.sh ~requested:size ~usable:block_size;
     t.pf.Platform.write ~addr ~len:8;
     h.lock.release ();
     addr
@@ -82,11 +83,11 @@ let free t addr =
        owning heap suffices. *)
     let h = t.heaps.(Superblock.owner sb) in
     h.lock.acquire ();
-    if h != my_heap t then Alloc_stats.on_remote_free t.stats;
+    if h != my_heap t then Alloc_stats.on_remote_free h.sh;
     t.pf.Platform.write ~addr ~len:8;
     Heap_core.free h.core sb addr;
     touch_header t sb;
-    Alloc_stats.on_free t.stats ~usable:(Superblock.block_size sb);
+    Alloc_stats.on_free h.sh ~usable:(Superblock.block_size sb);
     h.lock.release ()
   | None ->
     if not (Locked_large.try_free t.large ~addr) then invalid_arg "Private_ownership.free: foreign pointer"

@@ -9,6 +9,7 @@ type t = {
   classes : Size_class.t;
   reg : Sb_registry.t;
   stats : Alloc_stats.t;
+  sh : Alloc_stats.shard; (* shard 0: small-path events; thread-private heaps are sim-only *)
   owner : int;
   large : Locked_large.t;
   sb_size : int;
@@ -19,15 +20,16 @@ type t = {
 
 let create ?(sb_size = 8192) ?(path_work = 20) pf =
   let classes = Size_class.create ~max_small:(sb_size / 2) () in
-  let stats = Alloc_stats.create () in
+  let stats = Alloc_stats.create ~shards:2 () in
   let owner = Alloc_intf.next_owner () in
   {
     pf;
     classes;
-    reg = Sb_registry.create ~sb_size;
+    reg = Sb_registry.create pf ~sb_size;
     stats;
+    sh = Alloc_stats.shard stats 0;
     owner;
-    large = Locked_large.create pf ~owner ~stats ~threshold:(sb_size / 2);
+    large = Locked_large.create pf ~owner ~stats ~shard:1 ~threshold:(sb_size / 2);
     sb_size;
     path_work;
     heaps = Hashtbl.create 32;
@@ -83,7 +85,7 @@ let malloc t size =
         in
         Superblock.alloc_block sb
     in
-    Alloc_stats.on_malloc t.stats ~requested:size ~usable:block_size;
+    Alloc_stats.on_malloc t.sh ~requested:size ~usable:block_size;
     t.pf.Platform.write ~addr ~len:8;
     addr
   end
@@ -98,7 +100,7 @@ let free t addr =
     t.pf.Platform.write ~addr ~len:8;
     h.free_lists.(sclass) <- addr :: h.free_lists.(sclass);
     h.free_bytes <- h.free_bytes + block_size;
-    Alloc_stats.on_free t.stats ~usable:block_size
+    Alloc_stats.on_free t.sh ~usable:block_size
   | None -> if not (Locked_large.try_free t.large ~addr) then invalid_arg "Pure_private.free: foreign pointer"
 
 let usable_size t addr =

@@ -5,6 +5,7 @@ type t = {
   classes : Size_class.t;
   reg : Sb_registry.t;
   stats : Alloc_stats.t;
+  sh : Alloc_stats.shard; (* shard 0: all small-path events run under [lock] *)
   owner : int;
   large : Locked_large.t;
   sb_size : int;
@@ -14,17 +15,18 @@ type t = {
 
 let create ?(sb_size = 8192) ?(path_work = 25) ?(release_threshold = 4) pf =
   let classes = Size_class.create ~max_small:(sb_size / 2) () in
-  let stats = Alloc_stats.create () in
+  let stats = Alloc_stats.create ~shards:2 () in
   let owner = Alloc_intf.next_owner () in
   {
     pf;
     heap = Heap_core.create ~id:0 ~classes ~sb_size ();
     lock = pf.Platform.new_lock "serial.heap";
     classes;
-    reg = Sb_registry.create ~sb_size;
+    reg = Sb_registry.create pf ~sb_size;
     stats;
+    sh = Alloc_stats.shard stats 0;
     owner;
-    large = Locked_large.create pf ~owner ~stats ~threshold:(sb_size / 2);
+    large = Locked_large.create pf ~owner ~stats ~shard:1 ~threshold:(sb_size / 2);
     sb_size;
     path_work;
     release_threshold;
@@ -66,7 +68,7 @@ let malloc t size =
          | Some (addr, _) -> addr
          | None -> assert false)
     in
-    Alloc_stats.on_malloc t.stats ~requested:size ~usable:block_size;
+    Alloc_stats.on_malloc t.sh ~requested:size ~usable:block_size;
     t.pf.Platform.write ~addr ~len:8;
     t.lock.release ();
     addr
@@ -80,7 +82,7 @@ let free t addr =
     t.pf.Platform.write ~addr ~len:8;
     Heap_core.free t.heap sb addr;
     touch_header t sb;
-    Alloc_stats.on_free t.stats ~usable:(Superblock.block_size sb);
+    Alloc_stats.on_free t.sh ~usable:(Superblock.block_size sb);
     release_surplus t;
     t.lock.release ()
   | None -> if not (Locked_large.try_free t.large ~addr) then invalid_arg "Serial_alloc.free: foreign pointer"

@@ -1,4 +1,4 @@
-type heap = { core : Heap_core.t; lock : Platform.lock }
+type heap = { core : Heap_core.t; lock : Platform.lock; sh : Alloc_stats.shard }
 
 type t = {
   pf : Platform.t;
@@ -30,24 +30,27 @@ let create ?(config = Hoard_config.default) pf =
     | None -> pf.Platform.nprocs
   in
   let classes = Size_class.create ~growth:config.growth ~max_small:(Hoard_config.max_small config) () in
+  (* Stats shards mirror the lock domains: shard [id] for heap [id]
+     (0 = global), one extra shard for the large path. *)
+  let stats = Alloc_stats.create ~shards:(n + 2) () in
   let mk_heap id =
     {
       core = Heap_core.create ~id ~classes ~ngroups:config.ngroups ~sb_size:config.sb_size ();
       lock = pf.Platform.new_lock (Printf.sprintf "hoard.heap%d" id);
+      sh = Alloc_stats.shard stats id;
     }
   in
-  let stats = Alloc_stats.create () in
   let owner = Alloc_intf.next_owner () in
   {
     pf;
     cfg = config;
     classes;
-    reg = Sb_registry.create ~sb_size:config.sb_size;
+    reg = Sb_registry.create pf ~sb_size:config.sb_size;
     stats;
     owner;
     global = mk_heap 0;
     heaps = Array.init n (fun i -> mk_heap (i + 1));
-    large = Locked_large.create pf ~owner ~stats ~threshold:(Hoard_config.max_small config);
+    large = Locked_large.create pf ~owner ~stats ~shard:(n + 1) ~threshold:(Hoard_config.max_small config);
   }
 
 let config t = t.cfg
@@ -109,7 +112,7 @@ let refill t h ~sclass ~block_size =
     | Some sb ->
       if Superblock.is_empty sb && (Superblock.sclass sb <> sclass || Superblock.block_size sb <> block_size)
       then Superblock.reinit sb ~sclass ~block_size;
-      Alloc_stats.on_transfer_from_global t.stats;
+      Alloc_stats.on_transfer_from_global h.sh;
       sb
     | None ->
       let base = t.pf.Platform.page_map ~bytes:t.cfg.sb_size ~align:t.cfg.sb_size ~owner:t.owner in
@@ -143,7 +146,7 @@ let malloc t size =
            addr
          | None -> assert false (* refill installed an allocatable superblock *))
     in
-    Alloc_stats.on_malloc t.stats ~requested:size ~usable:block_size;
+    Alloc_stats.on_malloc h.sh ~requested:size ~usable:block_size;
     (* The allocator links free blocks through their first word. *)
     t.pf.Platform.write ~addr ~len:8;
     h.lock.release ();
@@ -169,11 +172,11 @@ let free t addr =
   | Some sb ->
     let h = lock_owner t sb in
     let my = my_heap t in
-    if h != my && h != t.global then Alloc_stats.on_remote_free t.stats;
+    if h != my && h != t.global then Alloc_stats.on_remote_free h.sh;
     t.pf.Platform.write ~addr ~len:8;
     Heap_core.free h.core sb addr;
     touch_header t sb;
-    Alloc_stats.on_free t.stats ~usable:(Superblock.block_size sb);
+    Alloc_stats.on_free h.sh ~usable:(Superblock.block_size sb);
     if Heap_core.id h.core = 0 then release_surplus t
     else if too_empty t h.core then begin
       (* The paper's free path: crossing the emptiness threshold moves ONE
@@ -188,7 +191,7 @@ let free t addr =
         t.global.lock.acquire ();
         Heap_core.insert t.global.core victim;
         touch_header t victim;
-        Alloc_stats.on_transfer_to_global t.stats;
+        Alloc_stats.on_transfer_to_global t.global.sh;
         release_surplus t;
         t.global.lock.release ()
     end;

@@ -20,7 +20,12 @@ type t = {
 }
 
 (* Registry recovering the vmem behind a host platform, keyed by physical
-   equality; only tests use it and platforms are few. *)
+   equality; only tests use it and platforms are few. Guarded by a mutex
+   so concurrent [host ()] calls (e.g. from test domains) don't race the
+   list, and released explicitly so long test runs don't accumulate
+   vmems. *)
+let host_vmems_mu = Mutex.create ()
+
 let host_vmems : (t * Vmem.t) list ref = ref []
 
 let host ?(page_size = 4096) ?(nprocs = 1) () =
@@ -50,8 +55,12 @@ let host ?(page_size = 4096) ?(nprocs = 1) () =
       peak_mapped_bytes = (fun ~owner -> locked (fun () -> Vmem.peak_bytes_of_owner vmem owner));
     }
   in
-  host_vmems := (t, vmem) :: !host_vmems;
+  Mutex.protect host_vmems_mu (fun () -> host_vmems := (t, vmem) :: !host_vmems);
   t
 
 let host_vmem t =
-  List.find_map (fun (t', v) -> if t' == t then Some v else None) !host_vmems
+  Mutex.protect host_vmems_mu (fun () ->
+      List.find_map (fun (t', v) -> if t' == t then Some v else None) !host_vmems)
+
+let host_release t =
+  Mutex.protect host_vmems_mu (fun () -> host_vmems := List.filter (fun (t', _) -> t' != t) !host_vmems)

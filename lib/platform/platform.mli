@@ -44,3 +44,9 @@ val host : ?page_size:int -> ?nprocs:int -> unit -> t
 val host_vmem : t -> Vmem.t option
 (** The address space behind a {!host} platform ([None] for other
     platforms). Exposed for tests that inspect accounting. *)
+
+val host_release : t -> unit
+(** Drops the bookkeeping {!host} retains for [t] (its {!Vmem.t} entry),
+    after which {!host_vmem} returns [None]. Tests that create many host
+    platforms should release them so the registry doesn't grow without
+    bound. Safe to call from any domain; idempotent. *)

@@ -333,7 +333,7 @@ let test_locked_large_threshold () =
 (* --- Sb_registry --- *)
 
 let test_registry_lookup () =
-  let reg = Sb_registry.create ~sb_size:8192 in
+  let reg = Sb_registry.create (Platform.host ()) ~sb_size:8192 in
   let sb = Superblock.create ~base:(8192 * 5) ~sb_size:8192 ~sclass:0 ~block_size:8 in
   Sb_registry.register reg sb;
   (match Sb_registry.lookup reg ~addr:((8192 * 5) + 4000) with
@@ -344,7 +344,7 @@ let test_registry_lookup () =
   Alcotest.(check bool) "gone" true (Sb_registry.lookup reg ~addr:(8192 * 5) = None)
 
 let test_registry_duplicate_rejected () =
-  let reg = Sb_registry.create ~sb_size:8192 in
+  let reg = Sb_registry.create (Platform.host ()) ~sb_size:8192 in
   let sb = Superblock.create ~base:8192 ~sb_size:8192 ~sclass:0 ~block_size:8 in
   Sb_registry.register reg sb;
   Alcotest.check_raises "duplicate" (Invalid_argument "Sb_registry.register: slot already occupied") (fun () ->
@@ -355,7 +355,7 @@ let test_registry_duplicate_rejected () =
 let test_large_roundtrip () =
   let pf = Platform.host () in
   let stats = Alloc_stats.create () in
-  let large = Large_alloc.create pf ~owner:9 ~stats in
+  let large = Large_alloc.create pf ~owner:9 ~stats ~shard:(Alloc_stats.shard stats 0) in
   let a = Large_alloc.malloc large 10_000 in
   Alcotest.(check (option int)) "usable" (Some 10_000) (Large_alloc.usable_size large ~addr:a);
   Alcotest.(check int) "one live" 1 (Large_alloc.live_count large);

@@ -268,9 +268,16 @@ let test_pure_private_no_locks_on_fast_path () =
            done))
   done;
   Sim.run sim;
-  (* Only the heap-table lock is ever taken, once per thread. *)
+  (* The malloc/free fast path takes no lock: the only acquisitions are
+     the heap-table lock (once per thread) and a registry stripe lock
+     (once per superblock registration, a map-time event) — nothing
+     proportional to the 200 operations. *)
+  let maps = (a.Alloc_intf.stats ()).Alloc_stats.os_maps in
   let acqs = List.fold_left (fun acc (_, n, _) -> acc + n) 0 (Sim.lock_stats sim) in
-  Alcotest.(check bool) (Printf.sprintf "at most 2 acquisitions (%d)" acqs) true (acqs <= 2)
+  Alcotest.(check bool)
+    (Printf.sprintf "at most %d acquisitions (%d)" (2 + maps) acqs)
+    true
+    (acqs <= 2 + maps)
 
 let () =
   Alcotest.run "baselines"
