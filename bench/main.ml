@@ -20,6 +20,7 @@ let factories () =
     Concurrent_single.factory ();
     Pure_private.factory ();
     Private_ownership.factory ();
+    Private_threshold.factory ();
     Hoard.factory ();
   ]
 

@@ -10,6 +10,10 @@ open Cmdliner
 
 let scale_of_flag full = if full then Experiments.Full else Experiments.Quick
 
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
 let parse_procs = function
   | None -> None
   | Some s ->
@@ -52,6 +56,9 @@ let list_cmd =
 let full_flag =
   Arg.(value & flag & info [ "full" ] ~doc:"Run at full scale (the EXPERIMENTS.md configuration).")
 
+let quick_flag =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Run at quick scale (the default; overrides $(b,--full)).")
+
 let csv_flag = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of ASCII tables.")
 
 let procs_opt =
@@ -63,14 +70,55 @@ let procs_opt =
 let run_cmd =
   let doc = "Run one experiment by id." in
   let id_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id (see list).") in
-  let run id full csv procs =
+  let metrics_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Also run an instrumented hoard pass on the experiment's representative workload and write \
+             its metrics registry (counters, latency distributions, lock contention) as JSON.")
+  in
+  let trace_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"With $(b,--metrics) machinery: write the instrumented pass's Perfetto trace-event JSON.")
+  in
+  let run id full quick csv procs metrics trace =
+    let scale = scale_of_flag (full && not quick) in
     match Experiments.find id with
     | None ->
       Printf.eprintf "unknown experiment %S; try: %s\n" id (String.concat " " (Experiments.ids ()));
       exit 1
-    | Some e -> print_output ~csv (e.Experiments.run (scale_of_flag full) ~procs:(parse_procs procs))
+    | Some e ->
+      print_output ~csv (e.Experiments.run scale ~procs:(parse_procs procs));
+      if metrics <> None || trace <> None then begin
+        let nprocs =
+          match parse_procs procs with
+          | Some (p :: _) -> p
+          | _ -> 8
+        in
+        let w = Experiments.obs_workload id scale in
+        let b = Obs_run.run_workload w ~nprocs in
+        Printf.printf "instrumented pass: %s on %d procs, %d cycles, %d events recorded (%d dropped)\n"
+          b.Obs_run.b_name nprocs b.Obs_run.b_cycles (Obs.total_recorded b.Obs_run.b_obs)
+          (Obs.total_dropped b.Obs_run.b_obs);
+        (match metrics with
+         | Some f ->
+           write_file f (Obs_run.metrics_json b);
+           Printf.printf "wrote metrics to %s\n" f
+         | None -> ());
+        match trace with
+        | Some f ->
+          write_file f b.Obs_run.b_perfetto;
+          Printf.printf "wrote Perfetto trace to %s\n" f
+        | None -> ()
+      end
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ id_arg $ full_flag $ csv_flag $ procs_opt)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ id_arg $ full_flag $ quick_flag $ csv_flag $ procs_opt $ metrics_opt $ trace_opt)
 
 let all_cmd =
   let doc = "Run every experiment in order." in

@@ -4,6 +4,8 @@
      hoard_trace validate t.trace
      hoard_trace replay t.trace --allocator hoard --procs 4
      hoard_trace bench t.trace            # compare all allocators
+     hoard_trace profile t.trace --perfetto t.json --metrics m.json
+     hoard_trace check-json m.json --expect metrics
 *)
 
 open Cmdliner
@@ -93,9 +95,88 @@ let replay_cmd =
     let t = load path in
     let cycles, stats, invals = replay_trace t (factory_of alloc) ~procs in
     Printf.printf "%s on %d procs: %d cycles, frag %.2f, %d invalidations\n" alloc procs cycles
-      (Alloc_stats.fragmentation stats) invals
+      (Alloc_stats.fragmentation stats) invals;
+    Format.printf "stats: %a@." Alloc_stats.pp_snapshot stats
   in
   Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ file_arg $ alloc $ procs_arg)
+
+let profile_cmd =
+  let doc = "Replay a trace against instrumented hoard: contention, heatmap, Perfetto/metrics export." in
+  let perfetto =
+    Arg.(value & opt (some string) None & info [ "perfetto" ] ~docv:"FILE" ~doc:"Write a Perfetto/Chrome trace-event JSON file.")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc:"Write the metrics registry as JSON.")
+  in
+  let run path procs perfetto metrics =
+    let t = load path in
+    let b =
+      Obs_run.run_spawned ~name:(Filename.basename path) ~nprocs:procs (fun sim _pf a ->
+          Trace.replay_sim t sim a ~nthreads:procs)
+    in
+    Printf.printf "%s on %d procs: %d cycles, %d events recorded (%d dropped)\n" path procs b.Obs_run.b_cycles
+      (Obs.total_recorded b.Obs_run.b_obs) (Obs.total_dropped b.Obs_run.b_obs);
+    Format.printf "stats: %a@." Alloc_stats.pp_snapshot b.Obs_run.b_stats;
+    Table.print (Obs_run.contention_table b);
+    print_string b.Obs_run.b_heatmap;
+    (match perfetto with
+     | Some f ->
+       write_file f b.Obs_run.b_perfetto;
+       Printf.printf "wrote Perfetto trace to %s (open at https://ui.perfetto.dev)\n" f
+     | None -> ());
+    match metrics with
+    | Some f ->
+      write_file f (Obs_run.metrics_json b);
+      Printf.printf "wrote metrics to %s\n" f
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "profile" ~doc) Term.(const run $ file_arg $ procs_arg $ perfetto $ metrics)
+
+(* Structural validation of the two JSON artefacts the observability layer
+   emits, for CI smoke checks (no external JSON tooling in the image). *)
+let check_json_cmd =
+  let doc = "Validate an emitted JSON artefact (Perfetto trace or metrics export)." in
+  let expect =
+    Arg.(
+      value
+      & opt (enum [ ("trace", `Trace); ("metrics", `Metrics); ("any", `Any) ]) `Any
+      & info [ "expect" ] ~doc:"Expected shape: $(b,trace), $(b,metrics) or $(b,any) (parse only).")
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"JSON file.") in
+  let fail fmt = Printf.ksprintf (fun m -> Printf.eprintf "%s\n" m; exit 1) fmt in
+  let run path expect =
+    match Json_lite.parse (read_file path) with
+    | Error m -> fail "%s: invalid JSON: %s" path m
+    | Ok j ->
+      (match expect with
+       | `Any -> Printf.printf "%s: valid JSON\n" path
+       | `Trace ->
+         (match Option.bind (Json_lite.member "traceEvents" j) Json_lite.to_list with
+          | None -> fail "%s: no traceEvents array" path
+          | Some events ->
+            List.iteri
+              (fun i e ->
+                match (Json_lite.member "ph" e, Json_lite.member "pid" e) with
+                | Some (Json_lite.Str _), Some (Json_lite.Num _) -> ()
+                | _ -> fail "%s: traceEvents[%d] lacks ph/pid" path i)
+              events;
+            Printf.printf "%s: valid trace JSON, %d events\n" path (List.length events))
+       | `Metrics ->
+         (match
+            ( Option.bind (Json_lite.member "run" j) (Json_lite.member "cycles"),
+              Option.bind (Json_lite.member "metrics" j) Json_lite.to_list )
+          with
+          | Some (Json_lite.Num _), Some ms ->
+            List.iteri
+              (fun i m ->
+                match (Json_lite.member "name" m, Json_lite.member "value" m) with
+                | Some (Json_lite.Str _), Some _ -> ()
+                | _ -> fail "%s: metrics[%d] lacks name/value" path i)
+              ms;
+            Printf.printf "%s: valid metrics JSON, %d metrics\n" path (List.length ms)
+          | _ -> fail "%s: missing run.cycles or metrics array" path))
+  in
+  Cmd.v (Cmd.info "check-json" ~doc) Term.(const run $ file $ expect)
 
 let bench_cmd =
   let doc = "Replay a trace against every allocator and compare." in
@@ -130,4 +211,8 @@ let bench_cmd =
 
 let () =
   let doc = "Allocation-trace tooling for the Hoard reproduction." in
-  exit (Cmd.eval (Cmd.group (Cmd.info "hoard_trace" ~version:"1.0" ~doc) [ generate_cmd; validate_cmd; replay_cmd; bench_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "hoard_trace" ~version:"1.0" ~doc)
+          [ generate_cmd; validate_cmd; replay_cmd; bench_cmd; profile_cmd; check_json_cmd ]))

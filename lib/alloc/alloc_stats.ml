@@ -163,6 +163,23 @@ let snapshot t =
 let fragmentation (s : snapshot) =
   if s.peak_live_bytes = 0 then nan else float_of_int s.peak_held_bytes /. float_of_int s.peak_live_bytes
 
+let publish t ?(prefix = "alloc") metrics =
+  let reg name f = Metrics.register metrics ~name:(prefix ^ "." ^ name) (fun () -> Metrics.Int (f (snapshot t))) in
+  reg "mallocs" (fun s -> s.mallocs);
+  reg "frees" (fun s -> s.frees);
+  reg "bytes_requested" (fun s -> s.bytes_requested);
+  reg "live_bytes" (fun s -> s.live_bytes);
+  reg "peak_live_bytes" (fun s -> s.peak_live_bytes);
+  reg "held_bytes" (fun s -> s.held_bytes);
+  reg "peak_held_bytes" (fun s -> s.peak_held_bytes);
+  reg "os_maps" (fun s -> s.os_maps);
+  reg "os_unmaps" (fun s -> s.os_unmaps);
+  reg "sb_to_global" (fun s -> s.sb_to_global);
+  reg "sb_from_global" (fun s -> s.sb_from_global);
+  reg "remote_frees" (fun s -> s.remote_frees);
+  Metrics.register metrics ~name:(prefix ^ ".fragmentation") (fun () ->
+      Metrics.Float (fragmentation (snapshot t)))
+
 let pp_snapshot fmt (s : snapshot) =
   Format.fprintf fmt
     "mallocs=%d frees=%d live=%dB peak_live=%dB held=%dB peak_held=%dB frag=%.2f maps=%d unmaps=%d to_glob=%d \

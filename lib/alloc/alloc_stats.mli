@@ -81,4 +81,10 @@ val snapshot : t -> snapshot
 val fragmentation : snapshot -> float
 (** [peak_held / peak_live]; [nan] before any allocation. *)
 
+val publish : t -> ?prefix:string -> Metrics.t -> unit
+(** Registers one gauge per snapshot field (plus [<prefix>.fragmentation])
+    under names [<prefix>.<field>]; [prefix] defaults to ["alloc"]. Each
+    gauge takes a fresh {!snapshot} when read, so exporting the registry
+    at quiescence yields exact figures. *)
+
 val pp_snapshot : Format.formatter -> snapshot -> unit

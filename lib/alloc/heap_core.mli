@@ -79,6 +79,12 @@ val find_allocatable : t -> sclass:int -> bool
 
 val iter : t -> (Superblock.t -> unit) -> unit
 
+val class_profile : t -> (int * float) array
+(** Per size class, [(superblock_count, fullness)] where fullness is
+    used blocks over capacity across that class's superblocks (0. when
+    the class holds none). Plain reads — call under the heap's lock or at
+    quiescence; feeds the observability heatmap. *)
+
 val check : t -> unit
 (** Full structural validation (group membership, accounting, per-
     superblock consistency). Raises [Failure] on corruption. *)

@@ -5,13 +5,22 @@ type t = {
   owner : int;
   stats : Alloc_stats.t;
   sh : Alloc_stats.shard;
+  ring : Event_ring.t option; (* written under the caller's lock, like [sh] *)
   table : (int, entry) Hashtbl.t;
   mutable live_b : int;
 }
 
-let create pf ~owner ~stats ~shard = { pf; owner; stats; sh = shard; table = Hashtbl.create 64; live_b = 0 }
+let create ?ring pf ~owner ~stats ~shard =
+  { pf; owner; stats; sh = shard; ring; table = Hashtbl.create 64; live_b = 0 }
 
 let round_up x align = (x + align - 1) / align * align
+
+let event t kind arg =
+  match t.ring with
+  | None -> ()
+  | Some r ->
+    Event_ring.record r ~at:(t.pf.Platform.now ()) ~kind ~who:(t.pf.Platform.self_proc ()) ~heap:(-1)
+      ~sclass:(-1) ~arg
 
 let malloc t size =
   if size <= 0 then invalid_arg "Large_alloc.malloc: size must be positive";
@@ -21,6 +30,7 @@ let malloc t size =
   Hashtbl.replace t.table addr { usable; mapped };
   Alloc_stats.on_map t.stats ~bytes:mapped;
   Alloc_stats.on_malloc t.sh ~requested:size ~usable;
+  event t Event_ring.Large_map mapped;
   t.live_b <- t.live_b + usable;
   addr
 
@@ -32,6 +42,7 @@ let free t ~addr =
     t.pf.Platform.page_unmap ~addr;
     Alloc_stats.on_unmap t.stats ~bytes:mapped;
     Alloc_stats.on_free t.sh ~usable;
+    event t Event_ring.Large_unmap mapped;
     t.live_b <- t.live_b - usable;
     true
 

@@ -5,10 +5,12 @@
 
 type t
 
-val create : Platform.t -> owner:int -> stats:Alloc_stats.t -> shard:Alloc_stats.shard -> t
+val create : ?ring:Event_ring.t -> Platform.t -> owner:int -> stats:Alloc_stats.t -> shard:Alloc_stats.shard -> t
 (** [shard] receives the malloc/free counters; the caller's lock around
     this module is the shard's lock domain. Map/unmap accounting goes
-    through [stats]'s atomic OS-map path. *)
+    through [stats]'s atomic OS-map path. [ring], when given, receives a
+    [Large_map]/[Large_unmap] event per OS transaction and shares the
+    shard's lock domain. *)
 
 val malloc : t -> int -> int
 (** Maps fresh pages for a request of the given size; returns the block

@@ -1,13 +1,13 @@
 type t = { large : Large_alloc.t; lock : Platform.lock; threshold : int }
 
-let create ?shard pf ~owner ~stats ~threshold =
+let create ?shard ?ring pf ~owner ~stats ~threshold =
   let shard_idx =
     match shard with
     | Some i -> i
     | None -> Alloc_stats.nshards stats - 1
   in
   {
-    large = Large_alloc.create pf ~owner ~stats ~shard:(Alloc_stats.shard stats shard_idx);
+    large = Large_alloc.create ?ring pf ~owner ~stats ~shard:(Alloc_stats.shard stats shard_idx);
     lock = pf.Platform.new_lock "large";
     threshold;
   }

@@ -8,10 +8,11 @@
 type t
 
 val create :
-  ?shard:int -> Platform.t -> owner:int -> stats:Alloc_stats.t -> threshold:int -> t
+  ?shard:int -> ?ring:Event_ring.t -> Platform.t -> owner:int -> stats:Alloc_stats.t -> threshold:int -> t
 (** [shard] is the index of the stats shard charged for large
     malloc/free events (the shard's lock domain is this module's internal
-    lock); defaults to the last shard of [stats]. *)
+    lock); defaults to the last shard of [stats]. [ring], when given,
+    records [Large_map]/[Large_unmap] events under the same lock. *)
 
 val is_large : t -> int -> bool
 (** Whether a request of this size takes the large path. *)

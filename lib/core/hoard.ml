@@ -1,4 +1,9 @@
-type heap = { core : Heap_core.t; lock : Platform.lock; sh : Alloc_stats.shard }
+type heap = {
+  core : Heap_core.t;
+  lock : Platform.lock;
+  sh : Alloc_stats.shard;
+  ring : Event_ring.t option; (* same lock domain as [sh]; None when tracing is off *)
+}
 
 type t = {
   pf : Platform.t;
@@ -10,6 +15,7 @@ type t = {
   global : heap;
   heaps : heap array; (* per-processor heaps, ids 1..N *)
   large : Locked_large.t;
+  obs : Obs.t option;
 }
 
 type heap_info = {
@@ -20,7 +26,7 @@ type heap_info = {
   empty_superblocks : int;
 }
 
-let create ?(config = Hoard_config.default) pf =
+let create ?(config = Hoard_config.default) ?obs pf =
   Hoard_config.validate config;
   if config.sb_size < pf.Platform.page_size then
     invalid_arg "Hoard.create: sb_size must be at least the platform page size";
@@ -31,27 +37,43 @@ let create ?(config = Hoard_config.default) pf =
   in
   let classes = Size_class.create ~growth:config.growth ~max_small:(Hoard_config.max_small config) () in
   (* Stats shards mirror the lock domains: shard [id] for heap [id]
-     (0 = global), one extra shard for the large path. *)
+     (0 = global), one extra shard for the large path. Event rings, when
+     tracing is on, mirror the same domains. *)
   let stats = Alloc_stats.create ~shards:(n + 2) () in
+  let ring name =
+    match obs with
+    | None -> None
+    | Some o -> Some (Obs.new_ring o name)
+  in
   let mk_heap id =
     {
       core = Heap_core.create ~id ~classes ~ngroups:config.ngroups ~sb_size:config.sb_size ();
       lock = pf.Platform.new_lock (Printf.sprintf "hoard.heap%d" id);
       sh = Alloc_stats.shard stats id;
+      ring = ring (if id = 0 then "global" else Printf.sprintf "heap%d" id);
     }
   in
   let owner = Alloc_intf.next_owner () in
-  {
-    pf;
-    cfg = config;
-    classes;
-    reg = Sb_registry.create pf ~sb_size:config.sb_size;
-    stats;
-    owner;
-    global = mk_heap 0;
-    heaps = Array.init n (fun i -> mk_heap (i + 1));
-    large = Locked_large.create pf ~owner ~stats ~shard:(n + 1) ~threshold:(Hoard_config.max_small config);
-  }
+  let t =
+    {
+      pf;
+      cfg = config;
+      classes;
+      reg = Sb_registry.create pf ~sb_size:config.sb_size;
+      stats;
+      owner;
+      global = mk_heap 0;
+      heaps = Array.init n (fun i -> mk_heap (i + 1));
+      large =
+        Locked_large.create pf ~owner ~stats ~shard:(n + 1) ?ring:(ring "large")
+          ~threshold:(Hoard_config.max_small config);
+      obs;
+    }
+  in
+  (match obs with
+   | Some o -> Alloc_stats.publish stats (Obs.metrics o)
+   | None -> ());
+  t
 
 let config t = t.cfg
 
@@ -78,6 +100,15 @@ let too_empty t core =
 
 let touch_header t sb = t.pf.Platform.write ~addr:(Superblock.base sb) ~len:16
 
+(* Record into [h]'s ring; the caller must hold [h]'s lock (the ring
+   shares the stats shard's domain). Free when tracing is off. *)
+let event t h kind ~sclass ~arg =
+  match h.ring with
+  | None -> ()
+  | Some r ->
+    Event_ring.record r ~at:(t.pf.Platform.now ()) ~kind ~who:(t.pf.Platform.self_proc ())
+      ~heap:(Heap_core.id h.core) ~sclass ~arg
+
 (* Global heap: drop surplus empty superblocks back to the OS. Caller holds
    the global lock. *)
 let release_surplus t =
@@ -88,7 +119,8 @@ let release_surplus t =
       | Some sb ->
         Sb_registry.unregister t.reg sb;
         t.pf.Platform.page_unmap ~addr:(Superblock.base sb);
-        Alloc_stats.on_unmap t.stats ~bytes:(Superblock.sb_size sb)
+        Alloc_stats.on_unmap t.stats ~bytes:(Superblock.sb_size sb);
+        event t t.global Event_ring.Sb_unmap ~sclass:(Superblock.sclass sb) ~arg:(Superblock.sb_size sb)
     done
 
 (* Fetch a superblock usable for [sclass], from the global heap if
@@ -113,12 +145,14 @@ let refill t h ~sclass ~block_size =
       if Superblock.is_empty sb && (Superblock.sclass sb <> sclass || Superblock.block_size sb <> block_size)
       then Superblock.reinit sb ~sclass ~block_size;
       Alloc_stats.on_transfer_from_global h.sh;
+      event t h Event_ring.Sb_from_global ~sclass ~arg:(Superblock.base sb);
       sb
     | None ->
       let base = t.pf.Platform.page_map ~bytes:t.cfg.sb_size ~align:t.cfg.sb_size ~owner:t.owner in
       let sb = Superblock.create ~base ~sb_size:t.cfg.sb_size ~sclass ~block_size in
       Sb_registry.register t.reg sb;
       Alloc_stats.on_map t.stats ~bytes:t.cfg.sb_size;
+      event t h Event_ring.Sb_map ~sclass ~arg:t.cfg.sb_size;
       sb
   in
   Heap_core.insert h.core sb;
@@ -172,7 +206,10 @@ let free t addr =
   | Some sb ->
     let h = lock_owner t sb in
     let my = my_heap t in
-    if h != my && h != t.global then Alloc_stats.on_remote_free h.sh;
+    if h != my && h != t.global then begin
+      Alloc_stats.on_remote_free h.sh;
+      event t h Event_ring.Remote_free ~sclass:(Superblock.sclass sb) ~arg:addr
+    end;
     t.pf.Platform.write ~addr ~len:8;
     Heap_core.free h.core sb addr;
     touch_header t sb;
@@ -185,6 +222,7 @@ let free t addr =
          releases at most one block); heaps that malloc drove far below the
          threshold converge back over subsequent frees instead of exiling
          their superblocks all at once. *)
+      event t h Event_ring.Emptiness_cross ~sclass:(Superblock.sclass sb) ~arg:(Heap_core.u h.core);
       match Heap_core.pick_victim ~protect_last:true h.core ~max_fullness:(1.0 -. t.cfg.empty_fraction) with
       | None -> ()
       | Some victim ->
@@ -192,6 +230,8 @@ let free t addr =
         Heap_core.insert t.global.core victim;
         touch_header t victim;
         Alloc_stats.on_transfer_to_global t.global.sh;
+        event t t.global Event_ring.Sb_to_global ~sclass:(Superblock.sclass victim)
+          ~arg:(Superblock.base victim);
         release_surplus t;
         t.global.lock.release ()
     end;
@@ -207,6 +247,19 @@ let usable_size t addr =
     (match Locked_large.usable_size t.large ~addr with
      | Some n -> n
      | None -> invalid_arg "Hoard.usable_size: foreign pointer")
+
+let obs t = t.obs
+
+let size_classes t = t.classes
+
+(* Lock-free reads, like [pp_heaps]: call at quiescence (after the run, or
+   from outside any simulated thread — heap locks perform effects). *)
+let fullness_profile t =
+  let profile h =
+    let label = if Heap_core.id h.core = 0 then "global" else Printf.sprintf "heap%d" (Heap_core.id h.core) in
+    (label, Heap_core.class_profile h.core)
+  in
+  Array.append [| profile t.global |] (Array.map profile t.heaps)
 
 let heap_info t id =
   let h = heap_by_id t id in
@@ -246,11 +299,11 @@ let allocator t =
     check = (fun () -> check t);
   }
 
-let factory ?(config = Hoard_config.default) () =
+let factory ?(config = Hoard_config.default) ?obs () =
   {
     Alloc_intf.label = "hoard";
     description = "per-processor heaps + global heap, emptiness invariant (the paper's allocator)";
-    instantiate = (fun pf -> allocator (create ~config pf));
+    instantiate = (fun pf -> allocator (create ~config ?obs pf));
   }
 
 let pp_heaps fmt t =

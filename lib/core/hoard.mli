@@ -22,14 +22,23 @@
 
 type t
 
-val create : ?config:Hoard_config.t -> Platform.t -> t
+val create : ?config:Hoard_config.t -> ?obs:Obs.t -> Platform.t -> t
+(** With [obs], the instance traces into one {!Event_ring} per lock
+    domain (["global"], ["heap1"].. plus ["large"]) and publishes its
+    {!Alloc_stats} into the registry; without it, tracing costs nothing
+    (the fast paths carry no event sites, slow-path sites are a single
+    branch on an immutable [option]). *)
 
 val allocator : t -> Alloc_intf.t
 (** The public allocator interface backed by this instance. *)
 
-val factory : ?config:Hoard_config.t -> unit -> Alloc_intf.factory
+val factory : ?config:Hoard_config.t -> ?obs:Obs.t -> unit -> Alloc_intf.factory
 
 val config : t -> Hoard_config.t
+
+val obs : t -> Obs.t option
+
+val size_classes : t -> Size_class.t
 
 val nheaps : t -> int
 (** Number of per-processor heaps (excluding the global heap). *)
@@ -46,6 +55,11 @@ type heap_info = {
 
 val heap_info : t -> int -> heap_info
 (** [heap_info t i] for [i] in [0 .. nheaps t]. *)
+
+val fullness_profile : t -> (string * (int * float) array) array
+(** One row per heap (["global"], ["heap1"], ..): the heap's
+    {!Heap_core.class_profile}. Reads without locking (like {!pp_heaps});
+    call at quiescence. Feeds the observability heatmap. *)
 
 val invariant_holds : t -> heap_id:int -> bool
 (** The emptiness invariant [u >= a - K*S || u >= (1-f)*a] for a

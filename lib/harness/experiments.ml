@@ -801,6 +801,55 @@ let latency_exp =
     run;
   }
 
+(* --- per-lock contention profile --- *)
+
+let contention_exp =
+  let run scale ~procs =
+    let p =
+      match procs with
+      | Some (p :: _) -> p
+      | _ -> ( match scale with Quick -> 4 | Full -> 8)
+    in
+    let tbl =
+      Table.create
+        ~title:(Printf.sprintf "Per-lock contention: hoard at %d processors" p)
+        ~columns:
+          [
+            ("workload", Table.Left);
+            ("lock", Table.Left);
+            ("acquisitions", Table.Right);
+            ("spins", Table.Right);
+            ("spins/acq", Table.Right);
+          ]
+    in
+    List.iteri
+      (fun i (wname, w) ->
+        if i > 0 then Table.add_separator tbl;
+        let r = Runner.run (Runner.spec w (Hoard.factory ()) ~nprocs:p) in
+        let entries = Contention.top ~n:8 (Contention.of_lock_stats r.Runner.r_lock_stats) in
+        List.iter
+          (fun (e : Contention.entry) ->
+            if e.c_acqs > 0 then
+              Table.add_row tbl
+                [
+                  wname;
+                  e.c_name;
+                  string_of_int e.c_acqs;
+                  string_of_int e.c_spins;
+                  Table.cell_float (Contention.spins_per_acq e);
+                ])
+          entries)
+      [ ("threadtest", threadtest scale); ("larson", larson scale) ];
+    tables_only [ tbl ]
+  in
+  {
+    id = "exp_contention";
+    title = "Per-lock contention profile";
+    paper_ref = "analysis extension (which lock serialises the run?)";
+    describe = "acquisitions and spins per named lock: global-heap vs per-heap lock pressure";
+    run;
+  }
+
 (* --- lock-discipline ablation --- *)
 
 let abl_lock =
@@ -951,6 +1000,7 @@ let all () =
     falseshare_exp;
     oversub;
     latency_exp;
+    contention_exp;
     apps_exp;
     timeline_exp;
     costmodel_exp;
@@ -989,3 +1039,22 @@ let workload_names =
   ]
 
 let ids () = List.map (fun e -> e.id) (all ())
+
+(* Representative workload for an experiment id: what [--metrics] runs its
+   instrumented companion pass on. *)
+let obs_workload id scale =
+  let name =
+    match id with
+    | "fig_shbench" -> "shbench"
+    | "fig_larson" | "exp_oversub" | "abl_lock" -> "larson"
+    | "fig_active_false" -> "active-false"
+    | "fig_passive_false" -> "passive-false"
+    | "fig_bem" -> "bem"
+    | "fig_barnes" -> "barnes-hut"
+    | "exp_blowup" -> "phased-blowup"
+    | "exp_apps" -> "kv-store"
+    | _ -> "threadtest"
+  in
+  match workload name scale with
+  | Some w -> w
+  | None -> assert false (* every name above is registered *)

@@ -50,3 +50,8 @@ val workload : string -> scale -> Workload_intf.t option
     "producer-consumer", "phased-blowup") at the given scale. *)
 
 val workload_names : string list
+
+val obs_workload : string -> scale -> Workload_intf.t
+(** The representative workload an experiment id's [--metrics] companion
+    pass instruments (e.g. ["fig_shbench"] -> shbench); defaults to
+    threadtest for ids with no obvious single workload. *)

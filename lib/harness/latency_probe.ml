@@ -20,3 +20,18 @@ let wrap (a : Alloc_intf.t) =
 let malloc_latencies t = t.mallocs
 
 let free_latencies t = t.frees
+
+let publish t metrics =
+  let dist hist () =
+    Metrics.Dist
+      {
+        Metrics.d_count = Histogram.count hist;
+        d_mean = Histogram.mean hist;
+        d_p50 = Histogram.percentile hist 0.5;
+        d_p95 = Histogram.percentile hist 0.95;
+        d_p99 = Histogram.percentile hist 0.99;
+        d_max = Option.value ~default:0 (Histogram.max_value hist);
+      }
+  in
+  Metrics.register metrics ~name:"latency.malloc" (dist t.mallocs);
+  Metrics.register metrics ~name:"latency.free" (dist t.frees)

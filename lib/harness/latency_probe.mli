@@ -18,3 +18,8 @@ val wrap : Alloc_intf.t -> t * Alloc_intf.t
 val malloc_latencies : t -> Histogram.t
 
 val free_latencies : t -> Histogram.t
+
+val publish : t -> Metrics.t -> unit
+(** Registers [latency.malloc] and [latency.free] distribution gauges
+    (count, mean, p50/p95/p99, max — in simulated cycles). Summaries are
+    computed when the registry is read. *)

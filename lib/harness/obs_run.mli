@@ -1,0 +1,54 @@
+(** One fully-instrumented Hoard run on the simulator: the allocator is
+    built with an {!Obs.t} (event rings + metrics), wrapped in a
+    {!Latency_probe}, and the simulator's lock hooks feed the contention
+    profiler, a ["locks"] event ring and Perfetto lock-hold spans. This is
+    what [hoard_trace profile] and [hoard_bench run --metrics] execute.
+
+    Instrumentation never changes the run: event recording and the lock
+    hooks charge no simulated cycles, so an instrumented run's cycle count
+    equals the uninstrumented one (asserted by the determinism test). *)
+
+type bundle = {
+  b_name : string;
+  b_nprocs : int;
+  b_cycles : int;
+  b_stats : Alloc_stats.snapshot;
+  b_obs : Obs.t;
+  b_latency : Latency_probe.t;
+  b_lock_stats : (string * int * int) list;  (** [Sim.lock_stats] at end of run *)
+  b_contention : Contention.entry list;  (** sorted most-contended first *)
+  b_perfetto : string;  (** Chrome trace-event JSON, Perfetto-loadable *)
+  b_heatmap : string;  (** ASCII fullness heatmap, heap x size class *)
+}
+
+val run_spawned :
+  ?config:Hoard_config.t ->
+  ?obs_config:Obs.config ->
+  ?cost:Cost_model.t ->
+  ?lock_kind:Sim.lock_kind ->
+  name:string ->
+  nprocs:int ->
+  (Sim.t -> Platform.t -> Alloc_intf.t -> unit) ->
+  bundle
+(** Builds the instrumented stack, hands the wrapped allocator to the
+    spawn callback (which must spawn its threads, e.g. via
+    [Trace.replay_sim] or a workload), then runs the simulation to
+    completion and collects the bundle. *)
+
+val run_workload :
+  ?config:Hoard_config.t ->
+  ?obs_config:Obs.config ->
+  ?cost:Cost_model.t ->
+  ?lock_kind:Sim.lock_kind ->
+  ?nthreads:int ->
+  Workload_intf.t ->
+  nprocs:int ->
+  bundle
+(** [nthreads] defaults to [nprocs]. *)
+
+val metrics_json : bundle -> string
+(** A JSON object [{"run": {...}, "metrics": [...]}]: run header
+    (name, nprocs, cycles, event totals) plus the full registry export. *)
+
+val contention_table : ?n:int -> bundle -> Table.t
+(** The top-[n] (default 10) most-contended locks as a printable table. *)

@@ -22,6 +22,7 @@ type result = {
   r_coherence_misses : int;
   r_lock_acquisitions : int;
   r_lock_spins : int;
+  r_lock_stats : (string * int * int) list;
 }
 
 let run { workload; allocator; nprocs; nthreads; cost; lock_kind } =
@@ -36,8 +37,9 @@ let run { workload; allocator; nprocs; nthreads; cost; lock_kind } =
   workload.Workload_intf.spawn sim pf a ~nthreads;
   Sim.run sim;
   a.Alloc_intf.check ();
+  let lock_stats = Sim.lock_stats sim in
   let acqs, spins =
-    List.fold_left (fun (acc_a, acc_s) (_, a', s') -> (acc_a + a', acc_s + s')) (0, 0) (Sim.lock_stats sim)
+    List.fold_left (fun (acc_a, acc_s) (_, a', s') -> (acc_a + a', acc_s + s')) (0, 0) lock_stats
   in
   {
     r_workload = workload.Workload_intf.w_name;
@@ -51,6 +53,7 @@ let run { workload; allocator; nprocs; nthreads; cost; lock_kind } =
     r_coherence_misses = Cache.total_coherence_misses (Sim.cache sim);
     r_lock_acquisitions = acqs;
     r_lock_spins = spins;
+    r_lock_stats = lock_stats;
   }
 
 let speedup ~base r = float_of_int base.r_cycles /. float_of_int r.r_cycles

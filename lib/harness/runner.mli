@@ -32,6 +32,8 @@ type result = {
   r_coherence_misses : int;
   r_lock_acquisitions : int;
   r_lock_spins : int;
+  r_lock_stats : (string * int * int) list;
+      (** per-lock [(name, acquisitions, spins)], creation order *)
 }
 
 val run : spec -> result

@@ -1,0 +1,49 @@
+(* One character per cell: fullness deciles as digits keep the map pure
+   ASCII and trivially greppable in CI logs. *)
+
+let cell = function
+  | None -> '-'
+  | Some v ->
+    let v = if Float.is_nan v then 0.0 else Float.max 0.0 (Float.min 1.0 v) in
+    let d = int_of_float (v *. 9.999) in
+    Char.chr (Char.code '0' + min 9 d)
+
+let render ~title ~ncols ~rows ?legend () =
+  let b = Buffer.create 512 in
+  Buffer.add_string b title;
+  Buffer.add_char b '\n';
+  Buffer.add_string b "(cells: fullness decile 0-9, '-' = no superblocks)\n";
+  let label_w = List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 rows in
+  (* Column index ruler, tens then units, so wide maps stay readable. *)
+  if ncols > 10 then begin
+    Buffer.add_string b (String.make (label_w + 3) ' ');
+    for c = 0 to ncols - 1 do
+      Buffer.add_char b (if c mod 10 = 0 then Char.chr (Char.code '0' + c / 10 mod 10) else ' ')
+    done;
+    Buffer.add_char b '\n'
+  end;
+  Buffer.add_string b (String.make (label_w + 3) ' ');
+  for c = 0 to ncols - 1 do
+    Buffer.add_char b (Char.chr (Char.code '0' + (c mod 10)))
+  done;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun (label, cells) ->
+      Buffer.add_string b (Printf.sprintf "%-*s | " label_w label);
+      let n = ref 0 in
+      List.iter
+        (fun v ->
+          Buffer.add_char b (cell v);
+          incr n)
+        cells;
+      for _ = !n to ncols - 1 do
+        Buffer.add_char b '-'
+      done;
+      Buffer.add_char b '\n')
+    rows;
+  (match legend with
+   | Some l ->
+     Buffer.add_string b l;
+     Buffer.add_char b '\n'
+   | None -> ());
+  Buffer.contents b

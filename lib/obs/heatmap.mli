@@ -1,0 +1,13 @@
+(** ASCII heatmaps: a matrix of optional [0, 1] intensities (e.g. mean
+    superblock fullness per heap × size class) rendered one character per
+    cell — digits are deciles, ['-'] marks an absent cell. *)
+
+val render :
+  title:string ->
+  ncols:int ->
+  rows:(string * float option list) list ->
+  ?legend:string ->
+  unit ->
+  string
+(** Rows shorter than [ncols] are padded with absent cells. [legend] is
+    appended verbatim (e.g. the column-index → size-class key). *)

@@ -1,0 +1,181 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+type state = { s : string; mutable pos : int }
+
+let error st msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance st;
+    skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | _ -> error st (Printf.sprintf "expected %c" c)
+
+let literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.s && String.sub st.s st.pos n = word then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else error st (Printf.sprintf "expected %s" word)
+
+let parse_string st =
+  expect st '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+       | Some '"' -> Buffer.add_char b '"'; advance st
+       | Some '\\' -> Buffer.add_char b '\\'; advance st
+       | Some '/' -> Buffer.add_char b '/'; advance st
+       | Some 'n' -> Buffer.add_char b '\n'; advance st
+       | Some 't' -> Buffer.add_char b '\t'; advance st
+       | Some 'r' -> Buffer.add_char b '\r'; advance st
+       | Some 'b' -> Buffer.add_char b '\b'; advance st
+       | Some 'f' -> Buffer.add_char b '\012'; advance st
+       | Some 'u' ->
+         advance st;
+         if st.pos + 4 > String.length st.s then error st "bad \\u escape";
+         let hex = String.sub st.s st.pos 4 in
+         (match int_of_string_opt ("0x" ^ hex) with
+          | None -> error st "bad \\u escape"
+          | Some code ->
+            (* Keep it simple: non-ASCII escapes render as '?'. *)
+            Buffer.add_char b (if code < 128 then Char.chr code else '?');
+            st.pos <- st.pos + 4)
+       | _ -> error st "bad escape");
+      go ()
+    | Some c ->
+      Buffer.add_char b c;
+      advance st;
+      go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+  in
+  let rec go () =
+    match peek st with
+    | Some c when is_num_char c ->
+      advance st;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  let tok = String.sub st.s start (st.pos - start) in
+  match float_of_string_opt tok with
+  | Some f -> Num f
+  | None -> error st (Printf.sprintf "bad number %S" tok)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> error st "unexpected end of input"
+  | Some '{' -> parse_obj st
+  | Some '[' -> parse_arr st
+  | Some '"' -> Str (parse_string st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> error st (Printf.sprintf "unexpected character %c" c)
+
+and parse_obj st =
+  expect st '{';
+  skip_ws st;
+  if peek st = Some '}' then begin
+    advance st;
+    Obj []
+  end
+  else begin
+    let rec members acc =
+      skip_ws st;
+      let key = parse_string st in
+      skip_ws st;
+      expect st ':';
+      let v = parse_value st in
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+        advance st;
+        members ((key, v) :: acc)
+      | Some '}' ->
+        advance st;
+        List.rev ((key, v) :: acc)
+      | _ -> error st "expected , or } in object"
+    in
+    Obj (members [])
+  end
+
+and parse_arr st =
+  expect st '[';
+  skip_ws st;
+  if peek st = Some ']' then begin
+    advance st;
+    Arr []
+  end
+  else begin
+    let rec elements acc =
+      let v = parse_value st in
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+        advance st;
+        elements (v :: acc)
+      | Some ']' ->
+        advance st;
+        List.rev (v :: acc)
+      | _ -> error st "expected , or ] in array"
+    in
+    Arr (elements [])
+  end
+
+let parse s =
+  let st = { s; pos = 0 } in
+  try
+    let v = parse_value st in
+    skip_ws st;
+    if st.pos <> String.length s then Error (Printf.sprintf "trailing garbage at offset %d" st.pos)
+    else Ok v
+  with Parse_error m -> Error m
+
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None
+
+let to_list = function
+  | Arr xs -> Some xs
+  | _ -> None
+
+let to_float = function
+  | Num f -> Some f
+  | _ -> None
+
+let to_string = function
+  | Str s -> Some s
+  | _ -> None

@@ -1,0 +1,23 @@
+(** A minimal JSON parser, just enough to validate the observability
+    exports (metrics JSON, Perfetto trace JSON) without external
+    dependencies. Numbers parse as floats; [\uXXXX] escapes outside ASCII
+    decode to ['?'] (validation does not inspect them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on missing key or non-object. *)
+
+val to_list : t -> t list option
+
+val to_float : t -> float option
+
+val to_string : t -> string option

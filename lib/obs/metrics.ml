@@ -1,0 +1,108 @@
+type dist = { d_count : int; d_mean : float; d_p50 : int; d_p95 : int; d_p99 : int; d_max : int }
+
+type value = Int of int | Float of float | Dist of dist
+
+type metric = { m_name : string; m_labels : (string * string) list; m_read : unit -> value }
+
+type t = { mutable rev_metrics : metric list }
+
+let create () = { rev_metrics = [] }
+
+let canonical_labels labels = List.sort compare labels
+
+let register t ~name ?(labels = []) read =
+  let labels = canonical_labels labels in
+  if List.exists (fun m -> m.m_name = name && m.m_labels = labels) t.rev_metrics then
+    invalid_arg (Printf.sprintf "Metrics.register: duplicate metric %S" name);
+  t.rev_metrics <- { m_name = name; m_labels = labels; m_read = read } :: t.rev_metrics
+
+let counter t ~name ?labels () =
+  let r = ref 0 in
+  register t ~name ?labels (fun () -> Int !r);
+  r
+
+let snapshot t = List.rev_map (fun m -> (m.m_name, m.m_labels, m.m_read ())) t.rev_metrics
+
+let get t ~name ?(labels = []) () =
+  let labels = canonical_labels labels in
+  List.find_map
+    (fun m -> if m.m_name = name && m.m_labels = labels then Some (m.m_read ()) else None)
+    (List.rev t.rev_metrics)
+
+(* --- export --- *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f =
+  if Float.is_nan f then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let json_value = function
+  | Int i -> string_of_int i
+  | Float f -> json_float f
+  | Dist d ->
+    Printf.sprintf "{\"count\":%d,\"mean\":%s,\"p50\":%d,\"p95\":%d,\"p99\":%d,\"max\":%d}" d.d_count
+      (json_float d.d_mean) d.d_p50 d.d_p95 d.d_p99 d.d_max
+
+let json_labels labels =
+  "{"
+  ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v)) labels)
+  ^ "}"
+
+let to_json t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "[";
+  List.iteri
+    (fun i (name, labels, v) ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b
+        (Printf.sprintf "\n  {\"name\":\"%s\",\"labels\":%s,\"value\":%s}" (escape name) (json_labels labels)
+           (json_value v)))
+    (snapshot t);
+  Buffer.add_string b "\n]";
+  Buffer.contents b
+
+let label_string labels = String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+
+let csv_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "name,labels,value\n";
+  let row name labels v =
+    Buffer.add_string b
+      (Printf.sprintf "%s,%s,%s\n" (csv_cell name) (csv_cell (label_string labels))
+         (match v with
+          | Int i -> string_of_int i
+          | Float f -> Printf.sprintf "%g" f
+          | Dist _ -> assert false))
+  in
+  List.iter
+    (fun (name, labels, v) ->
+      match v with
+      | Int _ | Float _ -> row name labels v
+      | Dist d ->
+        row (name ^ ".count") labels (Int d.d_count);
+        row (name ^ ".mean") labels (Float d.d_mean);
+        row (name ^ ".p50") labels (Int d.d_p50);
+        row (name ^ ".p95") labels (Int d.d_p95);
+        row (name ^ ".p99") labels (Int d.d_p99);
+        row (name ^ ".max") labels (Int d.d_max))
+    (snapshot t);
+  Buffer.contents b

@@ -1,0 +1,37 @@
+(** Metrics registry: named counters, gauges and latency distributions
+    with string labels, snapshotted to JSON or CSV.
+
+    Producers register once (at allocator or harness construction) and the
+    registry reads them lazily at export time, so registration costs
+    nothing on any hot path. Counter refs handed out by {!counter} follow
+    the owning domain's locking discipline — increment them only under
+    that lock, exactly like an [Alloc_stats] shard. Gauges are closures
+    evaluated at {!snapshot}; call exports only at quiescent points. *)
+
+type dist = { d_count : int; d_mean : float; d_p50 : int; d_p95 : int; d_p99 : int; d_max : int }
+
+type value = Int of int | Float of float | Dist of dist
+
+type t
+
+val create : unit -> t
+
+val register : t -> name:string -> ?labels:(string * string) list -> (unit -> value) -> unit
+(** Registers a gauge read at export time. Raises [Invalid_argument] on a
+    duplicate (name, labels) pair. *)
+
+val counter : t -> name:string -> ?labels:(string * string) list -> unit -> int ref
+(** Registers and returns a counter cell. Increment under the owning
+    domain's lock. *)
+
+val snapshot : t -> (string * (string * string) list * value) list
+(** Every metric in registration order, labels sorted. *)
+
+val get : t -> name:string -> ?labels:(string * string) list -> unit -> value option
+
+val to_json : t -> string
+(** A JSON array of [{"name":..,"labels":{..},"value":..}] objects;
+    distributions export as objects with count/mean/percentile fields. *)
+
+val to_csv : t -> string
+(** [name,labels,value] rows; distributions flatten to [name.p50] etc. *)

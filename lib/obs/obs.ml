@@ -1,0 +1,30 @@
+type config = { ring_capacity : int }
+
+let default_config = { ring_capacity = 1 lsl 16 }
+
+type t = { config : config; metrics : Metrics.t; mutable rev_rings : (string * Event_ring.t) list }
+
+let create ?(config = default_config) () =
+  if config.ring_capacity < 1 then invalid_arg "Obs.create: ring_capacity must be >= 1";
+  { config; metrics = Metrics.create (); rev_rings = [] }
+
+let metrics t = t.metrics
+
+let new_ring t name =
+  if List.mem_assoc name t.rev_rings then invalid_arg (Printf.sprintf "Obs.new_ring: duplicate ring %S" name);
+  let r = Event_ring.create ~capacity:t.config.ring_capacity in
+  t.rev_rings <- (name, r) :: t.rev_rings;
+  Metrics.register t.metrics ~name:"obs.events"
+    ~labels:[ ("ring", name) ]
+    (fun () -> Metrics.Int (Event_ring.recorded r));
+  r
+
+let rings t = List.rev t.rev_rings
+
+let find_ring t name = List.assoc_opt name t.rev_rings
+
+let total_recorded t = List.fold_left (fun acc (_, r) -> acc + Event_ring.recorded r) 0 t.rev_rings
+
+let total_dropped t = List.fold_left (fun acc (_, r) -> acc + Event_ring.dropped r) 0 t.rev_rings
+
+let count_kind t kind = List.fold_left (fun acc (_, r) -> acc + Event_ring.recorded_kind r kind) 0 t.rev_rings

@@ -1,0 +1,38 @@
+(** The observability context an instrumented allocator run threads
+    through its stack: a set of named per-lock-domain {!Event_ring}s plus
+    one shared {!Metrics} registry.
+
+    Tracing is opt-in: allocators take an optional [Obs.t] at
+    construction and, when absent, pay at most a branch per slow-path
+    event site (the malloc/free fast paths carry no event sites at all).
+    Ring creation and metric registration happen at construction time,
+    single-threaded; ring writes then follow each ring's own lock-domain
+    contract (see {!Event_ring}). *)
+
+type config = { ring_capacity : int  (** events retained per ring *) }
+
+val default_config : config
+(** 65536 events per ring. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val metrics : t -> Metrics.t
+
+val new_ring : t -> string -> Event_ring.t
+(** Creates and registers a named ring (e.g. ["heap3"], ["large"],
+    ["locks"]); its running event count is published to the registry as
+    [obs.events{ring=<name>}]. Raises on duplicate names. *)
+
+val rings : t -> (string * Event_ring.t) list
+(** In creation order. *)
+
+val find_ring : t -> string -> Event_ring.t option
+
+val total_recorded : t -> int
+
+val total_dropped : t -> int
+
+val count_kind : t -> Event_ring.kind -> int
+(** Exact per-kind total across every ring (drop-proof). *)

@@ -1,0 +1,65 @@
+(* Chrome trace-event / Perfetto JSON. Events accumulate as pre-rendered
+   JSON fragments; the format does not require ordering, so emission order
+   is whatever the caller produced. *)
+
+type t = { buf : Buffer.t; mutable n : int }
+
+let create () = { buf = Buffer.create 4096; n = 0 }
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let args_json args =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" (escape k) v) args) ^ "}"
+
+let str v = Printf.sprintf "\"%s\"" (escape v)
+
+let add t fragment =
+  if t.n > 0 then Buffer.add_string t.buf ",";
+  Buffer.add_string t.buf "\n  ";
+  Buffer.add_string t.buf fragment;
+  t.n <- t.n + 1
+
+let event_count t = t.n
+
+let process_name t ~pid name =
+  add t
+    (Printf.sprintf "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":%s}}" pid
+       (str name))
+
+let thread_name t ~pid ~tid name =
+  add t
+    (Printf.sprintf "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":%s}}" pid tid
+       (str name))
+
+let instant t ~name ~cat ~ts ~pid ~tid ?(args = []) () =
+  add t
+    (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%d,\"pid\":%d,\"tid\":%d%s}"
+       (escape name) (escape cat) ts pid tid
+       (if args = [] then "" else ",\"args\":" ^ args_json args))
+
+let span t ~name ~cat ~ts ~dur ~pid ~tid ?(args = []) () =
+  add t
+    (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":%d,\"tid\":%d%s}"
+       (escape name) (escape cat) ts dur pid tid
+       (if args = [] then "" else ",\"args\":" ^ args_json args))
+
+let counter t ~name ~ts ~pid ~series =
+  add t
+    (Printf.sprintf "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%d,\"pid\":%d,\"tid\":0,\"args\":%s}" (escape name) ts
+       pid
+       (args_json (List.map (fun (k, v) -> (k, string_of_int v)) series)))
+
+let to_json t =
+  Printf.sprintf "{\"traceEvents\":[%s\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"source\":\"hoard_repro\"}}"
+    (Buffer.contents t.buf)

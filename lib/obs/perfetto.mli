@@ -1,0 +1,33 @@
+(** Chrome trace-event / Perfetto JSON export.
+
+    Produces the classic [traceEvents] JSON that https://ui.perfetto.dev
+    and chrome://tracing load directly. The convention used by the
+    harness: one process (pid 0) for the simulated machine, one thread
+    track per processor, allocator events as thread-scoped instants, lock
+    holds as complete ("X") spans, and held-bytes curves as counter
+    events. Timestamps are simulated cycles written into the [ts]
+    microsecond field — absolute units are irrelevant for inspection. *)
+
+type t
+
+val create : unit -> t
+
+val process_name : t -> pid:int -> string -> unit
+
+val thread_name : t -> pid:int -> tid:int -> string -> unit
+
+val instant : t -> name:string -> cat:string -> ts:int -> pid:int -> tid:int -> ?args:(string * string) list -> unit -> unit
+(** Thread-scoped instant event. [args] values must be rendered JSON
+    (use {!str} for strings). *)
+
+val span : t -> name:string -> cat:string -> ts:int -> dur:int -> pid:int -> tid:int -> ?args:(string * string) list -> unit -> unit
+(** Complete event ("X" phase): a [dur]-long slice starting at [ts]. *)
+
+val counter : t -> name:string -> ts:int -> pid:int -> series:(string * int) list -> unit
+
+val str : string -> string
+(** Quote + escape a string for use as an [args] value. *)
+
+val event_count : t -> int
+
+val to_json : t -> string

@@ -13,6 +13,7 @@ type t = {
   read : addr:int -> len:int -> unit;
   write : addr:int -> len:int -> unit;
   new_lock : string -> lock;
+  now : unit -> int;
   page_map : bytes:int -> align:int -> owner:int -> int;
   page_unmap : addr:int -> unit;
   mapped_bytes : owner:int -> int;
@@ -36,6 +37,10 @@ let host ?(page_size = 4096) ?(nprocs = 1) () =
     Fun.protect ~finally:(fun () -> Mutex.unlock vmem_lock) f
   in
   let self_tid () = (Domain.self () :> int) in
+  (* The host has no simulated clock; a fetch-and-add logical clock keeps
+     event timestamps strictly monotone across domains, which is all the
+     observability layer needs from it. *)
+  let tick = Atomic.make 1 in
   let t =
     {
       nprocs;
@@ -49,6 +54,7 @@ let host ?(page_size = 4096) ?(nprocs = 1) () =
         (fun lock_name ->
           let m = Mutex.create () in
           { acquire = (fun () -> Mutex.lock m); release = (fun () -> Mutex.unlock m); lock_name });
+      now = (fun () -> Atomic.fetch_and_add tick 1);
       page_map = (fun ~bytes ~align ~owner -> locked (fun () -> Vmem.map vmem ~owner ~bytes ~align ()));
       page_unmap = (fun ~addr -> locked (fun () -> Vmem.unmap vmem ~addr));
       mapped_bytes = (fun ~owner -> locked (fun () -> Vmem.mapped_bytes_of_owner vmem owner));

@@ -29,6 +29,11 @@ type t = {
   read : addr:int -> len:int -> unit;  (** memory load of [len] bytes *)
   write : addr:int -> len:int -> unit;  (** memory store of [len] bytes *)
   new_lock : string -> lock;
+  now : unit -> int;
+      (** event timestamp: the executing processor's simulated clock on
+          the simulator, a global monotonic logical counter on the host.
+          Cheap and side-effect-free with respect to timing (charges no
+          cycles). *)
   page_map : bytes:int -> align:int -> owner:int -> int;
       (** obtain memory from the OS; returns the base address *)
   page_unmap : addr:int -> unit;  (** return a region to the OS *)

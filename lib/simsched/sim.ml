@@ -11,6 +11,7 @@ type lock = {
   mutable acqs : int;
   mutable spins : int;
   mutable waiters : int list; (* FIFO ticket queue (Ticket kind only) *)
+  mutable acquired_at : int; (* holder's clock when it acquired (for hold spans) *)
 }
 
 (* What the scheduler should do next with a thread. *)
@@ -21,7 +22,12 @@ type pending =
   | Blocked (* parked on a barrier *)
   | Done
 
-type thread = { tid : int; proc : int; mutable pending : pending }
+type thread = {
+  tid : int;
+  proc : int;
+  mutable pending : pending;
+  mutable cur_spins : int; (* spins paid so far for the acquisition in flight *)
+}
 
 type barrier = {
   b_addr : int;
@@ -46,6 +52,10 @@ type t = {
   mutable next_meta : int; (* addresses for lock/barrier words *)
   mutable locks_rev : lock list;
   mutable started : bool;
+  (* Observability hooks, called from the scheduler (not from simulated
+     threads) so they may touch host state freely. They charge no cycles. *)
+  mutable hook_acquire : (name:string -> proc:int -> spins:int -> at:int -> unit) option;
+  mutable hook_release : (name:string -> proc:int -> acquired_at:int -> at:int -> unit) option;
 }
 
 exception Deadlock of string
@@ -82,6 +92,8 @@ let create ?(cost = Cost_model.default) ?(lock_kind = Spin) ?fuzz_schedule ?(lin
     next_meta = 0x0800_0000; (* below the Vmem base: never collides with heap data *)
     locks_rev = [];
     started = false;
+    hook_acquire = None;
+    hook_release = None;
   }
 
 let nprocs t = t.nprocs
@@ -101,7 +113,16 @@ let fresh_meta_addr t =
 
 let new_lock t l_name =
   let l =
-    { l_name; l_addr = fresh_meta_addr t; l_kind = t.lock_kind; holder = None; acqs = 0; spins = 0; waiters = [] }
+    {
+      l_name;
+      l_addr = fresh_meta_addr t;
+      l_kind = t.lock_kind;
+      holder = None;
+      acqs = 0;
+      spins = 0;
+      waiters = [];
+      acquired_at = 0;
+    }
   in
   t.locks_rev <- l :: t.locks_rev;
   l
@@ -111,6 +132,10 @@ let lock_acquisitions l = l.acqs
 let lock_spins l = l.spins
 
 let lock_stats t = List.rev_map (fun l -> (l.l_name, l.acqs, l.spins)) t.locks_rev
+
+let set_lock_hooks t ?on_acquire ?on_release () =
+  t.hook_acquire <- on_acquire;
+  t.hook_release <- on_release
 
 let new_barrier t ~parties =
   if parties < 1 then invalid_arg "Sim.new_barrier: parties must be >= 1";
@@ -182,6 +207,9 @@ let handler t th =
                 l.holder <- None;
                 charge_access t th.proc (Cache.write t.cch th.proc ~addr:l.l_addr ~len:8);
                 charge t th.proc t.cost.lock_release;
+                (match t.hook_release with
+                 | Some f -> f ~name:l.l_name ~proc:th.proc ~acquired_at:l.acquired_at ~at:t.clocks.(th.proc)
+                 | None -> ());
                 th.pending <- Resume (fun () -> continue k ())
               end)
         | E_barrier b ->
@@ -234,7 +262,7 @@ let spawn t ?proc body =
       p
     | None -> tid mod t.nprocs
   in
-  let th = { tid; proc; pending = Start body } in
+  let th = { tid; proc; pending = Start body; cur_spins = 0 } in
   Queue.push th t.runq.(proc);
   t.live <- t.live + 1;
   tid
@@ -264,11 +292,17 @@ let step t th =
       l.acqs <- l.acqs + 1;
       charge_access t th.proc (Cache.write t.cch th.proc ~addr:l.l_addr ~len:8);
       charge t th.proc t.cost.lock_uncontended;
+      l.acquired_at <- t.clocks.(th.proc);
+      (match t.hook_acquire with
+       | Some f -> f ~name:l.l_name ~proc:th.proc ~spins:th.cur_spins ~at:t.clocks.(th.proc)
+       | None -> ());
+      th.cur_spins <- 0;
       resume ()
     end
     else begin
       (* Spin: re-read the lock word and burn a retry quantum. *)
       l.spins <- l.spins + 1;
+      th.cur_spins <- th.cur_spins + 1;
       charge_access t th.proc (Cache.read t.cch th.proc ~addr:l.l_addr ~len:8);
       charge t th.proc t.cost.lock_spin
     end
@@ -323,6 +357,7 @@ let platform t =
       (fun name ->
         let l = new_lock t name in
         { Platform.acquire = (fun () -> acquire l); release = (fun () -> release l); lock_name = name });
+    now;
     page_map = (fun ~bytes ~align ~owner -> perform (E_page_map (bytes, align, owner)));
     page_unmap = (fun ~addr -> perform (E_page_unmap addr));
     mapped_bytes = (fun ~owner -> Vmem.mapped_bytes_of_owner t.vm owner);

@@ -106,6 +106,20 @@ val lock_spins : lock -> int
 val lock_stats : t -> (string * int * int) list
 (** [(name, acquisitions, spins)] for every lock, in creation order. *)
 
+val set_lock_hooks :
+  t ->
+  ?on_acquire:(name:string -> proc:int -> spins:int -> at:int -> unit) ->
+  ?on_release:(name:string -> proc:int -> acquired_at:int -> at:int -> unit) ->
+  unit ->
+  unit
+(** Observability hooks, invoked by the scheduler (host code, outside any
+    simulated thread) and charging no simulated cycles, so installing them
+    cannot change a run's timing. [on_acquire] fires after each successful
+    lock acquisition with the number of failed (spinning) attempts this
+    acquisition cost; [on_release] fires on release with the holder's
+    clock at acquisition, yielding the lock-hold span
+    [acquired_at..at]. Call before {!run}; omitted hooks are cleared. *)
+
 val now : unit -> int
 (** The executing processor's current clock, from inside a thread. *)
 

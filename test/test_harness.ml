@@ -58,7 +58,8 @@ let test_experiment_registry_complete () =
       "table1"; "table2"; "table3"; "table4"; "table5";
       "fig_threadtest"; "fig_shbench"; "fig_larson"; "fig_active_false"; "fig_passive_false";
       "fig_bem"; "fig_barnes"; "exp_blowup"; "exp_falseshare"; "exp_oversub"; "exp_latency";
-      "exp_apps"; "exp_timeline"; "exp_costmodel"; "exp_numa"; "abl_f"; "abl_k"; "abl_sbsize"; "abl_lock";
+      "exp_apps"; "exp_timeline"; "exp_costmodel"; "exp_numa"; "exp_contention";
+      "abl_f"; "abl_k"; "abl_sbsize"; "abl_lock";
       "abl_nheaps";
     ]
 
