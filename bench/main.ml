@@ -14,15 +14,7 @@
 open Bechamel
 open Bechamel.Toolkit
 
-let factories () =
-  [
-    Serial_alloc.factory ();
-    Concurrent_single.factory ();
-    Pure_private.factory ();
-    Private_ownership.factory ();
-    Private_threshold.factory ();
-    Hoard.factory ();
-  ]
+let factories () = Allocators.all ()
 
 (* One malloc/free pair per run, against a long-lived allocator. *)
 let pair_test (factory : Alloc_intf.factory) ~size =

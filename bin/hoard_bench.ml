@@ -67,6 +67,15 @@ let procs_opt =
     & opt (some string) None
     & info [ "procs" ] ~docv:"P1,P2,.." ~doc:"Processor counts to sweep (default depends on scale).")
 
+let front_end_opt =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "front-end" ] ~docv:"K"
+        ~doc:
+          "Per-thread block-cache capacity per size class for the hoard instance (0 = the paper's exact \
+           algorithm, the default).")
+
 let run_cmd =
   let doc = "Run one experiment by id." in
   let id_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id (see list).") in
@@ -86,7 +95,8 @@ let run_cmd =
       & info [ "trace" ] ~docv:"FILE"
           ~doc:"With $(b,--metrics) machinery: write the instrumented pass's Perfetto trace-event JSON.")
   in
-  let run id full quick csv procs metrics trace =
+  let run id full quick csv procs metrics trace front_end =
+    let config = { Hoard_config.default with Hoard_config.front_end } in
     let scale = scale_of_flag (full && not quick) in
     match Experiments.find id with
     | None ->
@@ -101,7 +111,7 @@ let run_cmd =
           | _ -> 8
         in
         let w = Experiments.obs_workload id scale in
-        let b = Obs_run.run_workload w ~nprocs in
+        let b = Obs_run.run_workload ~config w ~nprocs in
         Printf.printf "instrumented pass: %s on %d procs, %d cycles, %d events recorded (%d dropped)\n"
           b.Obs_run.b_name nprocs b.Obs_run.b_cycles (Obs.total_recorded b.Obs_run.b_obs)
           (Obs.total_dropped b.Obs_run.b_obs);
@@ -118,7 +128,9 @@ let run_cmd =
       end
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ id_arg $ full_flag $ quick_flag $ csv_flag $ procs_opt $ metrics_opt $ trace_opt)
+    Term.(
+      const run $ id_arg $ full_flag $ quick_flag $ csv_flag $ procs_opt $ metrics_opt $ trace_opt
+      $ front_end_opt)
 
 let all_cmd =
   let doc = "Run every experiment in order." in
@@ -149,21 +161,31 @@ let get_workload name full =
 
 let inspect_cmd =
   let doc = "Run a benchmark under Hoard, then dump the allocator's heap state." in
-  let run name full nprocs =
+  let run name full nprocs front_end =
     let w = get_workload name full in
     let sim = Sim.create ~nprocs () in
     let pf = Sim.platform sim in
-    let h = Hoard.create pf in
+    let h = Hoard.create ~config:{ Hoard_config.default with Hoard_config.front_end } pf in
     let a = Hoard.allocator h in
     w.Workload_intf.spawn sim pf a ~nthreads:nprocs;
     Sim.run sim;
     a.Alloc_intf.check ();
+    if front_end > 0 then begin
+      List.iter
+        (fun (tid, counts) ->
+          Printf.printf "tcache tid=%d: %d blocks cached\n" tid (Array.fold_left ( + ) 0 counts))
+        (Hoard.cache_counts h);
+      Printf.printf "remote queues: [%s]\n"
+        (String.concat "; " (Array.to_list (Array.map string_of_int (Hoard.remote_queue_lengths h))));
+      Hoard.flush_caches h;
+      a.Alloc_intf.check ()
+    end;
     let s = a.Alloc_intf.stats () in
     Printf.printf "%s on %d processors: %d cycles\n%s\n\n" name nprocs (Sim.total_cycles sim)
       (Format.asprintf "%a" Alloc_stats.pp_snapshot s);
     Format.printf "%a@." Hoard.pp_heaps h
   in
-  Cmd.v (Cmd.info "inspect" ~doc) Term.(const run $ workload_arg $ full_flag $ nprocs_arg)
+  Cmd.v (Cmd.info "inspect" ~doc) Term.(const run $ workload_arg $ full_flag $ nprocs_arg $ front_end_opt)
 
 let sweep_cmd =
   let doc = "Run one benchmark under Hoard with explicit algorithm parameters." in

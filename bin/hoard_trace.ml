@@ -27,21 +27,16 @@ let load path =
     Printf.eprintf "%s: %s\n" path m;
     exit 1
 
-let factories =
-  [
-    ("serial", Serial_alloc.factory ());
-    ("concurrent-single", Concurrent_single.factory ());
-    ("pure-private", Pure_private.factory ());
-    ("private-ownership", Private_ownership.factory ());
-    ("private-threshold", Private_threshold.factory ());
-    ("hoard", Hoard.factory ());
-  ]
-
 let factory_of name =
-  match List.assoc_opt name factories with
+  if name = "help" then begin
+    print_endline "allocators:";
+    print_endline (Allocators.help ());
+    exit 0
+  end;
+  match Allocators.find name with
   | Some f -> f
   | None ->
-    Printf.eprintf "unknown allocator %S; known: %s\n" name (String.concat ", " (List.map fst factories));
+    Printf.eprintf "unknown allocator %S; known: %s\n" name (String.concat ", " (Allocators.labels ()));
     exit 1
 
 let replay_trace trace factory ~procs =
@@ -133,7 +128,48 @@ let profile_cmd =
   Cmd.v (Cmd.info "profile" ~doc) Term.(const run $ file_arg $ procs_arg $ perfetto $ metrics)
 
 (* Structural validation of the two JSON artefacts the observability layer
-   emits, for CI smoke checks (no external JSON tooling in the image). *)
+   emits, plus metric comparison against a baseline export, for CI smoke
+   checks (no external JSON tooling in the image). *)
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  n = 0 || at 0
+
+(* Sum of the values of every metric whose name starts with [prefix] and
+   whose labels render to something containing [label_contains]. *)
+let sum_metrics j ~prefix ~label_contains =
+  match Option.bind (Json_lite.member "metrics" j) Json_lite.to_list with
+  | None -> None
+  | Some ms ->
+    Some
+      (List.fold_left
+         (fun acc m ->
+           let name_ok =
+             match Option.bind (Json_lite.member "name" m) Json_lite.to_string with
+             | Some n -> String.starts_with ~prefix n
+             | None -> false
+           in
+           let label_ok =
+             match label_contains with
+             | None -> true
+             | Some sub ->
+               (match Json_lite.member "labels" m with
+                | Some (Json_lite.Obj kvs) ->
+                  List.exists
+                    (fun (k, v) ->
+                      match Json_lite.to_string v with
+                      | Some s -> contains ~sub (k ^ "=" ^ s)
+                      | None -> false)
+                    kvs
+                | _ -> false)
+           in
+           if name_ok && label_ok then
+             match Option.bind (Json_lite.member "value" m) Json_lite.to_float with
+             | Some v -> acc +. v
+             | None -> acc
+           else acc)
+         0.0 ms)
+
 let check_json_cmd =
   let doc = "Validate an emitted JSON artefact (Perfetto trace or metrics export)." in
   let expect =
@@ -142,9 +178,35 @@ let check_json_cmd =
       & opt (enum [ ("trace", `Trace); ("metrics", `Metrics); ("any", `Any) ]) `Any
       & info [ "expect" ] ~doc:"Expected shape: $(b,trace), $(b,metrics) or $(b,any) (parse only).")
   in
+  let baseline =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "A second metrics export to compare against: sum the metrics selected by $(b,--sum-prefix) \
+             and $(b,--label-contains) in both files and fail unless FILE's sum stays within \
+             $(b,--max-ratio) times the baseline's.")
+  in
+  let sum_prefix =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sum-prefix" ] ~docv:"STR" ~doc:"Metric-name prefix to sum (e.g. $(b,lock.acquisitions)).")
+  in
+  let label_contains =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "label-contains" ] ~docv:"STR"
+          ~doc:"Only sum metrics one of whose rendered $(i,key=value) labels contains STR.")
+  in
+  let max_ratio =
+    Arg.(value & opt float 1.0 & info [ "max-ratio" ] ~docv:"R" ~doc:"Largest acceptable FILE/baseline sum ratio.")
+  in
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"JSON file.") in
   let fail fmt = Printf.ksprintf (fun m -> Printf.eprintf "%s\n" m; exit 1) fmt in
-  let run path expect =
+  let run path expect baseline sum_prefix label_contains max_ratio =
     match Json_lite.parse (read_file path) with
     | Error m -> fail "%s: invalid JSON: %s" path m
     | Ok j ->
@@ -174,9 +236,37 @@ let check_json_cmd =
                 | _ -> fail "%s: metrics[%d] lacks name/value" path i)
               ms;
             Printf.printf "%s: valid metrics JSON, %d metrics\n" path (List.length ms)
-          | _ -> fail "%s: missing run.cycles or metrics array" path))
+          | _ -> fail "%s: missing run.cycles or metrics array" path));
+      (match (baseline, sum_prefix) with
+       | None, _ -> ()
+       | Some _, None -> fail "--baseline needs --sum-prefix"
+       | Some bpath, Some prefix ->
+         let base_j =
+           match Json_lite.parse (read_file bpath) with
+           | Ok j -> j
+           | Error m -> fail "%s: invalid JSON: %s" bpath m
+         in
+         let sum what j' =
+           match sum_metrics j' ~prefix ~label_contains with
+           | Some s -> s
+           | None -> fail "%s: no metrics array to sum" what
+         in
+         let cur = sum path j and base = sum bpath base_j in
+         let ratio = if base = 0.0 then if cur = 0.0 then 0.0 else infinity else cur /. base in
+         let selector =
+           prefix
+           ^
+           match label_contains with
+           | Some s -> Printf.sprintf "{%s}" s
+           | None -> ""
+         in
+         Printf.printf "sum(%s): %.0f vs baseline %.0f (ratio %.3f, max %.3f)\n" selector cur base ratio
+           max_ratio;
+         if ratio > max_ratio then
+           fail "%s: sum(%s) = %.0f exceeds %.3f x baseline %.0f" path selector cur max_ratio base)
   in
-  Cmd.v (Cmd.info "check-json" ~doc) Term.(const run $ file $ expect)
+  Cmd.v (Cmd.info "check-json" ~doc)
+    Term.(const run $ file $ expect $ baseline $ sum_prefix $ label_contains $ max_ratio)
 
 let bench_cmd =
   let doc = "Replay a trace against every allocator and compare." in
@@ -194,17 +284,17 @@ let bench_cmd =
           ]
     in
     List.iter
-      (fun (name, f) ->
+      (fun f ->
         let cycles, stats, invals = replay_trace t f ~procs in
         Table.add_row tbl
           [
-            name;
+            f.Alloc_intf.label;
             string_of_int cycles;
             Table.cell_float (Alloc_stats.fragmentation stats);
             string_of_int invals;
             string_of_int stats.Alloc_stats.os_maps;
           ])
-      factories;
+      (Allocators.all ());
     Table.print tbl
   in
   Cmd.v (Cmd.info "bench" ~doc) Term.(const run $ file_arg $ procs_arg)

@@ -1,32 +1,86 @@
-let calloc (pf : Platform.t) (a : Alloc_intf.t) ~count ~size =
+(* Generic implementations of the extended allocation API, expressed over
+   the raw malloc/free/usable_size closures (not the record, so a builder
+   can assemble a record without tying the knot). *)
+
+let generic_calloc (pf : Platform.t) ~malloc ~count ~size =
   if count <= 0 || size <= 0 then invalid_arg "Alloc_api.calloc: count and size must be positive";
   if count > max_int / size then invalid_arg "Alloc_api.calloc: size overflow";
   let total = count * size in
-  let addr = a.Alloc_intf.malloc total in
+  let addr = malloc total in
   pf.Platform.write ~addr ~len:total;
   addr
 
-let realloc (pf : Platform.t) (a : Alloc_intf.t) ~addr ~size =
+let generic_realloc (pf : Platform.t) ~malloc ~free ~usable_size ~addr ~size =
   if size <= 0 then invalid_arg "Alloc_api.realloc: size must be positive";
-  let old_usable = a.Alloc_intf.usable_size addr in
+  let old_usable = usable_size addr in
   if size <= old_usable then addr
   else begin
-    let fresh = a.Alloc_intf.malloc size in
+    let fresh = malloc size in
     let copied = min old_usable size in
     pf.Platform.read ~addr ~len:copied;
     pf.Platform.write ~addr:fresh ~len:copied;
-    a.Alloc_intf.free addr;
+    free addr;
     fresh
   end
 
-let aligned_alloc (pf : Platform.t) (a : Alloc_intf.t) ~align ~size =
+let generic_aligned_alloc (pf : Platform.t) ~malloc ~large_threshold ~align ~size =
   if size <= 0 then invalid_arg "Alloc_api.aligned_alloc: size must be positive";
   if align <= 0 || align land (align - 1) <> 0 then
     invalid_arg "Alloc_api.aligned_alloc: align must be a positive power of two";
-  if align <= 8 then a.Alloc_intf.malloc size
+  if align <= 8 then malloc size
   else if align > pf.Platform.page_size then
     invalid_arg "Alloc_api.aligned_alloc: alignment beyond the page size is not supported"
   else
     (* Force the page-aligned large-object path; pages satisfy any
        alignment up to their own size. *)
-    a.Alloc_intf.malloc (max size (a.Alloc_intf.large_threshold + 1))
+    malloc (max size (large_threshold + 1))
+
+let make ~pf ~name ~owner ~large_threshold ~malloc ~free ~usable_size ~stats ~check ?malloc_batch
+    ?free_batch ?flush ?realloc () =
+  let malloc_batch =
+    match malloc_batch with
+    | Some f -> f
+    | None -> fun n size -> Array.init n (fun _ -> malloc size)
+  in
+  let free_batch =
+    match free_batch with
+    | Some f -> f
+    | None -> fun addrs -> Array.iter free addrs
+  in
+  let flush =
+    match flush with
+    | Some f -> f
+    | None -> fun () -> ()
+  in
+  let realloc =
+    match realloc with
+    | Some f -> f
+    | None -> fun ~addr ~size -> generic_realloc pf ~malloc ~free ~usable_size ~addr ~size
+  in
+  {
+    Alloc_intf.name;
+    owner;
+    large_threshold;
+    malloc;
+    free;
+    usable_size;
+    stats;
+    check;
+    malloc_batch;
+    free_batch;
+    flush;
+    realloc;
+    calloc = (fun ~count ~size -> generic_calloc pf ~malloc ~count ~size);
+    aligned_alloc = (fun ~align ~size -> generic_aligned_alloc pf ~malloc ~large_threshold ~align ~size);
+  }
+
+(* The original free-function forms, kept as thin wrappers over the record
+   members so existing call sites (and their error contracts) are
+   untouched. The [Platform.t] argument is retained for signature
+   stability; the record member already closes over its platform. *)
+
+let calloc (_pf : Platform.t) (a : Alloc_intf.t) ~count ~size = a.Alloc_intf.calloc ~count ~size
+
+let realloc (_pf : Platform.t) (a : Alloc_intf.t) ~addr ~size = a.Alloc_intf.realloc ~addr ~size
+
+let aligned_alloc (_pf : Platform.t) (a : Alloc_intf.t) ~align ~size = a.Alloc_intf.aligned_alloc ~align ~size

@@ -1,12 +1,41 @@
-(** The rest of the C allocation API, built uniformly over any
-    {!Alloc_intf.t}: [calloc], [realloc] and an aligned-allocation helper.
+(** Assembling an {!Alloc_intf.t} and the generic implementations of its
+    extended members.
 
-    These mirror how the paper's allocator exposes the full malloc
-    interface on top of its core malloc/free: [calloc] zeroes through the
-    platform (charging the stores), and [realloc] grows by
-    allocate-copy-free — staying in place whenever the existing block's
-    usable size already covers the request, which with geometric size
-    classes absorbs most small growth steps. *)
+    {!make} is how every allocator builds its public record: the
+    implementation provides the core closures (malloc, free, usable_size,
+    stats, check) and overrides only what it can do better; everything
+    else gets the generic default. The defaults mirror how the paper's
+    allocator exposes the full malloc interface on top of its core
+    malloc/free: [calloc] zeroes through the platform (charging the
+    stores), and [realloc] grows by allocate-copy-free — staying in place
+    whenever the existing block's usable size already covers the request,
+    which with geometric size classes absorbs most small growth steps. *)
+
+val make :
+  pf:Platform.t ->
+  name:string ->
+  owner:int ->
+  large_threshold:int ->
+  malloc:(int -> int) ->
+  free:(int -> unit) ->
+  usable_size:(int -> int) ->
+  stats:(unit -> Alloc_stats.snapshot) ->
+  check:(unit -> unit) ->
+  ?malloc_batch:(int -> int -> int array) ->
+  ?free_batch:(int array -> unit) ->
+  ?flush:(unit -> unit) ->
+  ?realloc:(addr:int -> size:int -> int) ->
+  unit ->
+  Alloc_intf.t
+(** Defaults for the optional members: [malloc_batch] loops [malloc],
+    [free_batch] loops [free], [flush] is a no-op, [realloc] is the
+    generic allocate-copy-free, and [calloc]/[aligned_alloc] are always
+    the generic forms built over [malloc]. *)
+
+(** {2 Free-function forms}
+
+    Thin wrappers delegating to the record members; the [Platform.t]
+    argument is kept for signature stability with existing call sites. *)
 
 val calloc : Platform.t -> Alloc_intf.t -> count:int -> size:int -> int
 (** [calloc pf a ~count ~size] allocates [count * size] bytes and writes

@@ -7,6 +7,12 @@ type t = {
   usable_size : int -> int;
   stats : unit -> Alloc_stats.snapshot;
   check : unit -> unit;
+  malloc_batch : int -> int -> int array;
+  free_batch : int array -> unit;
+  flush : unit -> unit;
+  realloc : addr:int -> size:int -> int;
+  calloc : count:int -> size:int -> int;
+  aligned_alloc : align:int -> size:int -> int;
 }
 
 type factory = {

@@ -1,8 +1,13 @@
 (** The allocator interface every implementation exposes.
 
-    Mirrors [malloc]/[free]: [malloc size] returns the simulated address of
-    a block of at least [size] bytes; [free addr] releases a block
-    previously returned by the same allocator. *)
+    Mirrors the C allocation API: [malloc size] returns the simulated
+    address of a block of at least [size] bytes; [free addr] releases a
+    block previously returned by the same allocator. The extended entry
+    points (batches, [flush], [realloc]/[calloc]/[aligned_alloc]) are
+    record members so an implementation can override them with something
+    better than the generic code — build instances with {!Alloc_api.make},
+    which supplies correct defaults for everything beyond the core
+    malloc/free. *)
 
 type t = {
   name : string;
@@ -19,6 +24,24 @@ type t = {
   check : unit -> unit;
       (** validates internal invariants, raising [Failure] on corruption;
           cheap enough to call from tests after every operation *)
+  malloc_batch : int -> int -> int array;
+      (** [malloc_batch n size]: [n] blocks of at least [size] bytes.
+          Default: [n] repeated mallocs; batching allocators amortise
+          their lock traffic instead. *)
+  free_batch : int array -> unit;
+      (** frees every address; default is repeated [free]. *)
+  flush : unit -> unit;
+      (** returns whatever the calling thread's front end holds (cached
+          blocks, queued remote frees) to the shared structure; a no-op
+          for allocators without a front end. *)
+  realloc : addr:int -> size:int -> int;
+      (** resize, in place when possible; see {!Alloc_api.make} for the
+          generic allocate-copy-free default. *)
+  calloc : count:int -> size:int -> int;
+      (** zeroed allocation of [count * size] bytes. *)
+  aligned_alloc : align:int -> size:int -> int;
+      (** block whose address is a multiple of [align] (a power of two,
+          at most the platform page size). *)
 }
 
 type factory = {

@@ -11,10 +11,16 @@ type snapshot = {
   sb_to_global : int;
   sb_from_global : int;
   remote_frees : int;
+  cache_hits : int;
+  cache_fills : int;
+  cache_flushes : int;
+  remote_enqueues : int;
+  remote_drains : int;
 }
 
-(* One shard per lock domain (a heap, a size class, the large allocator):
-   plain mutable counters, every write made under that domain's lock, so
+(* One shard per lock domain (a heap, a size class, the large allocator, a
+   thread's front-end cache): plain mutable counters, every write made
+   under that domain's lock (or by the domain's single owning thread), so
    the malloc/free hot path touches no cross-heap state. *)
 type shard = {
   mutable mallocs : int;
@@ -25,6 +31,11 @@ type shard = {
   mutable sb_to_global : int;
   mutable sb_from_global : int;
   mutable remote_frees : int;
+  mutable cache_hits : int;
+  mutable cache_fills : int;
+  mutable cache_flushes : int;
+  mutable remote_enqueues : int;
+  mutable remote_drains : int;
   mutable peers : shard array; (* every shard of the owning [t], for peak merging *)
   merged_peak : int Atomic.t; (* shared with the owning [t] *)
 }
@@ -34,7 +45,8 @@ type shard = {
    any per-shard charging ambiguity when a superblock is mapped by one
    heap and unmapped by another. *)
 type t = {
-  shards : shard array;
+  shards : shard array Atomic.t;
+  grow_mu : Mutex.t; (* serialises [add_shard]; a host mutex, never simulated *)
   held : int Atomic.t;
   peak_held : int Atomic.t;
   os_maps : int Atomic.t;
@@ -52,6 +64,11 @@ let new_shard merged_peak =
     sb_to_global = 0;
     sb_from_global = 0;
     remote_frees = 0;
+    cache_hits = 0;
+    cache_fills = 0;
+    cache_flushes = 0;
+    remote_enqueues = 0;
+    remote_drains = 0;
     peers = [||];
     merged_peak;
   }
@@ -62,7 +79,8 @@ let create ?(shards = 1) () =
   let shard_arr = Array.init shards (fun _ -> new_shard peak_live) in
   Array.iter (fun sh -> sh.peers <- shard_arr) shard_arr;
   {
-    shards = shard_arr;
+    shards = Atomic.make shard_arr;
+    grow_mu = Mutex.create ();
     held = Atomic.make 0;
     peak_held = Atomic.make 0;
     os_maps = Atomic.make 0;
@@ -70,28 +88,47 @@ let create ?(shards = 1) () =
     peak_live;
   }
 
-let nshards t = Array.length t.shards
+let nshards t = Array.length (Atomic.get t.shards)
 
-let shard t i = t.shards.(i)
+let shard t i = (Atomic.get t.shards).(i)
+
+(* Appends a fresh shard (a new lock domain created after construction,
+   e.g. a thread's front-end cache). Peers of existing shards are
+   refreshed so merged-peak samples see the newcomer; a sample racing the
+   refresh reads the old array and stays a valid lower bound. *)
+let add_shard t =
+  Mutex.lock t.grow_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.grow_mu)
+    (fun () ->
+      let old = Atomic.get t.shards in
+      let sh = new_shard t.peak_live in
+      let arr = Array.append old [| sh |] in
+      Array.iter (fun s -> s.peers <- arr) arr;
+      Atomic.set t.shards arr;
+      sh)
 
 let rec store_max a v =
   let cur = Atomic.get a in
   if v > cur && not (Atomic.compare_and_set a cur v) then store_max a v
 
-let on_malloc sh ~requested ~usable =
-  sh.mallocs <- sh.mallocs + 1;
-  sh.bytes_requested <- sh.bytes_requested + requested;
-  let live = sh.live_bytes + usable in
+(* Sample the merged peak while this shard is climbing past its own
+   high-water mark. The sum reads peer shards unsynchronised (stale reads
+   possible, torn ones not), giving a lower bound on the true global peak;
+   once shards plateau the branch stops firing, so the steady-state hot
+   path stays free of cross-shard traffic. *)
+let bump_live sh bytes =
+  let live = sh.live_bytes + bytes in
   sh.live_bytes <- live;
   if live > sh.peak_live_bytes then begin
     sh.peak_live_bytes <- live;
-    (* Sample the merged peak while this shard is climbing past its own
-       high-water mark. The sum reads peer shards unsynchronised (stale
-       reads possible, torn ones not), giving a lower bound on the true
-       global peak; once shards plateau the branch stops firing, so the
-       steady-state hot path stays free of cross-shard traffic. *)
     store_max sh.merged_peak (Array.fold_left (fun acc p -> acc + p.live_bytes) 0 sh.peers)
   end
+
+let on_malloc sh ~requested ~usable =
+  sh.mallocs <- sh.mallocs + 1;
+  sh.bytes_requested <- sh.bytes_requested + requested;
+  bump_live sh usable
 
 let on_free sh ~usable =
   sh.frees <- sh.frees + 1;
@@ -103,10 +140,34 @@ let on_transfer_from_global sh = sh.sb_from_global <- sh.sb_from_global + 1
 
 let on_remote_free sh = sh.remote_frees <- sh.remote_frees + 1
 
+(* Front-end events. A cached block stays charged to its superblock's heap
+   ([u]) until the drain returns it, so live_bytes moves only when blocks
+   cross the heap boundary: + at fill (blocks leave the heap core for a
+   cache), - at drain (queued blocks re-enter a heap core). Cache-hit
+   mallocs and cached frees leave live_bytes alone. *)
+let on_cache_hit sh ~requested =
+  sh.mallocs <- sh.mallocs + 1;
+  sh.bytes_requested <- sh.bytes_requested + requested;
+  sh.cache_hits <- sh.cache_hits + 1
+
+let on_cached_free sh = sh.frees <- sh.frees + 1
+
+let on_cache_fill sh ~blocks ~bytes =
+  sh.cache_fills <- sh.cache_fills + blocks;
+  bump_live sh bytes
+
+let on_cache_flush sh ~blocks = sh.cache_flushes <- sh.cache_flushes + blocks
+
+let on_remote_enqueue sh ~blocks = sh.remote_enqueues <- sh.remote_enqueues + blocks
+
+let on_drain sh ~usable =
+  sh.remote_drains <- sh.remote_drains + 1;
+  sh.live_bytes <- sh.live_bytes - usable
+
 (* Cross-shard reads are unsynchronised (possibly stale, never torn); the
    sum is exact on the deterministic simulator and at quiescent points on
    the host, which is where peaks are read. *)
-let live_sum t = Array.fold_left (fun acc sh -> acc + sh.live_bytes) 0 t.shards
+let live_sum t = Array.fold_left (fun acc sh -> acc + sh.live_bytes) 0 (Atomic.get t.shards)
 
 let refresh_peak_live t = store_max t.peak_live (live_sum t)
 
@@ -128,7 +189,12 @@ let snapshot t =
   and live = ref 0
   and to_global = ref 0
   and from_global = ref 0
-  and remote = ref 0 in
+  and remote = ref 0
+  and hits = ref 0
+  and fills = ref 0
+  and flushes = ref 0
+  and enqueues = ref 0
+  and drains = ref 0 in
   Array.iter
     (fun sh ->
       mallocs := !mallocs + sh.mallocs;
@@ -137,8 +203,13 @@ let snapshot t =
       live := !live + sh.live_bytes;
       to_global := !to_global + sh.sb_to_global;
       from_global := !from_global + sh.sb_from_global;
-      remote := !remote + sh.remote_frees)
-    t.shards;
+      remote := !remote + sh.remote_frees;
+      hits := !hits + sh.cache_hits;
+      fills := !fills + sh.cache_fills;
+      flushes := !flushes + sh.cache_flushes;
+      enqueues := !enqueues + sh.remote_enqueues;
+      drains := !drains + sh.remote_drains)
+    (Atomic.get t.shards);
   (* Per-shard peaks are NOT summed here: a block malloc'd under one heap
      may be freed under another after its superblock migrates, so the sum
      of local peaks ratchets above any live total ever reached. The merged
@@ -158,6 +229,11 @@ let snapshot t =
     sb_to_global = !to_global;
     sb_from_global = !from_global;
     remote_frees = !remote;
+    cache_hits = !hits;
+    cache_fills = !fills;
+    cache_flushes = !flushes;
+    remote_enqueues = !enqueues;
+    remote_drains = !drains;
   }
 
 let fragmentation (s : snapshot) =
@@ -177,6 +253,11 @@ let publish t ?(prefix = "alloc") metrics =
   reg "sb_to_global" (fun s -> s.sb_to_global);
   reg "sb_from_global" (fun s -> s.sb_from_global);
   reg "remote_frees" (fun s -> s.remote_frees);
+  reg "cache_hits" (fun s -> s.cache_hits);
+  reg "cache_fills" (fun s -> s.cache_fills);
+  reg "cache_flushes" (fun s -> s.cache_flushes);
+  reg "remote_enqueues" (fun s -> s.remote_enqueues);
+  reg "remote_drains" (fun s -> s.remote_drains);
   Metrics.register metrics ~name:(prefix ^ ".fragmentation") (fun () ->
       Metrics.Float (fragmentation (snapshot t)))
 
@@ -185,4 +266,7 @@ let pp_snapshot fmt (s : snapshot) =
     "mallocs=%d frees=%d live=%dB peak_live=%dB held=%dB peak_held=%dB frag=%.2f maps=%d unmaps=%d to_glob=%d \
      from_glob=%d remote_frees=%d"
     s.mallocs s.frees s.live_bytes s.peak_live_bytes s.held_bytes s.peak_held_bytes (fragmentation s) s.os_maps
-    s.os_unmaps s.sb_to_global s.sb_from_global s.remote_frees
+    s.os_unmaps s.sb_to_global s.sb_from_global s.remote_frees;
+  if s.cache_hits + s.cache_fills + s.remote_enqueues > 0 then
+    Format.fprintf fmt " cache_hits=%d fills=%d flushes=%d enq=%d drained=%d" s.cache_hits s.cache_fills
+      s.cache_flushes s.remote_enqueues s.remote_drains

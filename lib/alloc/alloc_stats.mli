@@ -45,6 +45,11 @@ type snapshot = {
   sb_to_global : int;  (** superblock transfers heap -> global *)
   sb_from_global : int;  (** superblock transfers global -> heap *)
   remote_frees : int;  (** frees whose block belongs to another heap *)
+  cache_hits : int;  (** mallocs served by a front-end cache, no lock taken *)
+  cache_fills : int;  (** blocks moved heap -> front-end cache *)
+  cache_flushes : int;  (** blocks flushed out of front-end caches *)
+  remote_enqueues : int;  (** blocks pushed onto remote-free queues *)
+  remote_drains : int;  (** blocks returned to a heap core by the front end *)
 }
 
 val create : ?shards:int -> unit -> t
@@ -53,6 +58,12 @@ val create : ?shards:int -> unit -> t
 val nshards : t -> int
 
 val shard : t -> int -> shard
+
+val add_shard : t -> shard
+(** Appends a shard for a lock domain created after construction (a
+    thread's front-end cache). Thread-safe; existing shards keep working
+    throughout. The new shard follows the same contract as the others:
+    its events must be serialised by its own domain. *)
 
 (** {2 Per-operation events — call under the shard's lock} *)
 
@@ -65,6 +76,37 @@ val on_transfer_to_global : shard -> unit
 val on_transfer_from_global : shard -> unit
 
 val on_remote_free : shard -> unit
+
+(** {2 Front-end events — call under the shard's domain discipline}
+
+    A block sitting in a front-end cache or a remote-free queue stays
+    charged to the heap that owns its superblock, so [live_bytes] (and
+    with it every allocator's [check]) reconciles exactly against the
+    heap cores at any quiescent point: fills add the moved bytes
+    ({!on_cache_fill}, under the source heap's lock), drains subtract
+    them ({!on_drain}, under the destination heap's lock), and the
+    cache-hit malloc / cached free in between touch only the operation
+    counters. *)
+
+val on_cache_hit : shard -> requested:int -> unit
+(** A malloc served from the thread's cache: counts the malloc and the
+    requested bytes; live bytes are unchanged (charged since the fill). *)
+
+val on_cached_free : shard -> unit
+(** A free absorbed by the thread's cache: counts the free; live bytes
+    are unchanged (the block stays charged until drained). *)
+
+val on_cache_fill : shard -> blocks:int -> bytes:int -> unit
+(** Blocks moved from a heap core into a cache, under that heap's lock. *)
+
+val on_cache_flush : shard -> blocks:int -> unit
+
+val on_remote_enqueue : shard -> blocks:int -> unit
+
+val on_drain : shard -> usable:int -> unit
+(** One block returned to a heap core (queue drain or direct fallback),
+    under that heap's lock: live bytes drop by [usable]; the free itself
+    was already counted by {!on_cached_free}. *)
 
 (** {2 OS-map events — atomic, callable from any domain} *)
 

@@ -138,6 +138,23 @@ let free t sb addr =
   t.in_use <- t.in_use - Superblock.block_size sb;
   reposition t sb
 
+(* Batched forms: one group-list traversal amortised over up to [n]
+   blocks. [malloc_batch] stops early when the heap runs dry (the caller
+   refills and retries); both preserve exactly the per-operation
+   accounting of their singular counterparts. *)
+let malloc_batch t ~sclass ~block_size ~n =
+  let out = ref [] and got = ref 0 and short = ref false in
+  while (not !short) && !got < n do
+    match malloc t ~sclass ~block_size with
+    | Some pair ->
+      out := pair :: !out;
+      incr got
+    | None -> short := true
+  done;
+  List.rev !out
+
+let free_batch t pairs = List.iter (fun (sb, addr) -> free t sb addr) pairs
+
 let take_for_class t ~sclass =
   let sb =
     match find_partial t sclass with

@@ -56,6 +56,17 @@ val free : t -> Superblock.t -> int -> unit
 (** Frees a block belonging to one of this heap's superblocks and
     repositions the superblock in its fullness groups. *)
 
+val malloc_batch : t -> sclass:int -> block_size:int -> n:int -> (int * Superblock.t) list
+(** Up to [n] blocks of the given class in one pass (possibly spanning
+    several superblocks). Shorter than [n] exactly when the heap runs out
+    of allocatable superblocks for the class — the caller refills from
+    the global heap or the OS and retries. This is the fill half of the
+    front-end cache: [n] blocks cross the heap for one lock acquisition. *)
+
+val free_batch : t -> (Superblock.t * int) list -> unit
+(** Frees each [(superblock, addr)] pair; the flush/drain half of the
+    front-end cache. Accounting is identical to repeated {!free}. *)
+
 val take_for_class : t -> sclass:int -> Superblock.t option
 (** Removes and returns the fullest non-full superblock of the given class,
     or failing that an empty superblock (left un-reinitialised). This is

@@ -104,16 +104,13 @@ let check t =
     failwith "Serial_alloc.check: live-bytes accounting mismatch"
 
 let allocator t =
-  {
-    Alloc_intf.name = "serial";
-    owner = t.owner;
-    large_threshold = t.sb_size / 2;
-    malloc = (fun size -> malloc t size);
-    free = (fun addr -> free t addr);
-    usable_size = (fun addr -> usable_size t addr);
-    stats = (fun () -> Alloc_stats.snapshot t.stats);
-    check = (fun () -> check t);
-  }
+  Alloc_api.make ~pf:t.pf ~name:"serial" ~owner:t.owner ~large_threshold:(t.sb_size / 2)
+    ~malloc:(fun size -> malloc t size)
+    ~free:(fun addr -> free t addr)
+    ~usable_size:(fun addr -> usable_size t addr)
+    ~stats:(fun () -> Alloc_stats.snapshot t.stats)
+    ~check:(fun () -> check t)
+    ()
 
 let factory ?(sb_size = 8192) () =
   {

@@ -1,8 +1,25 @@
+module IntMap = Map.Make (Int)
+
 type heap = {
   core : Heap_core.t;
   lock : Platform.lock;
   sh : Alloc_stats.shard;
   ring : Event_ring.t option; (* same lock domain as [sh]; None when tracing is off *)
+  rq_lock : Platform.lock; (* innermost lock: never held while acquiring any other *)
+  mutable rq_blocks : int list; (* remote frees pending a drain, newest first *)
+  mutable rq_len : int;
+}
+
+(* A thread's front-end cache: per size class, up to [front_end] block
+   addresses served and absorbed without any lock. The blocks stay
+   bitmap-allocated in their superblocks and charged to the owning heap's
+   [u] (and to live bytes), so the emptiness invariant and [check] reason
+   about them exactly as if the program still held them. *)
+type tcache = {
+  tc_slots : int list array; (* per class, newest first *)
+  tc_count : int array;
+  tc_sh : Alloc_stats.shard; (* single writer: the owning thread *)
+  tc_ring : Event_ring.t option;
 }
 
 type t = {
@@ -16,6 +33,11 @@ type t = {
   heaps : heap array; (* per-processor heaps, ids 1..N *)
   large : Locked_large.t;
   obs : Obs.t option;
+  fe : int; (* cached [cfg.front_end]; 0 = the paper's exact algorithm *)
+  rq_cap : int;
+  tcaches : tcache IntMap.t Atomic.t; (* tid -> cache; replaced under [tc_mu] *)
+  tc_mu : Mutex.t; (* host mutex: serialises tcache creation, zero simulated cost *)
+  creator_did : int; (* domain that built [t]; its threads skip at-exit hooks *)
 }
 
 type heap_info = {
@@ -38,7 +60,8 @@ let create ?(config = Hoard_config.default) ?obs pf =
   let classes = Size_class.create ~growth:config.growth ~max_small:(Hoard_config.max_small config) () in
   (* Stats shards mirror the lock domains: shard [id] for heap [id]
      (0 = global), one extra shard for the large path. Event rings, when
-     tracing is on, mirror the same domains. *)
+     tracing is on, mirror the same domains. Thread caches add their own
+     shard (and ring) as they appear. *)
   let stats = Alloc_stats.create ~shards:(n + 2) () in
   let ring name =
     match obs with
@@ -51,6 +74,9 @@ let create ?(config = Hoard_config.default) ?obs pf =
       lock = pf.Platform.new_lock (Printf.sprintf "hoard.heap%d" id);
       sh = Alloc_stats.shard stats id;
       ring = ring (if id = 0 then "global" else Printf.sprintf "heap%d" id);
+      rq_lock = pf.Platform.new_lock (Printf.sprintf "hoard.rfq%d" id);
+      rq_blocks = [];
+      rq_len = 0;
     }
   in
   let owner = Alloc_intf.next_owner () in
@@ -68,6 +94,11 @@ let create ?(config = Hoard_config.default) ?obs pf =
         Locked_large.create pf ~owner ~stats ~shard:(n + 1) ?ring:(ring "large")
           ~threshold:(Hoard_config.max_small config);
       obs;
+      fe = config.front_end;
+      rq_cap = config.remote_queue_cap;
+      tcaches = Atomic.make IntMap.empty;
+      tc_mu = Mutex.create ();
+      creator_did = (Domain.self () :> int);
     }
   in
   (match obs with
@@ -109,6 +140,14 @@ let event t h kind ~sclass ~arg =
     Event_ring.record r ~at:(t.pf.Platform.now ()) ~kind ~who:(t.pf.Platform.self_proc ())
       ~heap:(Heap_core.id h.core) ~sclass ~arg
 
+(* Record into the calling thread's cache ring (its own lock domain). *)
+let event_tc t tc kind ~sclass ~arg =
+  match tc.tc_ring with
+  | None -> ()
+  | Some r ->
+    Event_ring.record r ~at:(t.pf.Platform.now ()) ~kind ~who:(t.pf.Platform.self_proc ())
+      ~heap:(Heap_core.id (my_heap t).core) ~sclass ~arg
+
 (* Global heap: drop surplus empty superblocks back to the OS. Caller holds
    the global lock. *)
 let release_surplus t =
@@ -123,12 +162,54 @@ let release_surplus t =
         event t t.global Event_ring.Sb_unmap ~sclass:(Superblock.sclass sb) ~arg:(Superblock.sb_size sb)
     done
 
+(* Return queued remote frees to [h]'s core. Caller holds [h]'s lock; the
+   queue lock is innermost, so the swap can never deadlock. A block whose
+   superblock migrated since it was enqueued is forwarded to the current
+   owner's queue (past its cap — it has to land somewhere). Returns the
+   number of blocks freed into [h]. *)
+let drain_rq t h =
+  if h.rq_len = 0 then 0
+  else begin
+    h.rq_lock.acquire ();
+    let items = h.rq_blocks in
+    h.rq_blocks <- [];
+    h.rq_len <- 0;
+    h.rq_lock.release ();
+    let mine = ref 0 in
+    List.iter
+      (fun addr ->
+        match Sb_registry.lookup t.reg ~addr with
+        | None -> assert false (* a queued block keeps its superblock registered *)
+        | Some sb ->
+          let owner_id = Superblock.owner sb in
+          if owner_id = Heap_core.id h.core then begin
+            t.pf.Platform.write ~addr ~len:8;
+            Heap_core.free h.core sb addr;
+            touch_header t sb;
+            Alloc_stats.on_drain h.sh ~usable:(Superblock.block_size sb);
+            incr mine
+          end
+          else begin
+            let h' = heap_by_id t owner_id in
+            h'.rq_lock.acquire ();
+            h'.rq_blocks <- addr :: h'.rq_blocks;
+            h'.rq_len <- h'.rq_len + 1;
+            h'.rq_lock.release ()
+          end)
+      items;
+    if !mine > 0 then event t h Event_ring.Remote_drain ~sclass:0 ~arg:!mine;
+    !mine
+  end
+
 (* Fetch a superblock usable for [sclass], from the global heap if
    possible, otherwise from the OS, and insert it into [h] (whose lock the
    caller holds). *)
 let refill t h ~sclass ~block_size =
   let from_global =
     t.global.lock.acquire ();
+    (* Queued frees may hand the global heap exactly the superblock we are
+       about to ask for. *)
+    ignore (drain_rq t t.global);
     let sb = Heap_core.take_for_class t.global.core ~sclass in
     (* Flip ownership before releasing the global lock: a concurrent free
        must either see the old owner (and retry against our heap lock,
@@ -158,35 +239,6 @@ let refill t h ~sclass ~block_size =
   Heap_core.insert h.core sb;
   touch_header t sb
 
-let malloc t size =
-  if size <= 0 then invalid_arg "Hoard.malloc: size must be positive";
-  t.pf.Platform.work t.cfg.path_work;
-  if Locked_large.is_large t.large size then Locked_large.malloc t.large size
-  else begin
-    let sclass = Size_class.class_of_size t.classes size in
-    let block_size = Size_class.size_of_class t.classes sclass in
-    let h = my_heap t in
-    h.lock.acquire ();
-    let addr =
-      match Heap_core.malloc h.core ~sclass ~block_size with
-      | Some (addr, sb) ->
-        touch_header t sb;
-        addr
-      | None ->
-        refill t h ~sclass ~block_size;
-        (match Heap_core.malloc h.core ~sclass ~block_size with
-         | Some (addr, sb) ->
-           touch_header t sb;
-           addr
-         | None -> assert false (* refill installed an allocatable superblock *))
-    in
-    Alloc_stats.on_malloc h.sh ~requested:size ~usable:block_size;
-    (* The allocator links free blocks through their first word. *)
-    t.pf.Platform.write ~addr ~len:8;
-    h.lock.release ();
-    addr
-  end
-
 (* Lock the heap owning [sb], re-checking ownership after acquisition: the
    superblock may migrate to the global heap between the read and the lock
    (the paper's free protocol). *)
@@ -200,42 +252,317 @@ let rec lock_owner t sb =
     lock_owner t sb
   end
 
+(* The paper's post-free bookkeeping, factored so queue drains share it.
+   Caller holds [h]'s lock. With [deep] (drains return many blocks at
+   once), keep transferring until the invariant is restored; without it,
+   move at most ONE at-least-f-empty superblock to the global heap — one
+   is enough to restore the invariant when it held before the free (each
+   free releases at most one block); heaps that malloc drove far below the
+   threshold converge back over subsequent frees instead of exiling their
+   superblocks all at once. *)
+let trim_heap ?(deep = false) t h ~sclass =
+  if Heap_core.id h.core = 0 then release_surplus t (* the held lock IS the global lock *)
+  else begin
+    let continue_ = ref true in
+    while !continue_ && too_empty t h.core do
+      event t h Event_ring.Emptiness_cross ~sclass ~arg:(Heap_core.u h.core);
+      (match Heap_core.pick_victim ~protect_last:true h.core ~max_fullness:(1.0 -. t.cfg.empty_fraction) with
+       | None -> continue_ := false
+       | Some victim ->
+         t.global.lock.acquire ();
+         Heap_core.insert t.global.core victim;
+         touch_header t victim;
+         Alloc_stats.on_transfer_to_global t.global.sh;
+         event t t.global Event_ring.Sb_to_global ~sclass:(Superblock.sclass victim)
+           ~arg:(Superblock.base victim);
+         release_surplus t;
+         t.global.lock.release ());
+      if not deep then continue_ := false
+    done
+  end
+
+(* Classic locked disposal of blocks already counted as freed (they sat
+   in a cache or overflowed a queue), batched: one heap-lock acquisition
+   covers every block with the same current owner; blocks that migrate
+   mid-round are retried next round. The first block's owner is pinned by
+   [lock_owner], so every round frees at least one block. *)
+let rec dispose_batch t pairs =
+  match pairs with
+  | [] -> ()
+  | (sb0, _) :: _ ->
+    let h = lock_owner t sb0 in
+    let id = Heap_core.id h.core in
+    let later = ref [] and n = ref 0 in
+    List.iter
+      (fun (sb, addr) ->
+        if Superblock.owner sb = id then begin
+          t.pf.Platform.write ~addr ~len:8;
+          Heap_core.free h.core sb addr;
+          touch_header t sb;
+          Alloc_stats.on_drain h.sh ~usable:(Superblock.block_size sb);
+          incr n
+        end
+        else later := (sb, addr) :: !later)
+      pairs;
+    if !n > 0 then trim_heap ~deep:true t h ~sclass:(Superblock.sclass sb0);
+    h.lock.release ();
+    dispose_batch t !later
+
+(* Route cache-evicted blocks out: partition by owner, push each group
+   onto its owner's remote-free queue in one innermost-lock critical
+   section, and hand whatever the caps reject to the classic locked path
+   in one batch. *)
+let surrender_many t tc addrs =
+  let groups = Array.make (Array.length t.heaps + 1) [] in
+  List.iter
+    (fun addr ->
+      match Sb_registry.lookup t.reg ~addr with
+      | None -> assert false (* cached blocks keep their superblocks registered *)
+      | Some sb -> groups.(Superblock.owner sb) <- (sb, addr) :: groups.(Superblock.owner sb))
+    addrs;
+  let overflow = ref [] in
+  Array.iteri
+    (fun id group ->
+      match group with
+      | [] -> ()
+      | (sb0, _) :: _ ->
+        let h = heap_by_id t id in
+        h.rq_lock.acquire ();
+        let accepted = ref 0 in
+        let room = ref (t.rq_cap - h.rq_len) in
+        List.iter
+          (fun (sb, addr) ->
+            if !room > 0 then begin
+              decr room;
+              h.rq_blocks <- addr :: h.rq_blocks;
+              h.rq_len <- h.rq_len + 1;
+              incr accepted
+            end
+            else overflow := (sb, addr) :: !overflow)
+          group;
+        h.rq_lock.release ();
+        if !accepted > 0 then begin
+          Alloc_stats.on_remote_enqueue tc.tc_sh ~blocks:!accepted;
+          event_tc t tc Event_ring.Remote_enqueue ~sclass:(Superblock.sclass sb0) ~arg:!accepted
+        end)
+    groups;
+  dispose_batch t !overflow
+
+(* Evict the oldest half of an overflowing class so the next [fe/2] frees
+   stay lock-free. *)
+let flush_class t tc ~sclass =
+  let keep = t.fe / 2 in
+  let rec split n acc = function
+    | rest when n = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: tl -> split (n - 1) (x :: acc) tl
+  in
+  let kept, excess = split keep [] tc.tc_slots.(sclass) in
+  let n_excess = tc.tc_count.(sclass) - keep in
+  tc.tc_slots.(sclass) <- kept;
+  tc.tc_count.(sclass) <- keep;
+  Alloc_stats.on_cache_flush tc.tc_sh ~blocks:n_excess;
+  event_tc t tc Event_ring.Cache_flush ~sclass ~arg:n_excess;
+  surrender_many t tc excess
+
+(* Empty the calling thread's cache entirely (thread exit, explicit
+   flush). *)
+let flush_tcache t tc =
+  let all = ref [] in
+  Array.iteri
+    (fun sclass stack ->
+      match stack with
+      | [] -> ()
+      | _ ->
+        Alloc_stats.on_cache_flush tc.tc_sh ~blocks:tc.tc_count.(sclass);
+        event_tc t tc Event_ring.Cache_flush ~sclass ~arg:tc.tc_count.(sclass);
+        tc.tc_slots.(sclass) <- [];
+        tc.tc_count.(sclass) <- 0;
+        all := List.rev_append stack !all)
+    tc.tc_slots;
+  if !all <> [] then surrender_many t tc !all
+
+let new_tcache t tid =
+  Mutex.lock t.tc_mu;
+  let tc =
+    match IntMap.find_opt tid (Atomic.get t.tcaches) with
+    | Some tc -> tc
+    | None ->
+      let ring =
+        match t.obs with
+        | None -> None
+        | Some o ->
+          let name = Printf.sprintf "tcache%d" tid in
+          (* Thread ids can be recycled across sequential domains; the
+             successor inherits the name's ring. *)
+          (match Obs.find_ring o name with
+           | Some r -> Some r
+           | None -> Some (Obs.new_ring o name))
+      in
+      let tc =
+        {
+          tc_slots = Array.make (Size_class.count t.classes) [];
+          tc_count = Array.make (Size_class.count t.classes) 0;
+          tc_sh = Alloc_stats.add_shard t.stats;
+          tc_ring = ring;
+        }
+      in
+      Atomic.set t.tcaches (IntMap.add tid tc (Atomic.get t.tcaches));
+      (* Real worker domains flush their cache when they exit, so nothing
+         leaks into a dead thread. Simulated threads share the creator
+         domain and are flushed by [flush_caches] at quiescence instead. *)
+      if (Domain.self () :> int) <> t.creator_did then Domain.at_exit (fun () -> flush_tcache t tc);
+      tc
+  in
+  Mutex.unlock t.tc_mu;
+  tc
+
+let tcache t =
+  let tid = t.pf.Platform.self_tid () in
+  match IntMap.find_opt tid (Atomic.get t.tcaches) with
+  | Some tc -> tc
+  | None -> new_tcache t tid
+
+(* The slow half of a front-end malloc: one lock acquisition drains the
+   pending remote frees and pulls [fe/2 + 1] blocks — one to return, the
+   rest into the cache. *)
+let malloc_fill t tc ~size ~sclass ~block_size =
+  let h = my_heap t in
+  h.lock.acquire ();
+  let drained = drain_rq t h in
+  let want = (t.fe / 2) + 1 in
+  let blocks = ref [] and got = ref 0 in
+  while !got < want do
+    match Heap_core.malloc_batch h.core ~sclass ~block_size ~n:(want - !got) with
+    | [] -> refill t h ~sclass ~block_size
+    | batch ->
+      List.iter (fun (_, sb) -> touch_header t sb) batch;
+      blocks := List.rev_append batch !blocks;
+      got := !got + List.length batch
+  done;
+  let addr =
+    match !blocks with
+    | [] -> assert false (* want >= 1 *)
+    | (addr, _) :: cached ->
+      Alloc_stats.on_malloc h.sh ~requested:size ~usable:block_size;
+      let n_cached = List.length cached in
+      if n_cached > 0 then begin
+        List.iter (fun (a, _) -> tc.tc_slots.(sclass) <- a :: tc.tc_slots.(sclass)) cached;
+        tc.tc_count.(sclass) <- tc.tc_count.(sclass) + n_cached;
+        Alloc_stats.on_cache_fill h.sh ~blocks:n_cached ~bytes:(n_cached * block_size)
+      end;
+      addr
+  in
+  if drained > 0 then trim_heap ~deep:true t h ~sclass;
+  t.pf.Platform.write ~addr ~len:8;
+  h.lock.release ();
+  addr
+
+let malloc t size =
+  if size <= 0 then invalid_arg "Hoard.malloc: size must be positive";
+  t.pf.Platform.work t.cfg.path_work;
+  if Locked_large.is_large t.large size then Locked_large.malloc t.large size
+  else begin
+    let sclass = Size_class.class_of_size t.classes size in
+    let block_size = Size_class.size_of_class t.classes sclass in
+    if t.fe > 0 then begin
+      let tc = tcache t in
+      match tc.tc_slots.(sclass) with
+      | addr :: rest ->
+        tc.tc_slots.(sclass) <- rest;
+        tc.tc_count.(sclass) <- tc.tc_count.(sclass) - 1;
+        Alloc_stats.on_cache_hit tc.tc_sh ~requested:size;
+        event_tc t tc Event_ring.Cache_hit ~sclass ~arg:addr;
+        t.pf.Platform.write ~addr ~len:8;
+        addr
+      | [] -> malloc_fill t tc ~size ~sclass ~block_size
+    end
+    else begin
+      let h = my_heap t in
+      h.lock.acquire ();
+      let addr =
+        match Heap_core.malloc h.core ~sclass ~block_size with
+        | Some (addr, sb) ->
+          touch_header t sb;
+          addr
+        | None ->
+          refill t h ~sclass ~block_size;
+          (match Heap_core.malloc h.core ~sclass ~block_size with
+           | Some (addr, sb) ->
+             touch_header t sb;
+             addr
+           | None -> assert false (* refill installed an allocatable superblock *))
+      in
+      Alloc_stats.on_malloc h.sh ~requested:size ~usable:block_size;
+      (* The allocator links free blocks through their first word. *)
+      t.pf.Platform.write ~addr ~len:8;
+      h.lock.release ();
+      addr
+    end
+  end
+
+(* Batched allocation: one heap-lock acquisition for the whole request,
+   regardless of the front-end setting. *)
+let malloc_many t n size =
+  if n <= 0 then [||]
+  else if size <= 0 then invalid_arg "Hoard.malloc: size must be positive"
+  else begin
+    t.pf.Platform.work t.cfg.path_work;
+    if Locked_large.is_large t.large size then Array.init n (fun _ -> Locked_large.malloc t.large size)
+    else begin
+      let sclass = Size_class.class_of_size t.classes size in
+      let block_size = Size_class.size_of_class t.classes sclass in
+      let h = my_heap t in
+      h.lock.acquire ();
+      ignore (drain_rq t h);
+      let out = Array.make n 0 and got = ref 0 in
+      while !got < n do
+        match Heap_core.malloc_batch h.core ~sclass ~block_size ~n:(n - !got) with
+        | [] -> refill t h ~sclass ~block_size
+        | batch ->
+          List.iter
+            (fun (addr, sb) ->
+              touch_header t sb;
+              out.(!got) <- addr;
+              Alloc_stats.on_malloc h.sh ~requested:size ~usable:block_size;
+              t.pf.Platform.write ~addr ~len:8;
+              incr got)
+            batch
+      done;
+      h.lock.release ();
+      out
+    end
+  end
+
 let free t addr =
   t.pf.Platform.work t.cfg.path_work;
   match Sb_registry.lookup t.reg ~addr with
   | Some sb ->
-    let h = lock_owner t sb in
-    let my = my_heap t in
-    if h != my && h != t.global then begin
-      Alloc_stats.on_remote_free h.sh;
-      event t h Event_ring.Remote_free ~sclass:(Superblock.sclass sb) ~arg:addr
-    end;
-    t.pf.Platform.write ~addr ~len:8;
-    Heap_core.free h.core sb addr;
-    touch_header t sb;
-    Alloc_stats.on_free h.sh ~usable:(Superblock.block_size sb);
-    if Heap_core.id h.core = 0 then release_surplus t
-    else if too_empty t h.core then begin
-      (* The paper's free path: crossing the emptiness threshold moves ONE
-         at-least-f-empty superblock to the global heap. One is enough to
-         restore the invariant when it held before the free (each free
-         releases at most one block); heaps that malloc drove far below the
-         threshold converge back over subsequent frees instead of exiling
-         their superblocks all at once. *)
-      event t h Event_ring.Emptiness_cross ~sclass:(Superblock.sclass sb) ~arg:(Heap_core.u h.core);
-      match Heap_core.pick_victim ~protect_last:true h.core ~max_fullness:(1.0 -. t.cfg.empty_fraction) with
-      | None -> ()
-      | Some victim ->
-        t.global.lock.acquire ();
-        Heap_core.insert t.global.core victim;
-        touch_header t victim;
-        Alloc_stats.on_transfer_to_global t.global.sh;
-        event t t.global Event_ring.Sb_to_global ~sclass:(Superblock.sclass victim)
-          ~arg:(Superblock.base victim);
-        release_surplus t;
-        t.global.lock.release ()
-    end;
-    h.lock.release ()
+    if t.fe > 0 then begin
+      let tc = tcache t in
+      let sclass = Superblock.sclass sb in
+      if (not (Superblock.is_block_live sb addr)) || List.mem addr tc.tc_slots.(sclass) then
+        failwith "Hoard.free: double free (cached)";
+      if tc.tc_count.(sclass) >= t.fe then flush_class t tc ~sclass;
+      tc.tc_slots.(sclass) <- addr :: tc.tc_slots.(sclass);
+      tc.tc_count.(sclass) <- tc.tc_count.(sclass) + 1;
+      Alloc_stats.on_cached_free tc.tc_sh;
+      t.pf.Platform.write ~addr ~len:8
+    end
+    else begin
+      let h = lock_owner t sb in
+      let my = my_heap t in
+      if h != my && h != t.global then begin
+        Alloc_stats.on_remote_free h.sh;
+        event t h Event_ring.Remote_free ~sclass:(Superblock.sclass sb) ~arg:addr
+      end;
+      t.pf.Platform.write ~addr ~len:8;
+      Heap_core.free h.core sb addr;
+      touch_header t sb;
+      Alloc_stats.on_free h.sh ~usable:(Superblock.block_size sb);
+      trim_heap t h ~sclass:(Superblock.sclass sb);
+      h.lock.release ()
+    end
   | None -> if not (Locked_large.try_free t.large ~addr) then invalid_arg "Hoard.free: foreign pointer"
 
 let usable_size t addr =
@@ -247,6 +574,89 @@ let usable_size t addr =
     (match Locked_large.usable_size t.large ~addr with
      | Some n -> n
      | None -> invalid_arg "Hoard.usable_size: foreign pointer")
+
+(* In-place whenever the block's superblock already carves pieces big
+   enough; a single registry lookup replaces the generic path's
+   usable_size round trip. Growth falls back to allocate-copy-free
+   through the front end. *)
+let realloc t ~addr ~size =
+  if size <= 0 then invalid_arg "Alloc_api.realloc: size must be positive";
+  match Sb_registry.lookup t.reg ~addr with
+  | Some sb when Superblock.is_block_live sb addr && size <= Superblock.block_size sb -> addr
+  | _ ->
+    let old_usable = usable_size t addr in
+    if size <= old_usable then addr
+    else begin
+      let fresh = malloc t size in
+      let copied = min old_usable size in
+      t.pf.Platform.read ~addr ~len:copied;
+      t.pf.Platform.write ~addr:fresh ~len:copied;
+      free t addr;
+      fresh
+    end
+
+(* In-thread flush: cache out to the owners' queues, then drain and trim
+   the calling thread's own heap. *)
+let flush t =
+  if t.fe > 0 then begin
+    (match IntMap.find_opt (t.pf.Platform.self_tid ()) (Atomic.get t.tcaches) with
+     | Some tc -> flush_tcache t tc
+     | None -> ());
+    let h = my_heap t in
+    h.lock.acquire ();
+    if drain_rq t h > 0 then trim_heap ~deep:true t h ~sclass:0;
+    h.lock.release ()
+  end
+
+(* Quiescent-only: returns every cached and queued block straight to the
+   heap cores WITHOUT platform locks, costs or events (on the simulated
+   platform those are effects, usable only inside simulated threads).
+   Afterwards live bytes equal program-held bytes exactly, and the
+   emptiness invariant is re-established; surplus empty superblocks stay
+   mapped (releasing them would charge platform unmaps). *)
+let flush_caches t =
+  let dispose addr =
+    match Sb_registry.lookup t.reg ~addr with
+    | None -> assert false
+    | Some sb ->
+      let h = heap_by_id t (Superblock.owner sb) in
+      Heap_core.free h.core sb addr;
+      Alloc_stats.on_drain h.sh ~usable:(Superblock.block_size sb)
+  in
+  IntMap.iter
+    (fun _ tc ->
+      Array.iteri
+        (fun sclass stack ->
+          match stack with
+          | [] -> ()
+          | _ ->
+            Alloc_stats.on_cache_flush tc.tc_sh ~blocks:tc.tc_count.(sclass);
+            tc.tc_slots.(sclass) <- [];
+            tc.tc_count.(sclass) <- 0;
+            List.iter dispose stack)
+        tc.tc_slots)
+    (Atomic.get t.tcaches);
+  let take h =
+    let items = h.rq_blocks in
+    h.rq_blocks <- [];
+    h.rq_len <- 0;
+    items
+  in
+  (* At quiescence owners are stable, so one pass routes every queued
+     block to its final heap. *)
+  List.iter dispose (take t.global);
+  Array.iter (fun h -> List.iter dispose (take h)) t.heaps;
+  Array.iter
+    (fun h ->
+      let continue_ = ref true in
+      while !continue_ && too_empty t h.core do
+        match Heap_core.pick_victim ~protect_last:true h.core ~max_fullness:(1.0 -. t.cfg.empty_fraction) with
+        | None -> continue_ := false
+        | Some victim ->
+          Heap_core.insert t.global.core victim;
+          Alloc_stats.on_transfer_to_global t.global.sh
+      done)
+    t.heaps
 
 let obs t = t.obs
 
@@ -271,6 +681,11 @@ let heap_info t id =
     empty_superblocks = Heap_core.empty_superblock_count h.core;
   }
 
+let cache_counts t =
+  List.rev (IntMap.fold (fun tid tc acc -> (tid, Array.copy tc.tc_count) :: acc) (Atomic.get t.tcaches) [])
+
+let remote_queue_lengths t = Array.init (Array.length t.heaps + 1) (fun id -> (heap_by_id t id).rq_len)
+
 let invariant_holds t ~heap_id =
   (* The invariant a free restores: either the heap is not too empty, or
      no transferable superblock remains (every candidate is some class's
@@ -288,16 +703,16 @@ let check t =
     failwith "Hoard.check: live-bytes accounting mismatch"
 
 let allocator t =
-  {
-    Alloc_intf.name = "hoard";
-    owner = t.owner;
-    large_threshold = Hoard_config.max_small t.cfg;
-    malloc = (fun size -> malloc t size);
-    free = (fun addr -> free t addr);
-    usable_size = (fun addr -> usable_size t addr);
-    stats = (fun () -> Alloc_stats.snapshot t.stats);
-    check = (fun () -> check t);
-  }
+  Alloc_api.make ~pf:t.pf ~name:"hoard" ~owner:t.owner ~large_threshold:(Hoard_config.max_small t.cfg)
+    ~malloc:(fun size -> malloc t size)
+    ~free:(fun addr -> free t addr)
+    ~usable_size:(fun addr -> usable_size t addr)
+    ~stats:(fun () -> Alloc_stats.snapshot t.stats)
+    ~check:(fun () -> check t)
+    ~malloc_batch:(fun n size -> malloc_many t n size)
+    ~flush:(fun () -> flush t)
+    ~realloc:(fun ~addr ~size -> realloc t ~addr ~size)
+    ()
 
 let factory ?(config = Hoard_config.default) ?obs () =
   {

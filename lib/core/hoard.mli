@@ -18,7 +18,19 @@
     processor can reuse it. Empty superblocks beyond a threshold are
     returned from the global heap to the OS.
 
-    Requests above S/2 go straight to the OS (large-object path). *)
+    Requests above S/2 go straight to the OS (large-object path).
+
+    {b Front end} (off by default): with [config.front_end = K > 0], each
+    thread keeps a cache of up to [K] block addresses per size class.
+    malloc pops and free pushes with no lock at all; misses and overflows
+    move [K/2] blocks per heap-lock acquisition, and blocks evicted from a
+    cache are batched onto the owning heap's remote-free queue (one
+    innermost queue lock) for the owner to drain on its next locked slow
+    path. Cached and queued blocks stay charged to the heap that owns
+    their superblock, so the emptiness invariant, the blowup bound and
+    {!check} are unchanged — the cost is up to
+    [K * P * classes + remote_queue_cap * (P+1)] blocks of memory parked
+    in flight. [front_end = 0] is bit-for-bit the paper's algorithm. *)
 
 type t
 
@@ -68,7 +80,27 @@ val invariant_holds : t -> heap_id:int -> bool
     it (the paper's algorithm enforces the invariant only on frees). *)
 
 val check : t -> unit
-(** Deep structural validation of every heap. *)
+(** Deep structural validation of every heap. Exact even while front-end
+    caches and remote-free queues hold blocks (they stay charged to their
+    owning heaps). *)
+
+(** {2 Front end} *)
+
+val flush_caches : t -> unit
+(** Quiescent-only: returns every block held in thread caches and
+    remote-free queues to its owning heap core, then re-establishes the
+    emptiness invariant. Touches no platform locks, charges no costs and
+    records no events, so it is callable from outside any simulated
+    thread (after a run, before reading exact figures). Live bytes equal
+    the program's outstanding allocations exactly afterwards. *)
+
+val cache_counts : t -> (int * int array) list
+(** Per thread id (ascending), the per-class number of cached blocks.
+    Lock-free reads; call at quiescence. *)
+
+val remote_queue_lengths : t -> int array
+(** Queued-block count per heap, index 0 = global. Lock-free reads; call
+    at quiescence. *)
 
 val pp_heaps : Format.formatter -> t -> unit
 (** Human-readable dump of every heap: per size class, the superblock

@@ -9,6 +9,8 @@ type t = {
   release_to_os : bool;
   release_threshold : int;
   path_work : int;
+  front_end : int;
+  remote_queue_cap : int;
 }
 
 let default =
@@ -23,6 +25,8 @@ let default =
     release_to_os = true;
     release_threshold = 4;
     path_work = 30;
+    front_end = 0;
+    remote_queue_cap = 256;
   }
 
 let validate t =
@@ -37,14 +41,17 @@ let validate t =
    | Some n when n < 1 -> invalid_arg "Hoard_config: nheaps must be >= 1"
    | _ -> ());
   if t.release_threshold < 0 then invalid_arg "Hoard_config: release_threshold must be non-negative";
-  if t.path_work < 0 then invalid_arg "Hoard_config: path_work must be non-negative"
+  if t.path_work < 0 then invalid_arg "Hoard_config: path_work must be non-negative";
+  if t.front_end < 0 then invalid_arg "Hoard_config: front_end must be non-negative";
+  if t.front_end > 0 && t.front_end < 2 then invalid_arg "Hoard_config: front_end must be 0 or >= 2";
+  if t.remote_queue_cap < 1 then invalid_arg "Hoard_config: remote_queue_cap must be >= 1"
 
 let max_small t = t.sb_size / 2
 
 let pp fmt t =
-  Format.fprintf fmt "S=%d f=%.3f K=%d b=%.2f groups=%d heaps=%s release=%b/%d" t.sb_size t.empty_fraction
-    t.slack t.growth t.ngroups
+  Format.fprintf fmt "S=%d f=%.3f K=%d b=%.2f groups=%d heaps=%s release=%b/%d fe=%d" t.sb_size
+    t.empty_fraction t.slack t.growth t.ngroups
     (match t.nheaps with
      | None -> "per-proc"
      | Some n -> string_of_int n)
-    t.release_to_os t.release_threshold
+    t.release_to_os t.release_threshold t.front_end

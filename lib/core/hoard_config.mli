@@ -27,6 +27,16 @@ type t = {
       (** empty superblocks the global heap retains before releasing. *)
   path_work : int;
       (** instruction cycles charged per malloc/free beyond memory ops. *)
+  front_end : int;
+      (** capacity (blocks per size class) of the per-thread front-end
+          cache serving malloc/free without lock traffic. 0 (the default)
+          disables the front end entirely, restoring the paper's exact
+          hot path; positive values must be at least 2 so that fills and
+          flushes can move [front_end / 2] blocks per lock acquisition. *)
+  remote_queue_cap : int;
+      (** capacity (blocks) of each heap's remote-free queue. A remote
+          free finding the owner's queue full falls back to the classic
+          lock-the-owner free path. Only meaningful with [front_end > 0]. *)
 }
 
 val default : t

@@ -1,0 +1,29 @@
+let front_end_default = 16
+
+let hoard_fe ?(front_end = front_end_default) () =
+  let config = { Hoard_config.default with Hoard_config.front_end } in
+  {
+    (Hoard.factory ~config ()) with
+    Alloc_intf.label = "hoard-fe";
+    description =
+      Printf.sprintf "hoard with the lock-free front end (%d cached blocks per class per thread)" front_end;
+  }
+
+let all () =
+  [
+    Serial_alloc.factory ();
+    Concurrent_single.factory ();
+    Pure_private.factory ();
+    Private_ownership.factory ();
+    Private_threshold.factory ();
+    Hoard.factory ();
+    hoard_fe ();
+  ]
+
+let labels () = List.map (fun f -> f.Alloc_intf.label) (all ())
+
+let find label = List.find_opt (fun f -> f.Alloc_intf.label = label) (all ())
+
+let help () =
+  String.concat "\n"
+    (List.map (fun f -> Printf.sprintf "  %-18s %s" f.Alloc_intf.label f.Alloc_intf.description) (all ()))

@@ -1,0 +1,25 @@
+(** The one registry of allocator factories every executable draws from
+    (the benchmark harness, the trace tooling and the experiment suite
+    used to carry their own copies of this list).
+
+    [hoard] here is the paper-exact configuration ([front_end = 0]);
+    [hoard-fe] is the same allocator with the lock-free front end turned
+    on, registered separately so paper-fidelity sweeps never pick it up
+    by accident. *)
+
+val all : unit -> Alloc_intf.factory list
+(** Every registered factory, in presentation order. *)
+
+val labels : unit -> string list
+
+val find : string -> Alloc_intf.factory option
+(** Lookup by [Alloc_intf.label]. *)
+
+val help : unit -> string
+(** One "label  description" line per factory, for [--allocator help]. *)
+
+val front_end_default : int
+(** Cache capacity [hoard-fe] registers with. *)
+
+val hoard_fe : ?front_end:int -> unit -> Alloc_intf.factory
+(** A front-end-enabled hoard factory with an explicit capacity. *)

@@ -1014,7 +1014,7 @@ let all () =
 
 let find id = List.find_opt (fun e -> e.id = id) (all ())
 
-let allocator label = List.find_opt (fun a -> a.Alloc_intf.label = label) (all_allocators ())
+let allocator label = Allocators.find label
 
 let workload name scale =
   match name with

@@ -90,6 +90,10 @@ let run_spawned ?(config = Hoard_config.default) ?obs_config ?(cost = Cost_model
   spawn sim pf a;
   Sim.run sim;
   a.Alloc_intf.check ();
+  (* Return any front-end-cached blocks before reading the final figures;
+     [check] is exact on both sides of the flush. *)
+  Hoard.flush_caches hoard;
+  a.Alloc_intf.check ();
   let lock_stats = Sim.lock_stats sim in
   let contention = Contention.finalize cont ~lock_stats ~spin_cost:cost.Cost_model.lock_spin in
   Contention.publish contention (Obs.metrics obs);

@@ -8,10 +8,14 @@ type kind =
   | Large_map
   | Large_unmap
   | Lock_acquire
+  | Cache_hit
+  | Cache_flush
+  | Remote_enqueue
+  | Remote_drain
 
 let all_kinds =
   [ Sb_map; Sb_unmap; Sb_from_global; Sb_to_global; Emptiness_cross; Remote_free; Large_map; Large_unmap;
-    Lock_acquire ]
+    Lock_acquire; Cache_hit; Cache_flush; Remote_enqueue; Remote_drain ]
 
 let nkinds = List.length all_kinds
 
@@ -25,6 +29,10 @@ let kind_index = function
   | Large_map -> 6
   | Large_unmap -> 7
   | Lock_acquire -> 8
+  | Cache_hit -> 9
+  | Cache_flush -> 10
+  | Remote_enqueue -> 11
+  | Remote_drain -> 12
 
 let kind_of_index = function
   | 0 -> Sb_map
@@ -36,6 +44,10 @@ let kind_of_index = function
   | 6 -> Large_map
   | 7 -> Large_unmap
   | 8 -> Lock_acquire
+  | 9 -> Cache_hit
+  | 10 -> Cache_flush
+  | 11 -> Remote_enqueue
+  | 12 -> Remote_drain
   | i -> invalid_arg (Printf.sprintf "Event_ring.kind_of_index: %d" i)
 
 let kind_name = function
@@ -48,6 +60,10 @@ let kind_name = function
   | Large_map -> "large_map"
   | Large_unmap -> "large_unmap"
   | Lock_acquire -> "lock_acquire"
+  | Cache_hit -> "cache_hit"
+  | Cache_flush -> "cache_flush"
+  | Remote_enqueue -> "remote_enqueue"
+  | Remote_drain -> "remote_drain"
 
 type event = { at : int; kind : kind; who : int; heap : int; sclass : int; arg : int }
 

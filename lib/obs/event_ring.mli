@@ -25,6 +25,10 @@ type kind =
   | Large_map  (** large-object allocation mapped; [arg] = bytes *)
   | Large_unmap  (** large-object free unmapped; [arg] = bytes *)
   | Lock_acquire  (** contended lock acquisition; [arg] = spin count *)
+  | Cache_hit  (** malloc served from the thread's front-end cache *)
+  | Cache_flush  (** front-end cache flushed blocks; [arg] = block count *)
+  | Remote_enqueue  (** block pushed onto [heap]'s remote-free queue; [arg] = addr *)
+  | Remote_drain  (** [heap] drained its remote-free queue; [arg] = block count *)
 
 val all_kinds : kind list
 

@@ -1,14 +1,7 @@
-(* calloc / realloc / aligned_alloc over every allocator. *)
+(* calloc / realloc / aligned_alloc / the batch-and-flush extensions over
+   every registered allocator, including the front-end hoard. *)
 
-let factories =
-  [
-    Serial_alloc.factory ();
-    Concurrent_single.factory ();
-    Pure_private.factory ();
-    Private_ownership.factory ();
-    Private_threshold.factory ();
-    Hoard.factory ();
-  ]
+let factories = Allocators.all ()
 
 let with_alloc f k =
   let pf = Platform.host () in
@@ -45,6 +38,9 @@ let test_realloc_grows (f : Alloc_intf.factory) () =
       let q = Alloc_api.realloc pf a ~addr:p ~size:50_000 in
       Alcotest.(check bool) "moved" true (q <> p);
       Alcotest.(check bool) "big enough" true (a.Alloc_intf.usable_size q >= 50_000);
+      (* A front end may still hold the freed old block; flush is a no-op
+         for everyone else. *)
+      a.Alloc_intf.flush ();
       Alcotest.(check int) "old block freed" (a.Alloc_intf.usable_size q)
         (a.Alloc_intf.stats ()).Alloc_stats.live_bytes;
       a.Alloc_intf.free q;
@@ -61,6 +57,7 @@ let test_realloc_chain (f : Alloc_intf.factory) () =
       done;
       Alcotest.(check bool) "final size" true (a.Alloc_intf.usable_size !p >= 32768);
       a.Alloc_intf.free !p;
+      a.Alloc_intf.flush ();
       Alcotest.(check int) "clean" 0 (a.Alloc_intf.stats ()).Alloc_stats.live_bytes;
       a.Alloc_intf.check ())
 
@@ -89,6 +86,56 @@ let test_aligned_rejects (f : Alloc_intf.factory) () =
         (Invalid_argument "Alloc_api.aligned_alloc: alignment beyond the page size is not supported") (fun () ->
           ignore (Alloc_api.aligned_alloc pf a ~align:65536 ~size:8)))
 
+let test_members_delegate (f : Alloc_intf.factory) () =
+  (* The record members are the real interface; the free functions are
+     compatibility wrappers. Drive the members directly. *)
+  with_alloc f (fun _pf a ->
+      let p = a.Alloc_intf.calloc ~count:8 ~size:16 in
+      Alcotest.(check bool) "calloc member" true (a.Alloc_intf.usable_size p >= 128);
+      let q = a.Alloc_intf.realloc ~addr:p ~size:1024 in
+      Alcotest.(check bool) "realloc member" true (a.Alloc_intf.usable_size q >= 1024);
+      let r = a.Alloc_intf.aligned_alloc ~align:64 ~size:100 in
+      Alcotest.(check int) "aligned member" 0 (r mod 64);
+      a.Alloc_intf.free q;
+      a.Alloc_intf.free r;
+      a.Alloc_intf.flush ();
+      a.Alloc_intf.check ())
+
+let test_batch_roundtrip (f : Alloc_intf.factory) () =
+  with_alloc f (fun _pf a ->
+      let ps = a.Alloc_intf.malloc_batch 32 64 in
+      Alcotest.(check int) "batch length" 32 (Array.length ps);
+      Array.iter
+        (fun p -> Alcotest.(check bool) "batch usable" true (a.Alloc_intf.usable_size p >= 64))
+        ps;
+      let sorted = Array.copy ps in
+      Array.sort compare sorted;
+      for i = 1 to Array.length sorted - 1 do
+        Alcotest.(check bool) "batch distinct" true (sorted.(i - 1) <> sorted.(i))
+      done;
+      Alcotest.(check int) "zero batch" 0 (Array.length (a.Alloc_intf.malloc_batch 0 64));
+      a.Alloc_intf.free_batch ps;
+      a.Alloc_intf.flush ();
+      a.Alloc_intf.check ();
+      Alcotest.(check int) "clean" 0 (a.Alloc_intf.stats ()).Alloc_stats.live_bytes)
+
+let test_hoard_realloc_stays_in_block () =
+  (* Hoard's realloc override: any size that fits the block's class stays
+     in place, including shrinking — the generic default only guarantees
+     growth within usable size. *)
+  let pf = Platform.host () in
+  let h = Hoard.create pf in
+  let a = Hoard.allocator h in
+  let p = a.Alloc_intf.malloc 100 in
+  let usable = a.Alloc_intf.usable_size p in
+  Alcotest.(check int) "grow to usable in place" p (a.Alloc_intf.realloc ~addr:p ~size:usable);
+  Alcotest.(check int) "shrink in place" p (a.Alloc_intf.realloc ~addr:p ~size:10);
+  let q = a.Alloc_intf.realloc ~addr:p ~size:(usable + 1) in
+  Alcotest.(check bool) "moved past usable" true (q <> p);
+  a.Alloc_intf.free q;
+  a.Alloc_intf.check ();
+  Alcotest.(check int) "clean" 0 (a.Alloc_intf.stats ()).Alloc_stats.live_bytes
+
 let suite f =
   ( f.Alloc_intf.label,
     [
@@ -100,6 +147,14 @@ let suite f =
       Alcotest.test_case "aligned small" `Quick (test_aligned_small f);
       Alcotest.test_case "aligned large" `Quick (test_aligned_large f);
       Alcotest.test_case "aligned rejects" `Quick (test_aligned_rejects f);
+      Alcotest.test_case "record members" `Quick (test_members_delegate f);
+      Alcotest.test_case "batch roundtrip" `Quick (test_batch_roundtrip f);
     ] )
 
-let () = Alcotest.run "alloc-api" (List.map suite factories)
+let () =
+  Alcotest.run "alloc-api"
+    (List.map suite factories
+    @ [
+        ( "overrides",
+          [ Alcotest.test_case "hoard realloc in block" `Quick test_hoard_realloc_stays_in_block ] );
+      ])

@@ -454,6 +454,133 @@ let test_usable_size_matches_class () =
     a.Alloc_intf.free p
   done
 
+(* --- the lock-free front end: per-thread caches + remote-free queues --- *)
+
+let mk_fe ?(k = 8) () =
+  let pf = Platform.host () in
+  let h = Hoard.create ~config:{ cfg with Hoard_config.front_end = k } pf in
+  (h, Hoard.allocator h)
+
+let test_front_end_off_by_default () =
+  (* Paper-fidelity experiments must never pick the front end up by
+     accident. *)
+  Alcotest.(check int) "default front_end" 0 Hoard_config.default.Hoard_config.front_end
+
+let test_cache_bounded_and_flushed () =
+  let k = 8 in
+  let h, a = mk_fe ~k () in
+  (* Hammer a single size class far past K: the cache must stay bounded,
+     evicting overflow back through the heap. *)
+  let ps = List.init 300 (fun _ -> a.Alloc_intf.malloc 64) in
+  List.iter a.Alloc_intf.free ps;
+  List.iter
+    (fun (tid, counts) ->
+      Array.iteri
+        (fun c n ->
+          Alcotest.(check bool) (Printf.sprintf "tid %d class %d: %d <= K" tid c n) true (n <= k))
+        counts)
+    (Hoard.cache_counts h);
+  let s = a.Alloc_intf.stats () in
+  Alcotest.(check bool) "cache hits happened" true (s.Alloc_stats.cache_hits > 0);
+  Alcotest.(check bool) "overflow was flushed" true (s.Alloc_stats.cache_flushes > 0);
+  Hoard.flush_caches h;
+  Alcotest.(check bool) "caches empty after flush" true
+    (List.for_all (fun (_, counts) -> Array.for_all (( = ) 0) counts) (Hoard.cache_counts h));
+  Alcotest.(check bool) "queues empty after flush" true
+    (Array.for_all (( = ) 0) (Hoard.remote_queue_lengths h));
+  Alcotest.(check int) "nothing live" 0 (a.Alloc_intf.stats ()).Alloc_stats.live_bytes;
+  a.Alloc_intf.check ()
+
+let test_check_exact_with_caches_populated () =
+  let h, a = mk_fe () in
+  let ps = List.init 400 (fun i -> a.Alloc_intf.malloc (8 + (i mod 900))) in
+  (* Caches hold fill surplus: check must reconcile exactly anyway. *)
+  a.Alloc_intf.check ();
+  List.iter a.Alloc_intf.free ps;
+  (* Caches now hold freed blocks, still charged to their heaps. *)
+  a.Alloc_intf.check ();
+  Hoard.flush_caches h;
+  a.Alloc_intf.check ();
+  Alcotest.(check int) "live zero once flushed" 0 (a.Alloc_intf.stats ()).Alloc_stats.live_bytes
+
+let test_double_free_cached_detected () =
+  let _, a = mk_fe () in
+  let p = a.Alloc_intf.malloc 64 in
+  a.Alloc_intf.free p;
+  Alcotest.check_raises "double free while cached" (Failure "Hoard.free: double free (cached)")
+    (fun () -> a.Alloc_intf.free p)
+
+let test_remote_queue_drain_reuses_memory () =
+  (* Producer on proc 0, consumer on proc 1: the consumer's frees land on
+     the producer heap's remote-free queue; the producer's next slow path
+     drains them, so re-allocating must not map new OS memory. *)
+  let sim = Sim.create ~nprocs:2 () in
+  let pf = Sim.platform sim in
+  let config = { cfg with Hoard_config.front_end = 8; release_to_os = false } in
+  let h = Hoard.create ~config pf in
+  let a = Hoard.allocator h in
+  let ps = ref [] in
+  let maps = ref (-1, -1) in
+  let b = Sim.new_barrier sim ~parties:2 in
+  ignore
+    (Sim.spawn sim ~proc:0 (fun () ->
+         ps := List.init 200 (fun _ -> a.Alloc_intf.malloc 64);
+         Sim.barrier_wait b;
+         (* consumer frees and flushes *)
+         Sim.barrier_wait b;
+         let before = (a.Alloc_intf.stats ()).Alloc_stats.os_maps in
+         let qs = List.init 200 (fun _ -> a.Alloc_intf.malloc 64) in
+         maps := (before, (a.Alloc_intf.stats ()).Alloc_stats.os_maps);
+         List.iter a.Alloc_intf.free qs));
+  ignore
+    (Sim.spawn sim ~proc:1 (fun () ->
+         Sim.barrier_wait b;
+         List.iter a.Alloc_intf.free !ps;
+         (* Push everything out of this thread's cache onto the owners'
+            remote-free queues before signalling the producer. *)
+         a.Alloc_intf.flush ();
+         Sim.barrier_wait b));
+  Sim.run sim;
+  let before, after = !maps in
+  Alcotest.(check int) "no new OS maps after drain" before after;
+  let s = a.Alloc_intf.stats () in
+  Alcotest.(check bool) "remote enqueues recorded" true (s.Alloc_stats.remote_enqueues > 0);
+  Alcotest.(check bool) "remote drains recorded" true (s.Alloc_stats.remote_drains > 0);
+  Hoard.flush_caches h;
+  a.Alloc_intf.check ();
+  Alcotest.(check int) "nothing live" 0 (a.Alloc_intf.stats ()).Alloc_stats.live_bytes
+
+let test_front_end_cuts_lock_traffic () =
+  (* The PR's acceptance bar: on larson and threadtest at 4 simulated
+     processors, the front end takes >= 5x fewer heap-lock acquisitions
+     per malloc/free pair than the paper-exact configuration. *)
+  let nprocs = 4 in
+  let acqs_per_pair ~front_end name =
+    let w =
+      match Experiments.workload name Experiments.Quick with
+      | Some w -> w
+      | None -> Alcotest.failf "unknown workload %s" name
+    in
+    let config = { cfg with Hoard_config.front_end } in
+    let r = Runner.run (Runner.spec w (Hoard.factory ~config ()) ~nprocs) in
+    let acqs =
+      List.fold_left
+        (fun acc (lname, n, _) ->
+          if String.starts_with ~prefix:"hoard.heap" lname then acc + n else acc)
+        0 r.Runner.r_lock_stats
+    in
+    let pairs = r.Runner.r_stats.Alloc_stats.mallocs + r.Runner.r_stats.Alloc_stats.frees in
+    float_of_int acqs /. float_of_int (max 1 pairs)
+  in
+  List.iter
+    (fun name ->
+      let base = acqs_per_pair ~front_end:0 name in
+      let fe = acqs_per_pair ~front_end:32 name in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %.4f acqs/pair with front end vs %.4f without (>= 5x)" name fe base)
+        true (base >= 5.0 *. fe))
+    [ "larson"; "threadtest" ]
+
 let test_config_validation () =
   List.iter
     (fun bad -> Alcotest.check_raises "rejected" (Invalid_argument bad) (fun () ->
@@ -508,5 +635,14 @@ let () =
         [
           Alcotest.test_case "blowup bounded" `Quick test_blowup_bounded_producer_consumer;
           Alcotest.test_case "remote free" `Quick test_remote_free_returns_to_owner;
+        ] );
+      ( "front end",
+        [
+          Alcotest.test_case "off by default" `Quick test_front_end_off_by_default;
+          Alcotest.test_case "cache bounded and flushed" `Quick test_cache_bounded_and_flushed;
+          Alcotest.test_case "check exact with caches" `Quick test_check_exact_with_caches_populated;
+          Alcotest.test_case "double free cached" `Quick test_double_free_cached_detected;
+          Alcotest.test_case "remote queue drain reuse" `Quick test_remote_queue_drain_reuses_memory;
+          Alcotest.test_case "5x fewer lock acquisitions" `Quick test_front_end_cuts_lock_traffic;
         ] );
     ]

@@ -146,6 +146,49 @@ let test_producer_consumer () =
       (s.Alloc_stats.remote_frees > 0);
   Platform.host_release pf
 
+(* --- the same storm through the lock-free front end --- *)
+
+let test_front_end_storm () =
+  (* Every free is a neighbour's block, so eviction constantly batches
+     onto other heaps' remote-free queues while those heaps' owners are
+     allocating. Worker caches are flushed by Domain.at_exit on join;
+     flush_caches then empties the remote-free queues so the final stats
+     must be exact. *)
+  let rounds = 20 and batch = 64 in
+  let pf = Platform.host ~nprocs:ndomains () in
+  let h = Hoard.create ~config:{ Hoard_config.default with Hoard_config.front_end = 16 } pf in
+  let a = Hoard.allocator h in
+  let slots = Array.init ndomains (fun _ -> Array.make batch 0) in
+  let barrier = make_barrier ndomains in
+  let failures = Atomic.make 0 in
+  spawn_domains ndomains (fun d ->
+      let rng = Random.State.make [| 0xfe17; d |] in
+      for _ = 1 to rounds do
+        for i = 0 to batch - 1 do
+          let size = 8 + Random.State.int rng 2040 in
+          let addr = a.Alloc_intf.malloc size in
+          if a.Alloc_intf.usable_size addr < size then Atomic.incr failures;
+          slots.(d).(i) <- addr
+        done;
+        barrier ();
+        let victim = slots.((d + 1) mod ndomains) in
+        for i = 0 to batch - 1 do
+          a.Alloc_intf.free victim.(i)
+        done;
+        barrier ()
+      done);
+  Hoard.flush_caches h;
+  Hoard.check h;
+  let s = a.Alloc_intf.stats () in
+  let expected = ndomains * rounds * batch in
+  Alcotest.(check int) "no usable_size failures" 0 (Atomic.get failures);
+  Alcotest.(check int) "exact mallocs" expected s.Alloc_stats.mallocs;
+  Alcotest.(check int) "exact frees" expected s.Alloc_stats.frees;
+  Alcotest.(check int) "no live bytes" 0 s.Alloc_stats.live_bytes;
+  Alcotest.(check bool) "front end exercised" true (s.Alloc_stats.cache_hits > 0);
+  Alcotest.(check bool) "remote queues exercised" true (s.Alloc_stats.remote_enqueues > 0);
+  Platform.host_release pf
+
 (* --- stats exactness across domains, small and large paths --- *)
 
 let test_stats_exact () =
@@ -261,6 +304,7 @@ let () =
       ( "domains",
         [
           Alcotest.test_case "cross-heap free storm" `Quick test_free_storm;
+          Alcotest.test_case "front-end free storm" `Quick test_front_end_storm;
           Alcotest.test_case "producer-consumer ring" `Quick test_producer_consumer;
           Alcotest.test_case "stats exact across domains" `Quick test_stats_exact;
           Alcotest.test_case "registry concurrent ops" `Quick test_registry_concurrent;
