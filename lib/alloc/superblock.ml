@@ -104,6 +104,27 @@ let is_block_live t addr =
   let i = index_of_addr t addr in
   i < t.carved && Bytes.get t.live i = '\001'
 
+type region =
+  | Header
+  | Block of { b_start : int; b_index : int; b_live : bool }
+  | Tail_waste
+
+let locate t addr =
+  let off = addr - t.sb_base in
+  if off < 0 || off >= t.size then invalid_arg "Superblock.locate: address outside superblock";
+  if off < header_bytes then Header
+  else
+    let boff = off - header_bytes in
+    let i = boff / t.bsize in
+    if i >= t.cap then Tail_waste
+    else
+      Block
+        {
+          b_start = addr_of_index t i;
+          b_index = i;
+          b_live = (i < t.carved && Bytes.get t.live i = '\001');
+        }
+
 let reinit t ~sclass ~block_size =
   if t.used_blocks > 0 then failwith "Superblock.reinit: superblock not empty";
   if block_size < 8 || block_size > t.size - header_bytes then invalid_arg "Superblock.reinit: bad block_size";

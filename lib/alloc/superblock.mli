@@ -61,6 +61,21 @@ val contains : t -> int -> bool
 val is_block_live : t -> int -> bool
 (** Whether the block at this address is currently allocated. *)
 
+(** Classification of an arbitrary address within a superblock, for the
+    heap sanitizer: [Header] is the metadata line (a workload touching it
+    clobbers a canary), [Block] carries the containing block's start
+    address, index and liveness (so overflow past [b_start + block_size]
+    and access to a dead block are distinguishable), [Tail_waste] is the
+    slack past the last whole block. *)
+type region =
+  | Header
+  | Block of { b_start : int; b_index : int; b_live : bool }
+  | Tail_waste
+
+val locate : t -> int -> region
+(** Raises [Invalid_argument] if the address is outside
+    [\[base, base + sb_size)]. *)
+
 val reinit : t -> sclass:int -> block_size:int -> unit
 (** Re-dedicates an empty superblock to another size class. Raises
     [Failure] if any block is live. *)

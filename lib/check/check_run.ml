@@ -1,0 +1,193 @@
+(* Oracle-checked workload runs: the harness runner with the
+   differential oracle interposed on the allocator, and — for sanitizer
+   subjects — the heap sanitizer's access checker installed on the
+   workload's view of the platform. This is the layer the hoard_check
+   CLI and the deep-check CI job drive. *)
+
+let sprintf = Printf.sprintf
+
+type subject = {
+  s_label : string;
+  s_describe : string;
+  s_config : Hoard_config.t option;
+      (* Some: a hoard instance we keep a handle on (flushable, sanitizer
+         wirable, blowup-checkable). None: a registry factory (baselines
+         have no quiescent-flush or blowup story, so those checks are
+         skipped for them). *)
+}
+
+let hoard_subjects =
+  [
+    { s_label = "hoard"; s_describe = "paper-exact configuration"; s_config = Some Hoard_config.default };
+    {
+      s_label = "hoard-fe";
+      s_describe = "lock-free front end";
+      s_config = Some { Hoard_config.default with Hoard_config.front_end = Allocators.front_end_default };
+    };
+    {
+      s_label = "hoard-san";
+      s_describe = "sanitizer on (poison, canaries, quarantine)";
+      s_config = Some { Hoard_config.default with Hoard_config.sanitize = true };
+    };
+    {
+      s_label = "hoard-fe-san";
+      s_describe = "front end and sanitizer together";
+      s_config =
+        Some
+          {
+            Hoard_config.default with
+            Hoard_config.front_end = Allocators.front_end_default;
+            sanitize = true;
+          };
+    };
+  ]
+
+let find_subject label =
+  match List.find_opt (fun s -> s.s_label = label) hoard_subjects with
+  | Some s -> Some s
+  | None ->
+    (match Allocators.find label with
+     | Some f -> Some { s_label = label; s_describe = f.Alloc_intf.description; s_config = None }
+     | None -> None)
+
+let subject_help () =
+  let own =
+    List.map (fun s -> sprintf "  %-14s %s" s.s_label s.s_describe) hoard_subjects |> String.concat "\n"
+  in
+  own ^ "\n(plus any registry allocator: " ^ String.concat ", " (Allocators.labels ()) ^ ")"
+
+(* The O(P) term of the paper's blowup bound, from the configuration: per
+   heap, K superblocks of slack, one being installed (the invariant is
+   only enforced on frees), one in transit to the global heap, and one
+   pinned per size class by the trim's protect-last rule; the global
+   heap's retained empties; front-end caches and remote queues park whole
+   blocks; the quarantine holds back frees; threads keep one allocation
+   in flight. All counted at superblock granularity where a superblock
+   could be pinned, so the envelope is generous but still O(U + P). *)
+let blowup_slop cfg ~nprocs ~nthreads =
+  let s = cfg.Hoard_config.sb_size in
+  let heaps = (match cfg.Hoard_config.nheaps with Some n -> n | None -> nprocs) + 1 in
+  let per_heap = (cfg.Hoard_config.slack + 4) * s * heaps in
+  let retained = (cfg.Hoard_config.release_threshold + 1) * s in
+  let in_flight = nthreads * s in
+  let fe = if cfg.Hoard_config.front_end > 0 then (nthreads + heaps) * s else 0 in
+  let quarantine = if cfg.Hoard_config.sanitize then cfg.Hoard_config.quarantine * Hoard_config.max_small cfg else 0 in
+  per_heap + retained + in_flight + fe + quarantine
+
+type report = {
+  c_workload : string;
+  c_subject : string;
+  c_result : Runner.result;
+  c_mallocs : int;  (** operations the oracle checked *)
+  c_peak_usable : int;  (** the oracle's ideal-allocator peak U *)
+  c_shared_lines : int;  (** actively-induced false sharing (oracle) *)
+  c_quarantine_peak : int;  (** sanitizer quarantine length before flush *)
+}
+
+(* Run [workload] on [subject] with every operation oracle-checked.
+   Raises Oracle.Oracle_violation / Hoard.Sanitizer_violation (or the
+   allocator's own check failure) on any discrepancy. *)
+let run_oracle ?fuzz ?(nprocs = 4) ?nthreads ?(check_blowup = true) ?(expect_no_false_sharing = false)
+    ~workload ~subject () =
+  let s =
+    match find_subject subject with
+    | Some s -> s
+    | None -> invalid_arg (sprintf "Check_run.run_oracle: unknown subject %S" subject)
+  in
+  let handle = ref None in
+  let factory =
+    match s.s_config with
+    | None -> Option.get (Allocators.find s.s_label)
+    | Some config ->
+      {
+        Alloc_intf.label = s.s_label;
+        description = s.s_describe;
+        instantiate =
+          (fun pf ->
+            let h = Hoard.create ~config pf in
+            handle := Some h;
+            Hoard.allocator h);
+      }
+  in
+  let oracle = ref None in
+  let wrap_allocator pf a =
+    let o, checked = Oracle.wrap pf a in
+    oracle := Some o;
+    checked
+  in
+  let wrap_platform pf =
+    match !handle with
+    | None -> pf
+    | Some h ->
+      (match Hoard.sanitizer_access_check h with
+       | None -> pf
+       | Some checker ->
+         {
+           pf with
+           Platform.read =
+             (fun ~addr ~len ->
+               checker ~addr ~len ~write:false;
+               pf.Platform.read ~addr ~len);
+           write =
+             (fun ~addr ~len ->
+               checker ~addr ~len ~write:true;
+               pf.Platform.write ~addr ~len);
+         })
+  in
+  let quarantine_peak = ref 0 in
+  let post (a : Alloc_intf.t) =
+    let o = Option.get !oracle in
+    (match !handle with
+     | None -> Oracle.final_check o ~stats:(a.Alloc_intf.stats ())
+     | Some h ->
+       quarantine_peak := Hoard.quarantine_length h;
+       Hoard.flush_caches h;
+       Hoard.check h;
+       (* Quiescent: caches, queues and quarantine drained, so the
+          allocator's live bytes must match the oracle's exactly. *)
+       Oracle.final_check ~expect_quiescent_equality:true o ~stats:(a.Alloc_intf.stats ());
+       if check_blowup then
+         let cfg = Hoard.config h in
+         Oracle.check_blowup o ~stats:(a.Alloc_intf.stats ())
+           ~empty_fraction:cfg.Hoard_config.empty_fraction
+           ~slop:(blowup_slop cfg ~nprocs ~nthreads:(Option.value nthreads ~default:nprocs)));
+    if expect_no_false_sharing && Oracle.active_shared_lines o > 0 then
+      raise
+        (Oracle.Oracle_violation
+           (sprintf "oracle[%s]: %d cache line(s) actively shared between threads" s.s_label
+              (Oracle.active_shared_lines o)))
+  in
+  let spec = Runner.spec ?nthreads workload factory ~nprocs in
+  let r = Runner.run_with ?fuzz ~wrap_allocator ~wrap_platform ~post spec in
+  let o = Option.get !oracle in
+  {
+    c_workload = r.Runner.r_workload;
+    c_subject = s.s_label;
+    c_result = r;
+    c_mallocs = r.Runner.r_stats.Alloc_stats.mallocs;
+    c_peak_usable = Oracle.peak_usable_bytes o;
+    c_shared_lines = Oracle.active_shared_lines o;
+    c_quarantine_peak = !quarantine_peak;
+  }
+
+(* Quick-scale variants of the paper workloads, the set the deep-check
+   CI job sweeps. Sizes chosen so an oracle-checked run stays in the
+   hundreds of milliseconds. *)
+let quick_workloads () =
+  [
+    Threadtest.make ~params:{ Threadtest.default_params with Threadtest.iterations = 4; objects = 2000 } ();
+    Larson.make
+      ~params:{ Larson.default_params with Larson.rounds = 60; handoffs = 4; objects_per_thread = 40 }
+      ();
+    Producer_consumer.make
+      ~params:{ Producer_consumer.default_params with Producer_consumer.rounds = 12; batch = 40 }
+      ();
+    False_sharing.active ~params:{ False_sharing.default_params with False_sharing.loops = 96; writes_per_object = 40 } ();
+  ]
+
+let find_workload name = List.find_opt (fun w -> w.Workload_intf.w_name = name) (quick_workloads ())
+
+let workload_help () =
+  quick_workloads ()
+  |> List.map (fun w -> sprintf "  %-20s %s" w.Workload_intf.w_name w.Workload_intf.w_describe)
+  |> String.concat "\n"

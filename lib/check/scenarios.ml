@@ -1,0 +1,247 @@
+(* Canned scenarios for the schedule explorer.
+
+   Each scenario builds a fresh machine per run (the explorer replays
+   them hundreds of times), spawns at most one thread per processor as
+   controlled mode requires, and returns a post-run check. The two
+   counter scenarios are self-tests of the explorer itself; the hoard
+   scenarios drive the real allocator — optionally with a planted mutant
+   (Hoard_config.mutant) whose bug only fires under a specific
+   interleaving, which the explorer must find and minimize. *)
+
+let sprintf = Printf.sprintf
+
+(* A classic lost update: both threads read a shared counter, pass a
+   synchronisation point (an unrelated lock, which is what makes the
+   window visible to a preemption-bounded explorer), then write back
+   +1. The counter itself is host state mirrored by simulated accesses
+   to a fixed address so that step footprints expose the conflict. *)
+let counter_addr = 0x4000_0000
+
+let lost_update =
+  {
+    Explorer.sc_name = "lost-update";
+    sc_describe = "unsynchronized read-modify-write of a shared counter; fails at preemption bound 1";
+    sc_nprocs = 2;
+    sc_build =
+      (fun sim _pf ->
+        let c = ref 0 in
+        let tick = Sim.new_lock sim "tick" in
+        for p = 0 to 1 do
+          ignore
+            (Sim.spawn sim ~proc:p (fun () ->
+                 Sim.read ~addr:counter_addr ~len:8;
+                 let v = !c in
+                 Sim.acquire tick;
+                 Sim.release tick;
+                 c := v + 1;
+                 Sim.write ~addr:counter_addr ~len:8))
+        done;
+        fun () -> if !c <> 2 then failwith (sprintf "lost update: counter = %d, expected 2" !c));
+  }
+
+(* The same counter correctly guarded: the read-modify-write sits inside
+   the critical section. No interleaving loses an update. *)
+let locked_update =
+  {
+    Explorer.sc_name = "locked-update";
+    sc_describe = "the same counter under a lock; passes at every bound";
+    sc_nprocs = 2;
+    sc_build =
+      (fun sim _pf ->
+        let c = ref 0 in
+        let mu = Sim.new_lock sim "mu" in
+        for p = 0 to 1 do
+          ignore
+            (Sim.spawn sim ~proc:p (fun () ->
+                 Sim.acquire mu;
+                 Sim.read ~addr:counter_addr ~len:8;
+                 let v = !c in
+                 Sim.work 5;
+                 c := v + 1;
+                 Sim.write ~addr:counter_addr ~len:8;
+                 Sim.release mu))
+        done;
+        fun () -> if !c <> 2 then failwith (sprintf "locked update: counter = %d, expected 2" !c));
+  }
+
+(* Shared scaffolding for the hoard scenarios: a one-heap configuration
+   on a 4 KiB superblock so a handful of allocations spans exactly two
+   superblocks of one size class. *)
+let race_config ~mutant =
+  {
+    Hoard_config.default with
+    Hoard_config.sb_size = 4096;
+    nheaps = Some 1;
+    slack = 0;
+    empty_fraction = 0.5;
+    path_work = 0;
+    release_to_os = false;
+    front_end = 0;
+    mutant;
+  }
+
+(* Pick the largest size class whose superblock capacity is at least
+   [min_cap] blocks — big blocks keep the setup short, enough capacity
+   keeps the fullness arithmetic below valid. *)
+let pick_class sc ~sb_size ~min_cap =
+  let best = ref None in
+  for c = 0 to Size_class.count sc - 1 do
+    let bsize = Size_class.size_of_class sc c in
+    let cap = (sb_size - Superblock.header_bytes) / bsize in
+    if cap >= min_cap then best := Some (bsize, cap)
+  done;
+  match !best with
+  | Some r -> r
+  | None -> invalid_arg "pick_class: no class with the requested capacity"
+
+let sb_base ~sb_size addr = addr - (addr mod sb_size)
+
+(* The free/transfer race from the paper's free protocol. Thread A owns a
+   heap holding two superblocks: SB1 nearly empty (2 live blocks), SB2
+   just above the emptiness threshold; the heap sits exactly ON the
+   threshold. A frees one SB2 block, crossing it, so A's free transfers
+   SB1 — with thread B's block still live inside — to the global heap.
+   Concurrently B frees that block: B reads SB1's owner (heap 1), then
+   must lock heap 1. If B's lock attempt lands inside A's critical
+   section (one preemption), B enters only after the transfer completed
+   and its owner snapshot is stale. The real allocator re-checks
+   ownership after acquiring (Hoard's lock_owner) and retries against
+   the global heap; the skip-owner-recheck mutant frees into the stale
+   heap and Heap_core rejects the foreign superblock. *)
+let transfer_free_race ~mutant =
+  {
+    Explorer.sc_name = (if mutant = "" then "transfer-free-race" else "transfer-free-race-mutant");
+    sc_describe =
+      (if mutant = "" then "free racing a superblock transfer; the ownership re-check protects it"
+       else "same race against the skip-owner-recheck mutant; fails at preemption bound 1");
+    sc_nprocs = 2;
+    sc_build =
+      (fun sim pf ->
+        let config = race_config ~mutant in
+        let h = Hoard.create ~config pf in
+        let a = Hoard.allocator h in
+        let sb_size = config.Hoard_config.sb_size in
+        let bsize, cap = pick_class (Hoard.size_classes h) ~sb_size ~min_cap:7 in
+        let barrier = Sim.new_barrier sim ~parties:2 in
+        let a_target = ref 0 and b_target = ref 0 in
+        ignore
+          (Sim.spawn sim ~proc:0 (fun () ->
+               (* Fill two superblocks of the class. *)
+               let addrs = Array.init (2 * cap) (fun _ -> a.Alloc_intf.malloc bsize) in
+               let base1 = sb_base ~sb_size addrs.(0) in
+               let g1, g2 = Array.to_list addrs |> List.partition (fun x -> sb_base ~sb_size x = base1) in
+               if List.length g1 <> cap || List.length g2 <> cap then
+                 failwith "transfer-free-race: allocations did not split 2 superblocks evenly";
+               (* Leave 2 blocks live in SB1 (one is B's target) and
+                  cap-2 in SB2: cap live blocks total, exactly on the
+                  emptiness threshold (u = cap * bsize = (1-f) * a). *)
+               (match g1 with
+                | keep :: _ :: rest -> b_target := keep; List.iter a.Alloc_intf.free rest
+                | _ -> assert false);
+               (match g2 with
+                | x :: y :: next :: _ -> a.Alloc_intf.free x; a.Alloc_intf.free y; a_target := next
+                | _ -> assert false);
+               Sim.barrier_wait barrier;
+               (* Crosses the threshold: trim picks SB1 (2/cap full vs
+                  SB2's (cap-3)/cap > 1-f) and transfers it. *)
+               a.Alloc_intf.free !a_target));
+        ignore
+          (Sim.spawn sim ~proc:1 (fun () ->
+               Sim.barrier_wait barrier;
+               a.Alloc_intf.free !b_target));
+        fun () ->
+          Hoard.check h;
+          if not (Hoard.invariant_holds h ~heap_id:1) then
+            failwith "transfer-free-race: emptiness invariant violated on heap 1");
+  }
+
+(* Single-threaded emptiness-invariant scenario: drive a heap well below
+   the threshold and rely on the post-run check. The real allocator
+   restores the invariant during the frees; the emptiness-off-by-one
+   mutant trims against K+1 and leaves the heap too empty — caught even
+   on the default schedule (preemption bound 0), i.e. by the invariant
+   check alone, no interleaving needed. *)
+let emptiness_trim ~mutant =
+  {
+    Explorer.sc_name = (if mutant = "" then "emptiness-trim" else "emptiness-trim-mutant");
+    sc_describe =
+      (if mutant = "" then "frees crossing the emptiness threshold; trims restore the invariant"
+       else "emptiness-off-by-one mutant retains too-empty superblocks; fails at bound 0");
+    sc_nprocs = 1;
+    sc_build =
+      (fun sim pf ->
+        let config = { (race_config ~mutant) with Hoard_config.slack = 1 } in
+        let h = Hoard.create ~config pf in
+        let a = Hoard.allocator h in
+        let sb_size = config.Hoard_config.sb_size in
+        let bsize, cap = pick_class (Hoard.size_classes h) ~sb_size ~min_cap:7 in
+        ignore
+          (Sim.spawn sim ~proc:0 (fun () ->
+               let addrs = Array.init (3 * cap) (fun _ -> a.Alloc_intf.malloc bsize) in
+               (* Empty the first two superblocks down to one live block
+                  each: u = (cap+2) * bsize out of 3 superblocks held. *)
+               for i = 0 to cap - 2 do
+                 a.Alloc_intf.free addrs.(i);
+                 a.Alloc_intf.free addrs.(cap + i)
+               done));
+        fun () ->
+          Hoard.check h;
+          if not (Hoard.invariant_holds h ~heap_id:1) then
+            failwith "emptiness-trim: emptiness invariant violated on heap 1");
+  }
+
+(* Superblock registry churn: three threads on two heaps, each cycling a
+   block that fills a whole superblock, with release_to_os at threshold
+   0 — every free empties a superblock, transfers it to the global heap
+   and unmaps it, so register/unregister runs concurrently with the
+   wait-free lookup on every other thread's free path. The explorer
+   checks no interleaving makes a lookup observe a freed superblock
+   (which would surface as a crash or a wrong usable_size). *)
+let registry_churn =
+  {
+    Explorer.sc_name = "registry-churn";
+    sc_describe = "mallocs/frees churning superblock map/unmap under concurrent wait-free lookups";
+    sc_nprocs = 3;
+    sc_build =
+      (fun sim pf ->
+        let config =
+          {
+            (race_config ~mutant:"") with
+            Hoard_config.nheaps = Some 2;
+            release_to_os = true;
+            release_threshold = 0;
+          }
+        in
+        let h = Hoard.create ~config pf in
+        let a = Hoard.allocator h in
+        let size = Hoard_config.max_small config in
+        for p = 0 to 2 do
+          ignore
+            (Sim.spawn sim ~proc:p (fun () ->
+                 for _ = 1 to 3 do
+                   let addr = a.Alloc_intf.malloc size in
+                   let u = a.Alloc_intf.usable_size addr in
+                   if u < size then failwith (sprintf "registry-churn: usable %d < %d" u size);
+                   a.Alloc_intf.free addr
+                 done))
+        done;
+        fun () -> Hoard.check h);
+  }
+
+let all () =
+  [
+    lost_update;
+    locked_update;
+    transfer_free_race ~mutant:"";
+    transfer_free_race ~mutant:"skip-owner-recheck";
+    emptiness_trim ~mutant:"";
+    emptiness_trim ~mutant:"emptiness-off-by-one";
+    registry_churn;
+  ]
+
+let find name = List.find_opt (fun s -> s.Explorer.sc_name = name) (all ())
+
+let help () =
+  all ()
+  |> List.map (fun s -> sprintf "  %-26s %s" s.Explorer.sc_name s.Explorer.sc_describe)
+  |> String.concat "\n"

@@ -1,0 +1,35 @@
+(** Canned scenarios for {!Explorer}.
+
+    The counter pair ([lost_update] / [locked_update]) self-tests the
+    explorer: the first fails at preemption bound 1, the second passes at
+    every bound. The hoard scenarios drive the real allocator on a small
+    one-heap configuration; with a planted mutant
+    ({!Hoard_config.known_mutants}) they reproduce the concurrency bug
+    the mutant hides, which the explorer must find and minimize while
+    the unmutated variant passes exhaustively. *)
+
+val lost_update : Explorer.scenario
+val locked_update : Explorer.scenario
+
+val transfer_free_race : mutant:string -> Explorer.scenario
+(** A free racing the owning heap's superblock transfer to the global
+    heap (the paper's free protocol). [mutant = "skip-owner-recheck"]
+    drops the post-acquire ownership re-check and fails at preemption
+    bound 1; [mutant = ""] is the real allocator and passes. *)
+
+val emptiness_trim : mutant:string -> Explorer.scenario
+(** Single-threaded invariant check: frees drive a heap across the
+    emptiness threshold; the post-run check demands the invariant.
+    [mutant = "emptiness-off-by-one"] fails already at bound 0. *)
+
+val registry_churn : Explorer.scenario
+(** Superblock register/unregister churn (release-to-OS at threshold 0)
+    against the registry's wait-free lookup on concurrent free paths. *)
+
+val all : unit -> Explorer.scenario list
+
+val find : string -> Explorer.scenario option
+(** Lookup by [sc_name] (mutant variants are suffixed ["-mutant"]). *)
+
+val help : unit -> string
+(** One line per scenario for [--scenario help]. *)

@@ -22,6 +22,18 @@ type tcache = {
   tc_ring : Event_ring.t option;
 }
 
+(* Sanitizer state: the most recent [q_cap] freed blocks are held back
+   from reuse (FIFO), still bitmap-live in their superblocks, so a second
+   free or a late touch through the checked platform is diagnosable
+   instead of silently recycling. Host mutex: step-atomic on the
+   simulator, real exclusion across domains, zero simulated cost. *)
+type san = {
+  q : int Queue.t; (* quarantined block addresses, oldest first *)
+  q_set : (int, unit) Hashtbl.t;
+  q_cap : int;
+  q_mu : Mutex.t;
+}
+
 type t = {
   pf : Platform.t;
   cfg : Hoard_config.t;
@@ -38,7 +50,14 @@ type t = {
   tcaches : tcache IntMap.t Atomic.t; (* tid -> cache; replaced under [tc_mu] *)
   tc_mu : Mutex.t; (* host mutex: serialises tcache creation, zero simulated cost *)
   creator_did : int; (* domain that built [t]; its threads skip at-exit hooks *)
+  san : san option;
+  (* Test-mutant plumbing (cfg.mutant): the real allocator always runs
+     with trim_slack = cfg.slack and the ownership re-check on. *)
+  trim_slack : int;
+  skip_owner_recheck : bool;
 }
+
+exception Sanitizer_violation of string
 
 type heap_info = {
   heap_id : int;
@@ -99,6 +118,12 @@ let create ?(config = Hoard_config.default) ?obs pf =
       tcaches = Atomic.make IntMap.empty;
       tc_mu = Mutex.create ();
       creator_did = (Domain.self () :> int);
+      san =
+        (if config.sanitize then
+           Some { q = Queue.create (); q_set = Hashtbl.create 64; q_cap = config.quarantine; q_mu = Mutex.create () }
+         else None);
+      trim_slack = (config.slack + if config.mutant = "emptiness-off-by-one" then 1 else 0);
+      skip_owner_recheck = config.mutant = "skip-owner-recheck";
     }
   in
   (match obs with
@@ -125,9 +150,14 @@ let my_heap t =
    comparison uses usable bytes (excluding header and carving waste) so
    that crossing the threshold guarantees an at-least-f-empty superblock
    exists to transfer. *)
-let too_empty t core =
+let too_empty ?slack t core =
+  let k =
+    match slack with
+    | Some k -> k
+    | None -> t.cfg.slack
+  in
   let u = Heap_core.u core and a = Heap_core.usable_a core in
-  u < a - (t.cfg.slack * t.cfg.sb_size) && float_of_int u < (1.0 -. t.cfg.empty_fraction) *. float_of_int a
+  u < a - (k * t.cfg.sb_size) && float_of_int u < (1.0 -. t.cfg.empty_fraction) *. float_of_int a
 
 let touch_header t sb = t.pf.Platform.write ~addr:(Superblock.base sb) ~len:16
 
@@ -246,7 +276,11 @@ let rec lock_owner t sb =
   let id = Superblock.owner sb in
   let h = heap_by_id t id in
   h.lock.acquire ();
-  if Superblock.owner sb = Heap_core.id h.core then h
+  (* The skip-owner-recheck mutant returns without re-reading the owner:
+     the superblock may have migrated to the global heap between the read
+     above and the acquisition, and the caller then frees into the wrong
+     heap — the bug the schedule explorer is expected to find. *)
+  if t.skip_owner_recheck || Superblock.owner sb = Heap_core.id h.core then h
   else begin
     h.lock.release ();
     lock_owner t sb
@@ -264,7 +298,7 @@ let trim_heap ?(deep = false) t h ~sclass =
   if Heap_core.id h.core = 0 then release_surplus t (* the held lock IS the global lock *)
   else begin
     let continue_ = ref true in
-    while !continue_ && too_empty t h.core do
+    while !continue_ && too_empty ~slack:t.trim_slack t h.core do
       event t h Event_ring.Emptiness_cross ~sclass ~arg:(Heap_core.u h.core);
       (match Heap_core.pick_victim ~protect_last:true h.core ~max_fullness:(1.0 -. t.cfg.empty_fraction) with
        | None -> continue_ := false
@@ -534,7 +568,7 @@ let malloc_many t n size =
     end
   end
 
-let free t addr =
+let free_now t addr =
   t.pf.Platform.work t.cfg.path_work;
   match Sb_registry.lookup t.reg ~addr with
   | Some sb ->
@@ -565,10 +599,93 @@ let free t addr =
     end
   | None -> if not (Locked_large.try_free t.large ~addr) then invalid_arg "Hoard.free: foreign pointer"
 
+(* Whether the sanitizer currently quarantines this block address. *)
+let quarantined t addr =
+  match t.san with
+  | None -> false
+  | Some s ->
+    Mutex.lock s.q_mu;
+    let r = Hashtbl.mem s.q_set addr in
+    Mutex.unlock s.q_mu;
+    r
+
+(* Build and raise the sanitizer diagnostic: what happened, where, the
+   owning superblock/heap, and that heap's most recent event-ring entries
+   (when tracing is on) as the last-op trace. Terminal, so the unlocked
+   ring read is fine. *)
+let san_report t ~what ~addr sb =
+  let b = Buffer.create 128 in
+  Printf.bprintf b "heap sanitizer: %s at 0x%x" what addr;
+  (match sb with
+   | None -> ()
+   | Some sb ->
+     Printf.bprintf b " (superblock 0x%x class=%d block=%dB owner=heap%d)" (Superblock.base sb)
+       (Superblock.sclass sb) (Superblock.block_size sb) (Superblock.owner sb);
+     let owner_id = Superblock.owner sb in
+     if owner_id >= 0 && owner_id <= Array.length t.heaps then begin
+       match (heap_by_id t owner_id).ring with
+       | None -> ()
+       | Some r ->
+         let evs = Event_ring.to_list r in
+         let n = List.length evs in
+         let evs = if n > 6 then List.filteri (fun i _ -> i >= n - 6) evs else evs in
+         if evs <> [] then begin
+           Printf.bprintf b "; last heap events:";
+           List.iter
+             (fun (e : Event_ring.event) ->
+               Printf.bprintf b " [%s at=%d proc=%d class=%d arg=%d]" (Event_ring.kind_name e.kind) e.at
+                 e.who e.sclass e.arg)
+             evs
+         end
+     end);
+  raise (Sanitizer_violation (Buffer.contents b))
+
+(* Sanitizing free: validate the pointer (double free, interior, header,
+   foreign), poison the block, and push it through the quarantine ring.
+   The evicted oldest block takes the real free path; until then the
+   block stays bitmap-live, so stats' free counters lag the program's
+   frees by at most [quarantine] until a flush. *)
+let free t addr =
+  match t.san with
+  | None -> free_now t addr
+  | Some s ->
+    t.pf.Platform.work t.cfg.path_work;
+    (match Sb_registry.lookup t.reg ~addr with
+     | None ->
+       if not (Locked_large.try_free t.large ~addr) then san_report t ~what:"free of foreign pointer" ~addr None
+     | Some sb ->
+       if quarantined t addr then san_report t ~what:"double free (block still in quarantine)" ~addr (Some sb);
+       (match Superblock.locate sb addr with
+        | Superblock.Header -> san_report t ~what:"free of a superblock header address" ~addr (Some sb)
+        | Superblock.Tail_waste -> san_report t ~what:"free of a tail-waste address" ~addr (Some sb)
+        | Superblock.Block { b_start; b_live; _ } ->
+          if b_start <> addr then san_report t ~what:"free of an interior pointer" ~addr (Some sb);
+          if not b_live then san_report t ~what:"double free" ~addr (Some sb));
+       (* Poison-on-free: scribble the whole block, so the cost (and the
+          coherence traffic) of poisoning is modelled. *)
+       t.pf.Platform.write ~addr ~len:(Superblock.block_size sb);
+       Mutex.lock s.q_mu;
+       Queue.push addr s.q;
+       Hashtbl.replace s.q_set addr ();
+       let evicted =
+         if Queue.length s.q > s.q_cap then begin
+           let a = Queue.pop s.q in
+           Hashtbl.remove s.q_set a;
+           Some a
+         end
+         else None
+       in
+       Mutex.unlock s.q_mu;
+       (match evicted with
+        | Some a -> free_now t a
+        | None -> ()))
+
 let usable_size t addr =
   match Sb_registry.lookup t.reg ~addr with
   | Some sb ->
+    if quarantined t addr then san_report t ~what:"usable_size of a freed (quarantined) block" ~addr (Some sb);
     if Superblock.is_block_live sb addr then Superblock.block_size sb
+    else if t.san <> None then san_report t ~what:"usable_size of a dead block" ~addr (Some sb)
     else invalid_arg "Hoard.usable_size: dead block"
   | None ->
     (match Locked_large.usable_size t.large ~addr with
@@ -581,6 +698,9 @@ let usable_size t addr =
    through the front end. *)
 let realloc t ~addr ~size =
   if size <= 0 then invalid_arg "Alloc_api.realloc: size must be positive";
+  (match Sb_registry.lookup t.reg ~addr with
+   | Some sb when quarantined t addr -> san_report t ~what:"realloc of a freed (quarantined) block" ~addr (Some sb)
+   | _ -> ());
   match Sb_registry.lookup t.reg ~addr with
   | Some sb when Superblock.is_block_live sb addr && size <= Superblock.block_size sb -> addr
   | _ ->
@@ -595,9 +715,32 @@ let realloc t ~addr ~size =
       fresh
     end
 
+(* Empty the quarantine from inside a simulated thread: every deferred
+   free takes the real free path now, with its usual costs. *)
+let drain_quarantine t =
+  match t.san with
+  | None -> ()
+  | Some s ->
+    Mutex.lock s.q_mu;
+    let items = List.rev (Queue.fold (fun acc a -> a :: acc) [] s.q) in
+    Queue.clear s.q;
+    Hashtbl.reset s.q_set;
+    Mutex.unlock s.q_mu;
+    List.iter (fun a -> free_now t a) items
+
+let quarantine_length t =
+  match t.san with
+  | None -> 0
+  | Some s ->
+    Mutex.lock s.q_mu;
+    let n = Queue.length s.q in
+    Mutex.unlock s.q_mu;
+    n
+
 (* In-thread flush: cache out to the owners' queues, then drain and trim
    the calling thread's own heap. *)
 let flush t =
+  drain_quarantine t;
   if t.fe > 0 then begin
     (match IntMap.find_opt (t.pf.Platform.self_tid ()) (Atomic.get t.tcaches) with
      | Some tc -> flush_tcache t tc
@@ -623,6 +766,25 @@ let flush_caches t =
       Heap_core.free h.core sb addr;
       Alloc_stats.on_drain h.sh ~usable:(Superblock.block_size sb)
   in
+  (* Quarantined blocks first: the program already freed them, so complete
+     those frees (counting them as frees, not drains) before rebalancing. *)
+  (match t.san with
+   | None -> ()
+   | Some s ->
+     Mutex.lock s.q_mu;
+     let items = List.rev (Queue.fold (fun acc a -> a :: acc) [] s.q) in
+     Queue.clear s.q;
+     Hashtbl.reset s.q_set;
+     Mutex.unlock s.q_mu;
+     List.iter
+       (fun addr ->
+         match Sb_registry.lookup t.reg ~addr with
+         | None -> assert false
+         | Some sb ->
+           let h = heap_by_id t (Superblock.owner sb) in
+           Heap_core.free h.core sb addr;
+           Alloc_stats.on_free h.sh ~usable:(Superblock.block_size sb))
+       items);
   IntMap.iter
     (fun _ tc ->
       Array.iteri
@@ -657,6 +819,35 @@ let flush_caches t =
           Alloc_stats.on_transfer_to_global t.global.sh
       done)
     t.heaps
+
+(* The checker a test harness installs on the *workload's* view of the
+   platform (the allocator itself keeps the raw platform: it legitimately
+   writes headers and free-list links). Unknown addresses are ignored —
+   large objects and workload scratch space live outside superblocks. *)
+let sanitizer_access_check t =
+  match t.san with
+  | None -> None
+  | Some _ ->
+    Some
+      (fun ~addr ~len ~write ->
+        match Sb_registry.lookup t.reg ~addr with
+        | None -> ()
+        | Some sb ->
+          (match Superblock.locate sb addr with
+           | Superblock.Header ->
+             san_report t
+               ~what:
+                 (if write then "header canary clobbered (write into a superblock header)"
+                  else "read of a superblock header")
+               ~addr (Some sb)
+           | Superblock.Tail_waste -> san_report t ~what:"access to superblock tail waste" ~addr (Some sb)
+           | Superblock.Block { b_start; b_live; _ } ->
+             if (not b_live) || quarantined t b_start then
+               san_report t
+                 ~what:(if write then "use-after-free write to a poisoned block" else "use-after-free read of a poisoned block")
+                 ~addr (Some sb)
+             else if addr + len > b_start + Superblock.block_size sb then
+               san_report t ~what:"buffer overflow past the end of a block" ~addr (Some sb)))
 
 let obs t = t.obs
 

@@ -106,3 +106,29 @@ val pp_heaps : Format.formatter -> t -> unit
 (** Human-readable dump of every heap: per size class, the superblock
     count and aggregate fullness — the view used by
     [hoard_bench inspect]. *)
+
+(** {2 Heap sanitizer (config.sanitize)} *)
+
+exception Sanitizer_violation of string
+(** An invalid heap operation caught by the sanitizer: double free, free
+    of an interior/header/foreign pointer, use-after-free or overflow
+    seen through the checked platform, or realloc/usable_size of a
+    quarantined block. The message names the operation, the address, the
+    owning superblock (base, class, block size, owner heap) and — when
+    tracing is on — the owning heap's most recent event-ring entries. *)
+
+val sanitizer_access_check : t -> (addr:int -> len:int -> write:bool -> unit) option
+(** [Some checker] when the instance was created with [config.sanitize].
+    Install it on the *workload's* view of the platform (wrap
+    [Platform.read]/[write]) to turn stray touches of superblock memory —
+    headers (canaries), dead or quarantined blocks (poison), spans past a
+    block's end (overflow) — into {!Sanitizer_violation}. The allocator
+    itself must keep the unchecked platform: it writes headers and
+    free-list links legitimately. Addresses outside any superblock are
+    ignored. *)
+
+val quarantine_length : t -> int
+(** Blocks currently held in the sanitizer quarantine (0 without
+    [sanitize]). Frees deferred there are completed by {!flush_caches}
+    (host-side) or a thread's [flush] (in-sim), so stats' free counters
+    catch up at the latest then. *)

@@ -11,7 +11,12 @@ type t = {
   path_work : int;
   front_end : int;
   remote_queue_cap : int;
+  sanitize : bool;
+  quarantine : int;
+  mutant : string;
 }
+
+let known_mutants = [ "skip-owner-recheck"; "emptiness-off-by-one" ]
 
 let default =
   {
@@ -27,6 +32,9 @@ let default =
     path_work = 30;
     front_end = 0;
     remote_queue_cap = 256;
+    sanitize = false;
+    quarantine = 32;
+    mutant = "";
   }
 
 let validate t =
@@ -44,7 +52,12 @@ let validate t =
   if t.path_work < 0 then invalid_arg "Hoard_config: path_work must be non-negative";
   if t.front_end < 0 then invalid_arg "Hoard_config: front_end must be non-negative";
   if t.front_end > 0 && t.front_end < 2 then invalid_arg "Hoard_config: front_end must be 0 or >= 2";
-  if t.remote_queue_cap < 1 then invalid_arg "Hoard_config: remote_queue_cap must be >= 1"
+  if t.remote_queue_cap < 1 then invalid_arg "Hoard_config: remote_queue_cap must be >= 1";
+  if t.quarantine < 0 then invalid_arg "Hoard_config: quarantine must be non-negative";
+  if t.mutant <> "" && not (List.mem t.mutant known_mutants) then
+    invalid_arg
+      (Printf.sprintf "Hoard_config: unknown mutant %S (known: %s)" t.mutant
+         (String.concat ", " known_mutants))
 
 let max_small t = t.sb_size / 2
 
@@ -54,4 +67,6 @@ let pp fmt t =
     (match t.nheaps with
      | None -> "per-proc"
      | Some n -> string_of_int n)
-    t.release_to_os t.release_threshold t.front_end
+    t.release_to_os t.release_threshold t.front_end;
+  if t.sanitize then Format.fprintf fmt " sanitize(q=%d)" t.quarantine;
+  if t.mutant <> "" then Format.fprintf fmt " MUTANT=%s" t.mutant

@@ -37,7 +37,32 @@ type t = {
       (** capacity (blocks) of each heap's remote-free queue. A remote
           free finding the owner's queue full falls back to the classic
           lock-the-owner free path. Only meaningful with [front_end > 0]. *)
+  sanitize : bool;
+      (** heap sanitizer: freed blocks are quarantined (and, through the
+          checked platform from [Hoard.sanitizer_access_check], poisoned
+          against use-after-free), double frees and foreign pointers are
+          diagnosed with {!Hoard.Sanitizer_violation} naming the owning
+          superblock, heap and recent event trace. Default false: the
+          sanitizer costs host time and delays block reuse, so it is a
+          testing configuration, not a benchmarking one. *)
+  quarantine : int;
+      (** ring capacity (blocks) of the sanitizer's free quarantine: the
+          most recent [quarantine] frees are held back from reuse so late
+          use-after-free and double free remain detectable. 0 checks
+          frees but recycles immediately. Only meaningful with
+          [sanitize]. *)
+  mutant : string;
+      (** hidden test hook: "" (default) is the real allocator; a known
+          mutant name plants a specific concurrency bug for the schedule
+          explorer to find (see {!known_mutants}). Never set outside
+          tests. *)
 }
+
+val known_mutants : string list
+(** ["skip-owner-recheck"] drops the ownership re-check after acquiring a
+    heap lock in [free], racing against superblock transfer to the global
+    heap; ["emptiness-off-by-one"] makes the emptiness-invariant trim use
+    K+1 while the invariant checker still demands K. *)
 
 val default : t
 

@@ -9,6 +9,15 @@ let hoard_fe ?(front_end = front_end_default) () =
       Printf.sprintf "hoard with the lock-free front end (%d cached blocks per class per thread)" front_end;
   }
 
+let hoard_san ?(quarantine = 32) () =
+  let config = { Hoard_config.default with Hoard_config.sanitize = true; quarantine } in
+  {
+    (Hoard.factory ~config ()) with
+    Alloc_intf.label = "hoard-san";
+    description =
+      Printf.sprintf "hoard with the heap sanitizer (poison-on-free, %d-block quarantine)" quarantine;
+  }
+
 let all () =
   [
     Serial_alloc.factory ();
@@ -20,10 +29,16 @@ let all () =
     hoard_fe ();
   ]
 
+(* Checking configurations: resolvable by [find] but excluded from [all]
+   (sweeps and comparison tables run the seven measurement allocators). *)
+let extras () = [ hoard_san () ]
+
 let labels () = List.map (fun f -> f.Alloc_intf.label) (all ())
 
-let find label = List.find_opt (fun f -> f.Alloc_intf.label = label) (all ())
+let find label = List.find_opt (fun f -> f.Alloc_intf.label = label) (all () @ extras ())
 
 let help () =
   String.concat "\n"
-    (List.map (fun f -> Printf.sprintf "  %-18s %s" f.Alloc_intf.label f.Alloc_intf.description) (all ()))
+    (List.map
+       (fun f -> Printf.sprintf "  %-18s %s" f.Alloc_intf.label f.Alloc_intf.description)
+       (all () @ extras ()))

@@ -8,12 +8,17 @@
     by accident. *)
 
 val all : unit -> Alloc_intf.factory list
-(** Every registered factory, in presentation order. *)
+(** Every measurement factory, in presentation order. Checking
+    configurations ({!extras}) are not included, so sweeps and tables
+    stay on the seven comparison allocators. *)
+
+val extras : unit -> Alloc_intf.factory list
+(** Checking configurations ([hoard-san]); resolvable through {!find}. *)
 
 val labels : unit -> string list
 
 val find : string -> Alloc_intf.factory option
-(** Lookup by [Alloc_intf.label]. *)
+(** Lookup by [Alloc_intf.label], across {!all} and {!extras}. *)
 
 val help : unit -> string
 (** One "label  description" line per factory, for [--allocator help]. *)
@@ -23,3 +28,6 @@ val front_end_default : int
 
 val hoard_fe : ?front_end:int -> unit -> Alloc_intf.factory
 (** A front-end-enabled hoard factory with an explicit capacity. *)
+
+val hoard_san : ?quarantine:int -> unit -> Alloc_intf.factory
+(** A sanitizer-enabled hoard factory (see {!Hoard_config.t.sanitize}). *)

@@ -25,18 +25,34 @@ type result = {
   r_lock_stats : (string * int * int) list;
 }
 
-let run { workload; allocator; nprocs; nthreads; cost; lock_kind } =
+let run_with ?fuzz ?wrap_platform ?wrap_allocator ?post { workload; allocator; nprocs; nthreads; cost; lock_kind }
+    =
   let nthreads =
     match nthreads with
     | Some n -> n
     | None -> nprocs
   in
-  let sim = Sim.create ~cost ~lock_kind ~nprocs () in
+  let sim = Sim.create ~cost ~lock_kind ?fuzz_schedule:fuzz ~nprocs () in
   let pf = Sim.platform sim in
+  (* The allocator always sees the raw platform; only the workload's view
+     is wrapped (e.g. with the sanitizer's access checker). *)
   let a = allocator.Alloc_intf.instantiate pf in
-  workload.Workload_intf.spawn sim pf a ~nthreads;
+  let a =
+    match wrap_allocator with
+    | Some w -> w pf a
+    | None -> a
+  in
+  let wpf =
+    match wrap_platform with
+    | Some w -> w pf
+    | None -> pf
+  in
+  workload.Workload_intf.spawn sim wpf a ~nthreads;
   Sim.run sim;
   a.Alloc_intf.check ();
+  (match post with
+   | Some f -> f a
+   | None -> ());
   let lock_stats = Sim.lock_stats sim in
   let acqs, spins =
     List.fold_left (fun (acc_a, acc_s) (_, a', s') -> (acc_a + a', acc_s + s')) (0, 0) lock_stats
@@ -55,6 +71,8 @@ let run { workload; allocator; nprocs; nthreads; cost; lock_kind } =
     r_lock_spins = spins;
     r_lock_stats = lock_stats;
   }
+
+let run spec = run_with spec
 
 let speedup ~base r = float_of_int base.r_cycles /. float_of_int r.r_cycles
 

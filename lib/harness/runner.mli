@@ -39,6 +39,21 @@ type result = {
 val run : spec -> result
 (** Deterministic: same spec, same result. *)
 
+val run_with :
+  ?fuzz:int ->
+  ?wrap_platform:(Platform.t -> Platform.t) ->
+  ?wrap_allocator:(Platform.t -> Alloc_intf.t -> Alloc_intf.t) ->
+  ?post:(Alloc_intf.t -> unit) ->
+  spec ->
+  result
+(** {!run} with checking hooks, used by [lib/check]. [fuzz] seeds
+    {!Sim.create}'s schedule fuzzer. [wrap_allocator] interposes on the
+    allocator the workload sees (e.g. the differential oracle);
+    [wrap_platform] wraps the workload's view of the platform (e.g. the
+    sanitizer's access checker) — the allocator itself always runs on the
+    raw platform. [post] runs after the post-run [check], for quiescent
+    assertions. Still deterministic: same arguments, same result. *)
+
 val speedup : base:result -> result -> float
 (** [base.cycles / r.cycles] — the paper's speedup metric, with [base]
     normally the same allocator at one processor. *)

@@ -36,7 +36,27 @@ type barrier = {
   mutable waiting : (thread * (unit -> unit)) list;
 }
 
-type schedule = Exact | Fuzzed of Rng.t
+(* What one scheduler step did: fed back to a controlling strategy so
+   model checkers can recognise synchronisation points and compute
+   dependence between steps (conflicting cache lines). *)
+type step_report = {
+  sr_step : int;
+  sr_proc : int;
+  sr_tid : int;
+  sr_sync : string option;
+  sr_spin : bool;
+  sr_reads : int list;
+  sr_writes : int list;
+}
+
+type choice = {
+  ch_step : int;
+  ch_runnable : int list;
+  ch_spinning : int list;
+  ch_last : step_report option;
+}
+
+type schedule = Exact | Fuzzed of Rng.t | Controlled of (choice -> int)
 
 type t = {
   nprocs : int;
@@ -56,6 +76,21 @@ type t = {
      threads) so they may touch host state freely. They charge no cycles. *)
   mutable hook_acquire : (name:string -> proc:int -> spins:int -> at:int -> unit) option;
   mutable hook_release : (name:string -> proc:int -> acquired_at:int -> at:int -> unit) option;
+  (* Every spawned thread, newest first: deadlock analysis and reporting. *)
+  mutable threads_rev : thread list;
+  (* Step bookkeeping for controlled scheduling. [observing] gates the
+     per-step report collection so the default modes pay nothing. *)
+  observing : bool;
+  mutable step_idx : int;
+  mutable last_report : step_report option;
+  mutable rep_sync : string option;
+  mutable rep_spin : bool;
+  mutable rep_reads : int list;
+  mutable rep_writes : int list;
+  (* Consecutive failed-spin steps: when the whole machine does nothing but
+     spin, run the (O(threads)) progress analysis and report deadlocks that
+     spin locks would otherwise turn into max_steps livelocks. *)
+  mutable spin_streak : int;
 }
 
 exception Deadlock of string
@@ -72,16 +107,20 @@ type _ Effect.t +=
   | E_page_map : (int * int * int) -> int Effect.t (* bytes, align, owner *)
   | E_page_unmap : int -> unit Effect.t
 
-let create ?(cost = Cost_model.default) ?(lock_kind = Spin) ?fuzz_schedule ?(line_size = 64)
+let create ?(cost = Cost_model.default) ?(lock_kind = Spin) ?fuzz_schedule ?control ?(line_size = 64)
     ?cache_capacity_lines ?node_of ?(page_size = 4096) ~nprocs () =
   if nprocs < 1 then invalid_arg "Sim.create: nprocs must be >= 1";
+  if fuzz_schedule <> None && control <> None then
+    invalid_arg "Sim.create: fuzz_schedule and control are mutually exclusive";
   {
     nprocs;
     lock_kind;
     schedule =
-      (match fuzz_schedule with
-       | None -> Exact
-       | Some seed -> Fuzzed (Rng.create seed));
+      (match fuzz_schedule, control with
+       | None, None -> Exact
+       | Some seed, None -> Fuzzed (Rng.create seed)
+       | None, Some f -> Controlled f
+       | Some _, Some _ -> assert false);
     cost;
     cch = Cache.create ~line_size ?capacity_lines:cache_capacity_lines ?node_of ~nprocs ();
     vm = Vmem.create ~page_size ();
@@ -94,6 +133,15 @@ let create ?(cost = Cost_model.default) ?(lock_kind = Spin) ?fuzz_schedule ?(lin
     started = false;
     hook_acquire = None;
     hook_release = None;
+    threads_rev = [];
+    observing = control <> None;
+    step_idx = 0;
+    last_report = None;
+    rep_sync = None;
+    rep_spin = false;
+    rep_reads = [];
+    rep_writes = [];
+    spin_streak = 0;
   }
 
 let nprocs t = t.nprocs
@@ -172,6 +220,22 @@ let charge_access t p (s : Cache.summary) =
 
 let charge t p n = t.clocks.(p) <- t.clocks.(p) + n
 
+(* Step-report collection (controlled mode only): distinct cache lines the
+   current step touched, and whether it interacted with a lock/barrier. *)
+let note_lines t ~addr ~len ~wr =
+  if t.observing then begin
+    let ls = Cache.line_size t.cch in
+    let first = addr / ls and last = (addr + max 1 len - 1) / ls in
+    for line = first to last do
+      if wr then begin
+        if not (List.mem line t.rep_writes) then t.rep_writes <- line :: t.rep_writes
+      end
+      else if not (List.mem line t.rep_reads) then t.rep_reads <- line :: t.rep_reads
+    done
+  end
+
+let note_sync t name = if t.observing then t.rep_sync <- Some name
+
 (* The per-thread effect handler. Scheduling effects park the continuation
    in [th.pending] and return to the engine; [E_self] resumes inline since
    it has no cost. *)
@@ -190,14 +254,23 @@ let handler t th =
         | E_read (addr, len) ->
           Some
             (fun k ->
+              note_lines t ~addr ~len ~wr:false;
               charge_access t th.proc (Cache.read t.cch th.proc ~addr ~len);
               th.pending <- Resume (fun () -> continue k ()))
         | E_write (addr, len) ->
           Some
             (fun k ->
+              note_lines t ~addr ~len ~wr:true;
               charge_access t th.proc (Cache.write t.cch th.proc ~addr ~len);
               th.pending <- Resume (fun () -> continue k ()))
-        | E_acquire l -> Some (fun k -> th.pending <- Try_acquire (l, fun () -> continue k ()))
+        | E_acquire l ->
+          Some
+            (fun k ->
+              (* The parking step is the thread's publicly visible intent to
+                 acquire: marking it as a sync point lets a controlling
+                 strategy preempt between the intent and the attempt. *)
+              note_sync t l.l_name;
+              th.pending <- Try_acquire (l, fun () -> continue k ()))
         | E_release l ->
           Some
             (fun k ->
@@ -205,6 +278,8 @@ let handler t th =
                 discontinue k (Invalid_argument ("Sim.release: thread does not hold " ^ l.l_name))
               else begin
                 l.holder <- None;
+                note_sync t l.l_name;
+                note_lines t ~addr:l.l_addr ~len:8 ~wr:true;
                 charge_access t th.proc (Cache.write t.cch th.proc ~addr:l.l_addr ~len:8);
                 charge t th.proc t.cost.lock_release;
                 (match t.hook_release with
@@ -215,6 +290,8 @@ let handler t th =
         | E_barrier b ->
           Some
             (fun k ->
+              note_sync t "barrier";
+              note_lines t ~addr:b.b_addr ~len:8 ~wr:true;
               charge_access t th.proc (Cache.write t.cch th.proc ~addr:b.b_addr ~len:8);
               b.arrived <- b.arrived + 1;
               if b.arrived < b.parties then begin
@@ -264,13 +341,64 @@ let spawn t ?proc body =
   in
   let th = { tid; proc; pending = Start body; cur_spins = 0 } in
   Queue.push th t.runq.(proc);
+  t.threads_rev <- th :: t.threads_rev;
   t.live <- t.live + 1;
   tid
 
+(* Whether the thread could advance its pending acquisition right now: a
+   spinner on a held lock (or a non-head ticket waiter) only burns a retry. *)
+let acquire_can_enter l th =
+  l.holder = None
+  && (match l.l_kind with
+      | Spin -> true
+      | Ticket ->
+        (match l.waiters with
+         | [] -> true
+         | head :: _ -> head = th.tid))
+
+(* Whether any live thread could make progress if scheduled: false exactly
+   when the machine is deadlocked (every thread parked on a barrier or
+   spinning on a lock whose holder can itself never run again). A lock
+   with no holder always admits progress: for spin locks any waiter may
+   enter, for ticket locks the queue head (necessarily a live waiter). *)
+let progress_possible t =
+  List.exists
+    (fun th ->
+      match th.pending with
+      | Start _ | Resume _ -> true
+      | Try_acquire (l, _) -> l.holder = None
+      | Blocked | Done -> false)
+    t.threads_rev
+
+let deadlock_message t =
+  let live = List.filter (fun th -> match th.pending with Done -> false | _ -> true) (List.rev t.threads_rev) in
+  let describe th =
+    match th.pending with
+    | Try_acquire (l, _) ->
+      let holder =
+        match l.holder with
+        | None -> "nobody"
+        | Some tid ->
+          (match List.find_opt (fun h -> h.tid = tid) t.threads_rev with
+           | Some h -> Printf.sprintf "tid %d (proc %d)" h.tid h.proc
+           | None -> Printf.sprintf "tid %d" tid)
+      in
+      Printf.sprintf "tid %d (proc %d) waits for lock %S held by %s" th.tid th.proc l.l_name holder
+    | Blocked -> Printf.sprintf "tid %d (proc %d) blocked on a barrier" th.tid th.proc
+    | Start _ | Resume _ -> Printf.sprintf "tid %d (proc %d) runnable" th.tid th.proc
+    | Done -> assert false
+  in
+  Printf.sprintf "%d thread(s) cannot progress: %s" (List.length live)
+    (String.concat "; " (List.map describe live))
+
 let step t th =
   match th.pending with
-  | Start body -> match_with body () (handler t th)
-  | Resume f -> f ()
+  | Start body ->
+    t.spin_streak <- 0;
+    match_with body () (handler t th)
+  | Resume f ->
+    t.spin_streak <- 0;
+    f ()
   | Try_acquire (l, resume) ->
     let may_enter =
       match l.l_kind with
@@ -290,6 +418,8 @@ let step t th =
        | Spin -> ());
       l.holder <- Some th.tid;
       l.acqs <- l.acqs + 1;
+      note_sync t l.l_name;
+      note_lines t ~addr:l.l_addr ~len:8 ~wr:true;
       charge_access t th.proc (Cache.write t.cch th.proc ~addr:l.l_addr ~len:8);
       charge t th.proc t.cost.lock_uncontended;
       l.acquired_at <- t.clocks.(th.proc);
@@ -301,8 +431,11 @@ let step t th =
     end
     else begin
       (* Spin: re-read the lock word and burn a retry quantum. *)
+      t.spin_streak <- t.spin_streak + 1;
       l.spins <- l.spins + 1;
       th.cur_spins <- th.cur_spins + 1;
+      note_sync t l.l_name;
+      if t.observing then t.rep_spin <- true;
       charge_access t th.proc (Cache.read t.cch th.proc ~addr:l.l_addr ~len:8);
       charge t th.proc t.cost.lock_spin
     end
@@ -327,18 +460,77 @@ let pick_proc t =
     (match !runnable with
      | [] -> -1
      | ps -> List.nth ps (Rng.int rng (List.length ps)))
+  | Controlled strategy ->
+    (* Classify each non-empty processor by what its queue head would do if
+       scheduled: a thread whose pending acquisition cannot enter right now
+       would only burn a spin retry, so it is reported separately and is not
+       a legal choice — this keeps exploration trees finite (a doomed spin is
+       a pure no-op transition) and makes "no runnable processor" mean a real
+       deadlock. Controlled mode requires at most one thread per processor
+       (checked in [run]), so the queue head fully describes the processor. *)
+    let runnable = ref [] and spinning = ref [] in
+    for p = t.nprocs - 1 downto 0 do
+      if not (Queue.is_empty t.runq.(p)) then begin
+        let th = Queue.peek t.runq.(p) in
+        match th.pending with
+        | Try_acquire (l, _) when not (acquire_can_enter l th) -> spinning := p :: !spinning
+        | _ -> runnable := p :: !runnable
+      end
+    done;
+    (match !runnable with
+     | [] -> -1
+     | ps ->
+       let choice =
+         { ch_step = t.step_idx; ch_runnable = ps; ch_spinning = !spinning; ch_last = t.last_report }
+       in
+       let p = strategy choice in
+       if not (List.mem p ps) then
+         invalid_arg (Printf.sprintf "Sim: control strategy chose processor %d, not in runnable set" p);
+       p)
 
 let run ?(max_steps = 2_000_000_000) t =
   if t.started then invalid_arg "Sim.run: already ran";
   t.started <- true;
+  if t.observing then
+    Array.iter
+      (fun q -> if Queue.length q > 1 then invalid_arg "Sim.run: controlled mode needs at most one thread per processor")
+      t.runq;
   let steps = ref 0 in
   while t.live > 0 do
     incr steps;
     if !steps > max_steps then failwith "Sim.run: max_steps exceeded (livelock?)";
     let p = pick_proc t in
-    if p < 0 then raise (Deadlock (Printf.sprintf "%d thread(s) blocked with empty run queues" t.live));
+    if p < 0 then raise (Deadlock (deadlock_message t));
     let th = Queue.pop t.runq.(p) in
+    if t.observing then begin
+      t.rep_sync <- None;
+      t.rep_spin <- false;
+      t.rep_reads <- [];
+      t.rep_writes <- []
+    end;
     step t th;
+    if t.observing then begin
+      t.last_report <-
+        Some
+          {
+            sr_step = t.step_idx;
+            sr_proc = p;
+            sr_tid = th.tid;
+            sr_sync = t.rep_sync;
+            sr_spin = t.rep_spin;
+            sr_reads = t.rep_reads;
+            sr_writes = t.rep_writes;
+          };
+      t.step_idx <- t.step_idx + 1
+    end;
+    (* Livelock-to-deadlock promotion for the timing modes: a long unbroken
+       run of failed spin retries triggers a progress scan; if no live thread
+       could ever advance, this is a deadlock that happens to keep the run
+       queues busy (spinners never park), so report it as such. *)
+    if t.spin_streak > (2 * t.live) + 8 then begin
+      if progress_possible t then t.spin_streak <- 0
+      else raise (Deadlock (deadlock_message t))
+    end;
     (match th.pending with
      | Done | Blocked -> ()
      | Start _ | Resume _ | Try_acquire _ -> Queue.push th t.runq.(p))

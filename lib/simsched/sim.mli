@@ -29,12 +29,41 @@ type lock_kind = Spin | Ticket
 type barrier
 
 exception Deadlock of string
-(** Raised by {!run} when live threads remain but none is runnable. *)
+(** Raised by {!run} when live threads remain but none can make progress.
+    The message names every stuck thread: for lock waiters, the lock and
+    its current holder's thread id and processor; for barrier waiters,
+    the barrier. Detected both when all run queues drain (threads parked
+    on barriers) and when the machine degenerates into pure lock spinning
+    with no holder able to run (spin-lock deadlock, e.g. AB–BA). *)
+
+type step_report = {
+  sr_step : int;  (** global step index of the reported step *)
+  sr_proc : int;  (** processor that executed it *)
+  sr_tid : int;  (** thread that executed it *)
+  sr_sync : string option;  (** lock name or ["barrier"] if it was a sync op *)
+  sr_spin : bool;  (** it was a failed spin retry *)
+  sr_reads : int list;  (** cache lines read (line indices) *)
+  sr_writes : int list;  (** cache lines written *)
+}
+(** What the last scheduler step did. Fed to a controlling strategy so
+    model checkers can recognise synchronisation points (preemption
+    points) and compute dependence between steps (conflicting lines). *)
+
+type choice = {
+  ch_step : int;  (** index the chosen step will have *)
+  ch_runnable : int list;  (** processors that can make progress, ascending *)
+  ch_spinning : int list;
+      (** processors whose thread would only burn a failed lock-acquire
+          retry; not legal choices (pure no-ops that would make
+          exploration trees infinite) *)
+  ch_last : step_report option;  (** [None] before the first step *)
+}
 
 val create :
   ?cost:Cost_model.t ->
   ?lock_kind:lock_kind ->
   ?fuzz_schedule:int ->
+  ?control:(choice -> int) ->
   ?line_size:int ->
   ?cache_capacity_lines:int ->
   ?node_of:(int -> int) ->
@@ -52,7 +81,16 @@ val create :
     random choice among runnable processors: a schedule *fuzzer* for
     exploring interleavings in correctness tests. Runs remain
     deterministic per seed, but reported cycles are not meaningful
-    timing. *)
+    timing.
+
+    [control strategy] replaces min-clock scheduling with a pluggable
+    strategy consulted at every step: it receives the current {!choice}
+    (runnable processors plus a {!step_report} of the previous step) and
+    must return a member of [ch_runnable]. This is the hook the
+    [Check.Explorer] model checker drives. Controlled runs require at
+    most one thread per processor ({!run} checks), so a processor id
+    identifies a thread. Mutually exclusive with [fuzz_schedule]; cycles
+    are not meaningful timing. *)
 
 val nprocs : t -> int
 

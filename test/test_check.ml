@@ -1,0 +1,422 @@
+(* The systematic checking layer: schedule explorer, differential
+   oracle, heap sanitizer — plus the determinism, edge-case and
+   registry-churn regressions that ride on them. *)
+
+let sprintf = Printf.sprintf
+
+(* ------------------------------------------------------------------ *)
+(* Explorer self-tests on the counter scenarios.                       *)
+
+let test_explorer_finds_lost_update () =
+  (* Invisible at bound 0 (no preemption can split the read-modify-write
+     around the sync point), found at bound 1. *)
+  let o0 = Explorer.explore ~bound:0 Scenarios.lost_update in
+  Alcotest.(check bool) "bound 0 passes" true (o0.Explorer.o_failure = None);
+  let o1 = Explorer.explore ~bound:1 Scenarios.lost_update in
+  (match o1.Explorer.o_failure with
+   | None -> Alcotest.fail "bound 1 must find the lost update"
+   | Some f ->
+     Alcotest.(check bool) "message mentions the counter" true
+       (Astring.String.is_infix ~affix:"lost update" f.Explorer.f_message);
+     (* The minimized schedule must still reproduce the failure. *)
+     (match Explorer.replay Scenarios.lost_update ~schedule:f.Explorer.f_schedule with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "minimized schedule must replay to failure"));
+  Alcotest.(check bool) "not truncated" false o1.Explorer.o_truncated
+
+let test_explorer_locked_update_clean () =
+  let o = Explorer.explore ~bound:2 Scenarios.locked_update in
+  Alcotest.(check bool) "no failure" true (o.Explorer.o_failure = None);
+  Alcotest.(check bool) "explored more than one interleaving" true (o.Explorer.o_runs > 1);
+  Alcotest.(check bool) "not truncated" false o.Explorer.o_truncated
+
+let test_sleep_dfs_agrees_and_prunes () =
+  let chess = Explorer.explore ~strategy:Explorer.Chess ~bound:2 Scenarios.locked_update in
+  let sleep = Explorer.explore ~strategy:Explorer.Sleep_dfs ~bound:2 Scenarios.locked_update in
+  Alcotest.(check bool) "same verdict" true
+    (chess.Explorer.o_failure = None && sleep.Explorer.o_failure = None);
+  Alcotest.(check bool)
+    (sprintf "sleep (%d runs) <= chess (%d runs)" sleep.Explorer.o_runs chess.Explorer.o_runs)
+    true
+    (sleep.Explorer.o_runs <= chess.Explorer.o_runs);
+  let sleep_bug = Explorer.explore ~strategy:Explorer.Sleep_dfs ~bound:1 Scenarios.lost_update in
+  Alcotest.(check bool) "sleep-dfs still finds the lost update" true (sleep_bug.Explorer.o_failure <> None)
+
+let test_schedule_string_roundtrip () =
+  let s = [ 1; 0; 0; 1; 3 ] in
+  Alcotest.(check (list int)) "roundtrip" s (Explorer.schedule_of_string (Explorer.schedule_to_string s));
+  Alcotest.(check (list int)) "empty" [] (Explorer.schedule_of_string "");
+  Alcotest.(check string) "render" "1,0,2" (Explorer.schedule_to_string [ 1; 0; 2 ])
+
+(* ------------------------------------------------------------------ *)
+(* The headline demonstration: a planted concurrency mutant is caught  *)
+(* at preemption bound <= 2 with a minimized replayable schedule,      *)
+(* while the real allocator survives the same exploration.             *)
+
+let test_mutant_transfer_race_caught () =
+  let sc = Scenarios.transfer_free_race ~mutant:"skip-owner-recheck" in
+  let o = Explorer.explore ~bound:2 sc in
+  match o.Explorer.o_failure with
+  | None -> Alcotest.fail "explorer must catch the skip-owner-recheck mutant at bound <= 2"
+  | Some f ->
+    Alcotest.(check bool) "failure names the foreign-superblock free" true
+      (Astring.String.is_infix ~affix:"another heap" f.Explorer.f_message);
+    (match Explorer.replay sc ~schedule:f.Explorer.f_schedule with
+     | Error _ -> ()
+     | Ok () ->
+       Alcotest.fail
+         (sprintf "minimized schedule [%s] must replay to failure"
+            (Explorer.schedule_to_string f.Explorer.f_schedule)))
+
+let test_real_transfer_race_survives () =
+  let o = Explorer.explore ~bound:2 (Scenarios.transfer_free_race ~mutant:"") in
+  (match o.Explorer.o_failure with
+   | None -> ()
+   | Some f ->
+     Alcotest.fail
+       (sprintf "real allocator failed under schedule [%s]: %s"
+          (Explorer.schedule_to_string f.Explorer.f_schedule)
+          f.Explorer.f_message));
+  Alcotest.(check bool) "explored the tree exhaustively" false o.Explorer.o_truncated;
+  Alcotest.(check bool) "explored more than one interleaving" true (o.Explorer.o_runs > 1)
+
+let test_mutant_emptiness_caught_real_passes () =
+  (* The off-by-one trim needs no interleaving at all: the default run's
+     post-check rejects it. *)
+  let bad = Explorer.explore ~bound:0 (Scenarios.emptiness_trim ~mutant:"emptiness-off-by-one") in
+  (match bad.Explorer.o_failure with
+   | None -> Alcotest.fail "emptiness-off-by-one must fail the invariant check"
+   | Some f ->
+     Alcotest.(check bool) "names the invariant" true
+       (Astring.String.is_infix ~affix:"invariant" f.Explorer.f_message));
+  let ok = Explorer.explore ~bound:0 (Scenarios.emptiness_trim ~mutant:"") in
+  Alcotest.(check bool) "real allocator holds the invariant" true (ok.Explorer.o_failure = None)
+
+let test_registry_churn_explored () =
+  let o = Explorer.explore ~bound:1 ~max_runs:400 Scenarios.registry_churn in
+  match o.Explorer.o_failure with
+  | None -> ()
+  | Some f ->
+    Alcotest.fail
+      (sprintf "registry churn failed under [%s]: %s"
+         (Explorer.schedule_to_string f.Explorer.f_schedule)
+         f.Explorer.f_message)
+
+(* ------------------------------------------------------------------ *)
+(* Differential oracle on the paper workloads.                         *)
+
+let test_oracle_workloads_green () =
+  (* Every quick workload, oracle-checked, on the paper allocator and the
+     front-end variant, with the blowup envelope asserted at the end. *)
+  List.iter
+    (fun subject ->
+      List.iter
+        (fun w ->
+          let r = Check_run.run_oracle ~fuzz:7 ~workload:w ~subject () in
+          Alcotest.(check bool)
+            (sprintf "%s/%s checked ops" subject r.Check_run.c_workload)
+            true
+            (r.Check_run.c_mallocs > 0 && r.Check_run.c_peak_usable > 0))
+        (Check_run.quick_workloads ()))
+    [ "hoard"; "hoard-fe" ]
+
+let test_oracle_sanitizer_workloads_green () =
+  (* The acceptance gate: paper workloads green under the oracle with the
+     sanitizer on (quarantine, poison, access checking). *)
+  List.iter
+    (fun w ->
+      let r = Check_run.run_oracle ~fuzz:11 ~workload:w ~subject:"hoard-san" () in
+      Alcotest.(check bool)
+        (sprintf "hoard-san/%s ran" r.Check_run.c_workload)
+        true (r.Check_run.c_mallocs > 0))
+    (Check_run.quick_workloads ())
+
+let test_oracle_false_sharing_verdicts () =
+  let fs = Check_run.find_workload "active-false" |> Option.get in
+  (* Hoard never hands blocks of one cache line to different threads. *)
+  let h = Check_run.run_oracle ~workload:fs ~subject:"hoard" ~expect_no_false_sharing:true () in
+  Alcotest.(check int) "hoard: no actively shared lines" 0 h.Check_run.c_shared_lines;
+  (* A single shared heap carves consecutive blocks for whoever asks. *)
+  let c = Check_run.run_oracle ~workload:fs ~subject:"concurrent-single" ~check_blowup:false () in
+  Alcotest.(check bool)
+    (sprintf "concurrent-single shares lines (%d)" c.Check_run.c_shared_lines)
+    true
+    (c.Check_run.c_shared_lines > 0)
+
+let test_oracle_catches_misbehavior () =
+  (* The oracle itself must reject bad allocators: a double free through
+     the wrapped interface raises. *)
+  let pf = Platform.host () in
+  let a = (Serial_alloc.factory ()).Alloc_intf.instantiate pf in
+  let _o, checked = Oracle.wrap pf a in
+  let addr = checked.Alloc_intf.malloc 64 in
+  checked.Alloc_intf.free addr;
+  (match checked.Alloc_intf.free addr with
+   | () -> Alcotest.fail "oracle must reject a double free"
+   | exception Oracle.Oracle_violation msg ->
+     Alcotest.(check bool) "names the address" true (Astring.String.is_infix ~affix:"not a live block" msg));
+  Platform.host_release pf
+
+(* ------------------------------------------------------------------ *)
+(* Heap sanitizer diagnostics (S/tentpole layer 3).                    *)
+
+let san_config = { Hoard_config.default with Hoard_config.sanitize = true; quarantine = 8 }
+
+let with_san_hoard f =
+  let pf = Platform.host () in
+  let h = Hoard.create ~config:san_config pf in
+  let a = Hoard.allocator h in
+  Fun.protect ~finally:(fun () -> Platform.host_release pf) (fun () -> f h a)
+
+let test_sanitizer_double_free () =
+  with_san_hoard (fun _h a ->
+      let addr = a.Alloc_intf.malloc 64 in
+      a.Alloc_intf.free addr;
+      match a.Alloc_intf.free addr with
+      | () -> Alcotest.fail "double free must raise"
+      | exception Hoard.Sanitizer_violation msg ->
+        Alcotest.(check bool) "names double free" true (Astring.String.is_infix ~affix:"double free" msg);
+        Alcotest.(check bool) "names the superblock" true (Astring.String.is_infix ~affix:"superblock" msg))
+
+let test_sanitizer_use_after_free () =
+  with_san_hoard (fun h a ->
+      let addr = a.Alloc_intf.malloc 64 in
+      a.Alloc_intf.free addr;
+      Alcotest.(check bool) "block quarantined" true (Hoard.quarantine_length h > 0);
+      (match a.Alloc_intf.usable_size addr with
+       | _ -> Alcotest.fail "usable_size of a quarantined block must raise"
+       | exception Hoard.Sanitizer_violation msg ->
+         Alcotest.(check bool) "names the quarantined block" true
+           (Astring.String.is_infix ~affix:"quarantined" msg));
+      let checker = Option.get (Hoard.sanitizer_access_check h) in
+      match checker ~addr ~len:8 ~write:false with
+      | () -> Alcotest.fail "read of a quarantined block must raise"
+      | exception Hoard.Sanitizer_violation msg ->
+        Alcotest.(check bool) "names use-after-free" true
+          (Astring.String.is_infix ~affix:"use-after-free" msg))
+
+let test_sanitizer_overflow_and_canary () =
+  with_san_hoard (fun h a ->
+      let addr = a.Alloc_intf.malloc 64 in
+      let usable = a.Alloc_intf.usable_size addr in
+      let checker = Option.get (Hoard.sanitizer_access_check h) in
+      checker ~addr ~len:usable ~write:true;
+      (match checker ~addr ~len:(usable + 8) ~write:true with
+       | () -> Alcotest.fail "write past the block end must raise"
+       | exception Hoard.Sanitizer_violation msg ->
+         Alcotest.(check bool) "names overflow" true (Astring.String.is_infix ~affix:"overflow" msg));
+      let sb_base = addr - (addr mod san_config.Hoard_config.sb_size) in
+      match checker ~addr:sb_base ~len:8 ~write:true with
+      | () -> Alcotest.fail "write into the superblock header must raise"
+      | exception Hoard.Sanitizer_violation msg ->
+        Alcotest.(check bool) "names the header canary" true (Astring.String.is_infix ~affix:"header" msg))
+
+let test_sanitizer_foreign_and_interior () =
+  with_san_hoard (fun _h a ->
+      let addr = a.Alloc_intf.malloc 64 in
+      (match a.Alloc_intf.free (addr + 4) with
+       | () -> Alcotest.fail "interior free must raise"
+       | exception Hoard.Sanitizer_violation msg ->
+         Alcotest.(check bool) "names interior pointer" true (Astring.String.is_infix ~affix:"interior" msg));
+      a.Alloc_intf.free addr)
+
+let test_sanitizer_quarantine_drains () =
+  with_san_hoard (fun h a ->
+      let addrs = Array.init 24 (fun _ -> a.Alloc_intf.malloc 32) in
+      Array.iter a.Alloc_intf.free addrs;
+      (* Ring capacity 8: the older 16 frees were evicted and completed. *)
+      Alcotest.(check int) "quarantine at capacity" 8 (Hoard.quarantine_length h);
+      Hoard.flush_caches h;
+      Alcotest.(check int) "flush drains the quarantine" 0 (Hoard.quarantine_length h);
+      let s = a.Alloc_intf.stats () in
+      Alcotest.(check int) "all frees completed" 24 s.Alloc_stats.frees;
+      Alcotest.(check int) "nothing live" 0 s.Alloc_stats.live_bytes;
+      Hoard.check h)
+
+(* ------------------------------------------------------------------ *)
+(* S2: schedule-fuzz determinism — same seed, same run.                *)
+
+let ring_signature obs =
+  List.map (fun (name, r) -> (name, Event_ring.recorded r)) (Obs.rings obs)
+
+let run_traced ~fuzz factory_of_obs =
+  let obs = Obs.create () in
+  let w = Threadtest.make ~params:{ Threadtest.default_params with Threadtest.iterations = 3; objects = 1200 } () in
+  let r = Runner.run_with ~fuzz (Runner.spec w (factory_of_obs obs) ~nprocs:4) in
+  (ring_signature obs, r.Runner.r_stats, r.Runner.r_cycles)
+
+let test_fuzz_determinism () =
+  List.iter
+    (fun (label, config) ->
+      let factory_of_obs obs = Hoard.factory ~config ~obs () in
+      let sig1, stats1, cyc1 = run_traced ~fuzz:42 factory_of_obs in
+      let sig2, stats2, cyc2 = run_traced ~fuzz:42 factory_of_obs in
+      Alcotest.(check (list (pair string int))) (label ^ ": same ring counts") sig1 sig2;
+      Alcotest.(check bool) (label ^ ": same stats") true (stats1 = stats2);
+      Alcotest.(check int) (label ^ ": same cycles") cyc1 cyc2)
+    [
+      ("hoard", Hoard_config.default);
+      ("hoard-fe", { Hoard_config.default with Hoard_config.front_end = Allocators.front_end_default });
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* S3: API edge cases, oracle-checked, across every registry factory.  *)
+
+let test_edge_cases_all_factories () =
+  List.iter
+    (fun (factory : Alloc_intf.factory) ->
+      let label = factory.Alloc_intf.label in
+      let sim = Sim.create ~nprocs:1 () in
+      let pf = Sim.platform sim in
+      let failures = ref [] in
+      let expect name f = try f () with e -> failures := sprintf "%s: %s" name (Printexc.to_string e) :: !failures in
+      ignore
+        (Sim.spawn sim (fun () ->
+             let a = factory.Alloc_intf.instantiate pf in
+             let o, a = Oracle.wrap pf a in
+             expect "malloc 0 rejected" (fun () ->
+                 match a.Alloc_intf.malloc 0 with
+                 | _ -> failwith "malloc 0 must raise"
+                 | exception Invalid_argument _ -> ());
+             expect "shrink in place" (fun () ->
+                 let addr = a.Alloc_intf.malloc 256 in
+                 let r = a.Alloc_intf.realloc ~addr ~size:64 in
+                 if a.Alloc_intf.usable_size r < 64 then failwith "shrunk block too small";
+                 if r <> addr then failwith "shrink within usable size must stay in place";
+                 a.Alloc_intf.free r);
+             expect "realloc grow" (fun () ->
+                 let addr = a.Alloc_intf.malloc 16 in
+                 let r = a.Alloc_intf.realloc ~addr ~size:3000 in
+                 if a.Alloc_intf.usable_size r < 3000 then failwith "grown block too small";
+                 a.Alloc_intf.free r);
+             expect "realloc size 0 rejected" (fun () ->
+                 let addr = a.Alloc_intf.malloc 32 in
+                 (match a.Alloc_intf.realloc ~addr ~size:0 with
+                  | _ -> failwith "realloc size 0 must raise"
+                  | exception Invalid_argument _ -> ());
+                 a.Alloc_intf.free addr);
+             expect "aligned_alloc page alignment" (fun () ->
+                 (* Alignment above any superblock size class: served
+                    page-aligned from the large path. *)
+                 let addr = a.Alloc_intf.aligned_alloc ~align:pf.Platform.page_size ~size:100 in
+                 if addr mod pf.Platform.page_size <> 0 then failwith "not page aligned";
+                 a.Alloc_intf.free addr);
+             expect "aligned_alloc beyond page rejected" (fun () ->
+                 match a.Alloc_intf.aligned_alloc ~align:(pf.Platform.page_size * 2) ~size:8 with
+                 | _ -> failwith "align > page_size must raise"
+                 | exception Invalid_argument _ -> ());
+             expect "calloc zeroes and frees" (fun () ->
+                 let addr = a.Alloc_intf.calloc ~count:10 ~size:8 in
+                 if a.Alloc_intf.usable_size addr < 80 then failwith "calloc too small";
+                 a.Alloc_intf.free addr);
+             expect "calloc overflow rejected" (fun () ->
+                 match a.Alloc_intf.calloc ~count:((max_int / 16) + 1) ~size:16 with
+                 | _ -> failwith "overflowing calloc must raise"
+                 | exception Invalid_argument _ -> ());
+             a.Alloc_intf.check ();
+             Oracle.final_check o ~stats:(a.Alloc_intf.stats ());
+             if Oracle.live_count o <> 0 then failures := "edge cases leaked blocks" :: !failures));
+      Sim.run sim;
+      match !failures with
+      | [] -> ()
+      | fs -> Alcotest.fail (sprintf "%s: %s" label (String.concat "; " (List.rev fs))))
+    (Allocators.all () @ Allocators.extras ())
+
+(* ------------------------------------------------------------------ *)
+(* S4: registry lookups under real-domain register/unregister churn.   *)
+
+let test_registry_domain_churn () =
+  (* One writer domain maps/unmaps superblocks in its own address range;
+     three reader domains hammer lookup across all ranges. The wait-free
+     snapshot must never yield a superblock that does not span the
+     queried address, and lookups of live registrations must hit. *)
+  let ndomains = 4 in
+  let sb_size = 4096 in
+  let pf = Platform.host ~nprocs:ndomains () in
+  let reg = Sb_registry.create pf ~sb_size in
+  let rounds = 400 in
+  let per = 8 in
+  let base_of d i = ((d * per) + i + 1) * sb_size in
+  let failures = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let mk d i = Superblock.create ~base:(base_of d i) ~sb_size ~sclass:0 ~block_size:64 in
+  let writer d =
+    let sbs = Array.init per (mk d) in
+    for _ = 1 to rounds do
+      Array.iter (fun sb -> Sb_registry.register reg sb) sbs;
+      Array.iter
+        (fun sb ->
+          match Sb_registry.lookup reg ~addr:(Superblock.base sb + 100) with
+          | Some got when Superblock.base got = Superblock.base sb -> ()
+          | Some _ | None -> Atomic.incr failures)
+        sbs;
+      Array.iter (fun sb -> Sb_registry.unregister reg sb) sbs
+    done
+  in
+  let reader () =
+    let rng = Random.State.make [| 0x5eed |] in
+    while not (Atomic.get stop) do
+      let d = Random.State.int rng 2 in
+      let i = Random.State.int rng per in
+      let addr = base_of d i + 8 + Random.State.int rng (sb_size - 16) in
+      match Sb_registry.lookup reg ~addr with
+      | None -> ()
+      | Some sb ->
+        if not (Superblock.base sb <= addr && addr < Superblock.base sb + sb_size) then
+          Atomic.incr failures
+    done
+  in
+  let doms =
+    List.init ndomains (fun d ->
+        Domain.spawn (fun () ->
+            if d < 2 then writer d
+            else reader ()))
+  in
+  (* Writers are domains 0 and 1; once both finish, stop the readers. *)
+  let writers, readers = List.partition (fun (i, _) -> i < 2) (List.mapi (fun i d -> (i, d)) doms) in
+  List.iter (fun (_, d) -> Domain.join d) writers;
+  Atomic.set stop true;
+  List.iter (fun (_, d) -> Domain.join d) readers;
+  Alcotest.(check int) "no stale or misplaced lookups" 0 (Atomic.get failures);
+  Alcotest.(check int) "registry empty at the end" 0 (Sb_registry.count reg);
+  Platform.host_release pf
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "explorer",
+        [
+          Alcotest.test_case "finds lost update at bound 1" `Quick test_explorer_finds_lost_update;
+          Alcotest.test_case "locked update clean" `Quick test_explorer_locked_update_clean;
+          Alcotest.test_case "sleep-dfs agrees and prunes" `Quick test_sleep_dfs_agrees_and_prunes;
+          Alcotest.test_case "schedule string roundtrip" `Quick test_schedule_string_roundtrip;
+        ] );
+      ( "mutants",
+        [
+          Alcotest.test_case "transfer race mutant caught" `Quick test_mutant_transfer_race_caught;
+          Alcotest.test_case "real allocator survives race" `Quick test_real_transfer_race_survives;
+          Alcotest.test_case "emptiness mutant caught" `Quick test_mutant_emptiness_caught_real_passes;
+          Alcotest.test_case "registry churn survives" `Quick test_registry_churn_explored;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "paper workloads green" `Quick test_oracle_workloads_green;
+          Alcotest.test_case "workloads green with sanitizer" `Quick test_oracle_sanitizer_workloads_green;
+          Alcotest.test_case "false sharing verdicts" `Quick test_oracle_false_sharing_verdicts;
+          Alcotest.test_case "oracle catches misbehavior" `Quick test_oracle_catches_misbehavior;
+        ] );
+      ( "sanitizer",
+        [
+          Alcotest.test_case "double free" `Quick test_sanitizer_double_free;
+          Alcotest.test_case "use after free" `Quick test_sanitizer_use_after_free;
+          Alcotest.test_case "overflow and canary" `Quick test_sanitizer_overflow_and_canary;
+          Alcotest.test_case "foreign and interior" `Quick test_sanitizer_foreign_and_interior;
+          Alcotest.test_case "quarantine drains" `Quick test_sanitizer_quarantine_drains;
+        ] );
+      ( "regressions",
+        [
+          Alcotest.test_case "fuzz-schedule determinism" `Quick test_fuzz_determinism;
+          Alcotest.test_case "edge cases on every factory" `Quick test_edge_cases_all_factories;
+          Alcotest.test_case "registry domain churn" `Quick test_registry_domain_churn;
+        ] );
+    ]

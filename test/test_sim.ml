@@ -173,8 +173,40 @@ let test_deadlock_detected () =
   let sim = Sim.create ~cost:um ~nprocs:2 () in
   let b = Sim.new_barrier sim ~parties:2 in
   ignore (Sim.spawn sim (fun () -> Sim.barrier_wait b));
-  Alcotest.check_raises "deadlock" (Sim.Deadlock "1 thread(s) blocked with empty run queues") (fun () ->
+  Alcotest.check_raises "deadlock"
+    (Sim.Deadlock "1 thread(s) cannot progress: tid 0 (proc 0) blocked on a barrier") (fun () ->
       Sim.run sim)
+
+(* Satellite: the enriched Deadlock message names the lock, its current
+   holder (tid and processor), and each blocked waiter. Classic AB-BA:
+   spin locks never park, so this is caught by the spin-streak progress
+   scan rather than empty run queues. *)
+let test_deadlock_names_holder () =
+  let sim = Sim.create ~cost:um ~nprocs:2 () in
+  let la = Sim.new_lock sim "A" and lb = Sim.new_lock sim "B" in
+  ignore
+    (Sim.spawn sim ~proc:0 (fun () ->
+         Sim.acquire la;
+         Sim.work 500;
+         Sim.acquire lb;
+         Sim.release lb;
+         Sim.release la));
+  ignore
+    (Sim.spawn sim ~proc:1 (fun () ->
+         Sim.acquire lb;
+         Sim.work 500;
+         Sim.acquire la;
+         Sim.release la;
+         Sim.release lb));
+  match Sim.run sim with
+  | () -> Alcotest.fail "AB-BA deadlock not detected"
+  | exception Sim.Deadlock msg ->
+    let expect =
+      "2 thread(s) cannot progress: "
+      ^ "tid 0 (proc 0) waits for lock \"B\" held by tid 1 (proc 1); "
+      ^ "tid 1 (proc 1) waits for lock \"A\" held by tid 0 (proc 0)"
+    in
+    Alcotest.(check string) "enriched deadlock message" expect msg
 
 let test_determinism () =
   let trace () =
@@ -336,6 +368,7 @@ let () =
           Alcotest.test_case "synchronises" `Quick test_barrier_synchronises;
           Alcotest.test_case "reusable" `Quick test_barrier_reusable;
           Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
+          Alcotest.test_case "deadlock names holder" `Quick test_deadlock_names_holder;
         ] );
       ( "memory",
         [
