@@ -76,6 +76,34 @@ let front_end_opt =
           "Per-thread block-cache capacity per size class for the hoard instance (0 = the paper's exact \
            algorithm, the default).")
 
+let vmem_conv =
+  let parse s =
+    match Vmem_backend.kind_of_string s with
+    | Some k -> Ok k
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown vmem backend %S (exact, first-fit, buddy)" s))
+  in
+  Arg.conv (parse, fun fmt k -> Format.pp_print_string fmt (Vmem_backend.kind_name k))
+
+let vmem_opt =
+  Arg.(
+    value
+    & opt vmem_conv Vmem_backend.Exact
+    & info [ "vmem" ] ~docv:"KIND"
+        ~doc:
+          "Reuse policy of the simulated address space: $(b,exact) (the seed policy, the default), \
+           $(b,first-fit) (coalescing free list) or $(b,buddy) (binary buddy system).")
+
+let reservoir_opt =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "reservoir" ] ~docv:"R"
+        ~doc:
+          "Capacity (superblocks) of the size-class-agnostic reservoir: empty superblocks park there \
+           decommitted instead of unmapping, bounding residency by heap-held + R*S. 0 (the default) \
+           disables it, restoring the seed lifecycle.")
+
 let run_cmd =
   let doc = "Run one experiment by id." in
   let id_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id (see list).") in
@@ -95,15 +123,31 @@ let run_cmd =
       & info [ "trace" ] ~docv:"FILE"
           ~doc:"With $(b,--metrics) machinery: write the instrumented pass's Perfetto trace-event JSON.")
   in
-  let run id full quick csv procs metrics trace front_end =
-    let config = { Hoard_config.default with Hoard_config.front_end } in
+  let json_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the experiment's tables as a JSON report (the CI artifact format).")
+  in
+  let run id full quick csv procs metrics trace front_end vmem reservoir json =
+    let config = { Hoard_config.default with Hoard_config.front_end; vmem_backend = vmem; reservoir } in
     let scale = scale_of_flag (full && not quick) in
     match Experiments.find id with
     | None ->
       Printf.eprintf "unknown experiment %S; try: %s\n" id (String.concat " " (Experiments.ids ()));
       exit 1
     | Some e ->
-      print_output ~csv (e.Experiments.run scale ~procs:(parse_procs procs));
+      let out = e.Experiments.run scale ~procs:(parse_procs procs) in
+      print_output ~csv out;
+      (match json with
+       | Some f ->
+         write_file f
+           (Printf.sprintf "{\"experiment\":\"%s\",\"scale\":\"%s\",\"tables\":[%s]}" id
+              (if full && not quick then "full" else "quick")
+              (String.concat "," (List.map Table.to_json out.Experiments.tables)));
+         Printf.printf "wrote JSON report to %s\n" f
+       | None -> ());
       if metrics <> None || trace <> None then begin
         let nprocs =
           match parse_procs procs with
@@ -130,7 +174,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ id_arg $ full_flag $ quick_flag $ csv_flag $ procs_opt $ metrics_opt $ trace_opt
-      $ front_end_opt)
+      $ front_end_opt $ vmem_opt $ reservoir_opt $ json_opt)
 
 let all_cmd =
   let doc = "Run every experiment in order." in
@@ -161,11 +205,15 @@ let get_workload name full =
 
 let inspect_cmd =
   let doc = "Run a benchmark under Hoard, then dump the allocator's heap state." in
-  let run name full nprocs front_end =
+  let run name full nprocs front_end vmem reservoir =
     let w = get_workload name full in
-    let sim = Sim.create ~nprocs () in
+    let sim = Sim.create ~vmem_backend:vmem ~nprocs () in
     let pf = Sim.platform sim in
-    let h = Hoard.create ~config:{ Hoard_config.default with Hoard_config.front_end } pf in
+    let h =
+      Hoard.create
+        ~config:{ Hoard_config.default with Hoard_config.front_end; vmem_backend = vmem; reservoir }
+        pf
+    in
     let a = Hoard.allocator h in
     w.Workload_intf.spawn sim pf a ~nthreads:nprocs;
     Sim.run sim;
@@ -180,32 +228,52 @@ let inspect_cmd =
       Hoard.flush_caches h;
       a.Alloc_intf.check ()
     end;
+    if reservoir > 0 then
+      Printf.printf "reservoir: %d/%d superblocks parked\n" (Hoard.reservoir_length h) reservoir;
     let s = a.Alloc_intf.stats () in
     Printf.printf "%s on %d processors: %d cycles\n%s\n\n" name nprocs (Sim.total_cycles sim)
       (Format.asprintf "%a" Alloc_stats.pp_snapshot s);
     Format.printf "%a@." Hoard.pp_heaps h
   in
-  Cmd.v (Cmd.info "inspect" ~doc) Term.(const run $ workload_arg $ full_flag $ nprocs_arg $ front_end_opt)
+  Cmd.v
+    (Cmd.info "inspect" ~doc)
+    Term.(const run $ workload_arg $ full_flag $ nprocs_arg $ front_end_opt $ vmem_opt $ reservoir_opt)
 
 let sweep_cmd =
   let doc = "Run one benchmark under Hoard with explicit algorithm parameters." in
   let f_arg = Arg.(value & opt float 0.25 & info [ "f" ] ~doc:"Emptiness fraction f.") in
   let k_arg = Arg.(value & opt int 4 & info [ "k" ] ~doc:"Slack K (superblocks).") in
   let s_arg = Arg.(value & opt int 8192 & info [ "sbsize" ] ~doc:"Superblock size S.") in
-  let run name full nprocs f k sbsize =
+  let run name full nprocs f k sbsize vmem reservoir =
     let config =
-      { Hoard_config.default with Hoard_config.empty_fraction = f; slack = k; sb_size = sbsize }
+      {
+        Hoard_config.default with
+        Hoard_config.empty_fraction = f;
+        slack = k;
+        sb_size = sbsize;
+        vmem_backend = vmem;
+        reservoir;
+      }
     in
     let w = get_workload name full in
-    let r = Runner.run (Runner.spec w (Hoard.factory ~config ()) ~nprocs) in
+    let r = Runner.run (Runner.spec ~vmem_backend:vmem w (Hoard.factory ~config ()) ~nprocs) in
     Printf.printf "%s P=%d %s: %d cycles, %.1f ops/Mcycle, frag %.2f, transfers %d/%d, %d invalidations\n"
       name nprocs
       (Format.asprintf "%a" Hoard_config.pp config)
       r.Runner.r_cycles (Runner.ops_per_mcycle r) (Runner.fragmentation r)
       r.Runner.r_stats.Alloc_stats.sb_to_global r.Runner.r_stats.Alloc_stats.sb_from_global
-      r.Runner.r_invalidations
+      r.Runner.r_invalidations;
+    Printf.printf
+      "  vmem: %d KiB peak mapped, %d KiB address space, %d KiB resident at exit; %d decommits, %d recommits, %d/%d parks/drops\n"
+      (r.Runner.r_vm_peak_mapped / 1024) (r.Runner.r_vm_address_space / 1024)
+      (r.Runner.r_vm_resident / 1024) r.Runner.r_stats.Alloc_stats.decommits
+      r.Runner.r_stats.Alloc_stats.recommits r.Runner.r_stats.Alloc_stats.reservoir_parks
+      r.Runner.r_stats.Alloc_stats.reservoir_drops
   in
-  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ workload_arg $ full_flag $ nprocs_arg $ f_arg $ k_arg $ s_arg)
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(
+      const run $ workload_arg $ full_flag $ nprocs_arg $ f_arg $ k_arg $ s_arg $ vmem_opt
+      $ reservoir_opt)
 
 let () =
   let doc = "Reproduction harness for 'Hoard: A Scalable Memory Allocator' (ASPLOS 2000)." in

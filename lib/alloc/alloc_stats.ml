@@ -8,6 +8,13 @@ type snapshot = {
   peak_held_bytes : int;
   os_maps : int;
   os_unmaps : int;
+  resident_bytes : int;
+  peak_resident_bytes : int;
+  reservoir_bytes : int;
+  decommits : int;
+  recommits : int;
+  reservoir_parks : int;
+  reservoir_drops : int;
   sb_to_global : int;
   sb_from_global : int;
   remote_frees : int;
@@ -51,6 +58,13 @@ type t = {
   peak_held : int Atomic.t;
   os_maps : int Atomic.t;
   os_unmaps : int Atomic.t;
+  resident : int Atomic.t; (* mapped-and-committed bytes: the simulated RSS *)
+  peak_resident : int Atomic.t;
+  reservoir : int Atomic.t; (* bytes parked in the superblock reservoir *)
+  decommits : int Atomic.t;
+  recommits : int Atomic.t;
+  parks : int Atomic.t;
+  drops : int Atomic.t;
   peak_live : int Atomic.t; (* merged high-water, refreshed on map/unmap/snapshot *)
 }
 
@@ -85,6 +99,13 @@ let create ?(shards = 1) () =
     peak_held = Atomic.make 0;
     os_maps = Atomic.make 0;
     os_unmaps = Atomic.make 0;
+    resident = Atomic.make 0;
+    peak_resident = Atomic.make 0;
+    reservoir = Atomic.make 0;
+    decommits = Atomic.make 0;
+    recommits = Atomic.make 0;
+    parks = Atomic.make 0;
+    drops = Atomic.make 0;
     peak_live;
   }
 
@@ -171,16 +192,49 @@ let live_sum t = Array.fold_left (fun acc sh -> acc + sh.live_bytes) 0 (Atomic.g
 
 let refresh_peak_live t = store_max t.peak_live (live_sum t)
 
+let bump_resident t bytes =
+  let r = Atomic.fetch_and_add t.resident bytes + bytes in
+  store_max t.peak_resident r
+
 let on_map t ~bytes =
   let held = Atomic.fetch_and_add t.held bytes + bytes in
   store_max t.peak_held held;
   Atomic.incr t.os_maps;
+  bump_resident t bytes;
   refresh_peak_live t
 
-let on_unmap t ~bytes =
+(* [resident]: whether the region still had committed pages when unmapped
+   (false for a reservoir-parked superblock, already decommitted). *)
+let on_unmap ?(resident = true) t ~bytes =
   ignore (Atomic.fetch_and_add t.held (-bytes));
   Atomic.incr t.os_unmaps;
+  if resident then ignore (Atomic.fetch_and_add t.resident (-bytes));
   refresh_peak_live t
+
+(* Reservoir lifecycle. A parked superblock is neither heap-held nor (once
+   decommitted) resident: [held] tracks what heaps and the large path hold,
+   which is what the blowup envelope and the residency invariant
+   (resident <= held + R * S) are stated over. OS map/unmap counts are NOT
+   touched — avoiding that traffic is the reservoir's point. *)
+let on_park t ~bytes =
+  ignore (Atomic.fetch_and_add t.held (-bytes));
+  ignore (Atomic.fetch_and_add t.reservoir bytes);
+  Atomic.incr t.parks
+
+let on_unpark t ~bytes =
+  let held = Atomic.fetch_and_add t.held bytes + bytes in
+  store_max t.peak_held held;
+  ignore (Atomic.fetch_and_add t.reservoir (-bytes))
+
+let on_reservoir_drop t = Atomic.incr t.drops
+
+let on_decommit t ~bytes =
+  ignore (Atomic.fetch_and_add t.resident (-bytes));
+  Atomic.incr t.decommits
+
+let on_recommit t ~bytes =
+  bump_resident t bytes;
+  Atomic.incr t.recommits
 
 let snapshot t =
   let mallocs = ref 0
@@ -226,6 +280,13 @@ let snapshot t =
     peak_held_bytes = Atomic.get t.peak_held;
     os_maps = Atomic.get t.os_maps;
     os_unmaps = Atomic.get t.os_unmaps;
+    resident_bytes = Atomic.get t.resident;
+    peak_resident_bytes = Atomic.get t.peak_resident;
+    reservoir_bytes = Atomic.get t.reservoir;
+    decommits = Atomic.get t.decommits;
+    recommits = Atomic.get t.recommits;
+    reservoir_parks = Atomic.get t.parks;
+    reservoir_drops = Atomic.get t.drops;
     sb_to_global = !to_global;
     sb_from_global = !from_global;
     remote_frees = !remote;
@@ -250,6 +311,13 @@ let publish t ?(prefix = "alloc") metrics =
   reg "peak_held_bytes" (fun s -> s.peak_held_bytes);
   reg "os_maps" (fun s -> s.os_maps);
   reg "os_unmaps" (fun s -> s.os_unmaps);
+  reg "resident_bytes" (fun s -> s.resident_bytes);
+  reg "peak_resident_bytes" (fun s -> s.peak_resident_bytes);
+  reg "reservoir_bytes" (fun s -> s.reservoir_bytes);
+  reg "decommits" (fun s -> s.decommits);
+  reg "recommits" (fun s -> s.recommits);
+  reg "reservoir_parks" (fun s -> s.reservoir_parks);
+  reg "reservoir_drops" (fun s -> s.reservoir_drops);
   reg "sb_to_global" (fun s -> s.sb_to_global);
   reg "sb_from_global" (fun s -> s.sb_from_global);
   reg "remote_frees" (fun s -> s.remote_frees);
@@ -267,6 +335,10 @@ let pp_snapshot fmt (s : snapshot) =
      from_glob=%d remote_frees=%d"
     s.mallocs s.frees s.live_bytes s.peak_live_bytes s.held_bytes s.peak_held_bytes (fragmentation s) s.os_maps
     s.os_unmaps s.sb_to_global s.sb_from_global s.remote_frees;
+  if s.decommits + s.recommits + s.reservoir_parks > 0 then
+    Format.fprintf fmt " resident=%dB peak_resident=%dB reservoir=%dB decommits=%d recommits=%d parks=%d drops=%d"
+      s.resident_bytes s.peak_resident_bytes s.reservoir_bytes s.decommits s.recommits s.reservoir_parks
+      s.reservoir_drops;
   if s.cache_hits + s.cache_fills + s.remote_enqueues > 0 then
     Format.fprintf fmt " cache_hits=%d fills=%d flushes=%d enq=%d drained=%d" s.cache_hits s.cache_fills
       s.cache_flushes s.remote_enqueues s.remote_drains

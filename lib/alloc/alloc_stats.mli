@@ -42,6 +42,16 @@ type snapshot = {
   peak_held_bytes : int;
   os_maps : int;
   os_unmaps : int;
+  resident_bytes : int;
+      (** held-from-OS bytes whose pages are committed (the simulated
+          RSS): mapped regions minus decommitted ones. The lifecycle
+          invariant is [resident_bytes <= held_bytes + R * sb_size]. *)
+  peak_resident_bytes : int;
+  reservoir_bytes : int;  (** bytes parked in the superblock reservoir *)
+  decommits : int;  (** regions decommitted (madvise-style page drops) *)
+  recommits : int;  (** decommitted regions re-populated for reuse *)
+  reservoir_parks : int;  (** superblocks accepted into the reservoir *)
+  reservoir_drops : int;  (** park offers bounced (reservoir full -> unmap) *)
   sb_to_global : int;  (** superblock transfers heap -> global *)
   sb_from_global : int;  (** superblock transfers global -> heap *)
   remote_frees : int;  (** frees whose block belongs to another heap *)
@@ -111,8 +121,32 @@ val on_drain : shard -> usable:int -> unit
 (** {2 OS-map events — atomic, callable from any domain} *)
 
 val on_map : t -> bytes:int -> unit
+(** A fresh OS map: bytes become held and resident. *)
 
-val on_unmap : t -> bytes:int -> unit
+val on_unmap : ?resident:bool -> t -> bytes:int -> unit
+(** A region returned to the OS. [resident] (default true) says whether
+    its pages were still committed — pass [false] when unmapping an
+    already-decommitted region so resident accounting is not
+    double-debited. *)
+
+(** {2 Residency / reservoir events — atomic, callable from any domain}
+
+    The reservoir lifecycle is: [on_park] (superblock leaves the heaps,
+    bytes move held -> reservoir) then [on_decommit] (bytes leave the
+    resident set); reuse is [on_unpark] (reservoir -> held) then
+    [on_recommit] (bytes re-enter the resident set). A bounced park is
+    [on_reservoir_drop] followed by the ordinary [on_unmap]. None of
+    these touch the OS map/unmap counts. *)
+
+val on_park : t -> bytes:int -> unit
+
+val on_unpark : t -> bytes:int -> unit
+
+val on_reservoir_drop : t -> unit
+
+val on_decommit : t -> bytes:int -> unit
+
+val on_recommit : t -> bytes:int -> unit
 
 (** {2 Reading} *)
 

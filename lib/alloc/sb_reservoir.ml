@@ -1,0 +1,73 @@
+(* The size-class-agnostic parking lot for empty superblocks.
+
+   When the global heap drains an empty superblock, the allocator parks
+   it here — unregistered, decommitted, but still mapped — instead of
+   unmapping it; a later refill of ANY size class takes it back with a
+   commit + reformat instead of an OS map. The structure itself is
+   policy-free: the caller performs the decommit/commit, registry and
+   stats traffic around [park]/[take]; this module only bounds the
+   population (cap R, its own lock domain "hoard.reservoir", innermost —
+   never held while acquiring another lock). *)
+
+type t = {
+  cap : int;
+  lock : Platform.lock;
+  mutable parked : Superblock.t list; (* newest first *)
+  mutable len : int;
+  mutable parks : int;
+  mutable takes : int;
+  mutable rejects : int;
+}
+
+let create pf ~cap =
+  if cap < 0 then invalid_arg "Sb_reservoir.create: cap must be non-negative";
+  {
+    cap;
+    lock = pf.Platform.new_lock "hoard.reservoir";
+    parked = [];
+    len = 0;
+    parks = 0;
+    takes = 0;
+    rejects = 0;
+  }
+
+let cap t = t.cap
+
+let park t sb =
+  if not (Superblock.is_empty sb) then failwith "Sb_reservoir.park: superblock not empty";
+  t.lock.Platform.acquire ();
+  let accepted = t.len < t.cap in
+  if accepted then begin
+    t.parked <- sb :: t.parked;
+    t.len <- t.len + 1;
+    t.parks <- t.parks + 1
+  end
+  else t.rejects <- t.rejects + 1;
+  t.lock.Platform.release ();
+  accepted
+
+let take t =
+  t.lock.Platform.acquire ();
+  let sb =
+    match t.parked with
+    | [] -> None
+    | sb :: rest ->
+      t.parked <- rest;
+      t.len <- t.len - 1;
+      t.takes <- t.takes + 1;
+      Some sb
+  in
+  t.lock.Platform.release ();
+  sb
+
+let length t = t.len
+
+let parks t = t.parks
+
+let takes t = t.takes
+
+let rejects t = t.rejects
+
+(* Quiescent-only: walks the list without the (simulated) lock so checks
+   can run from outside any simulated thread. *)
+let iter t f = List.iter f t.parked

@@ -1,0 +1,44 @@
+(** Bounded reservoir of empty superblocks (see docs/memory-lifecycle.md).
+
+    Empty superblocks leaving the global heap park here — decommitted but
+    still mapped — instead of being unmapped, so a refill of any size
+    class can reuse one (commit + {!Superblock.reformat}) without an OS
+    map. Capacity [cap] (the config's R) bounds the parked population,
+    which is what makes [resident <= heap-held + R * S] an invariant the
+    oracle can enforce.
+
+    The module is pure bookkeeping behind its own lock domain
+    ("hoard.reservoir", innermost); the *caller* drives the lifecycle —
+    unregister/decommit before or after {!park}, commit/reformat/register
+    after {!take} — and its stats/event traffic. *)
+
+type t
+
+val create : Platform.t -> cap:int -> t
+
+val cap : t -> int
+
+val park : t -> Superblock.t -> bool
+(** Offers an empty superblock. [true]: accepted (caller decommits);
+    [false]: the reservoir is at capacity (caller unmaps as before).
+    Raises [Failure] if the superblock has live blocks. *)
+
+val take : t -> Superblock.t option
+(** Removes and returns a parked superblock (most recently parked first),
+    in whatever size class it last had — the caller reformats. *)
+
+val length : t -> int
+(** Currently parked superblocks. Lock-free read; exact at quiescence. *)
+
+val parks : t -> int
+(** Accepted {!park} calls ever. *)
+
+val takes : t -> int
+(** Successful {!take} calls ever. *)
+
+val rejects : t -> int
+(** {!park} offers bounced on a full reservoir (each became an unmap). *)
+
+val iter : t -> (Superblock.t -> unit) -> unit
+(** Iterates over parked superblocks, newest first. Unlocked:
+    quiescent-only (checks and tests). *)

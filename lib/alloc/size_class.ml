@@ -1,6 +1,16 @@
-type t = { table : int array; max_small : int }
+type t = { table : int array; max_small : int; lut : int array (* size -> class, 0..max_small *) }
 
 let round_up x align = (x + align - 1) / align * align
+
+(* Smallest class with table.(c) >= size; the builder for the lookup
+   table and the reference the equivalence test checks against. *)
+let search table size =
+  let lo = ref 0 and hi = ref (Array.length table - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if table.(mid) >= size then hi := mid else lo := mid + 1
+  done;
+  !lo
 
 let create ?(min_block = 8) ?(growth = 1.2) ~max_small () =
   if min_block < 8 || min_block mod 8 <> 0 then invalid_arg "Size_class.create: min_block must be a multiple of 8";
@@ -15,7 +25,8 @@ let create ?(min_block = 8) ?(growth = 1.2) ~max_small () =
       in
       build (size :: acc) (min next max_small)
   in
-  { table = Array.of_list (build [] min_block); max_small }
+  let table = Array.of_list (build [] min_block) in
+  { table; max_small; lut = Array.init (max_small + 1) (fun s -> search table (max s 1)) }
 
 let count t = Array.length t.table
 
@@ -26,12 +37,11 @@ let size_of_class t c = t.table.(c)
 let class_of_size t size =
   let size = max size 1 in
   if size > t.max_small then invalid_arg "Size_class.class_of_size: request exceeds max_small";
-  (* Smallest class with table.(c) >= size. *)
-  let lo = ref 0 and hi = ref (Array.length t.table - 1) in
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    if t.table.(mid) >= size then hi := mid else lo := mid + 1
-  done;
-  !lo
+  Array.unsafe_get t.lut size
+
+let class_of_size_search t size =
+  let size = max size 1 in
+  if size > t.max_small then invalid_arg "Size_class.class_of_size: request exceeds max_small";
+  search t.table size
 
 let sizes t = Array.copy t.table

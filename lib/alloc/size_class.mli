@@ -24,7 +24,12 @@ val size_of_class : t -> int -> int
 val class_of_size : t -> int -> int
 (** Smallest class whose block size is >= the request. Requests of 0 are
     treated as 1. Raises [Invalid_argument] if the request exceeds
-    [max_small]. *)
+    [max_small]. O(1): a precomputed size-indexed lookup table, this
+    being on every malloc's path. *)
+
+val class_of_size_search : t -> int -> int
+(** The binary-search reference {!class_of_size}'s lookup table is built
+    from. Exposed so tests can assert the two agree on every size. *)
 
 val sizes : t -> int array
 (** All block sizes, ascending (a copy). *)

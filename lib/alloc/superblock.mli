@@ -80,6 +80,13 @@ val reinit : t -> sclass:int -> block_size:int -> unit
 (** Re-dedicates an empty superblock to another size class. Raises
     [Failure] if any block is live. *)
 
+val reformat : t -> sclass:int -> block_size:int -> unit
+(** Full re-format for reservoir reuse: {!reinit} plus severing owner,
+    fullness group and free-list state — the structural equivalent of
+    receiving freshly committed pages, so a superblock parked by one lock
+    domain can be adopted by any other for any size class. Raises
+    [Failure] if any block is live. *)
+
 (** {2 Fullness-group bookkeeping (used by {!Heap_core})} *)
 
 val group_index : t -> int

@@ -40,6 +40,20 @@ let hoard_subjects =
             sanitize = true;
           };
     };
+    {
+      s_label = "hoard-res";
+      s_describe = "superblock reservoir on the first-fit vmem backend, sanitizer on";
+      s_config =
+        Some
+          {
+            Hoard_config.default with
+            Hoard_config.reservoir = 4;
+            vmem_backend = Vmem_backend.First_fit;
+            (* The sanitizer makes decommitted-page touches and
+               recommit-on-reuse part of what this subject checks. *)
+            sanitize = true;
+          };
+    };
   ]
 
 let find_subject label =
@@ -146,8 +160,13 @@ let run_oracle ?fuzz ?(nprocs = 4) ?nthreads ?(check_blowup = true) ?(expect_no_
        (* Quiescent: caches, queues and quarantine drained, so the
           allocator's live bytes must match the oracle's exactly. *)
        Oracle.final_check ~expect_quiescent_equality:true o ~stats:(a.Alloc_intf.stats ());
+       let cfg = Hoard.config h in
+       (* The memory-lifecycle invariant holds whether or not the
+          reservoir is on (with R = 0 it degenerates to
+          resident <= held). *)
+       Oracle.check_residency o ~stats:(a.Alloc_intf.stats ())
+         ~reservoir:cfg.Hoard_config.reservoir ~sb_size:cfg.Hoard_config.sb_size;
        if check_blowup then
-         let cfg = Hoard.config h in
          Oracle.check_blowup o ~stats:(a.Alloc_intf.stats ())
            ~empty_fraction:cfg.Hoard_config.empty_fraction
            ~slop:(blowup_slop cfg ~nprocs ~nthreads:(Option.value nthreads ~default:nprocs)));
@@ -157,7 +176,12 @@ let run_oracle ?fuzz ?(nprocs = 4) ?nthreads ?(check_blowup = true) ?(expect_no_
            (sprintf "oracle[%s]: %d cache line(s) actively shared between threads" s.s_label
               (Oracle.active_shared_lines o)))
   in
-  let spec = Runner.spec ?nthreads workload factory ~nprocs in
+  let vmem_backend =
+    match s.s_config with
+    | Some cfg -> cfg.Hoard_config.vmem_backend
+    | None -> Vmem_backend.Exact
+  in
+  let spec = Runner.spec ?nthreads ~vmem_backend workload factory ~nprocs in
   let r = Runner.run_with ?fuzz ~wrap_allocator ~wrap_platform ~post spec in
   let o = Option.get !oracle in
   {

@@ -228,6 +228,58 @@ let registry_churn =
         fun () -> Hoard.check h);
   }
 
+(* The registry-churn pattern with the reservoir interposed: every free
+   empties a superblock which now parks (decommitted) instead of
+   unmapping, and the next malloc takes it back (commit + reformat +
+   re-register) — so park/take runs concurrently with wait-free lookups
+   and with other threads' park offers racing for the last slot. The
+   post-run check leans on [Hoard.check]'s reservoir validation (parked
+   superblocks empty, unregistered, decommitted) plus the lifecycle
+   invariant on the stats. *)
+let reservoir_churn =
+  {
+    Explorer.sc_name = "reservoir-churn";
+    sc_describe = "whole-superblock churn through the reservoir: park/decommit racing take/recommit";
+    sc_nprocs = 3;
+    sc_build =
+      (fun sim pf ->
+        let config =
+          {
+            (race_config ~mutant:"") with
+            Hoard_config.nheaps = Some 2;
+            release_to_os = true;
+            release_threshold = 0;
+            reservoir = 2;
+          }
+        in
+        let h = Hoard.create ~config pf in
+        let a = Hoard.allocator h in
+        let size = Hoard_config.max_small config in
+        for p = 0 to 2 do
+          ignore
+            (Sim.spawn sim ~proc:p (fun () ->
+                 for _ = 1 to 3 do
+                   let addr = a.Alloc_intf.malloc size in
+                   let u = a.Alloc_intf.usable_size addr in
+                   if u < size then failwith (sprintf "reservoir-churn: usable %d < %d" u size);
+                   a.Alloc_intf.free addr
+                 done))
+        done;
+        fun () ->
+          Hoard.check h;
+          let len = Hoard.reservoir_length h in
+          if len > config.Hoard_config.reservoir then
+            failwith
+              (sprintf "reservoir-churn: %d parked superblocks above cap %d" len
+                 config.Hoard_config.reservoir);
+          let s = (Hoard.allocator h).Alloc_intf.stats () in
+          let cap = config.Hoard_config.reservoir * config.Hoard_config.sb_size in
+          if s.Alloc_stats.resident_bytes > s.Alloc_stats.held_bytes + cap then
+            failwith
+              (sprintf "reservoir-churn: resident %d > held %d + R*S %d" s.Alloc_stats.resident_bytes
+                 s.Alloc_stats.held_bytes cap));
+  }
+
 let all () =
   [
     lost_update;
@@ -237,6 +289,7 @@ let all () =
     emptiness_trim ~mutant:"";
     emptiness_trim ~mutant:"emptiness-off-by-one";
     registry_churn;
+    reservoir_churn;
   ]
 
 let find name = List.find_opt (fun s -> s.Explorer.sc_name = name) (all ())

@@ -26,6 +26,12 @@ val registry_churn : Explorer.scenario
 (** Superblock register/unregister churn (release-to-OS at threshold 0)
     against the registry's wait-free lookup on concurrent free paths. *)
 
+val reservoir_churn : Explorer.scenario
+(** The same churn through a capacity-2 superblock reservoir:
+    park/decommit racing take/recommit across heaps, with the
+    memory-lifecycle invariant ([resident <= held + R*S]) and
+    {!Hoard.check}'s reservoir validation as the post-run oracle. *)
+
 val all : unit -> Explorer.scenario list
 
 val find : string -> Explorer.scenario option

@@ -44,6 +44,7 @@ type t = {
   global : heap;
   heaps : heap array; (* per-processor heaps, ids 1..N *)
   large : Locked_large.t;
+  reservoir : Sb_reservoir.t option; (* cfg.reservoir > 0: the empty-superblock parking lot *)
   obs : Obs.t option;
   fe : int; (* cached [cfg.front_end]; 0 = the paper's exact algorithm *)
   rq_cap : int;
@@ -112,6 +113,7 @@ let create ?(config = Hoard_config.default) ?obs pf =
       large =
         Locked_large.create pf ~owner ~stats ~shard:(n + 1) ?ring:(ring "large")
           ~threshold:(Hoard_config.max_small config);
+      reservoir = (if config.reservoir > 0 then Some (Sb_reservoir.create pf ~cap:config.reservoir) else None);
       obs;
       fe = config.front_end;
       rq_cap = config.remote_queue_cap;
@@ -178,8 +180,11 @@ let event_tc t tc kind ~sclass ~arg =
     Event_ring.record r ~at:(t.pf.Platform.now ()) ~kind ~who:(t.pf.Platform.self_proc ())
       ~heap:(Heap_core.id (my_heap t).core) ~sclass ~arg
 
-(* Global heap: drop surplus empty superblocks back to the OS. Caller holds
-   the global lock. *)
+(* Global heap: drop surplus empty superblocks. With a reservoir they are
+   parked — unregistered, decommitted, still mapped — so a later refill
+   pays a commit instead of an OS map; past the cap R (and always without
+   one) they go back to the OS. Caller holds the global lock; the
+   reservoir lock is innermost. *)
 let release_surplus t =
   if t.cfg.release_to_os then
     while Heap_core.empty_superblock_count t.global.core > t.cfg.release_threshold do
@@ -187,9 +192,26 @@ let release_surplus t =
       | None -> assert false (* the count said an empty superblock exists *)
       | Some sb ->
         Sb_registry.unregister t.reg sb;
-        t.pf.Platform.page_unmap ~addr:(Superblock.base sb);
-        Alloc_stats.on_unmap t.stats ~bytes:(Superblock.sb_size sb);
-        event t t.global Event_ring.Sb_unmap ~sclass:(Superblock.sclass sb) ~arg:(Superblock.sb_size sb)
+        let bytes = Superblock.sb_size sb in
+        let parked =
+          match t.reservoir with
+          | None -> false
+          | Some res ->
+            let ok = Sb_reservoir.park res sb in
+            if not ok then Alloc_stats.on_reservoir_drop t.stats;
+            ok
+        in
+        if parked then begin
+          t.pf.Platform.page_decommit ~addr:(Superblock.base sb);
+          Alloc_stats.on_park t.stats ~bytes;
+          Alloc_stats.on_decommit t.stats ~bytes;
+          event t t.global Event_ring.Decommit ~sclass:(Superblock.sclass sb) ~arg:bytes
+        end
+        else begin
+          t.pf.Platform.page_unmap ~addr:(Superblock.base sb);
+          Alloc_stats.on_unmap t.stats ~bytes;
+          event t t.global Event_ring.Sb_unmap ~sclass:(Superblock.sclass sb) ~arg:bytes
+        end
     done
 
 (* Return queued remote frees to [h]'s core. Caller holds [h]'s lock; the
@@ -250,6 +272,27 @@ let refill t h ~sclass ~block_size =
     t.global.lock.release ();
     sb
   in
+  let from_reservoir () =
+    match t.reservoir with
+    | None -> None
+    | Some res ->
+      (match Sb_reservoir.take res with
+       | None -> None
+       | Some sb ->
+         (* Recommit-before-reuse: the parked superblock's pages were
+            dropped; touching it without the commit is the lifecycle bug
+            the sanitizer's residency check exists to catch. *)
+         let base = Superblock.base sb in
+         t.pf.Platform.page_commit ~addr:base;
+         Superblock.reformat sb ~sclass ~block_size;
+         Sb_registry.register t.reg sb;
+         Alloc_stats.on_unpark t.stats ~bytes:t.cfg.sb_size;
+         Alloc_stats.on_recommit t.stats ~bytes:t.cfg.sb_size;
+         event t h Event_ring.Recommit ~sclass ~arg:t.cfg.sb_size;
+         if t.san <> None && t.pf.Platform.page_residency ~addr:base <> Vmem.Resident then
+           failwith "Hoard.refill: reservoir superblock reused without recommit";
+         Some sb)
+  in
   let sb =
     match from_global with
     | Some sb ->
@@ -259,12 +302,15 @@ let refill t h ~sclass ~block_size =
       event t h Event_ring.Sb_from_global ~sclass ~arg:(Superblock.base sb);
       sb
     | None ->
-      let base = t.pf.Platform.page_map ~bytes:t.cfg.sb_size ~align:t.cfg.sb_size ~owner:t.owner in
-      let sb = Superblock.create ~base ~sb_size:t.cfg.sb_size ~sclass ~block_size in
-      Sb_registry.register t.reg sb;
-      Alloc_stats.on_map t.stats ~bytes:t.cfg.sb_size;
-      event t h Event_ring.Sb_map ~sclass ~arg:t.cfg.sb_size;
-      sb
+      (match from_reservoir () with
+       | Some sb -> sb
+       | None ->
+         let base = t.pf.Platform.page_map ~bytes:t.cfg.sb_size ~align:t.cfg.sb_size ~owner:t.owner in
+         let sb = Superblock.create ~base ~sb_size:t.cfg.sb_size ~sclass ~block_size in
+         Sb_registry.register t.reg sb;
+         Alloc_stats.on_map t.stats ~bytes:t.cfg.sb_size;
+         event t h Event_ring.Sb_map ~sclass ~arg:t.cfg.sb_size;
+         sb)
   in
   Heap_core.insert h.core sb;
   touch_header t sb
@@ -830,6 +876,16 @@ let sanitizer_access_check t =
   | Some _ ->
     Some
       (fun ~addr ~len ~write ->
+        (* A parked superblock is unregistered, so the block-level checks
+           below can't see it — but its pages are decommitted, and any
+           touch means a stale pointer outlived the park (or a reuse path
+           skipped the recommit). The residency probe is charge-free. *)
+        if t.reservoir <> None && t.pf.Platform.page_residency ~addr = Vmem.Decommitted then
+          san_report t
+            ~what:
+              (if write then "write to a decommitted page (parked superblock)"
+               else "read of a decommitted page (parked superblock)")
+            ~addr None;
         match Sb_registry.lookup t.reg ~addr with
         | None -> ()
         | Some sb ->
@@ -885,13 +941,42 @@ let invariant_holds t ~heap_id =
   (not (too_empty t core))
   || not (Heap_core.has_victim core ~max_fullness:(1.0 -. t.cfg.empty_fraction) ~protect_last:true)
 
+let reservoir_length t =
+  match t.reservoir with
+  | None -> 0
+  | Some res -> Sb_reservoir.length res
+
 let check t =
   Heap_core.check t.global.core;
   Array.iter (fun h -> Heap_core.check h.core) t.heaps;
   let s = Alloc_stats.snapshot t.stats in
   let total_u = Array.fold_left (fun acc h -> acc + Heap_core.u h.core) (Heap_core.u t.global.core) t.heaps in
   if total_u + Locked_large.live_bytes t.large <> s.live_bytes then
-    failwith "Hoard.check: live-bytes accounting mismatch"
+    failwith "Hoard.check: live-bytes accounting mismatch";
+  (* Reservoir lifecycle (quiescent, like the heap walks above): parked
+     superblocks are empty, unregistered, decommitted, within the cap, and
+     the parked-byte accounting matches; the residency bound
+     resident <= held + R * S follows and is asserted directly. *)
+  match t.reservoir with
+  | None ->
+    if s.reservoir_bytes <> 0 then failwith "Hoard.check: reservoir bytes without a reservoir"
+  | Some res ->
+    let n = ref 0 in
+    Sb_reservoir.iter res (fun sb ->
+        incr n;
+        if not (Superblock.is_empty sb) then failwith "Hoard.check: parked superblock has live blocks";
+        let base = Superblock.base sb in
+        if Sb_registry.lookup t.reg ~addr:(base + Superblock.header_bytes) <> None then
+          failwith "Hoard.check: parked superblock still registered";
+        if t.pf.Platform.page_residency ~addr:base <> Vmem.Decommitted then
+          failwith "Hoard.check: parked superblock not decommitted");
+    if !n > Sb_reservoir.cap res then failwith "Hoard.check: reservoir over capacity";
+    if s.reservoir_bytes <> !n * t.cfg.sb_size then failwith "Hoard.check: reservoir byte accounting mismatch";
+    if s.resident_bytes > s.held_bytes + (Sb_reservoir.cap res * t.cfg.sb_size) then
+      failwith
+        (Printf.sprintf "Hoard.check: residency bound violated (resident=%dB > held=%dB + R*S=%dB)"
+           s.resident_bytes s.held_bytes
+           (Sb_reservoir.cap res * t.cfg.sb_size))
 
 let allocator t =
   Alloc_api.make ~pf:t.pf ~name:"hoard" ~owner:t.owner ~large_threshold:(Hoard_config.max_small t.cfg)

@@ -102,6 +102,10 @@ val remote_queue_lengths : t -> int array
 (** Queued-block count per heap, index 0 = global. Lock-free reads; call
     at quiescence. *)
 
+val reservoir_length : t -> int
+(** Superblocks currently parked in the reservoir (0 when
+    [config.reservoir = 0]). Lock-free read; exact at quiescence. *)
+
 val pp_heaps : Format.formatter -> t -> unit
 (** Human-readable dump of every heap: per size class, the superblock
     count and aggregate fullness — the view used by

@@ -8,6 +8,8 @@ type t = {
   assign_by_tid : bool;
   release_to_os : bool;
   release_threshold : int;
+  reservoir : int;
+  vmem_backend : Vmem_backend.kind;
   path_work : int;
   front_end : int;
   remote_queue_cap : int;
@@ -29,6 +31,8 @@ let default =
     assign_by_tid = false;
     release_to_os = true;
     release_threshold = 4;
+    reservoir = 0;
+    vmem_backend = Vmem_backend.Exact;
     path_work = 30;
     front_end = 0;
     remote_queue_cap = 256;
@@ -49,6 +53,7 @@ let validate t =
    | Some n when n < 1 -> invalid_arg "Hoard_config: nheaps must be >= 1"
    | _ -> ());
   if t.release_threshold < 0 then invalid_arg "Hoard_config: release_threshold must be non-negative";
+  if t.reservoir < 0 then invalid_arg "Hoard_config: reservoir must be non-negative";
   if t.path_work < 0 then invalid_arg "Hoard_config: path_work must be non-negative";
   if t.front_end < 0 then invalid_arg "Hoard_config: front_end must be non-negative";
   if t.front_end > 0 && t.front_end < 2 then invalid_arg "Hoard_config: front_end must be 0 or >= 2";
@@ -68,5 +73,8 @@ let pp fmt t =
      | None -> "per-proc"
      | Some n -> string_of_int n)
     t.release_to_os t.release_threshold t.front_end;
+  if t.reservoir > 0 then Format.fprintf fmt " reservoir=%d" t.reservoir;
+  if t.vmem_backend <> Vmem_backend.Exact then
+    Format.fprintf fmt " vmem=%s" (Vmem_backend.kind_name t.vmem_backend);
   if t.sanitize then Format.fprintf fmt " sanitize(q=%d)" t.quarantine;
   if t.mutant <> "" then Format.fprintf fmt " MUTANT=%s" t.mutant

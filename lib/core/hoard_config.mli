@@ -25,6 +25,22 @@ type t = {
       (** return empty superblocks from the global heap to the OS. *)
   release_threshold : int;
       (** empty superblocks the global heap retains before releasing. *)
+  reservoir : int;
+      (** R: capacity (superblocks) of the size-class-agnostic reservoir
+          empty superblocks are parked in — decommitted but still mapped —
+          when the global heap drains them, instead of being unmapped.
+          Reuse pulls from the reservoir first (recommit + reformat to the
+          needed class), turning an unmap+map round trip into a cheap
+          commit. Overflow beyond R is unmapped as before, bounding
+          residency by heap-held + R·S. 0 (the default) disables the
+          reservoir, restoring the seed lifecycle. *)
+  vmem_backend : Vmem_backend.kind;
+      (** reuse policy of the simulated address space underneath this
+          allocator's platform. The config record is the single source of
+          truth for instrumented runs — harnesses construct the platform,
+          so they read this field when building the simulator; it cannot
+          retroactively change a platform the caller already built.
+          Default [Exact] (the seed policy). *)
   path_work : int;
       (** instruction cycles charged per malloc/free beyond memory ops. *)
   front_end : int;

@@ -18,6 +18,18 @@ let hoard_san ?(quarantine = 32) () =
       Printf.sprintf "hoard with the heap sanitizer (poison-on-free, %d-block quarantine)" quarantine;
   }
 
+let hoard_res ?(reservoir = 8) ?(vmem_backend = Vmem_backend.First_fit) () =
+  let config = { Hoard_config.default with Hoard_config.reservoir; vmem_backend } in
+  {
+    (Hoard.factory ~config ()) with
+    Alloc_intf.label = "hoard-res";
+    description =
+      Printf.sprintf
+        "hoard with the superblock reservoir (cap %d, decommit-on-park) on the %s vmem backend"
+        reservoir
+        (Vmem_backend.kind_name vmem_backend);
+  }
+
 let all () =
   [
     Serial_alloc.factory ();
@@ -31,7 +43,7 @@ let all () =
 
 (* Checking configurations: resolvable by [find] but excluded from [all]
    (sweeps and comparison tables run the seven measurement allocators). *)
-let extras () = [ hoard_san () ]
+let extras () = [ hoard_san (); hoard_res () ]
 
 let labels () = List.map (fun f -> f.Alloc_intf.label) (all ())
 

@@ -13,7 +13,8 @@ val all : unit -> Alloc_intf.factory list
     stay on the seven comparison allocators. *)
 
 val extras : unit -> Alloc_intf.factory list
-(** Checking configurations ([hoard-san]); resolvable through {!find}. *)
+(** Checking configurations ([hoard-san], [hoard-res]); resolvable
+    through {!find}. *)
 
 val labels : unit -> string list
 
@@ -31,3 +32,11 @@ val hoard_fe : ?front_end:int -> unit -> Alloc_intf.factory
 
 val hoard_san : ?quarantine:int -> unit -> Alloc_intf.factory
 (** A sanitizer-enabled hoard factory (see {!Hoard_config.t.sanitize}). *)
+
+val hoard_res : ?reservoir:int -> ?vmem_backend:Vmem_backend.kind -> unit -> Alloc_intf.factory
+(** A reservoir-enabled hoard factory (see {!Hoard_config.t.reservoir}):
+    empty superblocks park decommitted instead of unmapping, up to
+    [reservoir] (default 8) of them, on the [vmem_backend] (default
+    {!Vmem_backend.First_fit}) reuse policy. Harnesses that build their
+    own platform must honour [config.vmem_backend] when doing so
+    (e.g. {!Runner.spec}'s [vmem_backend]). *)

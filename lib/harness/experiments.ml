@@ -973,6 +973,185 @@ let abl_nheaps =
     run;
   }
 
+(* --- memory-lifecycle fragmentation (vmem backends + reservoir) --- *)
+
+(* Churny variants of larson and shbench whose sizes run well past
+   max_small (S/2 = 4 KiB), so a large share of the traffic takes the
+   large-object path, where the vmem backend's reuse policy decides
+   whether the address space keeps growing: the exact-reuse seed policy
+   only re-serves identical byte counts, so random-size churn extends
+   the mapping area indefinitely, while first-fit coalescing and the
+   buddy system recycle it. *)
+let frag_larson = function
+  | Quick ->
+    Larson.make
+      ~params:
+        {
+          Larson.default_params with
+          Larson.rounds = 120;
+          handoffs = 3;
+          objects_per_thread = 48;
+          min_size = 64;
+          max_size = 256_000;
+        }
+      ()
+  | Full ->
+    Larson.make
+      ~params:
+        {
+          Larson.default_params with
+          Larson.rounds = 400;
+          handoffs = 6;
+          objects_per_thread = 96;
+          min_size = 64;
+          max_size = 256_000;
+        }
+      ()
+
+let frag_shbench = function
+  | Quick ->
+    Shbench.make
+      ~params:
+        { Shbench.default_params with Shbench.ops = 4000; slots_per_thread = 64; min_size = 16; max_size = 256_000 }
+      ()
+  | Full ->
+    Shbench.make
+      ~params:
+        {
+          Shbench.default_params with
+          Shbench.ops = 24_000;
+          slots_per_thread = 128;
+          min_size = 16;
+          max_size = 256_000;
+        }
+      ()
+
+(* The four lifecycle configurations the experiment compares; the first
+   is the seed (exact reuse, no reservoir), the baseline the address-
+   space "vs seed" column divides by. *)
+let frag_configs =
+  [
+    ("exact R=0 (seed)", Vmem_backend.Exact, 0);
+    ("first-fit R=0", Vmem_backend.First_fit, 0);
+    ("first-fit R=8", Vmem_backend.First_fit, 8);
+    ("buddy R=8", Vmem_backend.Buddy, 8);
+  ]
+
+let frag_exp =
+  let run scale ~procs =
+    let p =
+      match procs with
+      | Some (p :: _) -> p
+      | _ -> 4
+    in
+    let run_config w (backend, reservoir) ~nprocs =
+      let cfg = { Hoard_config.default with Hoard_config.vmem_backend = backend; reservoir } in
+      let r = Runner.run (Runner.spec ~vmem_backend:backend w (Hoard.factory ~config:cfg ())  ~nprocs) in
+      (* The memory-lifecycle invariant, enforced (not just reported):
+         the CI fragmentation smoke runs this experiment and must exit
+         non-zero if a parked superblock skipped its decommit or a
+         bounced park skipped its unmap. *)
+      let s = r.Runner.r_stats in
+      let cap = reservoir * cfg.Hoard_config.sb_size in
+      if s.Alloc_stats.resident_bytes > s.Alloc_stats.held_bytes + cap then
+        failwith
+          (Printf.sprintf
+             "exp_fragmentation: lifecycle invariant violated on %s (%s, R=%d): resident %d > held %d + R*S %d"
+             w.Workload_intf.w_name (Vmem_backend.kind_name backend) reservoir s.Alloc_stats.resident_bytes
+             s.Alloc_stats.held_bytes cap);
+      if s.Alloc_stats.reservoir_bytes > cap then
+        failwith
+          (Printf.sprintf "exp_fragmentation: reservoir over capacity on %s: %d bytes > %d"
+             w.Workload_intf.w_name s.Alloc_stats.reservoir_bytes cap);
+      r
+    in
+    let workload_table (wname, w) =
+      let tbl =
+        Table.create
+          ~title:(Printf.sprintf "Memory lifecycle: %s churn at %d processors" wname p)
+          ~columns:
+            [
+              ("config", Table.Left);
+              ("peak mapped", Table.Right);
+              ("addr space", Table.Right);
+              ("vs seed", Table.Right);
+              ("resident@end", Table.Right);
+              ("held@end", Table.Right);
+              ("maps/unmaps", Table.Right);
+              ("decommit/recommit", Table.Right);
+              ("park/drop", Table.Right);
+            ]
+      in
+      let seed_span = ref 0 in
+      List.iter
+        (fun (name, backend, reservoir) ->
+          let r = run_config w (backend, reservoir) ~nprocs:p in
+          let s = r.Runner.r_stats in
+          if backend = Vmem_backend.Exact && reservoir = 0 then seed_span := r.Runner.r_vm_address_space;
+          Table.add_row tbl
+            [
+              name;
+              kib r.Runner.r_vm_peak_mapped;
+              kib r.Runner.r_vm_address_space;
+              Table.cell_ratio (float_of_int r.Runner.r_vm_address_space /. float_of_int (max 1 !seed_span));
+              kib r.Runner.r_vm_resident;
+              kib s.Alloc_stats.held_bytes;
+              Printf.sprintf "%d/%d" s.Alloc_stats.os_maps s.Alloc_stats.os_unmaps;
+              Printf.sprintf "%d/%d" s.Alloc_stats.decommits s.Alloc_stats.recommits;
+              Printf.sprintf "%d/%d" s.Alloc_stats.reservoir_parks s.Alloc_stats.reservoir_drops;
+            ])
+        frag_configs;
+      tbl
+    in
+    let tables =
+      (* threadtest's all-small churn is where the reservoir itself acts
+         (superblocks empty onto the global heap and park instead of
+         unmapping); the two large-object churners are where the backend
+         reuse policy decides address-space growth. *)
+      List.map workload_table
+        [
+          ("larson", frag_larson scale);
+          ("shbench", frag_shbench scale);
+          (* The paper-sized larson (all-small objects) is where the
+             reservoir itself acts: ring handoffs empty whole superblocks
+             onto the global heap, which parks them (decommit) and serves
+             later refills from the reservoir (recommit) instead of
+             unmap/map round trips. *)
+          ("larson-small", larson scale);
+          ("threadtest", threadtest scale);
+        ]
+    in
+    (* Uniprocessor guard: the lifecycle refactor must not tax the plain
+       small-object path — threadtest at P=1 under each configuration,
+       normalised to the seed. *)
+    let uni =
+      Table.create ~title:"Uniprocessor threadtest under each lifecycle configuration"
+        ~columns:[ ("config", Table.Left); ("cycles", Table.Right); ("vs seed", Table.Right) ]
+    in
+    let seed_cycles = ref 0 in
+    List.iter
+      (fun (name, backend, reservoir) ->
+        let r = run_config (threadtest scale) (backend, reservoir) ~nprocs:1 in
+        if backend = Vmem_backend.Exact && reservoir = 0 then seed_cycles := r.Runner.r_cycles;
+        Table.add_row uni
+          [
+            name;
+            string_of_int r.Runner.r_cycles;
+            Table.cell_ratio (float_of_int r.Runner.r_cycles /. float_of_int (max 1 !seed_cycles));
+          ])
+      frag_configs;
+    tables_only (tables @ [ uni ])
+  in
+  {
+    id = "exp_fragmentation";
+    title = "Address-space fragmentation and the memory lifecycle";
+    paper_ref = "evaluation extension (vmem backends, residency, superblock reservoir)";
+    describe =
+      "large-object churn on every vmem backend with and without the superblock reservoir: address-space \
+       growth, residency, and the resident <= held + R*S invariant (enforced)";
+    run;
+  }
+
 (* --- registry --- *)
 
 let all () =
@@ -997,6 +1176,7 @@ let all () =
     speedup_figure ~id:"fig_barnes" ~title:"Figure: Barnes-Hut" ~paper_ref:"Barnes-Hut speedup figure"
       ~describe:"octree n-body simulation; compute-dominated" ~workload_of_scale:barnes;
     blowup_exp;
+    frag_exp;
     falseshare_exp;
     oversub;
     latency_exp;
@@ -1052,6 +1232,7 @@ let obs_workload id scale =
     | "fig_bem" -> "bem"
     | "fig_barnes" -> "barnes-hut"
     | "exp_blowup" -> "phased-blowup"
+    | "exp_fragmentation" -> "larson"
     | "exp_apps" -> "kv-store"
     | _ -> "threadtest"
   in

@@ -5,10 +5,12 @@ type spec = {
   nthreads : int option;
   cost : Cost_model.t;
   lock_kind : Sim.lock_kind;
+  vmem_backend : Vmem_backend.kind;
 }
 
-let spec ?nthreads ?(cost = Cost_model.default) ?(lock_kind = Sim.Spin) workload allocator ~nprocs =
-  { workload; allocator; nprocs; nthreads; cost; lock_kind }
+let spec ?nthreads ?(cost = Cost_model.default) ?(lock_kind = Sim.Spin)
+    ?(vmem_backend = Vmem_backend.Exact) workload allocator ~nprocs =
+  { workload; allocator; nprocs; nthreads; cost; lock_kind; vmem_backend }
 
 type result = {
   r_workload : string;
@@ -23,16 +25,19 @@ type result = {
   r_lock_acquisitions : int;
   r_lock_spins : int;
   r_lock_stats : (string * int * int) list;
+  r_vm_peak_mapped : int;
+  r_vm_address_space : int;
+  r_vm_resident : int;
 }
 
-let run_with ?fuzz ?wrap_platform ?wrap_allocator ?post { workload; allocator; nprocs; nthreads; cost; lock_kind }
-    =
+let run_with ?fuzz ?wrap_platform ?wrap_allocator ?post
+    { workload; allocator; nprocs; nthreads; cost; lock_kind; vmem_backend } =
   let nthreads =
     match nthreads with
     | Some n -> n
     | None -> nprocs
   in
-  let sim = Sim.create ~cost ~lock_kind ?fuzz_schedule:fuzz ~nprocs () in
+  let sim = Sim.create ~cost ~lock_kind ?fuzz_schedule:fuzz ~vmem_backend ~nprocs () in
   let pf = Sim.platform sim in
   (* The allocator always sees the raw platform; only the workload's view
      is wrapped (e.g. with the sanitizer's access checker). *)
@@ -57,6 +62,8 @@ let run_with ?fuzz ?wrap_platform ?wrap_allocator ?post { workload; allocator; n
   let acqs, spins =
     List.fold_left (fun (acc_a, acc_s) (_, a', s') -> (acc_a + a', acc_s + s')) (0, 0) lock_stats
   in
+  let vm = Sim.vmem sim in
+  Vmem.check vm;
   {
     r_workload = workload.Workload_intf.w_name;
     r_allocator = allocator.Alloc_intf.label;
@@ -70,6 +77,9 @@ let run_with ?fuzz ?wrap_platform ?wrap_allocator ?post { workload; allocator; n
     r_lock_acquisitions = acqs;
     r_lock_spins = spins;
     r_lock_stats = lock_stats;
+    r_vm_peak_mapped = Vmem.peak_bytes vm;
+    r_vm_address_space = Vmem.address_space_bytes vm;
+    r_vm_resident = Vmem.resident_bytes vm;
   }
 
 let run spec = run_with spec

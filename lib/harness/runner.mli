@@ -9,12 +9,16 @@ type spec = {
   nthreads : int option;  (** defaults to [nprocs] *)
   cost : Cost_model.t;
   lock_kind : Sim.lock_kind;  (** defaults to {!Sim.Spin} *)
+  vmem_backend : Vmem_backend.kind;
+      (** address-space reuse policy of the simulated OS (defaults to
+          {!Vmem_backend.Exact}, the seed behaviour) *)
 }
 
 val spec :
   ?nthreads:int ->
   ?cost:Cost_model.t ->
   ?lock_kind:Sim.lock_kind ->
+  ?vmem_backend:Vmem_backend.kind ->
   Workload_intf.t ->
   Alloc_intf.factory ->
   nprocs:int ->
@@ -34,6 +38,14 @@ type result = {
   r_lock_spins : int;
   r_lock_stats : (string * int * int) list;
       (** per-lock [(name, acquisitions, spins)], creation order *)
+  r_vm_peak_mapped : int;
+      (** high-water mark of simultaneously mapped bytes, as the
+          simulated OS saw it (independent of allocator bookkeeping) *)
+  r_vm_address_space : int;
+      (** total address-space span the run consumed — how far the OS had
+          to extend the mapping area; the fragmentation experiments'
+          reuse metric *)
+  r_vm_resident : int;  (** committed (resident) bytes at exit *)
 }
 
 val run : spec -> result

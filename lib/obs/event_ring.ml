@@ -12,10 +12,12 @@ type kind =
   | Cache_flush
   | Remote_enqueue
   | Remote_drain
+  | Decommit
+  | Recommit
 
 let all_kinds =
   [ Sb_map; Sb_unmap; Sb_from_global; Sb_to_global; Emptiness_cross; Remote_free; Large_map; Large_unmap;
-    Lock_acquire; Cache_hit; Cache_flush; Remote_enqueue; Remote_drain ]
+    Lock_acquire; Cache_hit; Cache_flush; Remote_enqueue; Remote_drain; Decommit; Recommit ]
 
 let nkinds = List.length all_kinds
 
@@ -33,6 +35,8 @@ let kind_index = function
   | Cache_flush -> 10
   | Remote_enqueue -> 11
   | Remote_drain -> 12
+  | Decommit -> 13
+  | Recommit -> 14
 
 let kind_of_index = function
   | 0 -> Sb_map
@@ -48,6 +52,8 @@ let kind_of_index = function
   | 10 -> Cache_flush
   | 11 -> Remote_enqueue
   | 12 -> Remote_drain
+  | 13 -> Decommit
+  | 14 -> Recommit
   | i -> invalid_arg (Printf.sprintf "Event_ring.kind_of_index: %d" i)
 
 let kind_name = function
@@ -64,6 +70,8 @@ let kind_name = function
   | Cache_flush -> "cache_flush"
   | Remote_enqueue -> "remote_enqueue"
   | Remote_drain -> "remote_drain"
+  | Decommit -> "decommit"
+  | Recommit -> "recommit"
 
 type event = { at : int; kind : kind; who : int; heap : int; sclass : int; arg : int }
 

@@ -29,6 +29,8 @@ type kind =
   | Cache_flush  (** front-end cache flushed blocks; [arg] = block count *)
   | Remote_enqueue  (** block pushed onto [heap]'s remote-free queue; [arg] = addr *)
   | Remote_drain  (** [heap] drained its remote-free queue; [arg] = block count *)
+  | Decommit  (** region's pages returned to the OS, address space kept; [arg] = bytes *)
+  | Recommit  (** decommitted region re-populated for reuse; [arg] = bytes *)
 
 val all_kinds : kind list
 

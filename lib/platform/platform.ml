@@ -16,6 +16,9 @@ type t = {
   now : unit -> int;
   page_map : bytes:int -> align:int -> owner:int -> int;
   page_unmap : addr:int -> unit;
+  page_decommit : addr:int -> unit;
+  page_commit : addr:int -> unit;
+  page_residency : addr:int -> Vmem.residency;
   mapped_bytes : owner:int -> int;
   peak_mapped_bytes : owner:int -> int;
 }
@@ -29,8 +32,8 @@ let host_vmems_mu = Mutex.create ()
 
 let host_vmems : (t * Vmem.t) list ref = ref []
 
-let host ?(page_size = 4096) ?(nprocs = 1) () =
-  let vmem = Vmem.create ~page_size () in
+let host ?(page_size = 4096) ?(nprocs = 1) ?(vmem_backend = Vmem_backend.Exact) () =
+  let vmem = Vmem.create ~page_size ~backend:vmem_backend () in
   let vmem_lock = Mutex.create () in
   let locked f =
     Mutex.lock vmem_lock;
@@ -57,6 +60,9 @@ let host ?(page_size = 4096) ?(nprocs = 1) () =
       now = (fun () -> Atomic.fetch_and_add tick 1);
       page_map = (fun ~bytes ~align ~owner -> locked (fun () -> Vmem.map vmem ~owner ~bytes ~align ()));
       page_unmap = (fun ~addr -> locked (fun () -> Vmem.unmap vmem ~addr));
+      page_decommit = (fun ~addr -> locked (fun () -> Vmem.decommit vmem ~addr));
+      page_commit = (fun ~addr -> locked (fun () -> Vmem.commit vmem ~addr));
+      page_residency = (fun ~addr -> locked (fun () -> Vmem.residency vmem ~addr));
       mapped_bytes = (fun ~owner -> locked (fun () -> Vmem.mapped_bytes_of_owner vmem owner));
       peak_mapped_bytes = (fun ~owner -> locked (fun () -> Vmem.peak_bytes_of_owner vmem owner));
     }

@@ -37,11 +37,20 @@ type t = {
   page_map : bytes:int -> align:int -> owner:int -> int;
       (** obtain memory from the OS; returns the base address *)
   page_unmap : addr:int -> unit;  (** return a region to the OS *)
+  page_decommit : addr:int -> unit;
+      (** simulated [madvise(MADV_DONTNEED)] on the whole region based at
+          [addr]: the address range stays mapped, its pages leave the
+          resident set. Must name a live region base. *)
+  page_commit : addr:int -> unit;
+      (** re-populate a decommitted region before reusing its memory *)
+  page_residency : addr:int -> Vmem.residency;
+      (** residency of the page containing [addr]; side-effect-free and
+          charge-free (an inspection hook, not a machine operation) *)
   mapped_bytes : owner:int -> int;  (** bytes currently held by [owner] *)
   peak_mapped_bytes : owner:int -> int;
 }
 
-val host : ?page_size:int -> ?nprocs:int -> unit -> t
+val host : ?page_size:int -> ?nprocs:int -> ?vmem_backend:Vmem_backend.kind -> unit -> t
 (** A direct-execution platform ([nprocs] defaults to 1). Thread ids come
     from the calling domain, so it is safe under real [Domain]-based
     parallelism; locks are real mutexes. *)

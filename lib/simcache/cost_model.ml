@@ -8,6 +8,8 @@ type t = {
   lock_release : int;
   page_map : int;
   page_unmap : int;
+  page_decommit : int;
+  page_commit : int;
   cross_node : int;
 }
 
@@ -22,6 +24,8 @@ let default =
     lock_release = 10;
     page_map = 400;
     page_unmap = 300;
+    page_decommit = 120;
+    page_commit = 180;
     cross_node = 120;
   }
 
@@ -36,6 +40,8 @@ let uniform_memory =
     lock_release = 1;
     page_map = 1;
     page_unmap = 1;
+    page_decommit = 1;
+    page_commit = 1;
     cross_node = 0;
   }
 
@@ -50,6 +56,8 @@ let cheap_memory =
     lock_release = 2;
     page_map = 40;
     page_unmap = 30;
+    page_decommit = 12;
+    page_commit = 18;
     cross_node = 6;
   }
 
@@ -64,5 +72,7 @@ let expensive_memory =
     lock_release = 30;
     page_map = 1200;
     page_unmap = 900;
+    page_decommit = 360;
+    page_commit = 540;
     cross_node = 360;
   }

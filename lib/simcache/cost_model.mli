@@ -16,6 +16,8 @@ type t = {
   lock_release : int;
   page_map : int;  (** OS call to map pages *)
   page_unmap : int;
+  page_decommit : int;  (** [madvise(DONTNEED)]-style page drop: address space kept *)
+  page_commit : int;  (** fault-in repopulating a decommitted region *)
   cross_node : int;
       (** additional cycles per coherence event (miss service or
           invalidation) that crosses a NUMA node boundary; only charged

@@ -106,9 +106,11 @@ type _ Effect.t +=
   | E_now : int Effect.t
   | E_page_map : (int * int * int) -> int Effect.t (* bytes, align, owner *)
   | E_page_unmap : int -> unit Effect.t
+  | E_page_decommit : int -> unit Effect.t
+  | E_page_commit : int -> unit Effect.t
 
 let create ?(cost = Cost_model.default) ?(lock_kind = Spin) ?fuzz_schedule ?control ?(line_size = 64)
-    ?cache_capacity_lines ?node_of ?(page_size = 4096) ~nprocs () =
+    ?cache_capacity_lines ?node_of ?(page_size = 4096) ?(vmem_backend = Vmem_backend.Exact) ~nprocs () =
   if nprocs < 1 then invalid_arg "Sim.create: nprocs must be >= 1";
   if fuzz_schedule <> None && control <> None then
     invalid_arg "Sim.create: fuzz_schedule and control are mutually exclusive";
@@ -123,7 +125,7 @@ let create ?(cost = Cost_model.default) ?(lock_kind = Spin) ?fuzz_schedule ?cont
        | Some _, Some _ -> assert false);
     cost;
     cch = Cache.create ~line_size ?capacity_lines:cache_capacity_lines ?node_of ~nprocs ();
-    vm = Vmem.create ~page_size ();
+    vm = Vmem.create ~page_size ~backend:vmem_backend ();
     clocks = Array.make nprocs 0;
     runq = Array.init nprocs (fun _ -> Queue.create ());
     live = 0;
@@ -324,6 +326,18 @@ let handler t th =
             (fun k ->
               charge t th.proc t.cost.page_unmap;
               Vmem.unmap t.vm ~addr;
+              th.pending <- Resume (fun () -> continue k ()))
+        | E_page_decommit addr ->
+          Some
+            (fun k ->
+              charge t th.proc t.cost.page_decommit;
+              Vmem.decommit t.vm ~addr;
+              th.pending <- Resume (fun () -> continue k ()))
+        | E_page_commit addr ->
+          Some
+            (fun k ->
+              charge t th.proc t.cost.page_commit;
+              Vmem.commit t.vm ~addr;
               th.pending <- Resume (fun () -> continue k ()))
         | _ -> None);
   }
@@ -552,6 +566,11 @@ let platform t =
     now;
     page_map = (fun ~bytes ~align ~owner -> perform (E_page_map (bytes, align, owner)));
     page_unmap = (fun ~addr -> perform (E_page_unmap addr));
+    page_decommit = (fun ~addr -> perform (E_page_decommit addr));
+    page_commit = (fun ~addr -> perform (E_page_commit addr));
+    (* An inspection hook, not a machine op: reads the vmem directly,
+       charges nothing, perturbs no schedule. *)
+    page_residency = (fun ~addr -> Vmem.residency t.vm ~addr);
     mapped_bytes = (fun ~owner -> Vmem.mapped_bytes_of_owner t.vm owner);
     peak_mapped_bytes = (fun ~owner -> Vmem.peak_bytes_of_owner t.vm owner);
   }

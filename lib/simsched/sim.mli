@@ -68,6 +68,7 @@ val create :
   ?cache_capacity_lines:int ->
   ?node_of:(int -> int) ->
   ?page_size:int ->
+  ?vmem_backend:Vmem_backend.kind ->
   nprocs:int ->
   unit ->
   t

@@ -85,6 +85,33 @@ let to_csv t =
     (rows t);
   Buffer.contents buf
 
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  let str s = "\"" ^ json_escape s ^ "\"" in
+  let arr xs = "[" ^ String.concat "," xs ^ "]" in
+  let cells =
+    List.filter_map
+      (function
+        | Separator -> None
+        | Cells cs -> Some (arr (List.map str cs)))
+      (rows t)
+  in
+  Printf.sprintf "{\"title\":%s,\"columns\":%s,\"rows\":%s}" (str t.title)
+    (arr (List.map (fun (h, _) -> str h) t.columns))
+    (arr cells)
+
 let print t = print_string (render t)
 
 let cell_float f = Printf.sprintf "%.2f" f

@@ -25,6 +25,11 @@ val to_csv : t -> string
 (** Comma-separated rendering (header row included, title omitted). Cells
     containing commas or quotes are quoted. *)
 
+val to_json : t -> string
+(** One JSON object [{"title", "columns", "rows"}] with every cell a
+    string (separators are omitted) — the machine-readable form CI
+    report artifacts are built from. *)
+
 val print : t -> unit
 (** [render] to stdout followed by a newline. *)
 

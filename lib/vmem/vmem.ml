@@ -1,37 +1,52 @@
-type region = { bytes : int; owner : int }
+type region = { r_bytes : int; r_owner : int; mutable r_resident : bool }
 
 type owner_acct = { mutable cur : int; mutable peak : int }
 
+type residency = Resident | Decommitted | Unmapped
+
+module Imap = Map.Make (Int)
+
 type t = {
   page_size : int;
+  base : int;
+  backend : Vmem_backend.t;
   mutable next_addr : int;
-  regions : (int, region) Hashtbl.t; (* base addr -> region *)
-  free_by_size : (int, int list ref) Hashtbl.t; (* size -> free base addrs *)
+  mutable regions : region Imap.t; (* base addr -> region: the interval index *)
   owners : (int, owner_acct) Hashtbl.t;
   mutable mapped : int;
   mutable peak : int;
+  mutable resident : int;
+  mutable peak_resident : int;
   mutable maps : int;
   mutable unmaps : int;
-  mutable max_region : int; (* largest region ever mapped; bounds is_mapped's walk *)
+  mutable decommits : int;
+  mutable commits : int;
 }
 
-let create ?(page_size = 4096) ?(base = 0x1000_0000) () =
+let create ?(page_size = 4096) ?(base = 0x1000_0000) ?(backend = Vmem_backend.Exact) () =
   if page_size <= 0 || page_size land (page_size - 1) <> 0 then
     invalid_arg "Vmem.create: page_size must be a positive power of two";
+  if base land (page_size - 1) <> 0 then invalid_arg "Vmem.create: base must be page-aligned";
   {
     page_size;
+    base;
+    backend = Vmem_backend.create backend ~page_size;
     next_addr = base;
-    regions = Hashtbl.create 1024;
-    free_by_size = Hashtbl.create 64;
+    regions = Imap.empty;
     owners = Hashtbl.create 16;
     mapped = 0;
     peak = 0;
+    resident = 0;
+    peak_resident = 0;
     maps = 0;
     unmaps = 0;
-    max_region = 0;
+    decommits = 0;
+    commits = 0;
   }
 
 let page_size t = t.page_size
+
+let backend_kind t = t.backend.Vmem_backend.be_kind
 
 let round_up x align = (x + align - 1) land lnot (align - 1)
 
@@ -43,83 +58,98 @@ let owner_acct t owner =
     Hashtbl.replace t.owners owner a;
     a
 
-(* Exact-size reuse: pop the first free region of this size whose base
-   satisfies the alignment. *)
-let take_free t bytes align =
-  match Hashtbl.find_opt t.free_by_size bytes with
-  | None -> None
-  | Some lst ->
-    let rec pick acc = function
-      | [] -> None
-      | addr :: rest when addr land (align - 1) = 0 ->
-        lst := List.rev_append acc rest;
-        Some addr
-      | addr :: rest -> pick (addr :: acc) rest
-    in
-    pick [] !lst
-
 let map t ?(owner = 0) ~bytes ~align () =
   if bytes <= 0 then invalid_arg "Vmem.map: bytes must be positive";
   if align < t.page_size || align land (align - 1) <> 0 then
     invalid_arg "Vmem.map: align must be a power of two >= page_size";
   let bytes = round_up bytes t.page_size in
   let addr =
-    match take_free t bytes align with
+    match t.backend.Vmem_backend.take ~bytes ~align with
     | Some addr -> addr
     | None ->
+      (* Extend the bump frontier; the alignment gap is not lost — the
+         backend gets it, so later maps may carve it (policy permitting)
+         and the conservation invariant stays exact. *)
       let addr = round_up t.next_addr align in
+      if addr > t.next_addr then t.backend.Vmem_backend.give ~addr:t.next_addr ~bytes:(addr - t.next_addr);
       t.next_addr <- addr + bytes;
       addr
   in
-  Hashtbl.replace t.regions addr { bytes; owner };
+  t.regions <- Imap.add addr { r_bytes = bytes; r_owner = owner; r_resident = true } t.regions;
   t.mapped <- t.mapped + bytes;
   if t.mapped > t.peak then t.peak <- t.mapped;
+  t.resident <- t.resident + bytes;
+  if t.resident > t.peak_resident then t.peak_resident <- t.resident;
   let acct = owner_acct t owner in
   acct.cur <- acct.cur + bytes;
   if acct.cur > acct.peak then acct.peak <- acct.cur;
   t.maps <- t.maps + 1;
-  if bytes > t.max_region then t.max_region <- bytes;
   addr
 
 let unmap t ~addr =
-  match Hashtbl.find_opt t.regions addr with
+  match Imap.find_opt addr t.regions with
   | None -> invalid_arg "Vmem.unmap: not a live region base"
-  | Some { bytes; owner } ->
-    Hashtbl.remove t.regions addr;
-    t.mapped <- t.mapped - bytes;
-    (owner_acct t owner).cur <- (owner_acct t owner).cur - bytes;
+  | Some r ->
+    t.regions <- Imap.remove addr t.regions;
+    t.mapped <- t.mapped - r.r_bytes;
+    if r.r_resident then t.resident <- t.resident - r.r_bytes;
+    let acct = owner_acct t r.r_owner in
+    acct.cur <- acct.cur - r.r_bytes;
     t.unmaps <- t.unmaps + 1;
-    let lst =
-      match Hashtbl.find_opt t.free_by_size bytes with
-      | Some lst -> lst
-      | None ->
-        let lst = ref [] in
-        Hashtbl.replace t.free_by_size bytes lst;
-        lst
-    in
-    lst := addr :: !lst
+    t.backend.Vmem_backend.give ~addr ~bytes:r.r_bytes
+
+let decommit t ~addr =
+  match Imap.find_opt addr t.regions with
+  | None -> invalid_arg "Vmem.decommit: not a live region base"
+  | Some r ->
+    if r.r_resident then begin
+      r.r_resident <- false;
+      t.resident <- t.resident - r.r_bytes;
+      t.decommits <- t.decommits + 1
+    end
+
+let commit t ~addr =
+  match Imap.find_opt addr t.regions with
+  | None -> invalid_arg "Vmem.commit: not a live region base"
+  | Some r ->
+    if not r.r_resident then begin
+      r.r_resident <- true;
+      t.resident <- t.resident + r.r_bytes;
+      if t.resident > t.peak_resident then t.peak_resident <- t.resident;
+      t.commits <- t.commits + 1
+    end
 
 let region_size t ~addr =
-  match Hashtbl.find_opt t.regions addr with
+  match Imap.find_opt addr t.regions with
   | None -> None
-  | Some { bytes; _ } -> Some bytes
+  | Some r -> Some r.r_bytes
 
-let is_mapped t ~addr =
-  (* Regions are page-aligned and page-sized, so walking back page by page
-     from [addr] finds the candidate base. *)
-  let floor = addr - t.max_region in
-  let rec back page =
-    if page < 0 || page < floor then false
-    else
-      match Hashtbl.find_opt t.regions page with
-      | Some { bytes; _ } -> addr < page + bytes
-      | None -> if page = 0 then false else back (page - t.page_size)
-  in
-  addr >= 0 && back (addr land lnot (t.page_size - 1))
+(* The region covering [addr], found by the interval index: the live
+   region with the greatest base <= addr, if [addr] falls inside it.
+   O(log n) regardless of region sizes. *)
+let covering t addr =
+  match Imap.find_last_opt (fun base -> base <= addr) t.regions with
+  | Some (base, r) when addr < base + r.r_bytes -> Some r
+  | _ -> None
+
+let is_mapped t ~addr = Option.is_some (covering t addr)
+
+let residency t ~addr =
+  match covering t addr with
+  | None -> Unmapped
+  | Some r -> if r.r_resident then Resident else Decommitted
+
+let is_resident t ~addr = residency t ~addr = Resident
 
 let mapped_bytes t = t.mapped
 
 let peak_bytes t = t.peak
+
+let resident_bytes t = t.resident
+
+let peak_resident_bytes t = t.peak_resident
+
+let address_space_bytes t = t.next_addr - t.base
 
 let mapped_bytes_of_owner t owner =
   match Hashtbl.find_opt t.owners owner with
@@ -135,4 +165,38 @@ let map_count t = t.maps
 
 let unmap_count t = t.unmaps
 
-let iter_regions t f = Hashtbl.iter (fun addr { bytes; owner } -> f ~addr ~bytes ~owner) t.regions
+let decommit_count t = t.decommits
+
+let commit_count t = t.commits
+
+let iter_regions t f = Imap.iter (fun addr r -> f ~addr ~bytes:r.r_bytes ~owner:r.r_owner) t.regions
+
+let check t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let live = ref 0 and res = ref 0 and prev_end = ref min_int in
+  let by_owner = Hashtbl.create 16 in
+  Imap.iter
+    (fun addr r ->
+      if addr land (t.page_size - 1) <> 0 then fail "Vmem.check: region %#x not page-aligned" addr;
+      if r.r_bytes <= 0 || r.r_bytes land (t.page_size - 1) <> 0 then
+        fail "Vmem.check: region %#x has bad size %d" addr r.r_bytes;
+      if addr < !prev_end then fail "Vmem.check: overlapping regions at %#x" addr;
+      prev_end := addr + r.r_bytes;
+      live := !live + r.r_bytes;
+      if r.r_resident then res := !res + r.r_bytes;
+      Hashtbl.replace by_owner r.r_owner
+        (r.r_bytes + Option.value (Hashtbl.find_opt by_owner r.r_owner) ~default:0))
+    t.regions;
+  if !live <> t.mapped then fail "Vmem.check: region total %d <> mapped %d" !live t.mapped;
+  if !res <> t.resident then fail "Vmem.check: resident total %d <> resident %d" !res t.resident;
+  if t.resident > t.mapped then fail "Vmem.check: resident %d > mapped %d" t.resident t.mapped;
+  Hashtbl.iter
+    (fun owner acct ->
+      let want = Option.value (Hashtbl.find_opt by_owner owner) ~default:0 in
+      if acct.cur <> want then fail "Vmem.check: owner %d accounted %d <> region total %d" owner acct.cur want)
+    t.owners;
+  t.backend.Vmem_backend.check ();
+  let free = t.backend.Vmem_backend.free_bytes () in
+  if free + !live <> t.next_addr - t.base then
+    fail "Vmem.check: free %d + live %d <> address space %d (leaked or double-counted bytes)" free !live
+      (t.next_addr - t.base)

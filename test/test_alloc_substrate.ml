@@ -30,6 +30,16 @@ let test_size_class_growth_bounded =
       let bs = Size_class.size_of_class classes c in
       float_of_int bs <= (1.2 *. float_of_int size) +. 8.0)
 
+let test_size_class_lut_matches_search () =
+  (* The O(1) lookup table must agree with the binary-search builder on
+     every representable request size. *)
+  for size = 1 to 4096 do
+    Alcotest.(check int)
+      (Printf.sprintf "class_of_size %d" size)
+      (Size_class.class_of_size_search classes size)
+      (Size_class.class_of_size classes size)
+  done
+
 let test_size_class_zero_and_overflow () =
   Alcotest.(check int) "0 treated as 1" 0 (Size_class.class_of_size classes 0);
   Alcotest.check_raises "oversize" (Invalid_argument "Size_class.class_of_size: request exceeds max_small")
@@ -103,6 +113,23 @@ let test_sb_reinit () =
   Alcotest.(check int) "new class" 0 (Superblock.sclass sb);
   let a = Superblock.alloc_block sb in
   Alcotest.(check bool) "allocates again" true (Superblock.contains sb a)
+
+let test_sb_reformat () =
+  let sb = mk_sb ~block_size:64 () in
+  Superblock.set_owner sb 2;
+  let a = Superblock.alloc_block sb in
+  Alcotest.check_raises "reformat busy" (Failure "Superblock.reformat: superblock not empty") (fun () ->
+      Superblock.reformat sb ~sclass:0 ~block_size:8);
+  Superblock.free_block sb a;
+  Superblock.reformat sb ~sclass:0 ~block_size:8;
+  Alcotest.(check int) "new capacity" ((8192 - 64) / 8) (Superblock.n_blocks sb);
+  Alcotest.(check int) "new class" 0 (Superblock.sclass sb);
+  Alcotest.(check int) "ownership severed" (-1) (Superblock.owner sb);
+  Alcotest.(check int) "grouping severed" (-1) (Superblock.group_index sb);
+  Alcotest.(check bool) "stale block not live" false (Superblock.is_block_live sb a);
+  let b = Superblock.alloc_block sb in
+  Alcotest.(check bool) "allocates again" true (Superblock.contains sb b);
+  Superblock.check sb
 
 let test_sb_model =
   QCheck.Test.make ~name:"Superblock matches set model under random ops" ~count:200
@@ -374,6 +401,7 @@ let () =
           Alcotest.test_case "monotone" `Quick test_size_class_monotone;
           Alcotest.test_case "alignment" `Quick test_size_class_alignment;
           Alcotest.test_case "zero/overflow" `Quick test_size_class_zero_and_overflow;
+          Alcotest.test_case "LUT matches binary search" `Quick test_size_class_lut_matches_search;
           QCheck_alcotest.to_alcotest test_size_class_roundtrip;
           QCheck_alcotest.to_alcotest test_size_class_growth_bounded;
         ] );
@@ -386,6 +414,7 @@ let () =
           Alcotest.test_case "foreign addr" `Quick test_sb_foreign_addr_rejected;
           Alcotest.test_case "LIFO reuse" `Quick test_sb_lifo_reuse;
           Alcotest.test_case "reinit" `Quick test_sb_reinit;
+          Alcotest.test_case "reformat" `Quick test_sb_reformat;
           QCheck_alcotest.to_alcotest test_sb_model;
         ] );
       ( "heap-core",

@@ -102,6 +102,16 @@ let test_registry_churn_explored () =
          (Explorer.schedule_to_string f.Explorer.f_schedule)
          f.Explorer.f_message)
 
+let test_reservoir_churn_explored () =
+  let o = Explorer.explore ~bound:1 ~max_runs:400 Scenarios.reservoir_churn in
+  match o.Explorer.o_failure with
+  | None -> ()
+  | Some f ->
+    Alcotest.fail
+      (sprintf "reservoir churn failed under [%s]: %s"
+         (Explorer.schedule_to_string f.Explorer.f_schedule)
+         f.Explorer.f_message)
+
 (* ------------------------------------------------------------------ *)
 (* Differential oracle on the paper workloads.                         *)
 
@@ -128,6 +138,18 @@ let test_oracle_sanitizer_workloads_green () =
       let r = Check_run.run_oracle ~fuzz:11 ~workload:w ~subject:"hoard-san" () in
       Alcotest.(check bool)
         (sprintf "hoard-san/%s ran" r.Check_run.c_workload)
+        true (r.Check_run.c_mallocs > 0))
+    (Check_run.quick_workloads ())
+
+let test_oracle_reservoir_workloads_green () =
+  (* Every quick workload under the reservoir + first-fit lifecycle: the
+     oracle's residency check (resident <= held + R*S) runs in the post
+     phase for every hoard subject, so a green run certifies the bound. *)
+  List.iter
+    (fun w ->
+      let r = Check_run.run_oracle ~fuzz:13 ~workload:w ~subject:"hoard-res" () in
+      Alcotest.(check bool)
+        (sprintf "hoard-res/%s ran" r.Check_run.c_workload)
         true (r.Check_run.c_mallocs > 0))
     (Check_run.quick_workloads ())
 
@@ -397,11 +419,13 @@ let () =
           Alcotest.test_case "real allocator survives race" `Quick test_real_transfer_race_survives;
           Alcotest.test_case "emptiness mutant caught" `Quick test_mutant_emptiness_caught_real_passes;
           Alcotest.test_case "registry churn survives" `Quick test_registry_churn_explored;
+          Alcotest.test_case "reservoir churn survives" `Quick test_reservoir_churn_explored;
         ] );
       ( "oracle",
         [
           Alcotest.test_case "paper workloads green" `Quick test_oracle_workloads_green;
           Alcotest.test_case "workloads green with sanitizer" `Quick test_oracle_sanitizer_workloads_green;
+          Alcotest.test_case "workloads green with reservoir" `Quick test_oracle_reservoir_workloads_green;
           Alcotest.test_case "false sharing verdicts" `Quick test_oracle_false_sharing_verdicts;
           Alcotest.test_case "oracle catches misbehavior" `Quick test_oracle_catches_misbehavior;
         ] );

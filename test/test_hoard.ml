@@ -581,6 +581,104 @@ let test_front_end_cuts_lock_traffic () =
         true (base >= 5.0 *. fe))
     [ "larson"; "threadtest" ]
 
+(* --- the superblock reservoir --- *)
+
+let mk_res ?(reservoir = 4) ?(release_threshold = 0) () =
+  let pf = Platform.host ~vmem_backend:Vmem_backend.First_fit () in
+  let config =
+    { cfg with Hoard_config.reservoir; release_threshold; vmem_backend = Vmem_backend.First_fit }
+  in
+  let h = Hoard.create ~config pf in
+  (h, Hoard.allocator h, config)
+
+let test_reservoir_off_by_default () =
+  (* Seed lifecycle must be untouched unless the knob is turned. *)
+  Alcotest.(check int) "default reservoir" 0 Hoard_config.default.Hoard_config.reservoir;
+  let _, a = mk () in
+  let ps = List.init 5000 (fun _ -> a.Alloc_intf.malloc 64) in
+  List.iter a.Alloc_intf.free ps;
+  let s = a.Alloc_intf.stats () in
+  Alcotest.(check int) "no parks" 0 s.Alloc_stats.reservoir_parks;
+  Alcotest.(check int) "no parked bytes" 0 s.Alloc_stats.reservoir_bytes
+
+let test_reservoir_parks_and_decommits () =
+  let h, a, config = mk_res () in
+  let ps = List.init 5000 (fun _ -> a.Alloc_intf.malloc 64) in
+  List.iter a.Alloc_intf.free ps;
+  let s = a.Alloc_intf.stats () in
+  let sb = config.Hoard_config.sb_size in
+  Alcotest.(check bool) "superblocks parked" true (Hoard.reservoir_length h > 0);
+  Alcotest.(check bool) "parks recorded" true (s.Alloc_stats.reservoir_parks > 0);
+  Alcotest.(check bool) "parked pages decommitted" true (s.Alloc_stats.decommits > 0);
+  Alcotest.(check int) "parked byte accounting"
+    (Hoard.reservoir_length h * sb) s.Alloc_stats.reservoir_bytes;
+  Alcotest.(check bool)
+    (Printf.sprintf "resident %d <= held %d + R*S %d" s.Alloc_stats.resident_bytes
+       s.Alloc_stats.held_bytes (config.Hoard_config.reservoir * sb))
+    true
+    (s.Alloc_stats.resident_bytes
+     <= s.Alloc_stats.held_bytes + (config.Hoard_config.reservoir * sb));
+  a.Alloc_intf.check ()
+
+let test_reservoir_bounded_drops_overflow () =
+  let h, a, config = mk_res ~reservoir:2 () in
+  let ps = List.init 8000 (fun _ -> a.Alloc_intf.malloc 64) in
+  List.iter a.Alloc_intf.free ps;
+  let s = a.Alloc_intf.stats () in
+  Alcotest.(check bool) "length within cap" true
+    (Hoard.reservoir_length h <= config.Hoard_config.reservoir);
+  Alcotest.(check bool) "overflow dropped" true (s.Alloc_stats.reservoir_drops > 0);
+  Alcotest.(check bool) "overflow unmapped" true (s.Alloc_stats.os_unmaps > 0);
+  a.Alloc_intf.check ()
+
+let test_reservoir_reuse_recommits () =
+  let h, a, _ = mk_res () in
+  (* Fill one size class, free everything: superblocks park decommitted. *)
+  let ps = List.init 5000 (fun _ -> a.Alloc_intf.malloc 64) in
+  List.iter a.Alloc_intf.free ps;
+  let parked = Hoard.reservoir_length h in
+  Alcotest.(check bool) "parked" true (parked > 0);
+  let maps_before = (a.Alloc_intf.stats ()).Alloc_stats.os_maps in
+  (* Allocate a *different* size class: reuse must reformat the parked
+     superblocks and recommit their pages instead of mapping fresh ones. *)
+  let qs = List.init 200 (fun _ -> a.Alloc_intf.malloc 256) in
+  let s = a.Alloc_intf.stats () in
+  Alcotest.(check bool) "recommits recorded" true (s.Alloc_stats.recommits > 0);
+  Alcotest.(check bool) "reservoir drained" true (Hoard.reservoir_length h < parked);
+  Alcotest.(check int) "no new OS memory while parked" maps_before s.Alloc_stats.os_maps;
+  List.iter a.Alloc_intf.free qs;
+  a.Alloc_intf.check ();
+  Alcotest.(check int) "nothing live" 0 (a.Alloc_intf.stats ()).Alloc_stats.live_bytes
+
+let test_reservoir_multiproc_sound () =
+  (* Churn across 4 simulated processors with a tiny reservoir: the
+     residency bound and the allocator's structural checks must hold at
+     every interleaving we drive. *)
+  let sim = Sim.create ~vmem_backend:Vmem_backend.First_fit ~nprocs:4 () in
+  let pf = Sim.platform sim in
+  let config =
+    { cfg with Hoard_config.reservoir = 2; release_threshold = 0;
+      vmem_backend = Vmem_backend.First_fit }
+  in
+  let h = Hoard.create ~config pf in
+  let a = Hoard.allocator h in
+  for t = 0 to 3 do
+    ignore
+      (Sim.spawn sim (fun () ->
+           let rng = Rng.create (17 + t) in
+           for _ = 1 to 10 do
+             let ps = List.init 120 (fun _ -> a.Alloc_intf.malloc (Rng.int_in rng 8 2048)) in
+             List.iter a.Alloc_intf.free ps
+           done))
+  done;
+  Sim.run sim;
+  a.Alloc_intf.check ();
+  let s = a.Alloc_intf.stats () in
+  let cap = config.Hoard_config.reservoir * config.Hoard_config.sb_size in
+  Alcotest.(check bool) "residency bound" true
+    (s.Alloc_stats.resident_bytes <= s.Alloc_stats.held_bytes + cap);
+  Alcotest.(check int) "nothing live" 0 s.Alloc_stats.live_bytes
+
 let test_config_validation () =
   List.iter
     (fun bad -> Alcotest.check_raises "rejected" (Invalid_argument bad) (fun () ->
@@ -635,6 +733,14 @@ let () =
         [
           Alcotest.test_case "blowup bounded" `Quick test_blowup_bounded_producer_consumer;
           Alcotest.test_case "remote free" `Quick test_remote_free_returns_to_owner;
+        ] );
+      ( "reservoir",
+        [
+          Alcotest.test_case "off by default" `Quick test_reservoir_off_by_default;
+          Alcotest.test_case "parks and decommits" `Quick test_reservoir_parks_and_decommits;
+          Alcotest.test_case "bounded, drops overflow" `Quick test_reservoir_bounded_drops_overflow;
+          Alcotest.test_case "reuse recommits" `Quick test_reservoir_reuse_recommits;
+          Alcotest.test_case "multiproc sound" `Quick test_reservoir_multiproc_sound;
         ] );
       ( "front end",
         [

@@ -110,6 +110,181 @@ let test_regions_disjoint =
       disjoint sorted
       && Vmem.mapped_bytes vm = List.fold_left (fun acc (_, s) -> acc + s) 0 !live)
 
+(* --- backends: the same surface under every reuse policy --- *)
+
+let each_backend f = List.iter (fun k -> f k) Vmem_backend.all_kinds
+
+let test_backend_basics () =
+  each_backend (fun k ->
+      let name = Vmem_backend.kind_name k in
+      let vm = Vmem.create ~backend:k () in
+      Alcotest.(check bool) (name ^ " kind") true (Vmem.backend_kind vm = k);
+      let a = Vmem.map vm ~bytes:100 ~align:4096 () in
+      Alcotest.(check (option int)) (name ^ " rounded") (Some 4096) (Vmem.region_size vm ~addr:a);
+      let b = Vmem.map vm ~bytes:8192 ~align:65536 () in
+      Alcotest.(check int) (name ^ " aligned") 0 (b mod 65536);
+      Vmem.unmap vm ~addr:a;
+      Vmem.unmap vm ~addr:b;
+      Alcotest.(check int) (name ^ " empty") 0 (Vmem.mapped_bytes vm);
+      Vmem.check vm)
+
+let test_backend_reuse () =
+  (* All three policies must reuse an identical repeat request; only the
+     non-exact ones must also satisfy a differently-sized one from freed
+     space. *)
+  each_backend (fun k ->
+      let name = Vmem_backend.kind_name k in
+      let vm = Vmem.create ~backend:k () in
+      let a = Vmem.map vm ~bytes:8192 ~align:8192 () in
+      Vmem.unmap vm ~addr:a;
+      let b = Vmem.map vm ~bytes:8192 ~align:8192 () in
+      Alcotest.(check int) (name ^ " same-size reuse") a b;
+      Vmem.check vm)
+
+let test_firstfit_coalesce_and_split () =
+  let vm = Vmem.create ~backend:Vmem_backend.First_fit () in
+  (* Three adjacent pages freed separately must coalesce: a 3-page
+     request is served from them without growing the address space. *)
+  let a1 = Vmem.map vm ~bytes:4096 ~align:4096 () in
+  let a2 = Vmem.map vm ~bytes:4096 ~align:4096 () in
+  let a3 = Vmem.map vm ~bytes:4096 ~align:4096 () in
+  Alcotest.(check int) "adjacent" (a1 + 4096) a2;
+  let span0 = Vmem.address_space_bytes vm in
+  Vmem.unmap vm ~addr:a1;
+  Vmem.unmap vm ~addr:a3;
+  Vmem.unmap vm ~addr:a2;
+  (* out of order: merges both neighbours *)
+  let b = Vmem.map vm ~bytes:(3 * 4096) ~align:4096 () in
+  Alcotest.(check int) "coalesced reuse" a1 b;
+  Alcotest.(check int) "no address-space growth" span0 (Vmem.address_space_bytes vm);
+  (* Splitting: free the 3 pages again, take 1 — the remainder must
+     serve the next 2-page request. *)
+  Vmem.unmap vm ~addr:b;
+  let c = Vmem.map vm ~bytes:4096 ~align:4096 () in
+  let d = Vmem.map vm ~bytes:(2 * 4096) ~align:4096 () in
+  Alcotest.(check int) "split head" a1 c;
+  Alcotest.(check int) "split tail" (a1 + 4096) d;
+  Alcotest.(check int) "still no growth" span0 (Vmem.address_space_bytes vm);
+  Vmem.check vm
+
+let test_buddy_merge () =
+  let vm = Vmem.create ~backend:Vmem_backend.Buddy () in
+  (* Two 4 KiB buddies freed must merge into an 8 KiB chunk that can
+     serve an 8 KiB-aligned 8 KiB request without new address space. *)
+  let a = Vmem.map vm ~bytes:8192 ~align:8192 () in
+  Vmem.unmap vm ~addr:a;
+  (* Now the backend holds one 8 KiB chunk at a. Take its two halves... *)
+  let h1 = Vmem.map vm ~bytes:4096 ~align:4096 () in
+  let h2 = Vmem.map vm ~bytes:4096 ~align:4096 () in
+  Alcotest.(check bool) "halves from the chunk" true (h1 >= a && h1 < a + 8192 && h2 >= a && h2 < a + 8192);
+  let span0 = Vmem.address_space_bytes vm in
+  (* ...free them: they must re-merge so the 8 KiB request fits again. *)
+  Vmem.unmap vm ~addr:h1;
+  Vmem.unmap vm ~addr:h2;
+  let b = Vmem.map vm ~bytes:8192 ~align:8192 () in
+  Alcotest.(check int) "buddies re-merged" a b;
+  Alcotest.(check int) "no growth" span0 (Vmem.address_space_bytes vm);
+  Vmem.check vm
+
+(* Differential fuzz: one random map/unmap/align trace replayed against
+   all three backends. Placement may differ; the accounting surface may
+   not: mapped = sum of live regions, regions disjoint (Vmem.check),
+   owner totals agree across backends, and every map is properly
+   aligned. *)
+let test_backend_differential =
+  QCheck.Test.make ~name:"Vmem backends agree on the accounting surface" ~count:60
+    QCheck.(list (triple (int_range 1 9) (int_range 0 2) bool))
+    (fun ops ->
+      let run k =
+        let vm = Vmem.create ~backend:k () in
+        let live = ref [] in
+        List.iter
+          (fun (pages, align_pow, unmap_oldest) ->
+            if unmap_oldest && !live <> [] then begin
+              let a = List.hd (List.rev !live) in
+              Vmem.unmap vm ~addr:a;
+              live := List.filter (fun x -> x <> a) !live
+            end
+            else begin
+              let align = 4096 lsl align_pow in
+              let owner = pages mod 3 in
+              let a = Vmem.map vm ~owner ~bytes:(pages * 4096) ~align () in
+              if a mod align <> 0 then failwith "unaligned map";
+              live := a :: !live
+            end)
+          ops;
+        Vmem.check vm;
+        ( Vmem.mapped_bytes vm,
+          Vmem.map_count vm,
+          Vmem.unmap_count vm,
+          List.map (fun o -> Vmem.mapped_bytes_of_owner vm o) [ 0; 1; 2 ] )
+      in
+      let exact = run Vmem_backend.Exact in
+      let ff = run Vmem_backend.First_fit in
+      let buddy = run Vmem_backend.Buddy in
+      exact = ff && ff = buddy)
+
+(* --- residency --- *)
+
+let test_decommit_commit () =
+  each_backend (fun k ->
+      let name = Vmem_backend.kind_name k in
+      let vm = Vmem.create ~backend:k () in
+      let a = Vmem.map vm ~bytes:8192 ~align:4096 () in
+      let b = Vmem.map vm ~bytes:4096 ~align:4096 () in
+      Alcotest.(check int) (name ^ " all resident") 12288 (Vmem.resident_bytes vm);
+      Vmem.decommit vm ~addr:a;
+      Alcotest.(check int) (name ^ " resident after decommit") 4096 (Vmem.resident_bytes vm);
+      Alcotest.(check int) (name ^ " mapped unchanged") 12288 (Vmem.mapped_bytes vm);
+      Alcotest.(check bool) (name ^ " page decommitted") true
+        (Vmem.residency vm ~addr:(a + 4100) = Vmem.Decommitted);
+      Alcotest.(check bool) (name ^ " other resident") true (Vmem.is_resident vm ~addr:b);
+      (* Idempotent: a second decommit neither double-debits nor counts. *)
+      Vmem.decommit vm ~addr:a;
+      Alcotest.(check int) (name ^ " idempotent decommit") 4096 (Vmem.resident_bytes vm);
+      Alcotest.(check int) (name ^ " one decommit counted") 1 (Vmem.decommit_count vm);
+      Vmem.commit vm ~addr:a;
+      Vmem.commit vm ~addr:a;
+      Alcotest.(check int) (name ^ " recommitted") 12288 (Vmem.resident_bytes vm);
+      Alcotest.(check int) (name ^ " one commit counted") 1 (Vmem.commit_count vm);
+      Alcotest.(check int) (name ^ " peak resident") 12288 (Vmem.peak_resident_bytes vm);
+      Vmem.check vm)
+
+let test_unmap_decommitted () =
+  let vm = Vmem.create () in
+  let a = Vmem.map vm ~bytes:8192 ~align:4096 () in
+  Vmem.decommit vm ~addr:a;
+  Vmem.unmap vm ~addr:a;
+  Alcotest.(check int) "resident not double-debited" 0 (Vmem.resident_bytes vm);
+  Alcotest.(check int) "nothing mapped" 0 (Vmem.mapped_bytes vm);
+  Alcotest.(check bool) "unmapped" true (Vmem.residency vm ~addr:a = Vmem.Unmapped);
+  Vmem.check vm
+
+(* --- is_mapped regression: one huge region + many small ones ---
+   The seed walked backwards one page at a time from the probe address,
+   so a probe into the middle of a huge region cost max_region/page_size
+   lookups. The interval index answers in O(log n); with a 256 MiB
+   region and thousands of probes this completes instantly where the
+   walk took ~65k hash probes per query. *)
+let test_is_mapped_huge_region () =
+  let vm = Vmem.create () in
+  let huge_bytes = 256 * 1024 * 1024 in
+  let huge = Vmem.map vm ~bytes:huge_bytes ~align:4096 () in
+  let smalls = Array.init 200 (fun _ -> Vmem.map vm ~bytes:4096 ~align:4096 ()) in
+  (* Probes all over the huge region, each interior page boundary region. *)
+  for i = 0 to 4095 do
+    let addr = huge + (i * (huge_bytes / 4096)) in
+    if not (Vmem.is_mapped vm ~addr) then Alcotest.failf "huge interior %#x not mapped" addr
+  done;
+  Array.iter
+    (fun a ->
+      Alcotest.(check bool) "small mapped" true (Vmem.is_mapped vm ~addr:(a + 17));
+      Alcotest.(check (option int)) "small sized" (Some 4096) (Vmem.region_size vm ~addr:a))
+    smalls;
+  Alcotest.(check bool) "past the end" false
+    (Vmem.is_mapped vm ~addr:(smalls.(199) + 4096 + (1 lsl 30)));
+  Vmem.check vm
+
 let () =
   Alcotest.run "vmem"
     [
@@ -129,5 +304,19 @@ let () =
           Alcotest.test_case "is_mapped" `Quick test_is_mapped;
           Alcotest.test_case "map count" `Quick test_map_count;
           QCheck_alcotest.to_alcotest test_regions_disjoint;
+          Alcotest.test_case "is_mapped huge region" `Quick test_is_mapped_huge_region;
+        ] );
+      ( "backends",
+        [
+          Alcotest.test_case "basics under every policy" `Quick test_backend_basics;
+          Alcotest.test_case "same-size reuse everywhere" `Quick test_backend_reuse;
+          Alcotest.test_case "first-fit coalesce + split" `Quick test_firstfit_coalesce_and_split;
+          Alcotest.test_case "buddy merge" `Quick test_buddy_merge;
+          QCheck_alcotest.to_alcotest test_backend_differential;
+        ] );
+      ( "residency",
+        [
+          Alcotest.test_case "decommit/commit" `Quick test_decommit_commit;
+          Alcotest.test_case "unmap decommitted" `Quick test_unmap_decommitted;
         ] );
     ]
