@@ -215,18 +215,31 @@ let on_unmap ?(resident = true) t ~bytes =
    decommitted) resident: [held] tracks what heaps and the large path hold,
    which is what the blowup envelope and the residency invariant
    (resident <= held + R * S) are stated over. OS map/unmap counts are NOT
-   touched — avoiding that traffic is the reservoir's point. *)
+   touched — avoiding that traffic is the reservoir's point.
+
+   [on_park] is PROVISIONAL: the parker calls it (held -> reservoir)
+   before the superblock becomes visible in the reservoir, so a taker's
+   [on_unpark] can never run first and drive the gauges negative or
+   double-count the bytes in [held]. A successful offer is then confirmed
+   with [on_park_commit]; a bounced one is reversed with [on_park_bounce],
+   which accounts the ensuing unmap of the already-decommitted region
+   (held was debited by [on_park]; resident by [on_decommit]). *)
 let on_park t ~bytes =
   ignore (Atomic.fetch_and_add t.held (-bytes));
-  ignore (Atomic.fetch_and_add t.reservoir bytes);
-  Atomic.incr t.parks
+  ignore (Atomic.fetch_and_add t.reservoir bytes)
+
+let on_park_commit t = Atomic.incr t.parks
+
+let on_park_bounce t ~bytes =
+  ignore (Atomic.fetch_and_add t.reservoir (-bytes));
+  Atomic.incr t.drops;
+  Atomic.incr t.os_unmaps;
+  refresh_peak_live t
 
 let on_unpark t ~bytes =
   let held = Atomic.fetch_and_add t.held bytes + bytes in
   store_max t.peak_held held;
   ignore (Atomic.fetch_and_add t.reservoir (-bytes))
-
-let on_reservoir_drop t = Atomic.incr t.drops
 
 let on_decommit t ~bytes =
   ignore (Atomic.fetch_and_add t.resident (-bytes));

@@ -131,18 +131,31 @@ val on_unmap : ?resident:bool -> t -> bytes:int -> unit
 
 (** {2 Residency / reservoir events — atomic, callable from any domain}
 
-    The reservoir lifecycle is: [on_park] (superblock leaves the heaps,
-    bytes move held -> reservoir) then [on_decommit] (bytes leave the
-    resident set); reuse is [on_unpark] (reservoir -> held) then
-    [on_recommit] (bytes re-enter the resident set). A bounced park is
-    [on_reservoir_drop] followed by the ordinary [on_unmap]. None of
-    these touch the OS map/unmap counts. *)
+    The parker records its whole side — [on_decommit] (bytes leave the
+    resident set) and the provisional [on_park] (held -> reservoir) —
+    BEFORE offering the superblock to the reservoir, so that a concurrent
+    taker's [on_unpark]/[on_recommit] (reservoir -> held, bytes re-enter
+    the resident set) can never be observed first: gauges stay
+    non-negative and nothing is double-counted in [held] at any
+    interleaving. The offer's outcome then resolves the provisional park:
+    [on_park_commit] if the reservoir accepted it, [on_park_bounce] if it
+    was full (which also accounts the ensuing unmap of the
+    already-decommitted region). Only the bounce touches the OS
+    map/unmap counts — avoiding that traffic is the reservoir's point. *)
 
 val on_park : t -> bytes:int -> unit
+(** Provisional held -> reservoir transfer; call before the superblock is
+    published, then resolve with {!on_park_commit} or {!on_park_bounce}. *)
+
+val on_park_commit : t -> unit
+(** The reservoir accepted the offer: count the park. *)
+
+val on_park_bounce : t -> bytes:int -> unit
+(** The reservoir was full: reverse the provisional byte transfer, count
+    the drop, and account the unmap of the (already-decommitted, so no
+    resident debit) superblock. *)
 
 val on_unpark : t -> bytes:int -> unit
-
-val on_reservoir_drop : t -> unit
 
 val on_decommit : t -> bytes:int -> unit
 

@@ -4,10 +4,12 @@
    it here — unregistered, decommitted, but still mapped — instead of
    unmapping it; a later refill of ANY size class takes it back with a
    commit + reformat instead of an OS map. The structure itself is
-   policy-free: the caller performs the decommit/commit, registry and
-   stats traffic around [park]/[take]; this module only bounds the
-   population (cap R, its own lock domain "hoard.reservoir", innermost —
-   never held while acquiring another lock). *)
+   policy-free: the caller performs the decommit, registry and stats
+   traffic strictly BEFORE [park] (an accepted superblock is immediately
+   visible to a concurrent [take]) and the commit/registration after
+   [take]; this module only bounds the population (cap R, its own lock
+   domain "hoard.reservoir", innermost — never held while acquiring
+   another lock). *)
 
 type t = {
   cap : int;

@@ -8,9 +8,12 @@
     oracle can enforce.
 
     The module is pure bookkeeping behind its own lock domain
-    ("hoard.reservoir", innermost); the *caller* drives the lifecycle —
-    unregister/decommit before or after {!park}, commit/reformat/register
-    after {!take} — and its stats/event traffic. *)
+    ("hoard.reservoir", innermost); the *caller* drives the lifecycle and
+    its stats/event traffic. Ordering matters: an accepted superblock is
+    visible to a concurrent {!take} the moment {!park} publishes it, so
+    the caller must unregister, decommit and account it strictly BEFORE
+    offering it (and commit/reformat/register after {!take}); anything
+    done after a successful {!park} races the taker. *)
 
 type t
 
@@ -19,9 +22,10 @@ val create : Platform.t -> cap:int -> t
 val cap : t -> int
 
 val park : t -> Superblock.t -> bool
-(** Offers an empty superblock. [true]: accepted (caller decommits);
-    [false]: the reservoir is at capacity (caller unmaps as before).
-    Raises [Failure] if the superblock has live blocks. *)
+(** Offers an empty, already-decommitted superblock. [true]: accepted
+    (it may be concurrently taken from here on); [false]: the reservoir
+    is at capacity (caller unmaps the still-private superblock). Raises
+    [Failure] if the superblock has live blocks. *)
 
 val take : t -> Superblock.t option
 (** Removes and returns a parked superblock (most recently parked first),

@@ -193,25 +193,30 @@ let release_surplus t =
       | Some sb ->
         Sb_registry.unregister t.reg sb;
         let bytes = Superblock.sb_size sb in
-        let parked =
-          match t.reservoir with
-          | None -> false
-          | Some res ->
-            let ok = Sb_reservoir.park res sb in
-            if not ok then Alloc_stats.on_reservoir_drop t.stats;
-            ok
-        in
-        if parked then begin
-          t.pf.Platform.page_decommit ~addr:(Superblock.base sb);
-          Alloc_stats.on_park t.stats ~bytes;
-          Alloc_stats.on_decommit t.stats ~bytes;
-          event t t.global Event_ring.Decommit ~sclass:(Superblock.sclass sb) ~arg:bytes
-        end
-        else begin
-          t.pf.Platform.page_unmap ~addr:(Superblock.base sb);
-          Alloc_stats.on_unmap t.stats ~bytes;
-          event t t.global Event_ring.Sb_unmap ~sclass:(Superblock.sclass sb) ~arg:bytes
-        end
+        (match t.reservoir with
+         | Some res ->
+           (* Decommit and record stats while the superblock is still
+              private: the moment [park] publishes it, a concurrent refill
+              may take, recommit and reformat it, so a decommit (or a
+              held/reservoir gauge update) after that point would race the
+              taker — dropping pages under a live superblock. *)
+           t.pf.Platform.page_decommit ~addr:(Superblock.base sb);
+           Alloc_stats.on_decommit t.stats ~bytes;
+           Alloc_stats.on_park t.stats ~bytes;
+           event t t.global Event_ring.Decommit ~sclass:(Superblock.sclass sb) ~arg:bytes;
+           if Sb_reservoir.park res sb then Alloc_stats.on_park_commit t.stats
+           else begin
+             (* Bounced on a full reservoir: the superblock is still ours
+                and already decommitted — return it to the OS, as the
+                no-reservoir path would have. *)
+             t.pf.Platform.page_unmap ~addr:(Superblock.base sb);
+             Alloc_stats.on_park_bounce t.stats ~bytes;
+             event t t.global Event_ring.Sb_unmap ~sclass:(Superblock.sclass sb) ~arg:bytes
+           end
+         | None ->
+           t.pf.Platform.page_unmap ~addr:(Superblock.base sb);
+           Alloc_stats.on_unmap t.stats ~bytes;
+           event t t.global Event_ring.Sb_unmap ~sclass:(Superblock.sclass sb) ~arg:bytes)
     done
 
 (* Return queued remote frees to [h]'s core. Caller holds [h]'s lock; the
