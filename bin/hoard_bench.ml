@@ -104,6 +104,26 @@ let reservoir_opt =
            decommitted instead of unmapping, bounding residency by heap-held + R*S. 0 (the default) \
            disables it, restoring the seed lifecycle.")
 
+let shelf_opt =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "shelf" ] ~docv:"N"
+        ~doc:
+          "Capacity (superblocks) of the lock-free empty-superblock shelf in front of the global \
+           heap: refills pop and trims push with a single CAS, bypassing the global lock. 0 (the \
+           default) disables it.")
+
+let slack_opt =
+  Arg.(
+    value
+    & opt int Hoard_config.default.Hoard_config.slack
+    & info [ "slack" ] ~docv:"K"
+        ~doc:
+          "Slack K (superblocks a per-processor heap may hold beyond use) for the instrumented \
+           pass. 0 sends every empty superblock across the emptiness threshold — the \
+           transfer-heavy configuration the contention smoke measures the shelf on.")
+
 let run_cmd =
   let doc = "Run one experiment by id." in
   let id_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id (see list).") in
@@ -130,8 +150,10 @@ let run_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Write the experiment's tables as a JSON report (the CI artifact format).")
   in
-  let run id full quick csv procs metrics trace front_end vmem reservoir json =
-    let config = { Hoard_config.default with Hoard_config.front_end; vmem_backend = vmem; reservoir } in
+  let run id full quick csv procs metrics trace front_end vmem reservoir shelf slack json =
+    let config =
+      { Hoard_config.default with Hoard_config.front_end; vmem_backend = vmem; reservoir; shelf; slack }
+    in
     let scale = scale_of_flag (full && not quick) in
     match Experiments.find id with
     | None ->
@@ -174,7 +196,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ id_arg $ full_flag $ quick_flag $ csv_flag $ procs_opt $ metrics_opt $ trace_opt
-      $ front_end_opt $ vmem_opt $ reservoir_opt $ json_opt)
+      $ front_end_opt $ vmem_opt $ reservoir_opt $ shelf_opt $ slack_opt $ json_opt)
 
 let all_cmd =
   let doc = "Run every experiment in order." in
@@ -205,13 +227,14 @@ let get_workload name full =
 
 let inspect_cmd =
   let doc = "Run a benchmark under Hoard, then dump the allocator's heap state." in
-  let run name full nprocs front_end vmem reservoir =
+  let run name full nprocs front_end vmem reservoir shelf =
     let w = get_workload name full in
     let sim = Sim.create ~vmem_backend:vmem ~nprocs () in
     let pf = Sim.platform sim in
     let h =
       Hoard.create
-        ~config:{ Hoard_config.default with Hoard_config.front_end; vmem_backend = vmem; reservoir }
+        ~config:
+          { Hoard_config.default with Hoard_config.front_end; vmem_backend = vmem; reservoir; shelf }
         pf
     in
     let a = Hoard.allocator h in
@@ -230,6 +253,8 @@ let inspect_cmd =
     end;
     if reservoir > 0 then
       Printf.printf "reservoir: %d/%d superblocks parked\n" (Hoard.reservoir_length h) reservoir;
+    if shelf > 0 then
+      Printf.printf "shelf: %d/%d empty superblocks shelved\n" (Hoard.shelf_length h) shelf;
     let s = a.Alloc_intf.stats () in
     Printf.printf "%s on %d processors: %d cycles\n%s\n\n" name nprocs (Sim.total_cycles sim)
       (Format.asprintf "%a" Alloc_stats.pp_snapshot s);
@@ -237,14 +262,16 @@ let inspect_cmd =
   in
   Cmd.v
     (Cmd.info "inspect" ~doc)
-    Term.(const run $ workload_arg $ full_flag $ nprocs_arg $ front_end_opt $ vmem_opt $ reservoir_opt)
+    Term.(
+      const run $ workload_arg $ full_flag $ nprocs_arg $ front_end_opt $ vmem_opt $ reservoir_opt
+      $ shelf_opt)
 
 let sweep_cmd =
   let doc = "Run one benchmark under Hoard with explicit algorithm parameters." in
   let f_arg = Arg.(value & opt float 0.25 & info [ "f" ] ~doc:"Emptiness fraction f.") in
   let k_arg = Arg.(value & opt int 4 & info [ "k" ] ~doc:"Slack K (superblocks).") in
   let s_arg = Arg.(value & opt int 8192 & info [ "sbsize" ] ~doc:"Superblock size S.") in
-  let run name full nprocs f k sbsize vmem reservoir =
+  let run name full nprocs f k sbsize vmem reservoir shelf =
     let config =
       {
         Hoard_config.default with
@@ -253,6 +280,7 @@ let sweep_cmd =
         sb_size = sbsize;
         vmem_backend = vmem;
         reservoir;
+        shelf;
       }
     in
     let w = get_workload name full in
@@ -273,7 +301,7 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
       const run $ workload_arg $ full_flag $ nprocs_arg $ f_arg $ k_arg $ s_arg $ vmem_opt
-      $ reservoir_opt)
+      $ reservoir_opt $ shelf_opt)
 
 let () =
   let doc = "Reproduction harness for 'Hoard: A Scalable Memory Allocator' (ASPLOS 2000)." in

@@ -23,6 +23,10 @@ type snapshot = {
   cache_flushes : int;
   remote_enqueues : int;
   remote_drains : int;
+  remote_forwards : int;
+  shelf_pushes : int;
+  shelf_pops : int;
+  cas_retries : int;
 }
 
 (* One shard per lock domain (a heap, a size class, the large allocator, a
@@ -43,6 +47,9 @@ type shard = {
   mutable cache_flushes : int;
   mutable remote_enqueues : int;
   mutable remote_drains : int;
+  mutable remote_forwards : int;
+  mutable shelf_pushes : int;
+  mutable shelf_pops : int;
   mutable peers : shard array; (* every shard of the owning [t], for peak merging *)
   merged_peak : int Atomic.t; (* shared with the owning [t] *)
 }
@@ -65,6 +72,7 @@ type t = {
   recommits : int Atomic.t;
   parks : int Atomic.t;
   drops : int Atomic.t;
+  cas_retries : int Atomic.t; (* failed CASes in lock-free structures; fired with no lock held *)
   peak_live : int Atomic.t; (* merged high-water, refreshed on map/unmap/snapshot *)
 }
 
@@ -83,6 +91,9 @@ let new_shard merged_peak =
     cache_flushes = 0;
     remote_enqueues = 0;
     remote_drains = 0;
+    remote_forwards = 0;
+    shelf_pushes = 0;
+    shelf_pops = 0;
     peers = [||];
     merged_peak;
   }
@@ -106,6 +117,7 @@ let create ?(shards = 1) () =
     recommits = Atomic.make 0;
     parks = Atomic.make 0;
     drops = Atomic.make 0;
+    cas_retries = Atomic.make 0;
     peak_live;
   }
 
@@ -185,6 +197,18 @@ let on_drain sh ~usable =
   sh.remote_drains <- sh.remote_drains + 1;
   sh.live_bytes <- sh.live_bytes - usable
 
+let on_remote_forward sh ~blocks = sh.remote_forwards <- sh.remote_forwards + blocks
+
+(* Shelf transfers move a whole empty superblock, so live bytes are
+   untouched; [held] doesn't move either — a shelved superblock is still
+   heap-held (it belongs to the global heap's envelope, just reachable
+   without its lock). *)
+let on_shelf_push sh = sh.shelf_pushes <- sh.shelf_pushes + 1
+
+let on_shelf_pop sh = sh.shelf_pops <- sh.shelf_pops + 1
+
+let on_cas_retry t = Atomic.incr t.cas_retries
+
 (* Cross-shard reads are unsynchronised (possibly stale, never torn); the
    sum is exact on the deterministic simulator and at quiescent points on
    the host, which is where peaks are read. *)
@@ -261,7 +285,10 @@ let snapshot t =
   and fills = ref 0
   and flushes = ref 0
   and enqueues = ref 0
-  and drains = ref 0 in
+  and drains = ref 0
+  and forwards = ref 0
+  and shelf_pushes = ref 0
+  and shelf_pops = ref 0 in
   Array.iter
     (fun sh ->
       mallocs := !mallocs + sh.mallocs;
@@ -275,7 +302,10 @@ let snapshot t =
       fills := !fills + sh.cache_fills;
       flushes := !flushes + sh.cache_flushes;
       enqueues := !enqueues + sh.remote_enqueues;
-      drains := !drains + sh.remote_drains)
+      drains := !drains + sh.remote_drains;
+      forwards := !forwards + sh.remote_forwards;
+      shelf_pushes := !shelf_pushes + sh.shelf_pushes;
+      shelf_pops := !shelf_pops + sh.shelf_pops)
     (Atomic.get t.shards);
   (* Per-shard peaks are NOT summed here: a block malloc'd under one heap
      may be freed under another after its superblock migrates, so the sum
@@ -308,6 +338,10 @@ let snapshot t =
     cache_flushes = !flushes;
     remote_enqueues = !enqueues;
     remote_drains = !drains;
+    remote_forwards = !forwards;
+    shelf_pushes = !shelf_pushes;
+    shelf_pops = !shelf_pops;
+    cas_retries = Atomic.get t.cas_retries;
   }
 
 let fragmentation (s : snapshot) =
@@ -339,6 +373,10 @@ let publish t ?(prefix = "alloc") metrics =
   reg "cache_flushes" (fun s -> s.cache_flushes);
   reg "remote_enqueues" (fun s -> s.remote_enqueues);
   reg "remote_drains" (fun s -> s.remote_drains);
+  reg "remote_forwards" (fun s -> s.remote_forwards);
+  reg "shelf_pushes" (fun s -> s.shelf_pushes);
+  reg "shelf_pops" (fun s -> s.shelf_pops);
+  reg "cas_retries" (fun s -> s.cas_retries);
   Metrics.register metrics ~name:(prefix ^ ".fragmentation") (fun () ->
       Metrics.Float (fragmentation (snapshot t)))
 
@@ -353,5 +391,7 @@ let pp_snapshot fmt (s : snapshot) =
       s.resident_bytes s.peak_resident_bytes s.reservoir_bytes s.decommits s.recommits s.reservoir_parks
       s.reservoir_drops;
   if s.cache_hits + s.cache_fills + s.remote_enqueues > 0 then
-    Format.fprintf fmt " cache_hits=%d fills=%d flushes=%d enq=%d drained=%d" s.cache_hits s.cache_fills
-      s.cache_flushes s.remote_enqueues s.remote_drains
+    Format.fprintf fmt " cache_hits=%d fills=%d flushes=%d enq=%d drained=%d fwd=%d" s.cache_hits s.cache_fills
+      s.cache_flushes s.remote_enqueues s.remote_drains s.remote_forwards;
+  if s.shelf_pushes + s.shelf_pops + s.cas_retries > 0 then
+    Format.fprintf fmt " shelf_pushes=%d shelf_pops=%d cas_retries=%d" s.shelf_pushes s.shelf_pops s.cas_retries

@@ -60,6 +60,11 @@ type snapshot = {
   cache_flushes : int;  (** blocks flushed out of front-end caches *)
   remote_enqueues : int;  (** blocks pushed onto remote-free queues *)
   remote_drains : int;  (** blocks returned to a heap core by the front end *)
+  remote_forwards : int;
+      (** migrated blocks re-forwarded by a drain to the new owner's queue *)
+  shelf_pushes : int;  (** empty superblocks pushed onto the lock-free shelf *)
+  shelf_pops : int;  (** refills served by popping the shelf (no global lock) *)
+  cas_retries : int;  (** failed CASes in lock-free structures (contention) *)
 }
 
 val create : ?shards:int -> unit -> t
@@ -117,6 +122,22 @@ val on_drain : shard -> usable:int -> unit
 (** One block returned to a heap core (queue drain or direct fallback),
     under that heap's lock: live bytes drop by [usable]; the free itself
     was already counted by {!on_cached_free}. *)
+
+val on_remote_forward : shard -> blocks:int -> unit
+(** Migrated blocks a drain re-forwarded to their new owner's queue
+    instead of freeing inline, under the draining heap's lock. *)
+
+val on_shelf_push : shard -> unit
+(** An empty superblock moved heap -> shelf, under the source heap's
+    lock. Live and held bytes are untouched: a shelved superblock stays
+    heap-held (global heap's envelope, reachable without its lock). *)
+
+val on_shelf_pop : shard -> unit
+(** A refill served from the shelf, under the destination heap's lock. *)
+
+val on_cas_retry : t -> unit
+(** A failed CAS inside a lock-free structure (reservoir or shelf).
+    Atomic — fired with no lock held, from any domain. *)
 
 (** {2 OS-map events — atomic, callable from any domain} *)
 

@@ -7,69 +7,42 @@
    policy-free: the caller performs the decommit, registry and stats
    traffic strictly BEFORE [park] (an accepted superblock is immediately
    visible to a concurrent [take]) and the commit/registration after
-   [take]; this module only bounds the population (cap R, its own lock
-   domain "hoard.reservoir", innermost — never held while acquiring
-   another lock). *)
+   [take]; this module only bounds the population (cap R).
+
+   Non-blocking: park and take are a push/pop on a lock-free Treiber
+   stack (see Lockfree) — CAS only, no lock to serialize on or deadlock
+   against, so the reservoir imposes no lock-ordering constraint at
+   all. Park/take counters ride on the stack's own host counters;
+   [rejects] (offers bounced on a full pool) is the one count the stack
+   doesn't track. *)
 
 type t = {
-  cap : int;
-  lock : Platform.lock;
-  mutable parked : Superblock.t list; (* newest first *)
-  mutable len : int;
-  mutable parks : int;
-  mutable takes : int;
-  mutable rejects : int;
+  stack : Superblock.t Lockfree.t;
+  rejects : int Atomic.t; (* host counter: exact at quiescence *)
 }
 
-let create pf ~cap =
+let create ?aba_tag ?on_retry pf ~cap =
   if cap < 0 then invalid_arg "Sb_reservoir.create: cap must be non-negative";
-  {
-    cap;
-    lock = pf.Platform.new_lock "hoard.reservoir";
-    parked = [];
-    len = 0;
-    parks = 0;
-    takes = 0;
-    rejects = 0;
-  }
+  { stack = Lockfree.create pf ~name:"hoard.reservoir" ~cap ?aba_tag ?on_retry (); rejects = Atomic.make 0 }
 
-let cap t = t.cap
+let cap t = Lockfree.cap t.stack
 
 let park t sb =
   if not (Superblock.is_empty sb) then failwith "Sb_reservoir.park: superblock not empty";
-  t.lock.Platform.acquire ();
-  let accepted = t.len < t.cap in
-  if accepted then begin
-    t.parked <- sb :: t.parked;
-    t.len <- t.len + 1;
-    t.parks <- t.parks + 1
-  end
-  else t.rejects <- t.rejects + 1;
-  t.lock.Platform.release ();
+  let accepted = Lockfree.push t.stack sb in
+  if not accepted then Atomic.incr t.rejects;
   accepted
 
-let take t =
-  t.lock.Platform.acquire ();
-  let sb =
-    match t.parked with
-    | [] -> None
-    | sb :: rest ->
-      t.parked <- rest;
-      t.len <- t.len - 1;
-      t.takes <- t.takes + 1;
-      Some sb
-  in
-  t.lock.Platform.release ();
-  sb
+let take t = Lockfree.pop t.stack
 
-let length t = t.len
+let length t = Lockfree.length t.stack
 
-let parks t = t.parks
+let parks t = Lockfree.pushes t.stack
 
-let takes t = t.takes
+let takes t = Lockfree.pops t.stack
 
-let rejects t = t.rejects
+let rejects t = Atomic.get t.rejects
 
-(* Quiescent-only: walks the list without the (simulated) lock so checks
-   can run from outside any simulated thread. *)
-let iter t f = List.iter f t.parked
+let cas_retries t = Lockfree.retries t.stack
+
+let iter t f = Lockfree.iter t.stack f

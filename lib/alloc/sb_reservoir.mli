@@ -7,17 +7,22 @@
     which is what makes [resident <= heap-held + R * S] an invariant the
     oracle can enforce.
 
-    The module is pure bookkeeping behind its own lock domain
-    ("hoard.reservoir", innermost); the *caller* drives the lifecycle and
-    its stats/event traffic. Ordering matters: an accepted superblock is
-    visible to a concurrent {!take} the moment {!park} publishes it, so
-    the caller must unregister, decommit and account it strictly BEFORE
-    offering it (and commit/reformat/register after {!take}); anything
-    done after a successful {!park} races the taker. *)
+    The module is non-blocking: {!park} and {!take} are a push/pop on a
+    lock-free Treiber stack of bounded capacity ({!Lockfree}), completing
+    with CAS only — no reservoir lock exists, so the structure imposes no
+    lock-ordering constraint. The *caller* still drives the lifecycle and
+    its stats/event traffic, and ordering still matters: an accepted
+    superblock is visible to a concurrent {!take} the moment {!park}'s
+    publishing CAS lands, so the caller must unregister, decommit and
+    account it strictly BEFORE offering it (and commit/reformat/register
+    after {!take}); anything done after a successful {!park} races the
+    taker. *)
 
 type t
 
-val create : Platform.t -> cap:int -> t
+val create : ?aba_tag:bool -> ?on_retry:(unit -> unit) -> Platform.t -> cap:int -> t
+(** [aba_tag:false] (tests only) plants the classic Treiber ABA bug; see
+    {!Lockfree.create}. [on_retry] fires on every failed CAS. *)
 
 val cap : t -> int
 
@@ -43,6 +48,10 @@ val takes : t -> int
 val rejects : t -> int
 (** {!park} offers bounced on a full reservoir (each became an unmap). *)
 
+val cas_retries : t -> int
+(** Failed CAS attempts inside park/take (contention indicator). *)
+
 val iter : t -> (Superblock.t -> unit) -> unit
-(** Iterates over parked superblocks, newest first. Unlocked:
-    quiescent-only (checks and tests). *)
+(** Iterates over parked superblocks, newest first. Quiescent-only, and
+    enforces it: raises [Failure] if a park/take is in flight, or if the
+    walk finds structural corruption (see {!Lockfree.iter}). *)

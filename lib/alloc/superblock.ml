@@ -11,6 +11,13 @@ type t = {
   mutable free_head : int; (* head of LIFO free list, -1 when empty *)
   next_free : int array; (* free-list links, indexed by block number *)
   live : Bytes.t; (* allocation bitmap, one byte per block *)
+  (* Front-end custody bitmap: set while a freed (or fill-surplus) block
+     sits in a thread cache or remote-free queue, cleared when it returns
+     to the program (cache hit) or the heap core (drain). Lets ANY thread
+     detect a double free of a block cached by ANOTHER thread in O(1) —
+     a per-thread membership scan can't. Same write discipline as [live]:
+     single-byte stores, owned by whichever thread holds the block. *)
+  cached : Bytes.t;
   mutable own : int;
   mutable grp : int;
   mutable node : t Dlist.node option;
@@ -33,6 +40,7 @@ let create ~base ~sb_size ~sclass ~block_size =
     free_head = -1;
     next_free = Array.make max_cap (-1);
     live = Bytes.make max_cap '\000';
+    cached = Bytes.make max_cap '\000';
     own = -1;
     grp = -1;
     node = None;
@@ -104,6 +112,12 @@ let is_block_live t addr =
   let i = index_of_addr t addr in
   i < t.carved && Bytes.get t.live i = '\001'
 
+let mark_cached t addr = Bytes.set t.cached (index_of_addr t addr) '\001'
+
+let clear_cached t addr = Bytes.set t.cached (index_of_addr t addr) '\000'
+
+let is_block_cached t addr = Bytes.get t.cached (index_of_addr t addr) = '\001'
+
 type region =
   | Header
   | Block of { b_start : int; b_index : int; b_live : bool }
@@ -153,7 +167,8 @@ let reformat t ~sclass ~block_size =
   t.grp <- -1;
   t.node <- None;
   Array.fill t.next_free 0 (Array.length t.next_free) (-1);
-  Bytes.fill t.live 0 (Bytes.length t.live) '\000'
+  Bytes.fill t.live 0 (Bytes.length t.live) '\000';
+  Bytes.fill t.cached 0 (Bytes.length t.cached) '\000'
 
 let group_index t = t.grp
 
@@ -174,6 +189,10 @@ let check t =
     if Bytes.get t.live i = '\001' then failwith "Superblock.check: live block beyond bump frontier"
   done;
   if !live <> t.used_blocks then failwith "Superblock.check: bitmap/used mismatch";
+  for i = 0 to t.cap - 1 do
+    if Bytes.get t.cached i = '\001' && Bytes.get t.live i <> '\001' then
+      failwith "Superblock.check: cached block not live"
+  done;
   (* Free-list nodes must be carved, dead and non-repeating. *)
   let seen = Bytes.make t.cap '\000' in
   let rec walk i n =

@@ -61,6 +61,24 @@ val contains : t -> int -> bool
 val is_block_live : t -> int -> bool
 (** Whether the block at this address is currently allocated. *)
 
+(** {2 Front-end custody state}
+
+    A freed block absorbed by a thread's front-end cache (or parked on a
+    remote-free queue) stays bitmap-live; the custody bit is the shared,
+    O(1) record that it is no longer the program's — the state the
+    double-free check consults, which a per-thread cache-membership scan
+    cannot provide when the block is cached by {e another} thread. The
+    bit is owned by whichever thread currently holds the block (same
+    single-byte-store discipline as the [live] bitmap) and must be
+    cleared before the block re-enters the program (cache hit) or its
+    heap core (drain), preserving cached ⊆ live. *)
+
+val mark_cached : t -> int -> unit
+
+val clear_cached : t -> int -> unit
+
+val is_block_cached : t -> int -> bool
+
 (** Classification of an arbitrary address within a superblock, for the
     heap sanitizer: [Header] is the metadata line (a workload touching it
     clobbers a canary), [Block] carries the containing block's start

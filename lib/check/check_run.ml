@@ -54,6 +54,18 @@ let hoard_subjects =
             sanitize = true;
           };
     };
+    {
+      s_label = "hoard-shelf";
+      s_describe = "lock-free shelf and reservoir in front of the global heap, with the front end";
+      s_config =
+        Some
+          {
+            Hoard_config.default with
+            Hoard_config.shelf = 4;
+            reservoir = 4;
+            front_end = Allocators.front_end_default;
+          };
+    };
   ]
 
 let find_subject label =
@@ -86,7 +98,9 @@ let blowup_slop cfg ~nprocs ~nthreads =
   let in_flight = nthreads * s in
   let fe = if cfg.Hoard_config.front_end > 0 then (nthreads + heaps) * s else 0 in
   let quarantine = if cfg.Hoard_config.sanitize then cfg.Hoard_config.quarantine * Hoard_config.max_small cfg else 0 in
-  per_heap + retained + in_flight + fe + quarantine
+  (* The shelf parks up to [shelf] empty superblocks outside any heap. *)
+  let shelf = cfg.Hoard_config.shelf * s in
+  per_heap + retained + in_flight + fe + quarantine + shelf
 
 type report = {
   c_workload : string;

@@ -280,6 +280,163 @@ let reservoir_churn =
                  s.Alloc_stats.held_bytes cap));
   }
 
+(* The Treiber protocol itself, raw: the bounded lock-free stack that
+   carries both the superblock reservoir and the empty-superblock shelf,
+   driven directly so every link word is a schedule step. Three threads
+   pop (one of them pushes back) against a 3-deep stack; the post-run
+   check walks the structure and demands every accepted push is
+   accounted for exactly once. With the ABA tag frozen
+   (mutant = "reservoir-no-aba"), a popper preempted between its link
+   load and its head CAS can resume after the top slot was recycled and
+   install a stale link — the walk then finds a payload-less or
+   twice-linked slot. Two preemptions suffice: one to park the popper in
+   its window, one to split another pop between its head CAS and its
+   free-stack push (which is what lets the slot pool hand the recycled
+   slot out under a different link). *)
+let lockfree_stack ~mutant =
+  {
+    Explorer.sc_name = (if mutant = "" then "lockfree-stack" else "lockfree-stack-mutant");
+    sc_describe =
+      (if mutant = "" then "pops racing pushes on the tagged Treiber stack under the reservoir and shelf"
+       else "the same race with the ABA tag frozen; a stale pop corrupts the stack at bound <= 2");
+    sc_nprocs = 3;
+    sc_build =
+      (fun sim pf ->
+        let stack =
+          Lockfree.create pf ~name:"stack" ~cap:4 ~aba_tag:(mutant <> "reservoir-no-aba") ()
+        in
+        let barrier = Sim.new_barrier sim ~parties:3 in
+        let popped = Array.make 3 [] in
+        let note p = function None -> () | Some v -> popped.(p) <- v :: popped.(p) in
+        ignore
+          (Sim.spawn sim ~proc:0 (fun () ->
+               ignore (Lockfree.push stack 101);
+               ignore (Lockfree.push stack 102);
+               ignore (Lockfree.push stack 103);
+               Sim.barrier_wait barrier;
+               note 0 (Lockfree.pop stack)));
+        ignore
+          (Sim.spawn sim ~proc:1 (fun () ->
+               Sim.barrier_wait barrier;
+               note 1 (Lockfree.pop stack)));
+        ignore
+          (Sim.spawn sim ~proc:2 (fun () ->
+               Sim.barrier_wait barrier;
+               note 2 (Lockfree.pop stack);
+               ignore (Lockfree.push stack 105)));
+        fun () ->
+          (* [iter] itself rejects cycles, twice-linked slots and
+             payload-less live slots — the structural ABA signatures. *)
+          let remaining = ref [] in
+          Lockfree.iter stack (fun v -> remaining := v :: !remaining);
+          if List.length !remaining <> Lockfree.length stack then
+            failwith
+              (sprintf "lockfree-stack: walk found %d elements, counters say %d"
+                 (List.length !remaining) (Lockfree.length stack));
+          let acc = !remaining @ popped.(0) @ popped.(1) @ popped.(2) in
+          if List.length acc <> Lockfree.pushes stack then
+            failwith
+              (sprintf "lockfree-stack: %d elements accounted for, %d pushes accepted"
+                 (List.length acc) (Lockfree.pushes stack));
+          let rec dup = function
+            | a :: (b :: _ as tl) -> a = b || dup tl
+            | _ -> false
+          in
+          if dup (List.sort compare acc) then
+            failwith "lockfree-stack: an element surfaced twice (lost ABA tag?)");
+  }
+
+(* The park/take ordering of the reservoir lifecycle. Thread 0 empties a
+   whole superblock, whose free transfers and parks it; thread 1
+   concurrently mallocs, and its refill — having found the global heap
+   empty and released the global lock — races the lock-free take against
+   the park. The real path decommits strictly BEFORE publishing, so any
+   taker recommits pages nobody will touch again; the
+   park-before-decommit mutant publishes first, and in the schedule
+   where the take lands inside that window the parker's decommit drops
+   pages out from under thread 1's live block — which the sanitizer's
+   residency probe (both threads quiescent, after the barrier) reports. *)
+let park_take_order ~mutant =
+  {
+    Explorer.sc_name = (if mutant = "" then "park-take-order" else "park-take-order-mutant");
+    sc_describe =
+      (if mutant = "" then "reservoir park racing a lock-free take; decommit-before-publish protects the taker"
+       else "park-before-decommit mutant: the parker decommits under the taker's live block at bound <= 2");
+    sc_nprocs = 2;
+    sc_build =
+      (fun sim pf ->
+        let config =
+          {
+            (race_config ~mutant) with
+            Hoard_config.nheaps = Some 2;
+            release_to_os = true;
+            release_threshold = 0;
+            reservoir = 1;
+            (* quarantine 0: frees are checked but recycle immediately, so
+               thread 0's free still empties its superblock on the spot. *)
+            sanitize = true;
+            quarantine = 0;
+          }
+        in
+        let h = Hoard.create ~config pf in
+        let a = Hoard.allocator h in
+        let checker = Option.get (Hoard.sanitizer_access_check h) in
+        let size = Hoard_config.max_small config in
+        let barrier = Sim.new_barrier sim ~parties:2 in
+        ignore
+          (Sim.spawn sim ~proc:0 (fun () ->
+               (* One block fills the whole superblock: the free empties
+                  it, the trim transfers it, release_surplus parks it. *)
+               let addr = a.Alloc_intf.malloc size in
+               a.Alloc_intf.free addr;
+               Sim.barrier_wait barrier));
+        ignore
+          (Sim.spawn sim ~proc:1 (fun () ->
+               let addr = a.Alloc_intf.malloc size in
+               Sim.barrier_wait barrier;
+               (* Both threads quiescent: if the parker's decommit landed
+                  after our recommit, the pages under this live block are
+                  gone now. *)
+               checker ~addr ~len:8 ~write:true;
+               Sim.write ~addr ~len:8));
+        fun () -> Hoard.check h);
+  }
+
+(* The non-blocking transfer path end to end: with a shelf configured,
+   every emptiness trim pushes its empty victim with one CAS and every
+   refill pops the same way, three threads on two heaps churning
+   whole-superblock blocks through it. The post-run check leans on
+   [Hoard.check]'s shelf validation (shelved superblocks empty,
+   registered, resident, owned by heap 0, walked by the
+   corruption-detecting [Lockfree.iter]) plus the cap. *)
+let shelf_transfer =
+  {
+    Explorer.sc_name = "shelf-transfer";
+    sc_describe = "empty superblocks churning through the lock-free shelf: CAS push racing CAS pop";
+    sc_nprocs = 3;
+    sc_build =
+      (fun sim pf ->
+        let config = { (race_config ~mutant:"") with Hoard_config.nheaps = Some 2; shelf = 2 } in
+        let h = Hoard.create ~config pf in
+        let a = Hoard.allocator h in
+        let size = Hoard_config.max_small config in
+        for p = 0 to 2 do
+          ignore
+            (Sim.spawn sim ~proc:p (fun () ->
+                 for _ = 1 to 2 do
+                   let addr = a.Alloc_intf.malloc size in
+                   let u = a.Alloc_intf.usable_size addr in
+                   if u < size then failwith (sprintf "shelf-transfer: usable %d < %d" u size);
+                   a.Alloc_intf.free addr
+                 done))
+        done;
+        fun () ->
+          Hoard.check h;
+          let len = Hoard.shelf_length h in
+          if len > config.Hoard_config.shelf then
+            failwith (sprintf "shelf-transfer: %d shelved superblocks above cap %d" len config.Hoard_config.shelf));
+  }
+
 let all () =
   [
     lost_update;
@@ -290,6 +447,11 @@ let all () =
     emptiness_trim ~mutant:"emptiness-off-by-one";
     registry_churn;
     reservoir_churn;
+    lockfree_stack ~mutant:"";
+    lockfree_stack ~mutant:"reservoir-no-aba";
+    park_take_order ~mutant:"";
+    park_take_order ~mutant:"park-before-decommit";
+    shelf_transfer;
   ]
 
 let find name = List.find_opt (fun s -> s.Explorer.sc_name = name) (all ())

@@ -32,6 +32,27 @@ val reservoir_churn : Explorer.scenario
     memory-lifecycle invariant ([resident <= held + R*S]) and
     {!Hoard.check}'s reservoir validation as the post-run oracle. *)
 
+val lockfree_stack : mutant:string -> Explorer.scenario
+(** The bounded Treiber stack under the reservoir and the shelf, driven
+    raw: concurrent pops (one pushing back) against a small stack, with a
+    conservation walk as the post-run oracle.
+    [mutant = "reservoir-no-aba"] freezes the ABA tag and is caught at
+    preemption bound <= 2; [mutant = ""] passes exhaustively. *)
+
+val park_take_order : mutant:string -> Explorer.scenario
+(** A reservoir park racing a lock-free take from a refill.
+    [mutant = "park-before-decommit"] publishes the superblock before
+    dropping its pages, so the taker's recommit can be undone beneath its
+    live block — caught at bound <= 2 by the sanitizer's residency probe;
+    [mutant = ""] passes exhaustively. Explore under {!Explorer.Chess}:
+    the oracle reads vmem page residency, which step footprints do not
+    see, so sleep-set pruning is unsound for this scenario. *)
+
+val shelf_transfer : Explorer.scenario
+(** Empty superblocks churning through the lock-free shelf (CAS push in
+    the trim racing CAS pop in the refill), with {!Hoard.check}'s shelf
+    validation as the post-run oracle. *)
+
 val all : unit -> Explorer.scenario list
 
 val find : string -> Explorer.scenario option

@@ -6,7 +6,7 @@ type heap = {
   sh : Alloc_stats.shard;
   ring : Event_ring.t option; (* same lock domain as [sh]; None when tracing is off *)
   rq_lock : Platform.lock; (* innermost lock: never held while acquiring any other *)
-  mutable rq_blocks : int list; (* remote frees pending a drain, newest first *)
+  mutable rq_blocks : (Superblock.t * int) list; (* remote frees pending a drain, newest first *)
   mutable rq_len : int;
 }
 
@@ -16,10 +16,15 @@ type heap = {
    [u] (and to live bytes), so the emptiness invariant and [check] reason
    about them exactly as if the program still held them. *)
 type tcache = {
-  tc_slots : int list array; (* per class, newest first *)
+  tc_slots : (int * Superblock.t) list array; (* per class, newest first *)
   tc_count : int array;
   tc_sh : Alloc_stats.shard; (* single writer: the owning thread *)
   tc_ring : Event_ring.t option;
+  (* Domain currently driving this cache. Thread ids recycle across
+     sequential domains, and [Domain.at_exit] hooks die with their
+     domain — so the exit flush must be re-registered whenever a NEW
+     domain adopts the tid, not only at cache creation. *)
+  mutable tc_domain : int;
 }
 
 (* Sanitizer state: the most recent [q_cap] freed blocks are held back
@@ -45,6 +50,11 @@ type t = {
   heaps : heap array; (* per-processor heaps, ids 1..N *)
   large : Locked_large.t;
   reservoir : Sb_reservoir.t option; (* cfg.reservoir > 0: the empty-superblock parking lot *)
+  (* cfg.shelf > 0: lock-free stack of empty superblocks in front of the
+     global heap. Trim pushes an empty victim, refill pops — one CAS each,
+     no global lock. Shelved superblocks stay registered, resident and
+     owned by heap 0, so they remain inside the held/resident envelopes. *)
+  shelf : Superblock.t Lockfree.t option;
   obs : Obs.t option;
   fe : int; (* cached [cfg.front_end]; 0 = the paper's exact algorithm *)
   rq_cap : int;
@@ -56,6 +66,7 @@ type t = {
      with trim_slack = cfg.slack and the ownership re-check on. *)
   trim_slack : int;
   skip_owner_recheck : bool;
+  park_before_decommit : bool;
 }
 
 exception Sanitizer_violation of string
@@ -100,6 +111,11 @@ let create ?(config = Hoard_config.default) ?obs pf =
     }
   in
   let owner = Alloc_intf.next_owner () in
+  (* The lock-free structures share one contention counter and one mutant
+     switch: "reservoir-no-aba" freezes the ABA tag of BOTH stacks (they
+     run the same protocol). *)
+  let aba_tag = config.mutant <> "reservoir-no-aba" in
+  let on_retry () = Alloc_stats.on_cas_retry stats in
   let t =
     {
       pf;
@@ -113,7 +129,13 @@ let create ?(config = Hoard_config.default) ?obs pf =
       large =
         Locked_large.create pf ~owner ~stats ~shard:(n + 1) ?ring:(ring "large")
           ~threshold:(Hoard_config.max_small config);
-      reservoir = (if config.reservoir > 0 then Some (Sb_reservoir.create pf ~cap:config.reservoir) else None);
+      reservoir =
+        (if config.reservoir > 0 then Some (Sb_reservoir.create ~aba_tag ~on_retry pf ~cap:config.reservoir)
+         else None);
+      shelf =
+        (if config.shelf > 0 then
+           Some (Lockfree.create pf ~name:"hoard.shelf" ~cap:config.shelf ~aba_tag ~on_retry ())
+         else None);
       obs;
       fe = config.front_end;
       rq_cap = config.remote_queue_cap;
@@ -126,6 +148,7 @@ let create ?(config = Hoard_config.default) ?obs pf =
          else None);
       trim_slack = (config.slack + if config.mutant = "emptiness-off-by-one" then 1 else 0);
       skip_owner_recheck = config.mutant = "skip-owner-recheck";
+      park_before_decommit = config.mutant = "park-before-decommit";
     }
   in
   (match obs with
@@ -194,6 +217,25 @@ let release_surplus t =
         Sb_registry.unregister t.reg sb;
         let bytes = Superblock.sb_size sb in
         (match t.reservoir with
+         | Some res when t.park_before_decommit ->
+           (* MUTANT: publish first, decommit after. A concurrent refill
+              can take, recommit and start allocating from the superblock
+              before our decommit lands — which then drops pages out from
+              under live blocks: exactly the race the real path's
+              decommit-before-park ordering forbids, for the schedule
+              explorer to find. *)
+           if Sb_reservoir.park res sb then begin
+             t.pf.Platform.page_decommit ~addr:(Superblock.base sb);
+             Alloc_stats.on_decommit t.stats ~bytes;
+             Alloc_stats.on_park t.stats ~bytes;
+             Alloc_stats.on_park_commit t.stats;
+             event t t.global Event_ring.Decommit ~sclass:(Superblock.sclass sb) ~arg:bytes
+           end
+           else begin
+             t.pf.Platform.page_unmap ~addr:(Superblock.base sb);
+             Alloc_stats.on_unmap t.stats ~bytes;
+             event t t.global Event_ring.Sb_unmap ~sclass:(Superblock.sclass sb) ~arg:bytes
+           end
          | Some res ->
            (* Decommit and record stats while the superblock is still
               private: the moment [park] publishes it, a concurrent refill
@@ -222,9 +264,14 @@ let release_surplus t =
 (* Return queued remote frees to [h]'s core. Caller holds [h]'s lock; the
    queue lock is innermost, so the swap can never deadlock. A block whose
    superblock migrated since it was enqueued is forwarded to the current
-   owner's queue (past its cap — it has to land somewhere). Returns the
-   number of blocks freed into [h]. *)
-let drain_rq t h =
+   owner's queue — but boundedly: forwarding past the cap used to grow
+   queues without limit (a drain could keep re-inflating its peers), so a
+   forward is accepted only up to 2x the cap and counted; rejects land on
+   [spill] for the caller to route through the classic locked path
+   ([dispose_batch]) AFTER releasing [h]'s lock — taking another heap's
+   lock here would invert the lock order. Returns the number of blocks
+   freed into [h]. *)
+let drain_rq t h ~spill =
   if h.rq_len = 0 then 0
   else begin
     h.rq_lock.acquire ();
@@ -232,41 +279,66 @@ let drain_rq t h =
     h.rq_blocks <- [];
     h.rq_len <- 0;
     h.rq_lock.release ();
-    let mine = ref 0 in
+    let mine = ref 0 and forwarded = ref 0 in
     List.iter
-      (fun addr ->
-        match Sb_registry.lookup t.reg ~addr with
-        | None -> assert false (* a queued block keeps its superblock registered *)
-        | Some sb ->
-          let owner_id = Superblock.owner sb in
-          if owner_id = Heap_core.id h.core then begin
-            t.pf.Platform.write ~addr ~len:8;
-            Heap_core.free h.core sb addr;
-            touch_header t sb;
-            Alloc_stats.on_drain h.sh ~usable:(Superblock.block_size sb);
-            incr mine
+      (fun (sb, addr) ->
+        let owner_id = Superblock.owner sb in
+        if owner_id = Heap_core.id h.core then begin
+          t.pf.Platform.write ~addr ~len:8;
+          Superblock.clear_cached sb addr;
+          Heap_core.free h.core sb addr;
+          touch_header t sb;
+          Alloc_stats.on_drain h.sh ~usable:(Superblock.block_size sb);
+          incr mine
+        end
+        else begin
+          let h' = heap_by_id t owner_id in
+          h'.rq_lock.acquire ();
+          let accepted = h'.rq_len < 2 * t.rq_cap in
+          if accepted then begin
+            h'.rq_blocks <- (sb, addr) :: h'.rq_blocks;
+            h'.rq_len <- h'.rq_len + 1
+          end;
+          h'.rq_lock.release ();
+          if accepted then begin
+            incr forwarded;
+            event t h Event_ring.Remote_forward ~sclass:(Superblock.sclass sb) ~arg:addr
           end
-          else begin
-            let h' = heap_by_id t owner_id in
-            h'.rq_lock.acquire ();
-            h'.rq_blocks <- addr :: h'.rq_blocks;
-            h'.rq_len <- h'.rq_len + 1;
-            h'.rq_lock.release ()
-          end)
+          else spill := (sb, addr) :: !spill
+        end)
       items;
+    if !forwarded > 0 then Alloc_stats.on_remote_forward h.sh ~blocks:!forwarded;
     if !mine > 0 then event t h Event_ring.Remote_drain ~sclass:0 ~arg:!mine;
     !mine
   end
 
-(* Fetch a superblock usable for [sclass], from the global heap if
-   possible, otherwise from the OS, and insert it into [h] (whose lock the
+(* Fetch a superblock usable for [sclass]: off the lock-free shelf (one
+   CAS, no global lock) when one is stocked, else from the global heap,
+   the reservoir, or the OS, and insert it into [h] (whose lock the
    caller holds). *)
-let refill t h ~sclass ~block_size =
-  let from_global =
+let refill t h ~sclass ~block_size ~spill =
+  let from_shelf () =
+    match t.shelf with
+    | None -> None
+    | Some shelf ->
+      (match Lockfree.pop shelf with
+       | None -> None
+       | Some sb ->
+         (* The pop made the superblock private to us (owner still 0; the
+            [Heap_core.insert] below flips it under our held lock, the
+            same handoff discipline as the global path). It is empty by
+            the shelf's invariant, so a class change is a plain reinit. *)
+         if Superblock.sclass sb <> sclass || Superblock.block_size sb <> block_size then
+           Superblock.reinit sb ~sclass ~block_size;
+         Alloc_stats.on_shelf_pop h.sh;
+         event t h Event_ring.Shelf_pop ~sclass ~arg:(Superblock.base sb);
+         Some sb)
+  in
+  let from_global () =
     t.global.lock.acquire ();
     (* Queued frees may hand the global heap exactly the superblock we are
        about to ask for. *)
-    ignore (drain_rq t t.global);
+    ignore (drain_rq t t.global ~spill);
     let sb = Heap_core.take_for_class t.global.core ~sclass in
     (* Flip ownership before releasing the global lock: a concurrent free
        must either see the old owner (and retry against our heap lock,
@@ -299,23 +371,26 @@ let refill t h ~sclass ~block_size =
          Some sb)
   in
   let sb =
-    match from_global with
-    | Some sb ->
-      if Superblock.is_empty sb && (Superblock.sclass sb <> sclass || Superblock.block_size sb <> block_size)
-      then Superblock.reinit sb ~sclass ~block_size;
-      Alloc_stats.on_transfer_from_global h.sh;
-      event t h Event_ring.Sb_from_global ~sclass ~arg:(Superblock.base sb);
-      sb
+    match from_shelf () with
+    | Some sb -> sb
     | None ->
-      (match from_reservoir () with
-       | Some sb -> sb
+      (match from_global () with
+       | Some sb ->
+         if Superblock.is_empty sb && (Superblock.sclass sb <> sclass || Superblock.block_size sb <> block_size)
+         then Superblock.reinit sb ~sclass ~block_size;
+         Alloc_stats.on_transfer_from_global h.sh;
+         event t h Event_ring.Sb_from_global ~sclass ~arg:(Superblock.base sb);
+         sb
        | None ->
-         let base = t.pf.Platform.page_map ~bytes:t.cfg.sb_size ~align:t.cfg.sb_size ~owner:t.owner in
-         let sb = Superblock.create ~base ~sb_size:t.cfg.sb_size ~sclass ~block_size in
-         Sb_registry.register t.reg sb;
-         Alloc_stats.on_map t.stats ~bytes:t.cfg.sb_size;
-         event t h Event_ring.Sb_map ~sclass ~arg:t.cfg.sb_size;
-         sb)
+         (match from_reservoir () with
+          | Some sb -> sb
+          | None ->
+            let base = t.pf.Platform.page_map ~bytes:t.cfg.sb_size ~align:t.cfg.sb_size ~owner:t.owner in
+            let sb = Superblock.create ~base ~sb_size:t.cfg.sb_size ~sclass ~block_size in
+            Sb_registry.register t.reg sb;
+            Alloc_stats.on_map t.stats ~bytes:t.cfg.sb_size;
+            event t h Event_ring.Sb_map ~sclass ~arg:t.cfg.sb_size;
+            sb))
   in
   Heap_core.insert h.core sb;
   touch_header t sb
@@ -354,14 +429,36 @@ let trim_heap ?(deep = false) t h ~sclass =
       (match Heap_core.pick_victim ~protect_last:true h.core ~max_fullness:(1.0 -. t.cfg.empty_fraction) with
        | None -> continue_ := false
        | Some victim ->
-         t.global.lock.acquire ();
-         Heap_core.insert t.global.core victim;
-         touch_header t victim;
-         Alloc_stats.on_transfer_to_global t.global.sh;
-         event t t.global Event_ring.Sb_to_global ~sclass:(Superblock.sclass victim)
-           ~arg:(Superblock.base victim);
-         release_surplus t;
-         t.global.lock.release ());
+         (* An EMPTY victim takes the non-blocking route when a shelf is
+            configured: flip its owner to the global heap while it is
+            still private (the pick removed it from [h]; nothing else can
+            reach it — it has no live blocks), then publish with one CAS.
+            Partial victims, and empties bouncing off a full shelf, go
+            through the classic locked global-heap transfer. *)
+         let shelved =
+           match t.shelf with
+           | Some shelf when Superblock.is_empty victim ->
+             Superblock.set_owner victim 0;
+             touch_header t victim;
+             if Lockfree.push shelf victim then begin
+               Alloc_stats.on_shelf_push h.sh;
+               event t h Event_ring.Shelf_push ~sclass:(Superblock.sclass victim)
+                 ~arg:(Superblock.base victim);
+               true
+             end
+             else false
+           | _ -> false
+         in
+         if not shelved then begin
+           t.global.lock.acquire ();
+           Heap_core.insert t.global.core victim;
+           touch_header t victim;
+           Alloc_stats.on_transfer_to_global t.global.sh;
+           event t t.global Event_ring.Sb_to_global ~sclass:(Superblock.sclass victim)
+             ~arg:(Superblock.base victim);
+           release_surplus t;
+           t.global.lock.release ()
+         end);
       if not deep then continue_ := false
     done
   end
@@ -382,6 +479,7 @@ let rec dispose_batch t pairs =
       (fun (sb, addr) ->
         if Superblock.owner sb = id then begin
           t.pf.Platform.write ~addr ~len:8;
+          Superblock.clear_cached sb addr;
           Heap_core.free h.core sb addr;
           touch_header t sb;
           Alloc_stats.on_drain h.sh ~usable:(Superblock.block_size sb);
@@ -397,14 +495,11 @@ let rec dispose_batch t pairs =
    onto its owner's remote-free queue in one innermost-lock critical
    section, and hand whatever the caps reject to the classic locked path
    in one batch. *)
-let surrender_many t tc addrs =
+let surrender_many t tc pairs =
   let groups = Array.make (Array.length t.heaps + 1) [] in
   List.iter
-    (fun addr ->
-      match Sb_registry.lookup t.reg ~addr with
-      | None -> assert false (* cached blocks keep their superblocks registered *)
-      | Some sb -> groups.(Superblock.owner sb) <- (sb, addr) :: groups.(Superblock.owner sb))
-    addrs;
+    (fun (addr, sb) -> groups.(Superblock.owner sb) <- (sb, addr) :: groups.(Superblock.owner sb))
+    pairs;
   let overflow = ref [] in
   Array.iteri
     (fun id group ->
@@ -419,7 +514,7 @@ let surrender_many t tc addrs =
           (fun (sb, addr) ->
             if !room > 0 then begin
               decr room;
-              h.rq_blocks <- addr :: h.rq_blocks;
+              h.rq_blocks <- (sb, addr) :: h.rq_blocks;
               h.rq_len <- h.rq_len + 1;
               incr accepted
             end
@@ -490,22 +585,41 @@ let new_tcache t tid =
           tc_count = Array.make (Size_class.count t.classes) 0;
           tc_sh = Alloc_stats.add_shard t.stats;
           tc_ring = ring;
+          tc_domain = (Domain.self () :> int);
         }
       in
       Atomic.set t.tcaches (IntMap.add tid tc (Atomic.get t.tcaches));
       (* Real worker domains flush their cache when they exit, so nothing
          leaks into a dead thread. Simulated threads share the creator
          domain and are flushed by [flush_caches] at quiescence instead. *)
-      if (Domain.self () :> int) <> t.creator_did then Domain.at_exit (fun () -> flush_tcache t tc);
+      if tc.tc_domain <> t.creator_did then Domain.at_exit (fun () -> flush_tcache t tc);
       tc
   in
   Mutex.unlock t.tc_mu;
   tc
 
+(* [Domain.at_exit] hooks belong to the registering domain, so a cache
+   surviving its domain (recycled thread id: domain A exits, domain B is
+   assigned the same tid) must re-arm the exit flush ON the adopting
+   domain — registering only at creation silently dropped every later
+   domain's flush, leaking its cached blocks. *)
+let adopt_tcache t tc =
+  let did = (Domain.self () :> int) in
+  if tc.tc_domain <> did then begin
+    Mutex.lock t.tc_mu;
+    if tc.tc_domain <> did then begin
+      tc.tc_domain <- did;
+      if did <> t.creator_did then Domain.at_exit (fun () -> flush_tcache t tc)
+    end;
+    Mutex.unlock t.tc_mu
+  end
+
 let tcache t =
   let tid = t.pf.Platform.self_tid () in
   match IntMap.find_opt tid (Atomic.get t.tcaches) with
-  | Some tc -> tc
+  | Some tc ->
+    adopt_tcache t tc;
+    tc
   | None -> new_tcache t tid
 
 (* The slow half of a front-end malloc: one lock acquisition drains the
@@ -513,13 +627,14 @@ let tcache t =
    rest into the cache. *)
 let malloc_fill t tc ~size ~sclass ~block_size =
   let h = my_heap t in
+  let spill = ref [] in
   h.lock.acquire ();
-  let drained = drain_rq t h in
+  let drained = drain_rq t h ~spill in
   let want = (t.fe / 2) + 1 in
   let blocks = ref [] and got = ref 0 in
   while !got < want do
     match Heap_core.malloc_batch h.core ~sclass ~block_size ~n:(want - !got) with
-    | [] -> refill t h ~sclass ~block_size
+    | [] -> refill t h ~sclass ~block_size ~spill
     | batch ->
       List.iter (fun (_, sb) -> touch_header t sb) batch;
       blocks := List.rev_append batch !blocks;
@@ -532,7 +647,13 @@ let malloc_fill t tc ~size ~sclass ~block_size =
       Alloc_stats.on_malloc h.sh ~requested:size ~usable:block_size;
       let n_cached = List.length cached in
       if n_cached > 0 then begin
-        List.iter (fun (a, _) -> tc.tc_slots.(sclass) <- a :: tc.tc_slots.(sclass)) cached;
+        (* Fill surplus enters front-end custody: mark it, so a wild free
+           of a cached address is caught as a double free, not recycled. *)
+        List.iter
+          (fun (a, sb) ->
+            Superblock.mark_cached sb a;
+            tc.tc_slots.(sclass) <- (a, sb) :: tc.tc_slots.(sclass))
+          cached;
         tc.tc_count.(sclass) <- tc.tc_count.(sclass) + n_cached;
         Alloc_stats.on_cache_fill h.sh ~blocks:n_cached ~bytes:(n_cached * block_size)
       end;
@@ -541,6 +662,9 @@ let malloc_fill t tc ~size ~sclass ~block_size =
   if drained > 0 then trim_heap ~deep:true t h ~sclass;
   t.pf.Platform.write ~addr ~len:8;
   h.lock.release ();
+  (* Spilled forwards (a drain met an over-full peer queue) take the
+     locked path only now, with no heap lock held. *)
+  if !spill <> [] then dispose_batch t !spill;
   addr
 
 let malloc t size =
@@ -553,9 +677,12 @@ let malloc t size =
     if t.fe > 0 then begin
       let tc = tcache t in
       match tc.tc_slots.(sclass) with
-      | addr :: rest ->
+      | (addr, sb) :: rest ->
         tc.tc_slots.(sclass) <- rest;
         tc.tc_count.(sclass) <- tc.tc_count.(sclass) - 1;
+        (* Custody ends: the block is the program's again, and a free of
+           it must be accepted. *)
+        Superblock.clear_cached sb addr;
         Alloc_stats.on_cache_hit tc.tc_sh ~requested:size;
         event_tc t tc Event_ring.Cache_hit ~sclass ~arg:addr;
         t.pf.Platform.write ~addr ~len:8;
@@ -564,6 +691,7 @@ let malloc t size =
     end
     else begin
       let h = my_heap t in
+      let spill = ref [] in
       h.lock.acquire ();
       let addr =
         match Heap_core.malloc h.core ~sclass ~block_size with
@@ -571,7 +699,7 @@ let malloc t size =
           touch_header t sb;
           addr
         | None ->
-          refill t h ~sclass ~block_size;
+          refill t h ~sclass ~block_size ~spill;
           (match Heap_core.malloc h.core ~sclass ~block_size with
            | Some (addr, sb) ->
              touch_header t sb;
@@ -582,6 +710,7 @@ let malloc t size =
       (* The allocator links free blocks through their first word. *)
       t.pf.Platform.write ~addr ~len:8;
       h.lock.release ();
+      if !spill <> [] then dispose_batch t !spill;
       addr
     end
   end
@@ -598,12 +727,13 @@ let malloc_many t n size =
       let sclass = Size_class.class_of_size t.classes size in
       let block_size = Size_class.size_of_class t.classes sclass in
       let h = my_heap t in
+      let spill = ref [] in
       h.lock.acquire ();
-      ignore (drain_rq t h);
+      ignore (drain_rq t h ~spill);
       let out = Array.make n 0 and got = ref 0 in
       while !got < n do
         match Heap_core.malloc_batch h.core ~sclass ~block_size ~n:(n - !got) with
-        | [] -> refill t h ~sclass ~block_size
+        | [] -> refill t h ~sclass ~block_size ~spill
         | batch ->
           List.iter
             (fun (addr, sb) ->
@@ -615,6 +745,7 @@ let malloc_many t n size =
             batch
       done;
       h.lock.release ();
+      if !spill <> [] then dispose_batch t !spill;
       out
     end
   end
@@ -626,10 +757,17 @@ let free_now t addr =
     if t.fe > 0 then begin
       let tc = tcache t in
       let sclass = Superblock.sclass sb in
-      if (not (Superblock.is_block_live sb addr)) || List.mem addr tc.tc_slots.(sclass) then
+      (* A block absorbed by ANY thread's cache (or parked on a remote
+         queue) stays bitmap-live, so liveness alone cannot catch a second
+         free — and scanning only the caller's own cache missed the
+         cross-thread case entirely. The superblock's custody bit is the
+         shared O(1) record of "freed but still cached", whoever holds
+         it. *)
+      if (not (Superblock.is_block_live sb addr)) || Superblock.is_block_cached sb addr then
         failwith "Hoard.free: double free (cached)";
       if tc.tc_count.(sclass) >= t.fe then flush_class t tc ~sclass;
-      tc.tc_slots.(sclass) <- addr :: tc.tc_slots.(sclass);
+      Superblock.mark_cached sb addr;
+      tc.tc_slots.(sclass) <- (addr, sb) :: tc.tc_slots.(sclass);
       tc.tc_count.(sclass) <- tc.tc_count.(sclass) + 1;
       Alloc_stats.on_cached_free tc.tc_sh;
       t.pf.Platform.write ~addr ~len:8
@@ -797,9 +935,11 @@ let flush t =
      | Some tc -> flush_tcache t tc
      | None -> ());
     let h = my_heap t in
+    let spill = ref [] in
     h.lock.acquire ();
-    if drain_rq t h > 0 then trim_heap ~deep:true t h ~sclass:0;
-    h.lock.release ()
+    if drain_rq t h ~spill > 0 then trim_heap ~deep:true t h ~sclass:0;
+    h.lock.release ();
+    if !spill <> [] then dispose_batch t !spill
   end
 
 (* Quiescent-only: returns every cached and queued block straight to the
@@ -809,13 +949,11 @@ let flush t =
    emptiness invariant is re-established; surplus empty superblocks stay
    mapped (releasing them would charge platform unmaps). *)
 let flush_caches t =
-  let dispose addr =
-    match Sb_registry.lookup t.reg ~addr with
-    | None -> assert false
-    | Some sb ->
-      let h = heap_by_id t (Superblock.owner sb) in
-      Heap_core.free h.core sb addr;
-      Alloc_stats.on_drain h.sh ~usable:(Superblock.block_size sb)
+  let dispose (sb, addr) =
+    Superblock.clear_cached sb addr;
+    let h = heap_by_id t (Superblock.owner sb) in
+    Heap_core.free h.core sb addr;
+    Alloc_stats.on_drain h.sh ~usable:(Superblock.block_size sb)
   in
   (* Quarantined blocks first: the program already freed them, so complete
      those frees (counting them as frees, not drains) before rebalancing. *)
@@ -846,7 +984,7 @@ let flush_caches t =
             Alloc_stats.on_cache_flush tc.tc_sh ~blocks:tc.tc_count.(sclass);
             tc.tc_slots.(sclass) <- [];
             tc.tc_count.(sclass) <- 0;
-            List.iter dispose stack)
+            List.iter (fun (addr, sb) -> dispose (sb, addr)) stack)
         tc.tc_slots)
     (Atomic.get t.tcaches);
   let take h =
@@ -951,6 +1089,11 @@ let reservoir_length t =
   | None -> 0
   | Some res -> Sb_reservoir.length res
 
+let shelf_length t =
+  match t.shelf with
+  | None -> 0
+  | Some shelf -> Lockfree.length shelf
+
 let check t =
   Heap_core.check t.global.core;
   Array.iter (fun h -> Heap_core.check h.core) t.heaps;
@@ -958,6 +1101,25 @@ let check t =
   let total_u = Array.fold_left (fun acc h -> acc + Heap_core.u h.core) (Heap_core.u t.global.core) t.heaps in
   if total_u + Locked_large.live_bytes t.large <> s.live_bytes then
     failwith "Hoard.check: live-bytes accounting mismatch";
+  (* Shelf invariants (quiescent walk via charge-free peeks; [Lockfree.iter]
+     itself rejects in-flight operations, cycles and duplicate slots — the
+     structural signature of a lost ABA tag): every shelved superblock is
+     empty, still registered and resident (shelving is a transfer, not a
+     release), owned by the global heap, within the cap. *)
+  (match t.shelf with
+   | None -> ()
+   | Some shelf ->
+     let n = ref 0 in
+     Lockfree.iter shelf (fun sb ->
+         incr n;
+         if not (Superblock.is_empty sb) then failwith "Hoard.check: shelved superblock has live blocks";
+         if Superblock.owner sb <> 0 then failwith "Hoard.check: shelved superblock not owned by heap 0";
+         let base = Superblock.base sb in
+         if Sb_registry.lookup t.reg ~addr:(base + Superblock.header_bytes) = None then
+           failwith "Hoard.check: shelved superblock not registered";
+         if t.pf.Platform.page_residency ~addr:base <> Vmem.Resident then
+           failwith "Hoard.check: shelved superblock not resident");
+     if !n > Lockfree.cap shelf then failwith "Hoard.check: shelf over capacity");
   (* Reservoir lifecycle (quiescent, like the heap walks above): parked
      superblocks are empty, unregistered, decommitted, within the cap, and
      the parked-byte accounting matches; the residency bound

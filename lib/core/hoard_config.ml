@@ -9,6 +9,7 @@ type t = {
   release_to_os : bool;
   release_threshold : int;
   reservoir : int;
+  shelf : int;
   vmem_backend : Vmem_backend.kind;
   path_work : int;
   front_end : int;
@@ -18,7 +19,8 @@ type t = {
   mutant : string;
 }
 
-let known_mutants = [ "skip-owner-recheck"; "emptiness-off-by-one" ]
+let known_mutants =
+  [ "skip-owner-recheck"; "emptiness-off-by-one"; "reservoir-no-aba"; "park-before-decommit" ]
 
 let default =
   {
@@ -32,6 +34,7 @@ let default =
     release_to_os = true;
     release_threshold = 4;
     reservoir = 0;
+    shelf = 0;
     vmem_backend = Vmem_backend.Exact;
     path_work = 30;
     front_end = 0;
@@ -54,6 +57,7 @@ let validate t =
    | _ -> ());
   if t.release_threshold < 0 then invalid_arg "Hoard_config: release_threshold must be non-negative";
   if t.reservoir < 0 then invalid_arg "Hoard_config: reservoir must be non-negative";
+  if t.shelf < 0 then invalid_arg "Hoard_config: shelf must be non-negative";
   if t.path_work < 0 then invalid_arg "Hoard_config: path_work must be non-negative";
   if t.front_end < 0 then invalid_arg "Hoard_config: front_end must be non-negative";
   if t.front_end > 0 && t.front_end < 2 then invalid_arg "Hoard_config: front_end must be 0 or >= 2";
@@ -74,6 +78,7 @@ let pp fmt t =
      | Some n -> string_of_int n)
     t.release_to_os t.release_threshold t.front_end;
   if t.reservoir > 0 then Format.fprintf fmt " reservoir=%d" t.reservoir;
+  if t.shelf > 0 then Format.fprintf fmt " shelf=%d" t.shelf;
   if t.vmem_backend <> Vmem_backend.Exact then
     Format.fprintf fmt " vmem=%s" (Vmem_backend.kind_name t.vmem_backend);
   if t.sanitize then Format.fprintf fmt " sanitize(q=%d)" t.quarantine;

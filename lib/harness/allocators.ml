@@ -30,6 +30,19 @@ let hoard_res ?(reservoir = 8) ?(vmem_backend = Vmem_backend.First_fit) () =
         (Vmem_backend.kind_name vmem_backend);
   }
 
+let hoard_shelf ?(shelf = 8) ?(reservoir = 8) () =
+  let config =
+    { Hoard_config.default with Hoard_config.shelf; reservoir; front_end = front_end_default }
+  in
+  {
+    (Hoard.factory ~config ()) with
+    Alloc_intf.label = "hoard-shelf";
+    description =
+      Printf.sprintf
+        "hoard with the lock-free shelf (cap %d) and reservoir (cap %d) in front of the global heap"
+        shelf reservoir;
+  }
+
 let all () =
   [
     Serial_alloc.factory ();
@@ -43,7 +56,7 @@ let all () =
 
 (* Checking configurations: resolvable by [find] but excluded from [all]
    (sweeps and comparison tables run the seven measurement allocators). *)
-let extras () = [ hoard_san (); hoard_res () ]
+let extras () = [ hoard_san (); hoard_res (); hoard_shelf () ]
 
 let labels () = List.map (fun f -> f.Alloc_intf.label) (all ())
 

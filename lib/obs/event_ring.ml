@@ -14,10 +14,14 @@ type kind =
   | Remote_drain
   | Decommit
   | Recommit
+  | Shelf_push
+  | Shelf_pop
+  | Remote_forward
 
 let all_kinds =
   [ Sb_map; Sb_unmap; Sb_from_global; Sb_to_global; Emptiness_cross; Remote_free; Large_map; Large_unmap;
-    Lock_acquire; Cache_hit; Cache_flush; Remote_enqueue; Remote_drain; Decommit; Recommit ]
+    Lock_acquire; Cache_hit; Cache_flush; Remote_enqueue; Remote_drain; Decommit; Recommit; Shelf_push;
+    Shelf_pop; Remote_forward ]
 
 let nkinds = List.length all_kinds
 
@@ -37,6 +41,9 @@ let kind_index = function
   | Remote_drain -> 12
   | Decommit -> 13
   | Recommit -> 14
+  | Shelf_push -> 15
+  | Shelf_pop -> 16
+  | Remote_forward -> 17
 
 let kind_of_index = function
   | 0 -> Sb_map
@@ -54,6 +61,9 @@ let kind_of_index = function
   | 12 -> Remote_drain
   | 13 -> Decommit
   | 14 -> Recommit
+  | 15 -> Shelf_push
+  | 16 -> Shelf_pop
+  | 17 -> Remote_forward
   | i -> invalid_arg (Printf.sprintf "Event_ring.kind_of_index: %d" i)
 
 let kind_name = function
@@ -72,6 +82,9 @@ let kind_name = function
   | Remote_drain -> "remote_drain"
   | Decommit -> "decommit"
   | Recommit -> "recommit"
+  | Shelf_push -> "shelf_push"
+  | Shelf_pop -> "shelf_pop"
+  | Remote_forward -> "remote_forward"
 
 type event = { at : int; kind : kind; who : int; heap : int; sclass : int; arg : int }
 

@@ -31,6 +31,9 @@ type kind =
   | Remote_drain  (** [heap] drained its remote-free queue; [arg] = block count *)
   | Decommit  (** region's pages returned to the OS, address space kept; [arg] = bytes *)
   | Recommit  (** decommitted region re-populated for reuse; [arg] = bytes *)
+  | Shelf_push  (** empty superblock CAS-pushed onto the lock-free shelf; [arg] = base *)
+  | Shelf_pop  (** refill served by popping the shelf, no global lock; [arg] = base *)
+  | Remote_forward  (** drain re-forwarded a migrated block to its new owner; [arg] = addr *)
 
 val all_kinds : kind list
 

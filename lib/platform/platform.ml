@@ -4,6 +4,15 @@ type lock = {
   lock_name : string;
 }
 
+type atomic_int = {
+  load : unit -> int;
+  store : int -> unit;
+  cas : expected:int -> desired:int -> bool;
+  faa : int -> int;
+  peek : unit -> int;
+  atomic_name : string;
+}
+
 type t = {
   nprocs : int;
   page_size : int;
@@ -13,6 +22,7 @@ type t = {
   read : addr:int -> len:int -> unit;
   write : addr:int -> len:int -> unit;
   new_lock : string -> lock;
+  new_atomic : string -> int -> atomic_int;
   now : unit -> int;
   page_map : bytes:int -> align:int -> owner:int -> int;
   page_unmap : addr:int -> unit;
@@ -57,6 +67,17 @@ let host ?(page_size = 4096) ?(nprocs = 1) ?(vmem_backend = Vmem_backend.Exact) 
         (fun lock_name ->
           let m = Mutex.create () in
           { acquire = (fun () -> Mutex.lock m); release = (fun () -> Mutex.unlock m); lock_name });
+      new_atomic =
+        (fun atomic_name init ->
+          let a = Atomic.make init in
+          {
+            load = (fun () -> Atomic.get a);
+            store = (fun v -> Atomic.set a v);
+            cas = (fun ~expected ~desired -> Atomic.compare_and_set a expected desired);
+            faa = (fun n -> Atomic.fetch_and_add a n);
+            peek = (fun () -> Atomic.get a);
+            atomic_name;
+          });
       now = (fun () -> Atomic.fetch_and_add tick 1);
       page_map = (fun ~bytes ~align ~owner -> locked (fun () -> Vmem.map vmem ~owner ~bytes ~align ()));
       page_unmap = (fun ~addr -> locked (fun () -> Vmem.unmap vmem ~addr));

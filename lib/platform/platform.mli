@@ -20,6 +20,27 @@ type lock = {
   lock_name : string;
 }
 
+(** A named atomic machine word, the substrate for lock-free protocols.
+    Each operation is one hardware atomic: linearizable on the host (a
+    real [Atomic.t]) and step-atomic on the simulator (the whole
+    operation happens inside one scheduler step, with a preemption point
+    before and after, its cost charged per {!Cost_model.t.atomic_op} and
+    coherence traffic on the word's private cache line). [cas] is a
+    single compare-and-swap — true iff the word held [expected] and was
+    replaced by [desired]; [faa] is fetch-and-add, returning the value
+    before the addition. [peek] is an inspection hook, not a machine
+    operation (like [page_residency]): a charge-free, schedule-invisible
+    read for quiescent introspection, callable from outside any simulated
+    thread — never use it inside a protocol. *)
+type atomic_int = {
+  load : unit -> int;
+  store : int -> unit;
+  cas : expected:int -> desired:int -> bool;
+  faa : int -> int;
+  peek : unit -> int;
+  atomic_name : string;
+}
+
 type t = {
   nprocs : int;  (** number of processors the program runs on *)
   page_size : int;
@@ -29,6 +50,12 @@ type t = {
   read : addr:int -> len:int -> unit;  (** memory load of [len] bytes *)
   write : addr:int -> len:int -> unit;  (** memory store of [len] bytes *)
   new_lock : string -> lock;
+  new_atomic : string -> int -> atomic_int;
+      (** [new_atomic name init]: a fresh atomic word, visible to the
+          schedule explorer as a synchronisation point named [name]
+          (like a lock's name). Same zero-simulated-cost construction
+          discipline as [new_lock]; callable from inside or outside
+          threads. *)
   now : unit -> int;
       (** event timestamp: the executing processor's simulated clock on
           the simulator, a global monotonic logical counter on the host.

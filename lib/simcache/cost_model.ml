@@ -11,6 +11,7 @@ type t = {
   page_decommit : int;
   page_commit : int;
   cross_node : int;
+  atomic_op : int;
 }
 
 let default =
@@ -27,6 +28,7 @@ let default =
     page_decommit = 120;
     page_commit = 180;
     cross_node = 120;
+    atomic_op = 30;
   }
 
 let uniform_memory =
@@ -43,6 +45,7 @@ let uniform_memory =
     page_decommit = 1;
     page_commit = 1;
     cross_node = 0;
+    atomic_op = 1;
   }
 
 let cheap_memory =
@@ -59,6 +62,7 @@ let cheap_memory =
     page_decommit = 12;
     page_commit = 18;
     cross_node = 6;
+    atomic_op = 5;
   }
 
 let expensive_memory =
@@ -75,4 +79,5 @@ let expensive_memory =
     page_decommit = 360;
     page_commit = 540;
     cross_node = 360;
+    atomic_op = 90;
   }

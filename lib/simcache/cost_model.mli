@@ -22,6 +22,10 @@ type t = {
       (** additional cycles per coherence event (miss service or
           invalidation) that crosses a NUMA node boundary; only charged
           when the machine is given a topology (see {!Cache.create}). *)
+  atomic_op : int;
+      (** one hardware atomic (CAS, fetch-and-add, atomic load/store):
+          the RMW round-trip beyond the cache traffic on the operand's
+          line, same order as an uncontended lock acquisition. *)
 }
 
 val default : t

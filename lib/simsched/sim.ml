@@ -36,6 +36,22 @@ type barrier = {
   mutable waiting : (thread * (unit -> unit)) list;
 }
 
+(* A simulated atomic word. The value lives in a host [Atomic.t] and every
+   operation runs inside the effect handler — one scheduler step, so it is
+   step-atomic (linearizable) by construction, with preemption points
+   before and after. Like a lock word, it occupies a private cache line so
+   coherence traffic (and step footprints, for the explorer's dependence
+   analysis) are modelled. *)
+type atom = {
+  a_name : string;
+  a_addr : int;
+  a_cell : int Atomic.t;
+}
+
+(* The operation an [E_atomic] performs; CAS encodes its outcome as 0/1 in
+   the effect's int result. *)
+type atomic_op = A_load | A_store of int | A_cas of int * int | A_faa of int
+
 (* What one scheduler step did: fed back to a controlling strategy so
    model checkers can recognise synchronisation points and compute
    dependence between steps (conflicting cache lines). *)
@@ -108,6 +124,7 @@ type _ Effect.t +=
   | E_page_unmap : int -> unit Effect.t
   | E_page_decommit : int -> unit Effect.t
   | E_page_commit : int -> unit Effect.t
+  | E_atomic : (atom * atomic_op) -> int Effect.t
 
 let create ?(cost = Cost_model.default) ?(lock_kind = Spin) ?fuzz_schedule ?control ?(line_size = 64)
     ?cache_capacity_lines ?node_of ?(page_size = 4096) ?(vmem_backend = Vmem_backend.Exact) ~nprocs () =
@@ -191,6 +208,8 @@ let new_barrier t ~parties =
   if parties < 1 then invalid_arg "Sim.new_barrier: parties must be >= 1";
   { b_addr = fresh_meta_addr t; parties; arrived = 0; waiting = [] }
 
+let new_atomic t a_name init = { a_name; a_addr = fresh_meta_addr t; a_cell = Atomic.make init }
+
 (* Thread-side primitives: just effects. *)
 let work n = if n > 0 then perform (E_work n)
 
@@ -209,6 +228,14 @@ let acquire l = perform (E_acquire l)
 let release l = perform (E_release l)
 
 let barrier_wait b = perform (E_barrier b)
+
+let atomic_load a = perform (E_atomic (a, A_load))
+
+let atomic_store a v = ignore (perform (E_atomic (a, A_store v)))
+
+let atomic_cas a ~expected ~desired = perform (E_atomic (a, A_cas (expected, desired))) = 1
+
+let atomic_faa a n = perform (E_atomic (a, A_faa n))
 
 let charge_access t p (s : Cache.summary) =
   let c = t.cost in
@@ -339,6 +366,31 @@ let handler t th =
               charge t th.proc t.cost.page_commit;
               Vmem.commit t.vm ~addr;
               th.pending <- Resume (fun () -> continue k ()))
+        | E_atomic (a, op) ->
+          Some
+            (fun k ->
+              (* The whole RMW happens inside this step: step-atomic, a
+                 sync point the explorer can preempt around, with the
+                 word's cache line in the step footprint so concurrent
+                 operations on the same atomic conflict. *)
+              note_sync t a.a_name;
+              let wr = match op with A_load -> false | A_store _ | A_cas _ | A_faa _ -> true in
+              note_lines t ~addr:a.a_addr ~len:8 ~wr;
+              charge_access t th.proc
+                (if wr then Cache.write t.cch th.proc ~addr:a.a_addr ~len:8
+                 else Cache.read t.cch th.proc ~addr:a.a_addr ~len:8);
+              charge t th.proc t.cost.atomic_op;
+              let r =
+                match op with
+                | A_load -> Atomic.get a.a_cell
+                | A_store v ->
+                  Atomic.set a.a_cell v;
+                  0
+                | A_cas (expected, desired) ->
+                  if Atomic.compare_and_set a.a_cell expected desired then 1 else 0
+                | A_faa n -> Atomic.fetch_and_add a.a_cell n
+              in
+              th.pending <- Resume (fun () -> continue k r))
         | _ -> None);
   }
 
@@ -563,6 +615,19 @@ let platform t =
       (fun name ->
         let l = new_lock t name in
         { Platform.acquire = (fun () -> acquire l); release = (fun () -> release l); lock_name = name });
+    new_atomic =
+      (fun name init ->
+        let a = new_atomic t name init in
+        {
+          Platform.load = (fun () -> atomic_load a);
+          store = (fun v -> atomic_store a v);
+          cas = (fun ~expected ~desired -> atomic_cas a ~expected ~desired);
+          faa = (fun n -> atomic_faa a n);
+          (* Inspection hook: reads the cell directly, charges nothing,
+             perturbs no schedule (cf. page_residency). *)
+          peek = (fun () -> Atomic.get a.a_cell);
+          atomic_name = name;
+        });
     now;
     page_map = (fun ~bytes ~align ~owner -> perform (E_page_map (bytes, align, owner)));
     page_unmap = (fun ~addr -> perform (E_page_unmap addr));

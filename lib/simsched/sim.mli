@@ -166,6 +166,32 @@ val new_barrier : t -> parties:int -> barrier
 
 val barrier_wait : barrier -> unit
 
+(** {2 Atomics}
+
+    A simulated atomic machine word for lock-free protocols. Each
+    operation is step-atomic — the whole read-modify-write happens inside
+    one scheduler step, with preemption points before and after — charges
+    {!Cost_model.t.atomic_op} plus the coherence traffic of touching the
+    word's private cache line, and is visible to a controlling strategy
+    as a sync point carrying the atomic's name (like a lock). *)
+
+type atom
+
+val new_atomic : t -> string -> int -> atom
+(** [new_atomic t name init]. May be called from inside or outside
+    threads (charges nothing). *)
+
+val atomic_load : atom -> int
+
+val atomic_store : atom -> int -> unit
+
+val atomic_cas : atom -> expected:int -> desired:int -> bool
+(** One hardware CAS: true iff the word held [expected] and now holds
+    [desired]. *)
+
+val atomic_faa : atom -> int -> int
+(** Fetch-and-add; returns the value before the addition. *)
+
 (** {2 Platform} *)
 
 val platform : t -> Platform.t

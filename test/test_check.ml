@@ -113,6 +113,87 @@ let test_reservoir_churn_explored () =
          f.Explorer.f_message)
 
 (* ------------------------------------------------------------------ *)
+(* The lock-free transfer protocols (PR 6): the Treiber stack under the
+   reservoir and shelf, the park/take publication ordering, and the
+   shelf transfer path — real variants explored exhaustively, seeded
+   mutants caught with a minimized replayable schedule.                 *)
+
+let test_lockfree_stack_protocol_clean () =
+  (* Sleep-set DFS makes the full bound-2 tree (tag-retry loops included)
+     affordable: ~11k interleavings. *)
+  let o =
+    Explorer.explore ~strategy:Explorer.Sleep_dfs ~bound:2 ~max_runs:200_000
+      (Scenarios.lockfree_stack ~mutant:"")
+  in
+  (match o.Explorer.o_failure with
+   | None -> ()
+   | Some f ->
+     Alcotest.fail
+       (sprintf "lock-free stack failed under [%s]: %s"
+          (Explorer.schedule_to_string f.Explorer.f_schedule)
+          f.Explorer.f_message));
+  Alcotest.(check bool) "explored the tree exhaustively" false o.Explorer.o_truncated
+
+let test_lockfree_stack_aba_mutant_caught () =
+  let sc = Scenarios.lockfree_stack ~mutant:"reservoir-no-aba" in
+  let o = Explorer.explore ~bound:2 sc in
+  match o.Explorer.o_failure with
+  | None -> Alcotest.fail "explorer must catch the frozen ABA tag at bound <= 2"
+  | Some f ->
+    Alcotest.(check bool) "failure names the stack corruption" true
+      (Astring.String.is_infix ~affix:"Lockfree" f.Explorer.f_message);
+    (match Explorer.replay sc ~schedule:f.Explorer.f_schedule with
+     | Error _ -> ()
+     | Ok () ->
+       Alcotest.fail
+         (sprintf "minimized schedule [%s] must replay to failure"
+            (Explorer.schedule_to_string f.Explorer.f_schedule)))
+
+let test_park_take_order_clean () =
+  (* Chess, not Sleep_dfs: the scenario's oracle reads vmem page
+     residency, which step footprints do not see, so sleep-set pruning
+     is unsound here (it prunes the very schedule the mutant fails on).
+     The unreduced bound-2 tree is small anyway (~320 runs). *)
+  let o =
+    Explorer.explore ~strategy:Explorer.Chess ~bound:2 ~max_runs:200_000
+      (Scenarios.park_take_order ~mutant:"")
+  in
+  (match o.Explorer.o_failure with
+   | None -> ()
+   | Some f ->
+     Alcotest.fail
+       (sprintf "park/take ordering failed under [%s]: %s"
+          (Explorer.schedule_to_string f.Explorer.f_schedule)
+          f.Explorer.f_message));
+  Alcotest.(check bool) "explored the tree exhaustively" false o.Explorer.o_truncated
+
+let test_park_before_decommit_mutant_caught () =
+  let sc = Scenarios.park_take_order ~mutant:"park-before-decommit" in
+  let o = Explorer.explore ~bound:2 sc in
+  match o.Explorer.o_failure with
+  | None -> Alcotest.fail "explorer must catch park-before-decommit at bound <= 2"
+  | Some f ->
+    Alcotest.(check bool) "failure names the dropped pages" true
+      (Astring.String.is_infix ~affix:"decommitted" f.Explorer.f_message);
+    (match Explorer.replay sc ~schedule:f.Explorer.f_schedule with
+     | Error _ -> ()
+     | Ok () ->
+       Alcotest.fail
+         (sprintf "minimized schedule [%s] must replay to failure"
+            (Explorer.schedule_to_string f.Explorer.f_schedule)))
+
+let test_shelf_transfer_explored () =
+  let o = Explorer.explore ~strategy:Explorer.Sleep_dfs ~bound:1 ~max_runs:200_000 Scenarios.shelf_transfer in
+  (match o.Explorer.o_failure with
+   | None -> ()
+   | Some f ->
+     Alcotest.fail
+       (sprintf "shelf transfer failed under [%s]: %s"
+          (Explorer.schedule_to_string f.Explorer.f_schedule)
+          f.Explorer.f_message));
+  Alcotest.(check bool) "explored the tree exhaustively" false o.Explorer.o_truncated
+
+(* ------------------------------------------------------------------ *)
 (* Differential oracle on the paper workloads.                         *)
 
 let test_oracle_workloads_green () =
@@ -150,6 +231,18 @@ let test_oracle_reservoir_workloads_green () =
       let r = Check_run.run_oracle ~fuzz:13 ~workload:w ~subject:"hoard-res" () in
       Alcotest.(check bool)
         (sprintf "hoard-res/%s ran" r.Check_run.c_workload)
+        true (r.Check_run.c_mallocs > 0))
+    (Check_run.quick_workloads ())
+
+let test_oracle_shelf_workloads_green () =
+  (* The lock-free transfer path (shelf + reservoir + front end) under
+     the oracle: blowup slop includes the shelf's parked superblocks, and
+     flush_caches/check at quiescence validate the shelf walk. *)
+  List.iter
+    (fun w ->
+      let r = Check_run.run_oracle ~fuzz:17 ~workload:w ~subject:"hoard-shelf" () in
+      Alcotest.(check bool)
+        (sprintf "hoard-shelf/%s ran" r.Check_run.c_workload)
         true (r.Check_run.c_mallocs > 0))
     (Check_run.quick_workloads ())
 
@@ -421,11 +514,20 @@ let () =
           Alcotest.test_case "registry churn survives" `Quick test_registry_churn_explored;
           Alcotest.test_case "reservoir churn survives" `Quick test_reservoir_churn_explored;
         ] );
+      ( "lockfree",
+        [
+          Alcotest.test_case "treiber stack survives bound 2" `Quick test_lockfree_stack_protocol_clean;
+          Alcotest.test_case "frozen ABA tag caught" `Quick test_lockfree_stack_aba_mutant_caught;
+          Alcotest.test_case "park/take ordering survives bound 2" `Quick test_park_take_order_clean;
+          Alcotest.test_case "park-before-decommit caught" `Quick test_park_before_decommit_mutant_caught;
+          Alcotest.test_case "shelf transfer survives" `Quick test_shelf_transfer_explored;
+        ] );
       ( "oracle",
         [
           Alcotest.test_case "paper workloads green" `Quick test_oracle_workloads_green;
           Alcotest.test_case "workloads green with sanitizer" `Quick test_oracle_sanitizer_workloads_green;
           Alcotest.test_case "workloads green with reservoir" `Quick test_oracle_reservoir_workloads_green;
+          Alcotest.test_case "workloads green with shelf" `Quick test_oracle_shelf_workloads_green;
           Alcotest.test_case "false sharing verdicts" `Quick test_oracle_false_sharing_verdicts;
           Alcotest.test_case "oracle catches misbehavior" `Quick test_oracle_catches_misbehavior;
         ] );
