@@ -303,7 +303,120 @@ let sweep_cmd =
       const run $ workload_arg $ full_flag $ nprocs_arg $ f_arg $ k_arg $ s_arg $ vmem_opt
       $ reservoir_opt $ shelf_opt)
 
+let serve_cmd =
+  let doc =
+    "Run the front-tier server mix under one allocator, report request-latency percentiles, and \
+     optionally grade the run against an SLO spec (nonzero exit on violation)."
+  in
+  let profile_arg =
+    Arg.(
+      value
+      & opt string "bursty"
+      & info [ "profile" ] ~docv:"NAME" ~doc:"Arrival profile: $(b,steady), $(b,bursty) or $(b,flash).")
+  in
+  let allocator_arg =
+    Arg.(
+      value
+      & opt string "hoard-fe"
+      & info [ "allocator"; "a" ] ~docv:"LABEL" ~doc:"Allocator to serve with (see $(b,hoard_trace) list).")
+  in
+  let requests_opt =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "requests" ] ~docv:"N" ~doc:"Total requests across all workers (0 = the scale default).")
+  in
+  let slo_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "slo" ] ~docv:"SPEC.json"
+          ~doc:
+            "Grade the run against this SLO spec and exit nonzero if any objective is violated. Spec \
+             shape: {\"name\":..,\"rules\":[{\"metric\":\"request\",\"quantile\":\"p99\",\
+             \"ceiling\":CYCLES},..],\"rss_ceiling\":BYTES}.")
+  in
+  let report_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:
+            "Write the run's flat metrics JSON (slo.request.* percentiles, RSS peak, op latency \
+             distributions) — the file the CI p99 gate diffs with $(b,hoard_trace) check-json.")
+  in
+  let trace_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Perfetto trace: request spans per worker, a request-latency counter track, and \
+             held/live/resident memory counter tracks.")
+  in
+  let run profile_name alloc_label full quick nprocs requests slo report trace =
+    let profile =
+      match Server_mix.profile_of_string profile_name with
+      | Some p -> p
+      | None ->
+        Printf.eprintf "unknown profile %S; known: steady, bursty, flash\n" profile_name;
+        exit 1
+    in
+    let factory =
+      match Allocators.find alloc_label with
+      | Some f -> f
+      | None ->
+        Printf.eprintf "unknown allocator %S; known:\n%s\n" alloc_label (Allocators.help ());
+        exit 1
+    in
+    let scale = scale_of_flag (full && not quick) in
+    let params =
+      let p = Experiments.server_params profile scale in
+      if requests > 0 then { p with Server_mix.requests } else p
+    in
+    let r = Slo.run_server ~params factory ~nprocs in
+    let h = Server_mix.request_latencies r.Slo.sv_recorder in
+    Printf.printf
+      "server mix (%s) under %s on %d procs: %d requests in %d cycles\n\
+       request latency (cycles): p50=%d p99=%d p999=%d max=%d; RSS peak %d KiB\n"
+      (Server_mix.profile_name profile) alloc_label nprocs (Histogram.count h) r.Slo.sv_cycles
+      (Histogram.percentile h 0.5) (Histogram.percentile h 0.99) (Histogram.percentile h 0.999)
+      (Option.value ~default:0 (Histogram.max_value h))
+      ((r.Slo.sv_stats.Alloc_stats.peak_resident_bytes + 1023) / 1024);
+    (match report with
+     | Some f ->
+       write_file f (Slo.metrics_json r);
+       Printf.printf "wrote metrics report to %s\n" f
+     | None -> ());
+    (match trace with
+     | Some f ->
+       write_file f (Slo.perfetto_json r);
+       Printf.printf "wrote Perfetto trace to %s\n" f
+     | None -> ());
+    match slo with
+    | None -> ()
+    | Some spec_file ->
+      let contents =
+        let ic = open_in_bin spec_file in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      (match Slo.spec_of_string contents with
+       | Error msg ->
+         Printf.eprintf "%s: %s\n" spec_file msg;
+         exit 1
+       | Ok spec ->
+         let rep = Slo.evaluate spec r in
+         Table.print (Slo.report_table rep);
+         if not rep.Slo.rp_ok then exit 2)
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ profile_arg $ allocator_arg $ full_flag $ quick_flag $ nprocs_arg $ requests_opt
+      $ slo_opt $ report_opt $ trace_opt)
+
 let () =
   let doc = "Reproduction harness for 'Hoard: A Scalable Memory Allocator' (ASPLOS 2000)." in
   let info = Cmd.info "hoard_bench" ~version:"1.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; inspect_cmd; sweep_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; inspect_cmd; sweep_cmd; serve_cmd ]))

@@ -1152,6 +1152,104 @@ let frag_exp =
     run;
   }
 
+(* --- exp_server: latency-tail SLOs on the front-tier request mix --- *)
+
+let server_params profile scale =
+  let requests =
+    match scale with
+    | Quick -> 1200
+    | Full -> 8000
+  in
+  { Server_mix.default_params with Server_mix.profile; requests }
+
+(* The latency-tail comparison set: the paper's serial and
+   private-ownership baselines against the three Hoard configurations
+   whose whole purpose is the tail (base, lock-free front end, lock-free
+   shelf). *)
+let server_allocators () =
+  [
+    Serial_alloc.factory ();
+    Private_ownership.factory ();
+    Hoard.factory ();
+    Allocators.hoard_fe ();
+    Allocators.hoard_shelf ();
+  ]
+
+let server_exp =
+  let run scale ~procs =
+    let procs =
+      match procs with
+      | Some ps -> ps
+      | None -> ( match scale with Quick -> [ 8 ] | Full -> [ 4; 8; 16 ])
+    in
+    (* One RSS curve per allocator config, drawn at the gate's processor
+       count when it is in the sweep. *)
+    let plot_p = if List.mem 8 procs then 8 else List.hd procs in
+    let allocs = server_allocators () in
+    let outputs =
+      List.map
+        (fun profile ->
+          let tbl =
+            Table.create
+              ~title:
+                (Printf.sprintf "Server mix (%s): per-request latency, simulated cycles"
+                   (Server_mix.profile_name profile))
+              ~columns:
+                [
+                  ("allocator", Table.Left);
+                  ("P", Table.Right);
+                  ("requests", Table.Right);
+                  ("p50", Table.Right);
+                  ("p99", Table.Right);
+                  ("p999", Table.Right);
+                  ("max", Table.Right);
+                  ("RSS peak KiB", Table.Right);
+                  ("cycles", Table.Right);
+                ]
+          in
+          let timelines = ref [] in
+          List.iter
+            (fun alloc ->
+              List.iter
+                (fun p ->
+                  let r = Slo.run_server ~params:(server_params profile scale) alloc ~nprocs:p in
+                  let h = Server_mix.request_latencies r.Slo.sv_recorder in
+                  Table.add_row tbl
+                    [
+                      alloc.Alloc_intf.label;
+                      string_of_int p;
+                      string_of_int (Histogram.count h);
+                      string_of_int (Histogram.percentile h 0.5);
+                      string_of_int (Histogram.percentile h 0.99);
+                      string_of_int (Histogram.percentile h 0.999);
+                      string_of_int (Option.value ~default:0 (Histogram.max_value h));
+                      string_of_int ((r.Slo.sv_stats.Alloc_stats.peak_resident_bytes + 1023) / 1024);
+                      string_of_int r.Slo.sv_cycles;
+                    ];
+                  if p = plot_p then timelines := (alloc.Alloc_intf.label, r.Slo.sv_timeline) :: !timelines)
+                procs)
+            allocs;
+          let plot =
+            Timeline.plot ~metric:Timeline.Resident (List.rev !timelines)
+              ~title:
+                (Printf.sprintf "RSS over time — server mix (%s, %dP)" (Server_mix.profile_name profile)
+                   plot_p)
+          in
+          (tbl, plot))
+        Server_mix.profiles
+    in
+    { tables = List.map fst outputs; plot = Some (String.concat "\n" (List.map snd outputs)) }
+  in
+  {
+    id = "exp_server";
+    title = "Front-tier server latency tails (p50/p99/p999) and RSS over time";
+    paper_ref = "evaluation extension (latency-tail SLO observability)";
+    describe =
+      "steady/bursty/flash request mixes over the latency-tail comparison set: per-request percentile \
+       tables in simulated cycles plus a resident-memory curve per allocator config";
+    run;
+  }
+
 (* --- registry --- *)
 
 let all () =
@@ -1183,6 +1281,7 @@ let all () =
     contention_exp;
     apps_exp;
     timeline_exp;
+    server_exp;
     costmodel_exp;
     numa_exp;
     abl_f;
@@ -1210,12 +1309,16 @@ let workload name scale =
   | "phased-blowup" -> Some (phased_blowup ~rounds:16)
   | "kv-store" -> Some (kv_store scale)
   | "doc-tree" -> Some (doc_tree scale)
+  | "server-steady" -> Some (Server_mix.make ~params:(server_params Server_mix.Steady scale) ())
+  | "server-bursty" -> Some (Server_mix.make ~params:(server_params Server_mix.Bursty scale) ())
+  | "server-flash" -> Some (Server_mix.make ~params:(server_params Server_mix.Flash scale) ())
   | _ -> None
 
 let workload_names =
   [
     "threadtest"; "shbench"; "larson"; "active-false"; "passive-false"; "bem"; "barnes-hut";
-    "producer-consumer"; "phased-blowup"; "kv-store"; "doc-tree";
+    "producer-consumer"; "phased-blowup"; "kv-store"; "doc-tree"; "server-steady"; "server-bursty";
+    "server-flash";
   ]
 
 let ids () = List.map (fun e -> e.id) (all ())
@@ -1234,6 +1337,7 @@ let obs_workload id scale =
     | "exp_blowup" -> "phased-blowup"
     | "exp_fragmentation" -> "larson"
     | "exp_apps" -> "kv-store"
+    | "exp_server" -> "server-bursty"
     | _ -> "threadtest"
   in
   match workload name scale with

@@ -44,6 +44,15 @@ val all_allocators : unit -> Alloc_intf.factory list
 val allocator : string -> Alloc_intf.factory option
 (** Look an allocator up by its label. *)
 
+val server_params : Server_mix.profile -> scale -> Server_mix.params
+(** The server-mix request mix [exp_server] runs at each scale (1200
+    requests at [Quick], 8000 at [Full]); also what [hoard_bench serve]
+    uses, so CLI runs and the experiment grade the same workload. *)
+
+val server_allocators : unit -> Alloc_intf.factory list
+(** The latency-tail comparison set: serial and private-ownership
+    baselines plus hoard, hoard-fe and hoard-shelf. *)
+
 val workload : string -> scale -> Workload_intf.t option
 (** The benchmark suite by name ("threadtest", "shbench", "larson",
     "active-false", "passive-false", "bem", "barnes-hut",

@@ -1,9 +1,27 @@
-type t = { mallocs : Histogram.t; frees : Histogram.t }
+type t = {
+  mallocs : Histogram.t;
+  frees : Histogram.t;
+  batch_mallocs : Histogram.t;
+  batch_frees : Histogram.t;
+  reallocs : Histogram.t;
+}
 
-let bounds = Histogram.exponential_bounds ~lo:8 ~hi:4_194_304
+(* Log-linear sub-bucketing: 8 sub-buckets per power-of-two span keeps
+   the relative error of every reported percentile under 12.5%, which is
+   what makes the p999 column meaningful (a pure power-of-two layout can
+   be off by 2x exactly where the tail lives). *)
+let bounds = Histogram.log_linear_bounds ~lo:8 ~hi:4_194_304 ~sub:8
 
 let wrap (a : Alloc_intf.t) =
-  let probe = { mallocs = Histogram.create ~bounds; frees = Histogram.create ~bounds } in
+  let probe =
+    {
+      mallocs = Histogram.create ~bounds;
+      frees = Histogram.create ~bounds;
+      batch_mallocs = Histogram.create ~bounds;
+      batch_frees = Histogram.create ~bounds;
+      reallocs = Histogram.create ~bounds;
+    }
+  in
   let timed hist f =
     let t0 = Sim.now () in
     let r = f () in
@@ -15,23 +33,40 @@ let wrap (a : Alloc_intf.t) =
       a with
       Alloc_intf.malloc = (fun size -> timed probe.mallocs (fun () -> a.Alloc_intf.malloc size));
       free = (fun addr -> timed probe.frees (fun () -> a.Alloc_intf.free addr));
+      (* Whole-call durations: a batch fill that has to take the heap lock
+         (or transfer a superblock) is exactly where front-end tail spikes
+         hide, and splitting it per block would average that spike away. *)
+      malloc_batch = (fun n size -> timed probe.batch_mallocs (fun () -> a.Alloc_intf.malloc_batch n size));
+      free_batch = (fun addrs -> timed probe.batch_frees (fun () -> a.Alloc_intf.free_batch addrs));
+      realloc = (fun ~addr ~size -> timed probe.reallocs (fun () -> a.Alloc_intf.realloc ~addr ~size));
     } )
 
 let malloc_latencies t = t.mallocs
 
 let free_latencies t = t.frees
 
+let batch_malloc_latencies t = t.batch_mallocs
+
+let batch_free_latencies t = t.batch_frees
+
+let realloc_latencies t = t.reallocs
+
+let dist_of hist =
+  Metrics.Dist
+    {
+      Metrics.d_count = Histogram.count hist;
+      d_mean = Histogram.mean hist;
+      d_p50 = Histogram.percentile hist 0.5;
+      d_p95 = Histogram.percentile hist 0.95;
+      d_p99 = Histogram.percentile hist 0.99;
+      d_p999 = Histogram.percentile hist 0.999;
+      d_max = Option.value ~default:0 (Histogram.max_value hist);
+    }
+
 let publish t metrics =
-  let dist hist () =
-    Metrics.Dist
-      {
-        Metrics.d_count = Histogram.count hist;
-        d_mean = Histogram.mean hist;
-        d_p50 = Histogram.percentile hist 0.5;
-        d_p95 = Histogram.percentile hist 0.95;
-        d_p99 = Histogram.percentile hist 0.99;
-        d_max = Option.value ~default:0 (Histogram.max_value hist);
-      }
-  in
+  let dist hist () = dist_of hist in
   Metrics.register metrics ~name:"latency.malloc" (dist t.mallocs);
-  Metrics.register metrics ~name:"latency.free" (dist t.frees)
+  Metrics.register metrics ~name:"latency.free" (dist t.frees);
+  Metrics.register metrics ~name:"latency.batch.malloc" (dist t.batch_mallocs);
+  Metrics.register metrics ~name:"latency.batch.free" (dist t.batch_frees);
+  Metrics.register metrics ~name:"latency.realloc" (dist t.reallocs)

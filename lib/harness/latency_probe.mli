@@ -1,10 +1,17 @@
 (** Per-operation latency instrumentation.
 
-    Wraps an allocator so that every [malloc] and [free] records its
-    duration in simulated cycles (read from the executing processor's
-    clock, so lock spinning and cache misses are included). Only
-    meaningful on the simulated platform — {!Sim.now} must be callable,
-    i.e. the wrapped allocator must run inside simulated threads.
+    Wraps an allocator so that every [malloc], [free], [malloc_batch],
+    [free_batch] and [realloc] records its duration in simulated cycles
+    (read from the executing processor's clock, so lock spinning and
+    cache misses are included). Batch calls record the whole call, not
+    per-block shares: a fill that has to take a heap lock is exactly the
+    tail spike worth seeing. Only meaningful on the simulated platform —
+    {!Sim.now} must be callable, i.e. the wrapped allocator must run
+    inside simulated threads.
+
+    Histograms use log-linear (HDR-style) buckets, so the p999 column of
+    the published distributions is accurate to ~12.5% rather than the
+    factor of two a power-of-two layout allows.
 
     This extends the paper's evaluation (which reports only completion
     times) with tail-latency visibility: heap contention shows up as a
@@ -19,7 +26,18 @@ val malloc_latencies : t -> Histogram.t
 
 val free_latencies : t -> Histogram.t
 
+val batch_malloc_latencies : t -> Histogram.t
+
+val batch_free_latencies : t -> Histogram.t
+
+val realloc_latencies : t -> Histogram.t
+
+val dist_of : Histogram.t -> Metrics.value
+(** Summarise a histogram as a {!Metrics.Dist}
+    (count, mean, p50/p95/p99/p999, max). *)
+
 val publish : t -> Metrics.t -> unit
-(** Registers [latency.malloc] and [latency.free] distribution gauges
-    (count, mean, p50/p95/p99, max — in simulated cycles). Summaries are
-    computed when the registry is read. *)
+(** Registers [latency.malloc], [latency.free], [latency.batch.malloc],
+    [latency.batch.free] and [latency.realloc] distribution gauges
+    (count, mean, p50/p95/p99/p999, max — in simulated cycles).
+    Summaries are computed when the registry is read. *)

@@ -1,13 +1,21 @@
-type sample = { at : int; held : int; live : int }
+type sample = { at : int; held : int; live : int; resident : int }
 
 type t = { mutable rev_samples : sample list; mutable ops : int; every : int }
+
+type metric = Held | Live | Resident
 
 let record t (a : Alloc_intf.t) =
   t.ops <- t.ops + 1;
   if t.ops mod t.every = 0 then begin
     let s = a.Alloc_intf.stats () in
     t.rev_samples <-
-      { at = Sim.now (); held = s.Alloc_stats.held_bytes; live = s.Alloc_stats.live_bytes } :: t.rev_samples
+      {
+        at = Sim.now ();
+        held = s.Alloc_stats.held_bytes;
+        live = s.Alloc_stats.live_bytes;
+        resident = s.Alloc_stats.resident_bytes;
+      }
+      :: t.rev_samples
   end
 
 let wrap ?(every = 32) (a : Alloc_intf.t) =
@@ -25,17 +33,48 @@ let wrap ?(every = 32) (a : Alloc_intf.t) =
         (fun addr ->
           a.Alloc_intf.free addr;
           record t a);
+      (* A batch counts as one operation: the curve tracks allocator
+         traffic, and one fill is one interaction with the heap. *)
+      malloc_batch =
+        (fun n size ->
+          let ps = a.Alloc_intf.malloc_batch n size in
+          record t a;
+          ps);
+      free_batch =
+        (fun addrs ->
+          a.Alloc_intf.free_batch addrs;
+          record t a);
+      realloc =
+        (fun ~addr ~size ->
+          let p = a.Alloc_intf.realloc ~addr ~size in
+          record t a;
+          p);
     } )
 
 let samples t = List.rev t.rev_samples
 
 let peak_held t = List.fold_left (fun acc s -> max acc s.held) 0 t.rev_samples
 
-let plot labelled ~title =
+let peak_resident t = List.fold_left (fun acc s -> max acc s.resident) 0 t.rev_samples
+
+let metric_value m s =
+  match m with
+  | Held -> s.held
+  | Live -> s.live
+  | Resident -> s.resident
+
+let metric_name = function
+  | Held -> "held"
+  | Live -> "live"
+  | Resident -> "resident"
+
+let plot ?(metric = Held) labelled ~title =
   let series =
     List.map
       (fun (label, t) ->
-        (label, List.map (fun s -> (float_of_int s.at, float_of_int s.held /. 1024.0)) (samples t)))
+        ( label,
+          List.map (fun s -> (float_of_int s.at, float_of_int (metric_value metric s) /. 1024.0)) (samples t)
+        ))
       labelled
   in
-  Ascii_plot.render ~title ~x_label:"cycles" ~y_label:"held KiB" ~series ()
+  Ascii_plot.render ~title ~x_label:"cycles" ~y_label:(metric_name metric ^ " KiB") ~series ()

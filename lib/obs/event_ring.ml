@@ -17,11 +17,13 @@ type kind =
   | Shelf_push
   | Shelf_pop
   | Remote_forward
+  | Req_arrival
+  | Req_done
 
 let all_kinds =
   [ Sb_map; Sb_unmap; Sb_from_global; Sb_to_global; Emptiness_cross; Remote_free; Large_map; Large_unmap;
     Lock_acquire; Cache_hit; Cache_flush; Remote_enqueue; Remote_drain; Decommit; Recommit; Shelf_push;
-    Shelf_pop; Remote_forward ]
+    Shelf_pop; Remote_forward; Req_arrival; Req_done ]
 
 let nkinds = List.length all_kinds
 
@@ -44,6 +46,8 @@ let kind_index = function
   | Shelf_push -> 15
   | Shelf_pop -> 16
   | Remote_forward -> 17
+  | Req_arrival -> 18
+  | Req_done -> 19
 
 let kind_of_index = function
   | 0 -> Sb_map
@@ -64,6 +68,8 @@ let kind_of_index = function
   | 15 -> Shelf_push
   | 16 -> Shelf_pop
   | 17 -> Remote_forward
+  | 18 -> Req_arrival
+  | 19 -> Req_done
   | i -> invalid_arg (Printf.sprintf "Event_ring.kind_of_index: %d" i)
 
 let kind_name = function
@@ -85,6 +91,8 @@ let kind_name = function
   | Shelf_push -> "shelf_push"
   | Shelf_pop -> "shelf_pop"
   | Remote_forward -> "remote_forward"
+  | Req_arrival -> "req_arrival"
+  | Req_done -> "req_done"
 
 type event = { at : int; kind : kind; who : int; heap : int; sclass : int; arg : int }
 

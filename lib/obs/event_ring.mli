@@ -34,6 +34,8 @@ type kind =
   | Shelf_push  (** empty superblock CAS-pushed onto the lock-free shelf; [arg] = base *)
   | Shelf_pop  (** refill served by popping the shelf, no global lock; [arg] = base *)
   | Remote_forward  (** drain re-forwarded a migrated block to its new owner; [arg] = addr *)
+  | Req_arrival  (** server-mix request arrived (scheduled or issued); [arg] = request id *)
+  | Req_done  (** server-mix request completed; [arg] = latency in cycles *)
 
 val all_kinds : kind list
 

@@ -1,4 +1,12 @@
-type dist = { d_count : int; d_mean : float; d_p50 : int; d_p95 : int; d_p99 : int; d_max : int }
+type dist = {
+  d_count : int;
+  d_mean : float;
+  d_p50 : int;
+  d_p95 : int;
+  d_p99 : int;
+  d_p999 : int;
+  d_max : int;
+}
 
 type value = Int of int | Float of float | Dist of dist
 
@@ -54,8 +62,8 @@ let json_value = function
   | Int i -> string_of_int i
   | Float f -> json_float f
   | Dist d ->
-    Printf.sprintf "{\"count\":%d,\"mean\":%s,\"p50\":%d,\"p95\":%d,\"p99\":%d,\"max\":%d}" d.d_count
-      (json_float d.d_mean) d.d_p50 d.d_p95 d.d_p99 d.d_max
+    Printf.sprintf "{\"count\":%d,\"mean\":%s,\"p50\":%d,\"p95\":%d,\"p99\":%d,\"p999\":%d,\"max\":%d}"
+      d.d_count (json_float d.d_mean) d.d_p50 d.d_p95 d.d_p99 d.d_p999 d.d_max
 
 let json_labels labels =
   "{"
@@ -103,6 +111,7 @@ let to_csv t =
         row (name ^ ".p50") labels (Int d.d_p50);
         row (name ^ ".p95") labels (Int d.d_p95);
         row (name ^ ".p99") labels (Int d.d_p99);
+        row (name ^ ".p999") labels (Int d.d_p999);
         row (name ^ ".max") labels (Int d.d_max))
     (snapshot t);
   Buffer.contents b

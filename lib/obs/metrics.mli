@@ -8,7 +8,15 @@
     that lock, exactly like an [Alloc_stats] shard. Gauges are closures
     evaluated at {!snapshot}; call exports only at quiescent points. *)
 
-type dist = { d_count : int; d_mean : float; d_p50 : int; d_p95 : int; d_p99 : int; d_max : int }
+type dist = {
+  d_count : int;
+  d_mean : float;
+  d_p50 : int;
+  d_p95 : int;
+  d_p99 : int;
+  d_p999 : int;
+  d_max : int;
+}
 
 type value = Int of int | Float of float | Dist of dist
 

@@ -25,6 +25,35 @@ let exponential_bounds ~lo ~hi =
   let rec collect acc b = if b > hi then List.rev acc else collect (b :: acc) (b * 2) in
   Array.of_list (collect [] (max 1 lo))
 
+(* HDR-style log-linear bounds: each power-of-two span [b, 2b) is cut
+   into [sub] equal linear sub-buckets, so the relative quantile error is
+   bounded by 1/sub everywhere instead of the factor-of-two a pure
+   power-of-two layout gives — the difference between a usable and a
+   useless p999 on latency data. Sub-bucket widths below 1 collapse
+   (small spans cannot be cut finer than integers), so the low end
+   degenerates gracefully into exact integer buckets. *)
+let log_linear_bounds ~lo ~hi ~sub =
+  if sub < 1 then invalid_arg "Histogram.log_linear_bounds: sub must be >= 1";
+  let lo = max 1 lo in
+  let acc = ref [] in
+  let b = ref lo in
+  while !b <= hi do
+    let span = !b in
+    let step = max 1 (span / sub) in
+    let s = ref span in
+    while !s < 2 * span do
+      acc := !s :: !acc;
+      s := !s + step
+    done;
+    b := 2 * span
+  done;
+  (* Top edge: the last bucket below overflow ends at the next
+     power-of-two boundary past [hi]. *)
+  acc := !b :: !acc;
+  Array.of_list (List.rev !acc)
+
+let create_log_linear ~lo ~hi ~sub = create ~bounds:(log_linear_bounds ~lo ~hi ~sub)
+
 (* Binary search for the first bound strictly greater than [x]. *)
 let bucket_of t x =
   let lo = ref 0 and hi = ref (Array.length t.bounds) in

@@ -14,6 +14,16 @@ val create : bounds:int array -> t
 val exponential_bounds : lo:int -> hi:int -> int array
 (** Power-of-two bucket boundaries covering [\[lo, hi\]]. *)
 
+val log_linear_bounds : lo:int -> hi:int -> sub:int -> int array
+(** HDR-style log-linear boundaries covering [\[lo, hi\]]: every
+    power-of-two span is cut into [sub] equal linear sub-buckets, bounding
+    the relative error of {!percentile} by [1/sub] instead of the factor
+    of two a pure power-of-two layout allows. Sub-buckets narrower than 1
+    collapse into exact integer buckets at the low end. [sub >= 1]. *)
+
+val create_log_linear : lo:int -> hi:int -> sub:int -> t
+(** [create ~bounds:(log_linear_bounds ~lo ~hi ~sub)]. *)
+
 val add : t -> int -> unit
 
 val count : t -> int

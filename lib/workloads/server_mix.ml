@@ -1,0 +1,288 @@
+(* A front-tier request-serving workload family: each simulated thread is
+   a server worker taking requests from an arrival process, and each
+   request is an arena-style allocation spike (a burst of mixed-size
+   blocks, most freed at request end), a session-state touch on a shared
+   striped KV table, and a response block handed to a peer worker that
+   frees it remotely — kv_store's striped table and producer_consumer's
+   mailbox handoff, composed into one request loop.
+
+   Three arrival processes give the latency-tail experiments their x-axis:
+
+   - [Steady]: closed loop — a worker serves, thinks, serves again.
+     Latency is pure service time; the baseline distribution.
+   - [Bursty]: open loop — arrivals come in tight bursts separated by
+     idle gaps (same mean rate). Queueing delay appears whenever a burst
+     outpaces service, so allocator stalls compound into the tail.
+   - [Flash]: open loop — steady arrivals with periodic flash crowds
+     (a window where the inter-arrival gap divides by [flash_div]).
+     The worst-case p999 generator: backlog builds through the crowd and
+     drains afterwards.
+
+   Open-loop latency is measured from the *scheduled arrival*, not from
+   when the worker got around to the request, so backlog shows up as tail
+   latency exactly as it would at a service boundary. *)
+
+type profile = Steady | Bursty | Flash
+
+let profile_name = function
+  | Steady -> "steady"
+  | Bursty -> "bursty"
+  | Flash -> "flash"
+
+let profile_of_string = function
+  | "steady" -> Some Steady
+  | "bursty" -> Some Bursty
+  | "flash" -> Some Flash
+  | _ -> None
+
+let profiles = [ Steady; Bursty; Flash ]
+
+type params = {
+  profile : profile;
+  requests : int;  (** total requests, split evenly across threads *)
+  allocs_min : int;  (** arena spike: blocks allocated per request *)
+  allocs_max : int;
+  size_min : int;
+  size_max : int;
+  batch : int;  (** blocks per [malloc_batch] fill inside the spike; 0 = singles only *)
+  session_keys : int;  (** key space of the shared session table *)
+  session_pct : int;  (** % of requests touching session state *)
+  retain_pct : int;  (** % of requests retaining one block past the request *)
+  retain_cap : int;  (** per-thread retained blocks; the oldest is freed beyond this *)
+  response_size : int;  (** response block handed to a peer worker (freed remotely) *)
+  work_per_req : int;  (** non-allocator compute per request *)
+  think : int;  (** closed-loop think time between requests (cycles) *)
+  gap : int;  (** open-loop mean inter-arrival per thread (cycles) *)
+  burst : int;  (** bursty: requests per burst *)
+  flash_every : int;  (** flash: a crowd starts every this many requests *)
+  flash_len : int;  (** flash: requests per crowd *)
+  flash_div : int;  (** flash: gap divisor inside a crowd *)
+  seed : int;
+}
+
+let default_params =
+  {
+    profile = Steady;
+    requests = 4000;
+    allocs_min = 4;
+    allocs_max = 24;
+    size_min = 16;
+    size_max = 2048;
+    batch = 8;
+    session_keys = 600;
+    session_pct = 60;
+    retain_pct = 25;
+    retain_cap = 64;
+    response_size = 256;
+    work_per_req = 60;
+    think = 40;
+    (* Mean inter-arrival ~2x the uncontended service time (~2.3k cycles
+       under hoard at 4P): a scalable allocator runs below saturation and
+       shows a true tail, while a contended one (serial service time is
+       >10x at 8P) saturates and its backlog explodes the p99/p999 —
+       which is the separation the latency experiments measure. *)
+    gap = 4000;
+    burst = 16;
+    flash_every = 200;
+    flash_len = 50;
+    flash_div = 8;
+    seed = 9000;
+  }
+
+(* --- per-request latency recorder ---
+
+   Shared by every worker thread of a run. Safe because simulated threads
+   are cooperatively scheduled closures in one host thread; the recorder
+   is sim-only, like [Sim.now] itself. *)
+
+let max_samples = 20_000
+
+type recorder = {
+  r_lat : Histogram.t;
+  mutable r_completed : int;
+  mutable r_rev_samples : (int * int * int) list;  (** (arrival, latency, proc), newest first *)
+  mutable r_nsamples : int;
+  mutable r_sink : (arrival:int -> latency:int -> who:int -> unit) option;
+}
+
+let new_recorder () =
+  {
+    (* Sub-bucketed log-linear layout: the whole point is a trustworthy
+       p999, and requests span ~3 decades of cycles. *)
+    (* The top edge covers a fully saturated full-scale run (a serial
+       allocator's backlog reaches tens of millions of cycles): a clamped
+       p999 would hide exactly the blowup the suite exists to show. *)
+    r_lat = Histogram.create_log_linear ~lo:16 ~hi:268_435_456 ~sub:8;
+    r_completed = 0;
+    r_rev_samples = [];
+    r_nsamples = 0;
+    r_sink = None;
+  }
+
+let set_sink r sink = r.r_sink <- Some sink
+
+let request_latencies r = r.r_lat
+
+let completed r = r.r_completed
+
+let samples r = List.rev r.r_rev_samples
+
+let record_request r ~arrival ~latency ~who =
+  Histogram.add r.r_lat latency;
+  r.r_completed <- r.r_completed + 1;
+  if r.r_nsamples < max_samples then begin
+    r.r_nsamples <- r.r_nsamples + 1;
+    r.r_rev_samples <- (arrival, latency, who) :: r.r_rev_samples
+  end;
+  match r.r_sink with
+  | Some f -> f ~arrival ~latency ~who
+  | None -> ()
+
+(* --- the workload --- *)
+
+let make ?(params = default_params) ?(recorder = new_recorder ()) () =
+  let p = params in
+  if p.flash_div < 1 || p.burst < 1 then invalid_arg "Server_mix.make: bad shape";
+  let spawn sim (pf : Platform.t) (a : Alloc_intf.t) ~nthreads =
+    let per_thread = max 1 (p.requests / nthreads) in
+    let session = Kv_store.create pf a ~buckets:(max 64 p.session_keys) ~stripes:16 in
+    (* Peer mailboxes: worker t's responses land in t+1's box and are
+       freed there — steady cross-thread (remote) free traffic. *)
+    let mailboxes = Array.make nthreads [] in
+    let mbox_locks = Array.init nthreads (fun i -> pf.Platform.new_lock (Printf.sprintf "server.mbox%d" i)) in
+    let barrier = Sim.new_barrier sim ~parties:nthreads in
+    let drain_mailbox t =
+      let lock = mbox_locks.(t) in
+      lock.Platform.acquire ();
+      let got = mailboxes.(t) in
+      mailboxes.(t) <- [];
+      lock.Platform.release ();
+      match got with
+      | [] -> ()
+      | addrs -> a.Alloc_intf.free_batch (Array.of_list addrs)
+    in
+    let post_response t addr =
+      let peer = (t + 1) mod nthreads in
+      let lock = mbox_locks.(peer) in
+      lock.Platform.acquire ();
+      mailboxes.(peer) <- addr :: mailboxes.(peer);
+      lock.Platform.release ()
+    in
+    for t = 0 to nthreads - 1 do
+      ignore
+        (Sim.spawn sim (fun () ->
+             let rng = Rng.create (p.seed + (7919 * t)) in
+             let retained = Queue.create () in
+             let serve () =
+               (* Incoming remote frees first: a worker starts a request
+                  by clearing its completed-response backlog. *)
+               drain_mailbox t;
+               (* Arena spike: batch fills plus mixed-size singles. *)
+               let n = Rng.int_in rng p.allocs_min p.allocs_max in
+               let arena = ref [] in
+               let filled = ref 0 in
+               if p.batch > 1 then
+                 while n - !filled >= p.batch do
+                   let size = Rng.int_in rng p.size_min p.size_max in
+                   let blocks = a.Alloc_intf.malloc_batch p.batch size in
+                   pf.Platform.write ~addr:blocks.(0) ~len:(min size 128);
+                   Array.iter (fun b -> arena := b :: !arena) blocks;
+                   filled := !filled + p.batch
+                 done;
+               while !filled < n do
+                 let size = Rng.int_in rng p.size_min p.size_max in
+                 let b = a.Alloc_intf.malloc size in
+                 pf.Platform.write ~addr:b ~len:(min size 128);
+                 arena := b :: !arena;
+                 incr filled
+               done;
+               (* Session state: read-mostly touches on the shared table. *)
+               if Rng.int rng 100 < p.session_pct then begin
+                 let key = Rng.int rng p.session_keys in
+                 let r = Rng.int rng 100 in
+                 if r < 70 then ignore (Kv_store.get session ~key)
+                 else if r < 95 then
+                   Kv_store.put session ~key ~size:(Rng.int_in rng p.size_min p.size_max)
+                 else ignore (Kv_store.delete session ~key)
+               end;
+               Sim.work p.work_per_req;
+               (* Response handoff: freed by the peer, not by us. *)
+               let resp = a.Alloc_intf.malloc p.response_size in
+               pf.Platform.write ~addr:resp ~len:(min p.response_size 128);
+               post_response t resp;
+               (* Mixed lifetimes: most arena blocks die with the request,
+                  an occasional survivor lives on for ~retain_cap more
+                  requests. *)
+               (match !arena with
+                | survivor :: rest when Rng.int rng 100 < p.retain_pct ->
+                  Queue.push survivor retained;
+                  if Queue.length retained > p.retain_cap then a.Alloc_intf.free (Queue.pop retained);
+                  if rest <> [] then a.Alloc_intf.free_batch (Array.of_list rest)
+                | blocks -> if blocks <> [] then a.Alloc_intf.free_batch (Array.of_list blocks))
+             in
+             (match p.profile with
+              | Steady ->
+                for _ = 1 to per_thread do
+                  let t0 = Sim.now () in
+                  serve ();
+                  record_request recorder ~arrival:t0 ~latency:(Sim.now () - t0) ~who:(Sim.self_proc ());
+                  Sim.work p.think
+                done
+              | Bursty | Flash ->
+                let next_arrival = ref (Sim.now ()) in
+                for i = 0 to per_thread - 1 do
+                  (* Advance the arrival clock per the process... *)
+                  let gap =
+                    match p.profile with
+                    | Bursty ->
+                      if i mod p.burst = p.burst - 1 then
+                        (* idle gap between bursts restores the mean rate *)
+                        1 + int_of_float (Rng.exponential rng (float_of_int (p.burst * p.gap)))
+                      else max 1 (p.gap / 10)
+                    | Flash ->
+                      let in_crowd = i mod p.flash_every < p.flash_len in
+                      let mean = if in_crowd then max 1 (p.gap / p.flash_div) else p.gap in
+                      1 + int_of_float (Rng.exponential rng (float_of_int mean))
+                    | Steady -> assert false
+                  in
+                  let arrival = !next_arrival in
+                  next_arrival := arrival + gap;
+                  (* ...then idle-wait if we are ahead of it. If we are
+                     behind (backlogged), serve immediately: the latency
+                     below includes the queueing delay. *)
+                  let now = Sim.now () in
+                  if now < arrival then Sim.work (arrival - now);
+                  serve ();
+                  record_request recorder ~arrival ~latency:(Sim.now () - arrival) ~who:(Sim.self_proc ())
+                done);
+             (* Shutdown: peers may still be producing until everyone is
+                done, so drain only after the barrier. *)
+             Sim.barrier_wait barrier;
+             drain_mailbox t;
+             while not (Queue.is_empty retained) do
+               a.Alloc_intf.free (Queue.pop retained)
+             done;
+             Sim.barrier_wait barrier;
+             if t = 0 then begin
+               Kv_store.check session;
+               Kv_store.clear session
+             end))
+    done
+  in
+  let name = "server-" ^ profile_name p.profile in
+  {
+    Workload_intf.w_name = name;
+    w_describe =
+      Printf.sprintf
+        "%s request mix: %d reqs, %d-%d blocks/req of %d-%dB (batch %d), %d%% session ops over %d keys, \
+         %d%% retain, peer-freed %dB responses"
+        (profile_name p.profile) p.requests p.allocs_min p.allocs_max p.size_min p.size_max p.batch
+        p.session_pct p.session_keys p.retain_pct p.response_size;
+    spawn;
+    total_ops =
+      (fun ~nthreads ->
+        (* Per request: the arena spike (alloc+free each) plus the
+           response round trip; session ops add roughly one more. *)
+        let per_req = p.allocs_min + p.allocs_max + 3 in
+        max 1 (p.requests / nthreads) * nthreads * per_req);
+  }

@@ -1,0 +1,69 @@
+(** Front-tier server request mix: the latency-tail workload family.
+
+    Each thread is a server worker; each request is an arena-style
+    allocation spike (mixed sizes, mostly freed at request end, a few
+    survivors with long lifetimes), a touch on a shared striped session
+    table ({!Kv_store}), and a response block freed remotely by a peer
+    worker. Three arrival processes — closed-loop steady, open-loop
+    bursty, open-loop with periodic flash crowds — turn allocator stalls
+    into measurable p99/p999 request latency: open-loop latency is
+    measured from the scheduled arrival, so backlog counts.
+
+    Simulated platform only (arrivals and latencies use {!Sim.now}). *)
+
+type profile = Steady | Bursty | Flash
+
+val profile_name : profile -> string
+
+val profile_of_string : string -> profile option
+
+val profiles : profile list
+(** All three, in presentation order. *)
+
+type params = {
+  profile : profile;
+  requests : int;  (** total requests, split evenly across threads *)
+  allocs_min : int;
+  allocs_max : int;
+  size_min : int;
+  size_max : int;
+  batch : int;  (** blocks per [malloc_batch] fill in the spike; 0/1 = singles *)
+  session_keys : int;
+  session_pct : int;
+  retain_pct : int;
+  retain_cap : int;
+  response_size : int;
+  work_per_req : int;
+  think : int;  (** closed-loop think time, cycles *)
+  gap : int;  (** open-loop mean inter-arrival per thread, cycles *)
+  burst : int;
+  flash_every : int;
+  flash_len : int;
+  flash_div : int;
+  seed : int;
+}
+
+val default_params : params
+
+(** Collects per-request latencies across every worker of one run:
+    a log-linear histogram (trustworthy p999), completion count, and up
+    to 20k (arrival, latency, proc) samples for timeline/trace export.
+    One recorder per run; sim-only, like the workload. *)
+type recorder
+
+val new_recorder : unit -> recorder
+
+val set_sink : recorder -> (arrival:int -> latency:int -> who:int -> unit) -> unit
+(** Invoked at every request completion (e.g. to record [Req_done] ring
+    events); called from inside simulated threads, must not block. *)
+
+val request_latencies : recorder -> Histogram.t
+
+val completed : recorder -> int
+
+val samples : recorder -> (int * int * int) list
+(** [(arrival, latency, proc)] in completion order, capped at 20k. *)
+
+val make : ?params:params -> ?recorder:recorder -> unit -> Workload_intf.t
+(** Fresh recorder per run unless one is supplied: re-spawning a workload
+    made with an explicit recorder accumulates into the same histograms. *)

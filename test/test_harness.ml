@@ -141,6 +141,209 @@ let test_timeline_records () =
   Alcotest.(check bool) "timestamps monotone" true (monotone samples);
   Alcotest.(check bool) "peak held positive" true (Timeline.peak_held tl > 0)
 
+let test_latency_probe_batch () =
+  let sim = Sim.create ~nprocs:1 () in
+  let pf = Sim.platform sim in
+  let probe, a = Latency_probe.wrap ((Hoard.factory ()).Alloc_intf.instantiate pf) in
+  ignore
+    (Sim.spawn sim (fun () ->
+         for _ = 1 to 10 do
+           a.Alloc_intf.free_batch (a.Alloc_intf.malloc_batch 8 64)
+         done;
+         let p = a.Alloc_intf.malloc 32 in
+         let p = a.Alloc_intf.realloc ~addr:p ~size:128 in
+         a.Alloc_intf.free p));
+  Sim.run sim;
+  (* Whole-call timing: a batch of 8 is one sample, not eight. *)
+  Alcotest.(check int) "batch mallocs timed" 10 (Histogram.count (Latency_probe.batch_malloc_latencies probe));
+  Alcotest.(check int) "batch frees timed" 10 (Histogram.count (Latency_probe.batch_free_latencies probe));
+  Alcotest.(check int) "reallocs timed" 1 (Histogram.count (Latency_probe.realloc_latencies probe));
+  let m = Metrics.create () in
+  Latency_probe.publish probe m;
+  (match Metrics.get m ~name:"latency.batch.malloc" () with
+   | Some (Metrics.Dist d) ->
+     Alcotest.(check int) "gauge count" 10 d.Metrics.d_count;
+     Alcotest.(check bool) "p999 populated" true (d.Metrics.d_p999 > 0)
+   | _ -> Alcotest.fail "latency.batch.malloc gauge missing");
+  match Metrics.get m ~name:"latency.realloc" () with
+  | Some (Metrics.Dist d) -> Alcotest.(check int) "realloc gauge count" 1 d.Metrics.d_count
+  | _ -> Alcotest.fail "latency.realloc gauge missing"
+
+let test_timeline_resident () =
+  let sim = Sim.create ~nprocs:1 () in
+  let pf = Sim.platform sim in
+  let tl, a = Timeline.wrap ~every:8 ((Hoard.factory ()).Alloc_intf.instantiate pf) in
+  ignore
+    (Sim.spawn sim (fun () ->
+         let ps = List.init 64 (fun _ -> a.Alloc_intf.malloc 256) in
+         List.iter a.Alloc_intf.free ps));
+  Sim.run sim;
+  Alcotest.(check bool) "resident sampled" true
+    (List.exists (fun s -> s.Timeline.resident > 0) (Timeline.samples tl));
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "live never exceeds held" true (s.Timeline.live <= s.Timeline.held);
+      Alcotest.(check bool) "held never exceeds resident" true (s.Timeline.held <= s.Timeline.resident))
+    (Timeline.samples tl);
+  Alcotest.(check bool) "peak resident covers peak held" true
+    (Timeline.peak_resident tl >= Timeline.peak_held tl);
+  let plot = Timeline.plot ~metric:Timeline.Resident [ ("hoard", tl) ] ~title:"t" in
+  Alcotest.(check bool) "plot labels the resident series" true (Astring.String.is_infix ~affix:"resident" plot)
+
+(* --- the SLO layer --- *)
+
+let small_server_params profile =
+  { Server_mix.default_params with Server_mix.profile; requests = 200 }
+
+let test_slo_spec_roundtrip () =
+  let src =
+    {|{"name":"front","rules":[{"metric":"request","quantile":"p99","ceiling":50000},
+       {"metric":"malloc","quantile":0.5,"ceiling":4000}],"rss_ceiling":1048576}|}
+  in
+  (match Slo.spec_of_string src with
+   | Error e -> Alcotest.fail e
+   | Ok spec ->
+     Alcotest.(check string) "name" "front" spec.Slo.sp_name;
+     Alcotest.(check int) "two rules" 2 (List.length spec.Slo.sp_rules);
+     (match spec.Slo.sp_rules with
+      | [ a; b ] ->
+        Alcotest.(check string) "p99 alias decoded" "p99" (Slo.quantile_name a.Slo.ru_quantile);
+        Alcotest.(check int) "ceiling" 50000 a.Slo.ru_ceiling;
+        Alcotest.(check string) "numeric quantile decoded" "p50" (Slo.quantile_name b.Slo.ru_quantile)
+      | _ -> Alcotest.fail "rules lost");
+     Alcotest.(check (option int)) "rss ceiling" (Some 1048576) spec.Slo.sp_rss_ceiling);
+  (match Slo.spec_of_string {|{"rules":[{"metric":"request","quantile":2.0,"ceiling":5}]}|} with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "quantile > 1 accepted");
+  match Slo.spec_of_string {|{"name":"no rules"}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing rules accepted"
+
+let test_slo_evaluate_pass_and_fail () =
+  let r = Slo.run_server ~params:(small_server_params Server_mix.Steady) (Allocators.hoard_fe ()) ~nprocs:4 in
+  let rule metric q ceiling = { Slo.ru_metric = metric; ru_quantile = q; ru_ceiling = ceiling } in
+  let generous =
+    {
+      Slo.sp_name = "generous";
+      sp_rules = [ rule "request" 0.99 max_int; rule "malloc" 0.5 max_int ];
+      sp_rss_ceiling = Some max_int;
+    }
+  in
+  Alcotest.(check bool) "generous spec passes" true (Slo.evaluate generous r).Slo.rp_ok;
+  let strict = { Slo.sp_name = "strict"; sp_rules = [ rule "request" 0.5 1 ]; sp_rss_ceiling = None } in
+  let rep = Slo.evaluate strict r in
+  Alcotest.(check bool) "1-cycle ceiling fails" false rep.Slo.rp_ok;
+  (match rep.Slo.rp_checks with
+   | [ c ] ->
+     Alcotest.(check string) "check named" "request.p50" c.Slo.ck_name;
+     Alcotest.(check bool) "observed recorded" true (c.Slo.ck_observed > 1)
+   | _ -> Alcotest.fail "one check expected");
+  (* A typo'd metric name must fail, not silently pass. *)
+  let typo = { Slo.sp_name = "typo"; sp_rules = [ rule "requests" 0.5 max_int ]; sp_rss_ceiling = None } in
+  Alcotest.(check bool) "unknown metric fails" false (Slo.evaluate typo r).Slo.rp_ok;
+  let tbl = Table.render (Slo.report_table rep) in
+  Alcotest.(check bool) "table shows verdict" true (Astring.String.is_infix ~affix:"VIOLATED" tbl)
+
+let test_server_run_counts_and_determinism () =
+  let run () = Slo.run_server ~params:(small_server_params Server_mix.Bursty) (Allocators.hoard_fe ()) ~nprocs:4 in
+  let a = run () and b = run () in
+  Alcotest.(check int) "all requests served" 200 (Server_mix.completed a.Slo.sv_recorder);
+  (* The sink wires completions into the run's ring: drop-proof kind
+     totals must agree with the recorder exactly. *)
+  Alcotest.(check int) "ring req_done total" 200 (Obs.count_kind a.Slo.sv_obs Event_ring.Req_done);
+  Alcotest.(check int) "ring req_arrival total" 200 (Obs.count_kind a.Slo.sv_obs Event_ring.Req_arrival);
+  Alcotest.(check int) "cycles reproduce" a.Slo.sv_cycles b.Slo.sv_cycles;
+  let p99 r = Histogram.percentile (Server_mix.request_latencies r.Slo.sv_recorder) 0.99 in
+  Alcotest.(check int) "p99 reproduces" (p99 a) (p99 b);
+  (* Open-loop latency is measured from scheduled arrival: with bursts
+     outpacing service, the tail must exceed the median visibly. *)
+  let h = Server_mix.request_latencies a.Slo.sv_recorder in
+  Alcotest.(check bool) "queueing shows in the tail" true
+    (Histogram.percentile h 0.99 > Histogram.percentile h 0.5)
+
+let test_server_metrics_json_gate_shape () =
+  let r = Slo.run_server ~params:(small_server_params Server_mix.Flash) (Allocators.hoard_fe ()) ~nprocs:4 in
+  match Json_lite.parse (Slo.metrics_json r) with
+  | Error e -> Alcotest.fail ("metrics JSON invalid: " ^ e)
+  | Ok j ->
+    (match Option.bind (Json_lite.member "run" j) (Json_lite.member "cycles") with
+     | Some (Json_lite.Num c) -> Alcotest.(check bool) "cycles positive" true (c > 0.0)
+     | _ -> Alcotest.fail "run.cycles missing");
+    (match Option.bind (Json_lite.member "metrics" j) Json_lite.to_list with
+     | None -> Alcotest.fail "metrics array missing"
+     | Some ms ->
+       (* The gate metric must be present, flat (summable) and labelled
+          with the allocator it measures. *)
+       let p99 =
+         List.find_opt
+           (fun m ->
+             Option.bind (Json_lite.member "name" m) Json_lite.to_string = Some "slo.request.p99")
+           ms
+       in
+       (match p99 with
+        | None -> Alcotest.fail "slo.request.p99 missing"
+        | Some m ->
+          (match Option.bind (Json_lite.member "value" m) Json_lite.to_float with
+           | Some v -> Alcotest.(check bool) "flat numeric value" true (v > 0.0)
+           | None -> Alcotest.fail "p99 value not a number");
+          (match Json_lite.member "labels" m with
+           | Some labels ->
+             Alcotest.(check (option string)) "allocator label" (Some "hoard-fe")
+               (Option.bind (Json_lite.member "allocator" labels) Json_lite.to_string)
+           | None -> Alcotest.fail "labels missing")))
+
+let test_server_perfetto_export () =
+  (* Satellite check, on a real 4-domain run: the trace round-trips
+     through Json_lite, every counter track is monotone in ts, and
+     instant counts match the rings' drop-proof totals. *)
+  let r = Slo.run_server ~params:(small_server_params Server_mix.Bursty) (Allocators.hoard_fe ()) ~nprocs:4 in
+  match Json_lite.parse (Slo.perfetto_json r) with
+  | Error e -> Alcotest.fail ("trace JSON invalid: " ^ e)
+  | Ok j ->
+    (match Option.bind (Json_lite.member "traceEvents" j) Json_lite.to_list with
+     | None -> Alcotest.fail "traceEvents missing"
+     | Some events ->
+       let field name e = Json_lite.member name e in
+       let str_field name e = Option.bind (field name e) Json_lite.to_string in
+       let num_field name e = Option.bind (field name e) Json_lite.to_float in
+       let counters name =
+         List.filter (fun e -> str_field "ph" e = Some "C" && str_field "name" e = Some name) events
+       in
+       List.iter
+         (fun track ->
+           let ts = List.filter_map (num_field "ts") (counters track) in
+           Alcotest.(check bool) (track ^ " track non-empty") true (ts <> []);
+           let rec monotone = function
+             | a :: (b :: _ as rest) -> a <= b && monotone rest
+             | _ -> true
+           in
+           Alcotest.(check bool) (track ^ " ts monotone") true (monotone ts))
+         [ "request.latency"; "memory KiB" ];
+       (* Request spans: one per recorded sample. *)
+       let spans = List.filter (fun e -> str_field "ph" e = Some "X" && str_field "name" e = Some "request") events in
+       Alcotest.(check int) "one span per request" 200 (List.length spans);
+       (* Ring instants: exactly the retained events, kind by kind. *)
+       let instants kind_name =
+         List.length
+           (List.filter
+              (fun e -> str_field "ph" e = Some "i" && str_field "name" e = Some kind_name)
+              events)
+       in
+       List.iter
+         (fun (_, ring) ->
+           List.iter
+             (fun kind ->
+               let retained = ref 0 in
+               Event_ring.iter ring (fun e -> if e.Event_ring.kind = kind then incr retained);
+               if !retained > 0 then
+                 Alcotest.(check bool)
+                   (Event_ring.kind_name kind ^ " instants cover ring")
+                   true
+                   (instants (Event_ring.kind_name kind) >= !retained))
+             Event_ring.all_kinds)
+         (Obs.rings r.Slo.sv_obs);
+       Alcotest.(check int) "req_done instants match drop-proof total" 200 (instants "req_done"))
+
 let test_error_in_simulated_thread_surfaces () =
   (* A double free inside the simulation must abort the run with the
      allocator's own error, not corrupt state silently. *)
@@ -190,8 +393,18 @@ let () =
           Alcotest.test_case "workload catalog" `Quick test_workload_catalog;
           Alcotest.test_case "allocator catalog" `Quick test_allocator_catalog;
           Alcotest.test_case "latency probe" `Quick test_latency_probe;
+          Alcotest.test_case "latency probe batch ops" `Quick test_latency_probe_batch;
           Alcotest.test_case "timeline records" `Quick test_timeline_records;
+          Alcotest.test_case "timeline resident" `Quick test_timeline_resident;
           Alcotest.test_case "errors surface" `Quick test_error_in_simulated_thread_surfaces;
           Alcotest.test_case "all experiments regenerate" `Slow test_every_experiment_produces_tables;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "spec round-trip" `Quick test_slo_spec_roundtrip;
+          Alcotest.test_case "evaluate pass/fail" `Quick test_slo_evaluate_pass_and_fail;
+          Alcotest.test_case "server counts + determinism" `Quick test_server_run_counts_and_determinism;
+          Alcotest.test_case "gate metrics shape" `Quick test_server_metrics_json_gate_shape;
+          Alcotest.test_case "perfetto export" `Quick test_server_perfetto_export;
         ] );
     ]

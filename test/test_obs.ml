@@ -68,7 +68,7 @@ let test_metrics_json_parses () =
   let m = Metrics.create () in
   Metrics.register m ~name:"n" (fun () -> Metrics.Int 7);
   Metrics.register m ~name:"lat" (fun () ->
-      Metrics.Dist { Metrics.d_count = 3; d_mean = 2.5; d_p50 = 2; d_p95 = 4; d_p99 = 4; d_max = 4 });
+      Metrics.Dist { Metrics.d_count = 3; d_mean = 2.5; d_p50 = 2; d_p95 = 4; d_p99 = 4; d_p999 = 4; d_max = 4 });
   Metrics.register m ~name:"esc\"aped" ~labels:[ ("k", "v\\w") ] (fun () -> Metrics.Float 0.5);
   match Json_lite.parse (Metrics.to_json m) with
   | Error e -> Alcotest.fail ("metrics JSON invalid: " ^ e)
@@ -86,7 +86,7 @@ let test_metrics_csv () =
   let m = Metrics.create () in
   Metrics.register m ~name:"n" (fun () -> Metrics.Int 7);
   Metrics.register m ~name:"lat" (fun () ->
-      Metrics.Dist { Metrics.d_count = 1; d_mean = 2.0; d_p50 = 2; d_p95 = 2; d_p99 = 2; d_max = 2 });
+      Metrics.Dist { Metrics.d_count = 1; d_mean = 2.0; d_p50 = 2; d_p95 = 2; d_p99 = 2; d_p999 = 2; d_max = 2 });
   let csv = Metrics.to_csv m in
   Alcotest.(check bool) "has header" true (String.length csv > 0);
   Alcotest.(check bool) "dist flattened" true

@@ -165,6 +165,49 @@ let test_histogram_percentiles () =
   Alcotest.(check int) "p100 is max" 5000 (Histogram.percentile h 1.0);
   Alcotest.(check int) "empty is 0" 0 (Histogram.percentile (Histogram.create ~bounds:[| 1 |]) 0.5)
 
+let test_histogram_log_linear_bounds () =
+  (* sub=1 degenerates to the power-of-two layout (plus the explicit top
+     edge the log-linear constructor always appends). *)
+  Alcotest.(check (array int)) "sub=1 is exponential" [| 8; 16; 32; 64; 128 |]
+    (Histogram.log_linear_bounds ~lo:8 ~hi:64 ~sub:1);
+  (* Each power-of-two span is cut into sub linear steps. *)
+  Alcotest.(check (array int)) "sub=4 cuts each span" [| 16; 20; 24; 28; 32 |]
+    (Histogram.log_linear_bounds ~lo:16 ~hi:31 ~sub:4)
+
+let test_histogram_log_linear_p50_equivalence () =
+  (* The same stream through the old power-of-two layout and the new
+     sub-bucketed one: both percentile estimates are upper bounds of the
+     true median, and the finer layout's estimate is never looser. *)
+  let vals = List.init 1001 (fun i -> 8 + (i * 13 mod 4096)) in
+  let coarse = Histogram.create ~bounds:(Histogram.exponential_bounds ~lo:8 ~hi:8192) in
+  let fine = Histogram.create_log_linear ~lo:8 ~hi:8192 ~sub:8 in
+  List.iter
+    (fun v ->
+      Histogram.add coarse v;
+      Histogram.add fine v)
+    vals;
+  let true_median = List.nth (List.sort compare vals) 500 in
+  let p50_coarse = Histogram.percentile coarse 0.5 in
+  let p50_fine = Histogram.percentile fine 0.5 in
+  Alcotest.(check bool) "both bound the median" true (p50_coarse >= true_median && p50_fine >= true_median);
+  Alcotest.(check bool) "fine is no looser" true (p50_fine <= p50_coarse);
+  (* The point of sub-bucketing: relative error drops from a factor of
+     two to 1/sub. *)
+  Alcotest.(check bool) "fine within 1/8 of the median" true
+    (float_of_int p50_fine <= float_of_int true_median *. (1.0 +. 1.0 /. 8.0) +. 1.0)
+
+let test_histogram_log_linear_p999_tight () =
+  let h = Histogram.create_log_linear ~lo:8 ~hi:1_048_576 ~sub:8 in
+  for _ = 1 to 995 do
+    Histogram.add h 100
+  done;
+  for _ = 1 to 5 do
+    Histogram.add h 100_000
+  done;
+  let p999 = Histogram.percentile h 0.999 in
+  Alcotest.(check bool) "p999 bounds the outlier within 1/8" true
+    (p999 >= 100_000 && float_of_int p999 <= 100_000.0 *. 1.125)
+
 let test_histogram_counts_consistent =
   QCheck.Test.make ~name:"Histogram bucket counts sum to n" ~count:200
     QCheck.(list small_nat)
@@ -264,6 +307,9 @@ let () =
           Alcotest.test_case "mean/total" `Quick test_histogram_mean_total;
           Alcotest.test_case "exponential bounds" `Quick test_histogram_exponential_bounds;
           Alcotest.test_case "percentiles" `Quick test_histogram_percentiles;
+          Alcotest.test_case "log-linear bounds" `Quick test_histogram_log_linear_bounds;
+          Alcotest.test_case "log-linear p50 equivalence" `Quick test_histogram_log_linear_p50_equivalence;
+          Alcotest.test_case "log-linear p999 tight" `Quick test_histogram_log_linear_p999_tight;
           qt test_histogram_counts_consistent;
         ] );
       ( "table",
