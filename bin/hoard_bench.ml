@@ -150,9 +150,11 @@ let run_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Write the experiment's tables as a JSON report (the CI artifact format).")
   in
-  let run id full quick csv procs metrics trace front_end vmem reservoir shelf slack json =
+  let run id full quick csv procs metrics trace front_end vmem reservoir shelf slack json sets =
     let config =
-      { Hoard_config.default with Hoard_config.front_end; vmem_backend = vmem; reservoir; shelf; slack }
+      Config_cli.apply
+        (Hoard_config.make ~front_end ~vmem_backend:vmem ~reservoir ~shelf ~slack ())
+        sets
     in
     let scale = scale_of_flag (full && not quick) in
     match Experiments.find id with
@@ -196,7 +198,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ id_arg $ full_flag $ quick_flag $ csv_flag $ procs_opt $ metrics_opt $ trace_opt
-      $ front_end_opt $ vmem_opt $ reservoir_opt $ shelf_opt $ slack_opt $ json_opt)
+      $ front_end_opt $ vmem_opt $ reservoir_opt $ shelf_opt $ slack_opt $ json_opt
+      $ Config_cli.set_opt)
 
 let all_cmd =
   let doc = "Run every experiment in order." in
@@ -227,34 +230,40 @@ let get_workload name full =
 
 let inspect_cmd =
   let doc = "Run a benchmark under Hoard, then dump the allocator's heap state." in
-  let run name full nprocs front_end vmem reservoir shelf =
-    let w = get_workload name full in
-    let sim = Sim.create ~vmem_backend:vmem ~nprocs () in
-    let pf = Sim.platform sim in
-    let h =
-      Hoard.create
-        ~config:
-          { Hoard_config.default with Hoard_config.front_end; vmem_backend = vmem; reservoir; shelf }
-        pf
+  let run name full nprocs front_end vmem reservoir shelf sets =
+    let config =
+      Config_cli.apply (Hoard_config.make ~front_end ~vmem_backend:vmem ~reservoir ~shelf ()) sets
     in
+    let w = get_workload name full in
+    let sim = Sim.create ~vmem_backend:config.Hoard_config.vmem_backend ~nprocs () in
+    let pf = Sim.platform sim in
+    let h = Hoard.create ~config pf in
     let a = Hoard.allocator h in
     w.Workload_intf.spawn sim pf a ~nthreads:nprocs;
     Sim.run sim;
     a.Alloc_intf.check ();
-    if front_end > 0 then begin
+    if config.Hoard_config.front_end > 0 then begin
       List.iter
         (fun (tid, counts) ->
           Printf.printf "tcache tid=%d: %d blocks cached\n" tid (Array.fold_left ( + ) 0 counts))
         (Hoard.cache_counts h);
-      Printf.printf "remote queues: [%s]\n"
-        (String.concat "; " (Array.to_list (Array.map string_of_int (Hoard.remote_queue_lengths h))));
+      if config.Hoard_config.deferred then
+        Printf.printf "deferred lists: [%s]\n"
+          (String.concat "; " (Array.to_list (Array.map string_of_int (Hoard.deferred_lengths h))))
+      else
+        Printf.printf "remote queues: [%s]\n"
+          (String.concat "; " (Array.to_list (Array.map string_of_int (Hoard.remote_queue_lengths h))));
       Hoard.flush_caches h;
       a.Alloc_intf.check ()
     end;
-    if reservoir > 0 then
-      Printf.printf "reservoir: %d/%d superblocks parked\n" (Hoard.reservoir_length h) reservoir;
-    if shelf > 0 then
-      Printf.printf "shelf: %d/%d empty superblocks shelved\n" (Hoard.shelf_length h) shelf;
+    if config.Hoard_config.large_cache > 0 then
+      Printf.printf "large cache: %d regions parked\n" (Hoard.large_cache_length h);
+    if config.Hoard_config.reservoir > 0 then
+      Printf.printf "reservoir: %d/%d superblocks parked\n" (Hoard.reservoir_length h)
+        config.Hoard_config.reservoir;
+    if config.Hoard_config.shelf > 0 then
+      Printf.printf "shelf: %d/%d empty superblocks shelved\n" (Hoard.shelf_length h)
+        config.Hoard_config.shelf;
     let s = a.Alloc_intf.stats () in
     Printf.printf "%s on %d processors: %d cycles\n%s\n\n" name nprocs (Sim.total_cycles sim)
       (Format.asprintf "%a" Alloc_stats.pp_snapshot s);
@@ -264,27 +273,26 @@ let inspect_cmd =
     (Cmd.info "inspect" ~doc)
     Term.(
       const run $ workload_arg $ full_flag $ nprocs_arg $ front_end_opt $ vmem_opt $ reservoir_opt
-      $ shelf_opt)
+      $ shelf_opt $ Config_cli.set_opt)
 
 let sweep_cmd =
   let doc = "Run one benchmark under Hoard with explicit algorithm parameters." in
   let f_arg = Arg.(value & opt float 0.25 & info [ "f" ] ~doc:"Emptiness fraction f.") in
   let k_arg = Arg.(value & opt int 4 & info [ "k" ] ~doc:"Slack K (superblocks).") in
   let s_arg = Arg.(value & opt int 8192 & info [ "sbsize" ] ~doc:"Superblock size S.") in
-  let run name full nprocs f k sbsize vmem reservoir shelf =
+  let run name full nprocs f k sbsize vmem reservoir shelf sets =
     let config =
-      {
-        Hoard_config.default with
-        Hoard_config.empty_fraction = f;
-        slack = k;
-        sb_size = sbsize;
-        vmem_backend = vmem;
-        reservoir;
-        shelf;
-      }
+      Config_cli.apply
+        (Hoard_config.make ~empty_fraction:f ~slack:k ~sb_size:sbsize ~vmem_backend:vmem ~reservoir
+           ~shelf ())
+        sets
     in
     let w = get_workload name full in
-    let r = Runner.run (Runner.spec ~vmem_backend:vmem w (Hoard.factory ~config ()) ~nprocs) in
+    let r =
+      Runner.run
+        (Runner.spec ~vmem_backend:config.Hoard_config.vmem_backend w (Hoard.factory ~config ())
+           ~nprocs)
+    in
     Printf.printf "%s P=%d %s: %d cycles, %.1f ops/Mcycle, frag %.2f, transfers %d/%d, %d invalidations\n"
       name nprocs
       (Format.asprintf "%a" Hoard_config.pp config)
@@ -301,7 +309,7 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
       const run $ workload_arg $ full_flag $ nprocs_arg $ f_arg $ k_arg $ s_arg $ vmem_opt
-      $ reservoir_opt $ shelf_opt)
+      $ reservoir_opt $ shelf_opt $ Config_cli.set_opt)
 
 let serve_cmd =
   let doc =
@@ -354,7 +362,7 @@ let serve_cmd =
             "Write a Perfetto trace: request spans per worker, a request-latency counter track, and \
              held/live/resident memory counter tracks.")
   in
-  let run profile_name alloc_label full quick nprocs requests slo report trace =
+  let run profile_name alloc_label full quick nprocs requests slo report trace sets =
     let profile =
       match Server_mix.profile_of_string profile_name with
       | Some p -> p
@@ -368,6 +376,16 @@ let serve_cmd =
       | None ->
         Printf.eprintf "unknown allocator %S; known:\n%s\n" alloc_label (Allocators.help ());
         exit 1
+    in
+    let factory =
+      if sets = [] then factory
+      else
+        match Allocators.with_overrides (fun cfg -> Config_cli.apply cfg sets) alloc_label with
+        | Some f -> f
+        | None ->
+          Printf.eprintf "allocator %S has no config knobs (--set applies to the hoard family)\n"
+            alloc_label;
+          exit 1
     in
     let scale = scale_of_flag (full && not quick) in
     let params =
@@ -414,7 +432,7 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ profile_arg $ allocator_arg $ full_flag $ quick_flag $ nprocs_arg $ requests_opt
-      $ slo_opt $ report_opt $ trace_opt)
+      $ slo_opt $ report_opt $ trace_opt $ Config_cli.set_opt)
 
 let () =
   let doc = "Reproduction harness for 'Hoard: A Scalable Memory Allocator' (ASPLOS 2000)." in

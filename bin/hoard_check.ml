@@ -133,7 +133,7 @@ let oracle_cmd =
   let no_blowup_flag =
     Arg.(value & flag & info [ "no-blowup" ] ~doc:"Skip the blowup-envelope assertion.")
   in
-  let run workload subject nprocs fuzz no_blowup =
+  let run workload subject nprocs fuzz no_blowup sets =
     let w =
       match Check_run.find_workload workload with
       | Some w -> w
@@ -141,7 +141,11 @@ let oracle_cmd =
         Printf.eprintf "unknown workload %S; available:\n%s\n" workload (Check_run.workload_help ());
         exit 2
     in
-    match Check_run.run_oracle ?fuzz ~nprocs ~check_blowup:(not no_blowup) ~workload:w ~subject () with
+    match
+      Check_run.run_oracle ?fuzz ~nprocs ~check_blowup:(not no_blowup)
+        ~overrides:(fun cfg -> Config_cli.apply cfg sets)
+        ~workload:w ~subject ()
+    with
     | r ->
       Printf.printf
         "%s/%s: OK — %d mallocs checked, peak U %d bytes, peak held %d bytes, %d actively shared \
@@ -154,7 +158,9 @@ let oracle_cmd =
       exit 1
   in
   Cmd.v (Cmd.info "oracle" ~doc)
-    Term.(const run $ workload_opt $ subject_opt $ procs_opt $ fuzz_opt $ no_blowup_flag)
+    Term.(
+      const run $ workload_opt $ subject_opt $ procs_opt $ fuzz_opt $ no_blowup_flag
+      $ Config_cli.set_opt)
 
 let slowdown_cmd =
   let doc = "Measure the host-time overhead of oracle + sanitizer checking." in

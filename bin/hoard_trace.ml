@@ -27,17 +27,23 @@ let load path =
     Printf.eprintf "%s: %s\n" path m;
     exit 1
 
-let factory_of name =
+let factory_of ?(sets = []) name =
   if name = "help" then begin
     print_endline "allocators:";
     print_endline (Allocators.help ());
     exit 0
   end;
   match Allocators.find name with
-  | Some f -> f
   | None ->
     Printf.eprintf "unknown allocator %S; known: %s\n" name (String.concat ", " (Allocators.labels ()));
     exit 1
+  | Some f when sets = [] -> f
+  | Some _ ->
+    (match Allocators.with_overrides (fun cfg -> Config_cli.apply cfg sets) name with
+     | Some f -> f
+     | None ->
+       Printf.eprintf "--set: allocator %S has no config knobs\n" name;
+       exit 1)
 
 let replay_trace trace factory ~procs =
   let sim = Sim.create ~nprocs:procs () in
@@ -86,14 +92,14 @@ let procs_arg = Arg.(value & opt int 4 & info [ "procs" ] ~doc:"Simulated proces
 let replay_cmd =
   let doc = "Replay a trace against one allocator on the simulator." in
   let alloc = Arg.(value & opt string "hoard" & info [ "allocator"; "a" ] ~doc:"Allocator to drive.") in
-  let run path alloc procs =
+  let run path alloc procs sets =
     let t = load path in
-    let cycles, stats, invals = replay_trace t (factory_of alloc) ~procs in
+    let cycles, stats, invals = replay_trace t (factory_of ~sets alloc) ~procs in
     Printf.printf "%s on %d procs: %d cycles, frag %.2f, %d invalidations\n" alloc procs cycles
       (Alloc_stats.fragmentation stats) invals;
     Format.printf "stats: %a@." Alloc_stats.pp_snapshot stats
   in
-  Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ file_arg $ alloc $ procs_arg)
+  Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ file_arg $ alloc $ procs_arg $ Config_cli.set_opt)
 
 let profile_cmd =
   let doc = "Replay a trace against instrumented hoard: contention, heatmap, Perfetto/metrics export." in
@@ -103,10 +109,11 @@ let profile_cmd =
   let metrics =
     Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc:"Write the metrics registry as JSON.")
   in
-  let run path procs perfetto metrics =
+  let run path procs perfetto metrics sets =
     let t = load path in
+    let config = Config_cli.apply (Hoard_config.make ()) sets in
     let b =
-      Obs_run.run_spawned ~name:(Filename.basename path) ~nprocs:procs (fun sim _pf a ->
+      Obs_run.run_spawned ~config ~name:(Filename.basename path) ~nprocs:procs (fun sim _pf a ->
           Trace.replay_sim t sim a ~nthreads:procs)
     in
     Printf.printf "%s on %d procs: %d cycles, %d events recorded (%d dropped)\n" path procs b.Obs_run.b_cycles
@@ -125,7 +132,8 @@ let profile_cmd =
       Printf.printf "wrote metrics to %s\n" f
     | None -> ()
   in
-  Cmd.v (Cmd.info "profile" ~doc) Term.(const run $ file_arg $ procs_arg $ perfetto $ metrics)
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const run $ file_arg $ procs_arg $ perfetto $ metrics $ Config_cli.set_opt)
 
 (* Structural validation of the two JSON artefacts the observability layer
    emits, plus metric comparison against a baseline export, for CI smoke
@@ -270,7 +278,7 @@ let check_json_cmd =
 
 let bench_cmd =
   let doc = "Replay a trace against every allocator and compare." in
-  let run path procs =
+  let run path procs sets =
     let t = load path in
     let tbl =
       Table.create ~title:(Printf.sprintf "%s on %d processors" path procs)
@@ -285,6 +293,15 @@ let bench_cmd =
     in
     List.iter
       (fun f ->
+        let f =
+          if sets = [] then f
+          else
+            Option.value
+              (Allocators.with_overrides
+                 (fun cfg -> Config_cli.apply cfg sets)
+                 f.Alloc_intf.label)
+              ~default:f
+        in
         let cycles, stats, invals = replay_trace t f ~procs in
         Table.add_row tbl
           [
@@ -297,7 +314,7 @@ let bench_cmd =
       (Allocators.all ());
     Table.print tbl
   in
-  Cmd.v (Cmd.info "bench" ~doc) Term.(const run $ file_arg $ procs_arg)
+  Cmd.v (Cmd.info "bench" ~doc) Term.(const run $ file_arg $ procs_arg $ Config_cli.set_opt)
 
 let () =
   let doc = "Allocation-trace tooling for the Hoard reproduction." in

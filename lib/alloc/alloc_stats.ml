@@ -26,6 +26,10 @@ type snapshot = {
   remote_forwards : int;
   shelf_pushes : int;
   shelf_pops : int;
+  large_maps : int;
+  large_cache_hits : int;
+  deferred_enqueues : int;
+  deferred_reclaims : int;
   cas_retries : int;
 }
 
@@ -50,6 +54,10 @@ type shard = {
   mutable remote_forwards : int;
   mutable shelf_pushes : int;
   mutable shelf_pops : int;
+  mutable large_maps : int;
+  mutable large_cache_hits : int;
+  mutable deferred_enqueues : int;
+  mutable deferred_reclaims : int;
   mutable peers : shard array; (* every shard of the owning [t], for peak merging *)
   merged_peak : int Atomic.t; (* shared with the owning [t] *)
 }
@@ -94,6 +102,10 @@ let new_shard merged_peak =
     remote_forwards = 0;
     shelf_pushes = 0;
     shelf_pops = 0;
+    large_maps = 0;
+    large_cache_hits = 0;
+    deferred_enqueues = 0;
+    deferred_reclaims = 0;
     peers = [||];
     merged_peak;
   }
@@ -207,6 +219,21 @@ let on_shelf_push sh = sh.shelf_pushes <- sh.shelf_pushes + 1
 
 let on_shelf_pop sh = sh.shelf_pops <- sh.shelf_pops + 1
 
+(* Large path. [on_large_map] marks a large allocation that paid a real
+   OS map; [on_large_cache_hit] one served by the MPSC cache's
+   take -> commit (both fire under the large lock, next to on_malloc). *)
+let on_large_map sh = sh.large_maps <- sh.large_maps + 1
+
+let on_large_cache_hit sh = sh.large_cache_hits <- sh.large_cache_hits + 1
+
+(* Deferred free list: enqueues count blocks pushed (fired on the
+   producer's own shard — the push itself takes no lock); reclaims count
+   owner-side exchange operations, so enqueues/reclaims is the observed
+   batching factor. *)
+let on_deferred_enqueue sh = sh.deferred_enqueues <- sh.deferred_enqueues + 1
+
+let on_deferred_reclaim sh = sh.deferred_reclaims <- sh.deferred_reclaims + 1
+
 let on_cas_retry t = Atomic.incr t.cas_retries
 
 (* Cross-shard reads are unsynchronised (possibly stale, never torn); the
@@ -288,7 +315,11 @@ let snapshot t =
   and drains = ref 0
   and forwards = ref 0
   and shelf_pushes = ref 0
-  and shelf_pops = ref 0 in
+  and shelf_pops = ref 0
+  and large_maps = ref 0
+  and large_cache_hits = ref 0
+  and deferred_enqueues = ref 0
+  and deferred_reclaims = ref 0 in
   Array.iter
     (fun sh ->
       mallocs := !mallocs + sh.mallocs;
@@ -305,7 +336,11 @@ let snapshot t =
       drains := !drains + sh.remote_drains;
       forwards := !forwards + sh.remote_forwards;
       shelf_pushes := !shelf_pushes + sh.shelf_pushes;
-      shelf_pops := !shelf_pops + sh.shelf_pops)
+      shelf_pops := !shelf_pops + sh.shelf_pops;
+      large_maps := !large_maps + sh.large_maps;
+      large_cache_hits := !large_cache_hits + sh.large_cache_hits;
+      deferred_enqueues := !deferred_enqueues + sh.deferred_enqueues;
+      deferred_reclaims := !deferred_reclaims + sh.deferred_reclaims)
     (Atomic.get t.shards);
   (* Per-shard peaks are NOT summed here: a block malloc'd under one heap
      may be freed under another after its superblock migrates, so the sum
@@ -341,6 +376,10 @@ let snapshot t =
     remote_forwards = !forwards;
     shelf_pushes = !shelf_pushes;
     shelf_pops = !shelf_pops;
+    large_maps = !large_maps;
+    large_cache_hits = !large_cache_hits;
+    deferred_enqueues = !deferred_enqueues;
+    deferred_reclaims = !deferred_reclaims;
     cas_retries = Atomic.get t.cas_retries;
   }
 
@@ -376,6 +415,10 @@ let publish t ?(prefix = "alloc") metrics =
   reg "remote_forwards" (fun s -> s.remote_forwards);
   reg "shelf_pushes" (fun s -> s.shelf_pushes);
   reg "shelf_pops" (fun s -> s.shelf_pops);
+  reg "large_maps" (fun s -> s.large_maps);
+  reg "large_cache_hits" (fun s -> s.large_cache_hits);
+  reg "deferred_enqueues" (fun s -> s.deferred_enqueues);
+  reg "deferred_reclaims" (fun s -> s.deferred_reclaims);
   reg "cas_retries" (fun s -> s.cas_retries);
   Metrics.register metrics ~name:(prefix ^ ".fragmentation") (fun () ->
       Metrics.Float (fragmentation (snapshot t)))
@@ -394,4 +437,8 @@ let pp_snapshot fmt (s : snapshot) =
     Format.fprintf fmt " cache_hits=%d fills=%d flushes=%d enq=%d drained=%d fwd=%d" s.cache_hits s.cache_fills
       s.cache_flushes s.remote_enqueues s.remote_drains s.remote_forwards;
   if s.shelf_pushes + s.shelf_pops + s.cas_retries > 0 then
-    Format.fprintf fmt " shelf_pushes=%d shelf_pops=%d cas_retries=%d" s.shelf_pushes s.shelf_pops s.cas_retries
+    Format.fprintf fmt " shelf_pushes=%d shelf_pops=%d cas_retries=%d" s.shelf_pushes s.shelf_pops s.cas_retries;
+  if s.large_maps + s.large_cache_hits > 0 then
+    Format.fprintf fmt " large_maps=%d large_cache_hits=%d" s.large_maps s.large_cache_hits;
+  if s.deferred_enqueues + s.deferred_reclaims > 0 then
+    Format.fprintf fmt " deferred_enq=%d deferred_reclaims=%d" s.deferred_enqueues s.deferred_reclaims

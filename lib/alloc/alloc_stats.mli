@@ -64,6 +64,12 @@ type snapshot = {
       (** migrated blocks re-forwarded by a drain to the new owner's queue *)
   shelf_pushes : int;  (** empty superblocks pushed onto the lock-free shelf *)
   shelf_pops : int;  (** refills served by popping the shelf (no global lock) *)
+  large_maps : int;  (** large allocations that paid an OS map *)
+  large_cache_hits : int;  (** large allocations served by the MPSC cache (take -> commit) *)
+  deferred_enqueues : int;  (** blocks CAS-pushed onto deferred free lists *)
+  deferred_reclaims : int;
+      (** owner-side deferred-list exchanges that returned blocks;
+          [deferred_enqueues / deferred_reclaims] is the batching factor *)
   cas_retries : int;  (** failed CASes in lock-free structures (contention) *)
 }
 
@@ -134,6 +140,22 @@ val on_shelf_push : shard -> unit
 
 val on_shelf_pop : shard -> unit
 (** A refill served from the shelf, under the destination heap's lock. *)
+
+val on_large_map : shard -> unit
+(** A large allocation that mapped fresh pages, under the large lock. *)
+
+val on_large_cache_hit : shard -> unit
+(** A large allocation served by the cache's take -> commit, under the
+    large lock (the take itself is lock-free; the table insert that
+    follows is where this fires). *)
+
+val on_deferred_enqueue : shard -> unit
+(** A block pushed onto a deferred free list — fired on the producer's
+    own (single-writer) shard, since the push takes no lock. *)
+
+val on_deferred_reclaim : shard -> unit
+(** A non-empty owner-side deferred-list exchange, under the owner's
+    heap lock. *)
 
 val on_cas_retry : t -> unit
 (** A failed CAS inside a lock-free structure (reservoir or shelf).

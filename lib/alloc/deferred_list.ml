@@ -1,0 +1,200 @@
+(* Unbounded intrusive deferred free list: the rpmalloc/jdz-style
+   replacement for a heap's bounded remote-free queue.
+
+   A producer (a thread freeing a block whose superblock belongs to
+   another heap) pushes the block itself onto the owner's list: the
+   block's first word becomes the intrusive next-link, and publication
+   is a single CAS on the list head — wait-free on the uncontended fast
+   path, lock-free under contention, never falling back to locking the
+   owner. The owner reclaims the entire list with one exchange
+   (head := 0) during its next fill/flush/trim and walks it privately,
+   so consumption costs one atomic regardless of length.
+
+   Because producers only push and the single consumer takes the whole
+   list atomically, the classic Treiber ABA hazard does not arise: a
+   push whose observed head was reclaimed-and-readvanced back to the
+   same address still links a consistent list (its next-link equals the
+   current head by value, and value equality is all the structure
+   needs). Hence no generation tag, unlike {!Lockfree}.
+
+   Representation: the simulated machine carries only the head word and
+   the per-block link stores/loads (so the protocol's coherence traffic
+   and schedule interleavings are real); the link *values* live in a
+   host-side table under a host mutex, the established idiom for
+   oracle/sanitizer state — blocks are private until the CAS publishes
+   them and private again after the exchange, so the table is only ever
+   touched on the winning side of an atomic and stays schedule-exact. *)
+
+type node = {
+  dn_next : int; (* 0 terminates *)
+  dn_sb : Superblock.t;
+}
+
+type t = {
+  pf : Platform.t;
+  head : Platform.atomic_int; (* 0 = empty, else address of the top block *)
+  links : (int, node) Hashtbl.t;
+  mu : Mutex.t;
+  lost_node : bool; (* mutant: a failed push CAS is treated as success *)
+  on_retry : unit -> unit;
+  mutable n_len : int;
+  mutable n_pushes : int;
+  mutable n_reclaims : int;
+  mutable n_reclaimed : int;
+  mutable n_retries : int;
+}
+
+let create (pf : Platform.t) ~name ?(lost_node = false) ?(on_retry = fun () -> ()) () =
+  {
+    pf;
+    head = pf.Platform.new_atomic (name ^ ".head") 0;
+    links = Hashtbl.create 64;
+    mu = Mutex.create ();
+    lost_node;
+    on_retry;
+    n_len = 0;
+    n_pushes = 0;
+    n_reclaims = 0;
+    n_reclaimed = 0;
+    n_retries = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* Producer side. Every [addr] must be a live block of its superblock
+   (never 0: block addresses sit past a superblock header). The whole
+   batch is linked into a private chain — one link store per block, on
+   the block's own line — and published with a single CAS on the head,
+   so an eviction batch costs one head-line transfer regardless of its
+   size. Only the tail link depends on the observed head, so a retry
+   re-patches one word, not the chain. *)
+let push_many t items =
+  match items with
+  | [] -> ()
+  | (_, first_addr) :: _ ->
+    let rec interior = function
+      | (sb, addr) :: ((_, next_addr) :: _ as rest) ->
+        t.pf.Platform.write ~addr ~len:8;
+        locked t (fun () -> Hashtbl.replace t.links addr { dn_next = next_addr; dn_sb = sb });
+        interior rest
+      | [ last ] -> last
+      | [] -> assert false
+    in
+    let last_sb, last_addr = interior items in
+    let n = List.length items in
+    let rec attempt () =
+      let next = t.head.Platform.load () in
+      (* Store the tail link into the (still private) block body. *)
+      t.pf.Platform.write ~addr:last_addr ~len:8;
+      locked t (fun () -> Hashtbl.replace t.links last_addr { dn_next = next; dn_sb = last_sb });
+      if t.head.Platform.cas ~expected:next ~desired:first_addr then
+        locked t (fun () ->
+            t.n_len <- t.n_len + n;
+            t.n_pushes <- t.n_pushes + n)
+      else begin
+        locked t (fun () -> t.n_retries <- t.n_retries + 1);
+        t.on_retry ();
+        if t.lost_node then
+          (* Mutant: pretend the failed CAS succeeded. The chain is now
+             on no list and will never be reclaimed — a silent leak that
+             only materialises under producer contention. *)
+          locked t (fun () -> List.iter (fun (_, addr) -> Hashtbl.remove t.links addr) items)
+        else attempt ()
+      end
+    in
+    attempt ()
+
+let push t sb addr = push_many t [ (sb, addr) ]
+
+(* Walk a privately-owned chain starting at [h], removing link entries.
+   Each hop is a real load of the block's link word. *)
+let walk t ~charged h =
+  let rec go acc addr =
+    if addr = 0 then List.rev acc
+    else begin
+      if charged then t.pf.Platform.read ~addr ~len:8;
+      match locked t (fun () -> Hashtbl.find_opt t.links addr) with
+      | None -> failwith (Printf.sprintf "Deferred_list(%s): node %#x without payload" t.head.Platform.atomic_name addr)
+      | Some n ->
+        locked t (fun () -> Hashtbl.remove t.links addr);
+        go ((n.dn_sb, addr) :: acc) n.dn_next
+    end
+  in
+  go [] h
+
+(* Consumer side: one exchange detaches the whole list. The load+CAS
+   loop is an exchange — it only retries when a concurrent push lands
+   between the load and the CAS, and then succeeds against the new head. *)
+let reclaim t =
+  let rec grab () =
+    let h = t.head.Platform.load () in
+    if h = 0 then 0
+    else if t.head.Platform.cas ~expected:h ~desired:0 then h
+    else begin
+      locked t (fun () -> t.n_retries <- t.n_retries + 1);
+      t.on_retry ();
+      grab ()
+    end
+  in
+  let h = grab () in
+  if h = 0 then []
+  else begin
+    let items = walk t ~charged:true h in
+    locked t (fun () ->
+        t.n_len <- t.n_len - List.length items;
+        t.n_reclaims <- t.n_reclaims + 1;
+        t.n_reclaimed <- t.n_reclaimed + List.length items);
+    items
+  end
+
+(* Quiescent drain for post-run teardown: no simulated-machine effects
+   (callable from outside any simulated thread), same result. *)
+let drain_quiescent t =
+  let h = t.head.Platform.peek () in
+  if h = 0 then []
+  else begin
+    t.head.Platform.poke 0;
+    let items = walk t ~charged:false h in
+    locked t (fun () ->
+        t.n_len <- t.n_len - List.length items;
+        t.n_reclaims <- t.n_reclaims + 1;
+        t.n_reclaimed <- t.n_reclaimed + List.length items);
+    items
+  end
+
+let length t = locked t (fun () -> t.n_len)
+
+let pushes t = locked t (fun () -> t.n_pushes)
+
+let reclaims t = locked t (fun () -> t.n_reclaims)
+
+let reclaimed t = locked t (fun () -> t.n_reclaimed)
+
+let retries t = locked t (fun () -> t.n_retries)
+
+(* Quiescent structural check: walks the chain without consuming it,
+   detecting cycles, payload-less nodes and a length drifting from the
+   push/reclaim accounting. *)
+let iter t f =
+  let seen = Hashtbl.create 16 in
+  let rec go n addr =
+    if addr = 0 then n
+    else begin
+      if Hashtbl.mem seen addr then
+        failwith (Printf.sprintf "Deferred_list(%s): cycle through %#x" t.head.Platform.atomic_name addr);
+      Hashtbl.replace seen addr ();
+      match locked t (fun () -> Hashtbl.find_opt t.links addr) with
+      | None ->
+        failwith (Printf.sprintf "Deferred_list(%s): node %#x without payload" t.head.Platform.atomic_name addr)
+      | Some node ->
+        f node.dn_sb addr;
+        go (n + 1) node.dn_next
+    end
+  in
+  let n = go 0 (t.head.Platform.peek ()) in
+  if n <> length t then
+    failwith
+      (Printf.sprintf "Deferred_list(%s): %d nodes on the list but %d accounted" t.head.Platform.atomic_name
+         n (length t))

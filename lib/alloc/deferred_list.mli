@@ -1,0 +1,57 @@
+(** Unbounded intrusive deferred free list (MPSC): producers push
+    remotely-freed blocks with one CAS on the list head (wait-free when
+    uncontended, never locking the owner); the owning heap detaches the
+    whole list with a single exchange and walks it privately. The
+    push-only/take-all discipline makes the structure ABA-immune without
+    generation tags — see the implementation header for the argument.
+
+    The head word and per-block link loads/stores run on the simulated
+    machine (costed, schedule-visible); link values live in host state
+    behind a host mutex, touched only while the block is private. *)
+
+type t
+
+val create : Platform.t -> name:string -> ?lost_node:bool -> ?on_retry:(unit -> unit) -> unit -> t
+(** [lost_node] plants the ["deferred-lost-node"] mutant: a failed push
+    CAS is treated as success, silently dropping the block — only
+    observable under producer contention. [on_retry] runs after every
+    failed CAS (explorer instrumentation). *)
+
+val push : t -> Superblock.t -> int -> unit
+(** [push t sb addr] publishes block [addr] of [sb] onto the list. The
+    block must be private to the caller (freed, custody-marked) and its
+    address nonzero. *)
+
+val push_many : t -> (Superblock.t * int) list -> unit
+(** Publish a whole batch with a single CAS: the blocks are linked into
+    a private chain (one link store per block, on the block's own line)
+    and the head is swung once, so an eviction batch costs one head-line
+    transfer regardless of size. Same preconditions per block as
+    {!push}; [push_many t [(sb, a)]] is exactly [push t sb a]. *)
+
+val reclaim : t -> (Superblock.t * int) list
+(** Detach the entire list with one exchange and return its blocks,
+    most-recently-pushed first. Empty list when there is nothing. *)
+
+val drain_quiescent : t -> (Superblock.t * int) list
+(** Same as {!reclaim} but charge-free and schedule-invisible, for
+    post-run teardown only (uses [peek]/[poke]). *)
+
+val length : t -> int
+(** Blocks currently on the list (host accounting, quiescent-exact). *)
+
+val pushes : t -> int
+
+val reclaims : t -> int
+(** Number of non-empty {!reclaim}/{!drain_quiescent} exchanges. *)
+
+val reclaimed : t -> int
+(** Total blocks returned across all reclaims. *)
+
+val retries : t -> int
+(** Failed CAS attempts (push and reclaim combined). *)
+
+val iter : t -> (Superblock.t -> int -> unit) -> unit
+(** Quiescent structural walk without consuming the list; fails on
+    cycles, payload-less nodes, or a length drifting from the
+    accounting. Call only when no thread is mid-operation. *)

@@ -30,9 +30,23 @@ let malloc t size =
   Hashtbl.replace t.table addr { usable; mapped };
   Alloc_stats.on_map t.stats ~bytes:mapped;
   Alloc_stats.on_malloc t.sh ~requested:size ~usable;
+  Alloc_stats.on_large_map t.sh;
   event t Event_ring.Large_map mapped;
   t.live_b <- t.live_b + usable;
   addr
+
+(* Adopt a region taken from the large cache: its pages are already
+   mapped (held never changed while it was parked) and recommitted by
+   the take, so the only work is the table insert and the malloc /
+   cache-hit counters — no OS-map accounting. *)
+let adopt t ~addr ~size ~mapped =
+  let usable = round_up size 8 in
+  Hashtbl.replace t.table addr { usable; mapped };
+  Alloc_stats.on_malloc t.sh ~requested:size ~usable;
+  Alloc_stats.on_large_cache_hit t.sh;
+  event t Event_ring.Recommit mapped;
+  event t Event_ring.Large_cache_hit mapped;
+  t.live_b <- t.live_b + usable
 
 let free t ~addr =
   match Hashtbl.find_opt t.table addr with
@@ -45,6 +59,22 @@ let free t ~addr =
     event t Event_ring.Large_unmap mapped;
     t.live_b <- t.live_b - usable;
     true
+
+(* Remove [addr] from the table and count the free WITHOUT touching the
+   pages: the caller decides whether the region parks in the cache or
+   goes back to the OS. Returns the region's mapped size. *)
+let release t ~addr =
+  match Hashtbl.find_opt t.table addr with
+  | None -> None
+  | Some { usable; mapped } ->
+    Hashtbl.remove t.table addr;
+    Alloc_stats.on_free t.sh ~usable;
+    t.live_b <- t.live_b - usable;
+    Some mapped
+
+let has_ring t = t.ring <> None
+
+let note t kind ~arg = event t kind arg
 
 let usable_size t ~addr =
   match Hashtbl.find_opt t.table addr with

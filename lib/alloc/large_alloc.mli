@@ -16,9 +16,24 @@ val malloc : t -> int -> int
 (** Maps fresh pages for a request of the given size; returns the block
     address. *)
 
+val adopt : t -> addr:int -> size:int -> mapped:int -> unit
+(** Insert a region taken from the large cache: the pages are already
+    mapped and committed, so only the table entry and the malloc /
+    cache-hit counters are touched (no OS-map accounting). *)
+
 val free : t -> addr:int -> bool
 (** Unmaps the large object at [addr]; [false] if [addr] is not a live
     large object (the caller then tries its superblock path). *)
+
+val release : t -> addr:int -> int option
+(** Remove [addr] from the table and count the free without unmapping;
+    returns the mapped size for the caller to park or unmap itself. *)
+
+val has_ring : t -> bool
+
+val note : t -> Event_ring.kind -> arg:int -> unit
+(** Record an event into the instance's ring (no-op without one); call
+    under the caller's lock, like every other operation. *)
 
 val usable_size : t -> addr:int -> int option
 

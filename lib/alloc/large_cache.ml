@@ -1,0 +1,101 @@
+(* Lock-free MPSC cache of large (> S/2) regions, sitting in front of
+   {!Large_alloc}: instead of a map/unmap round trip per large object,
+   a freed region is parked — decommitted but still mapped — in a
+   bucket keyed by its page count, and a later allocation of the same
+   page count takes it back with pop → commit. Buckets are bounded
+   {!Lockfree} stacks, so park and take are pure CAS protocols shared
+   by any number of producers; overflow (bucket full) and oversized
+   regions fall back to the seed unmap/map path.
+
+   Residency discipline mirrors the superblock reservoir: the region is
+   decommitted *before* the push publishes it (while still private), so
+   no interleaving can observe a parked-but-resident region; a take
+   commits *after* the pop made the region private again. Parked
+   regions stay mapped, hence charged to held — the blowup envelope's
+   slop grows by [capacity_bytes] — while residency drops, keeping
+   resident <= held intact. *)
+
+type t = {
+  pf : Platform.t;
+  page_size : int;
+  nbuckets : int; (* bucket i holds regions of exactly (i+1) pages *)
+  bucket_cap : int;
+  buckets : int Lockfree.t array; (* payload: region base address *)
+}
+
+let create (pf : Platform.t) ~name ~cap ?(nbuckets = 16) ?(aba_tag = true) ?on_retry () =
+  if cap < 0 then invalid_arg "Large_cache.create: cap must be non-negative";
+  if nbuckets < 1 then invalid_arg "Large_cache.create: nbuckets must be >= 1";
+  {
+    pf;
+    page_size = pf.Platform.page_size;
+    nbuckets;
+    bucket_cap = cap;
+    buckets =
+      Array.init nbuckets (fun i ->
+          Lockfree.create pf ~name:(Printf.sprintf "%s.b%d" name (i + 1)) ~cap ~aba_tag ?on_retry ());
+  }
+
+let bucket_of t ~mapped =
+  if mapped <= 0 || mapped mod t.page_size <> 0 then None
+  else
+    let pages = mapped / t.page_size in
+    if pages <= t.nbuckets then Some (pages - 1) else None
+
+let cacheable t ~mapped = t.bucket_cap > 0 && bucket_of t ~mapped <> None
+
+(* Park a privately-owned mapped region: decommit first, publish second.
+   [`Bounced] means the bucket was full — the region is still the
+   caller's, already decommitted, and must be unmapped. *)
+let park t ~addr ~mapped =
+  match if t.bucket_cap = 0 then None else bucket_of t ~mapped with
+  | None -> `Uncacheable
+  | Some i ->
+    t.pf.Platform.page_decommit ~addr;
+    if Lockfree.push t.buckets.(i) addr then `Parked else `Bounced
+
+(* Take a region of exactly [mapped] bytes: the pop privatises it, the
+   commit brings its pages back. *)
+let take t ~mapped =
+  match if t.bucket_cap = 0 then None else bucket_of t ~mapped with
+  | None -> None
+  | Some i ->
+    (match Lockfree.pop t.buckets.(i) with
+     | None -> None
+     | Some addr ->
+       t.pf.Platform.page_commit ~addr;
+       Some addr)
+
+let length t = Array.fold_left (fun acc b -> acc + Lockfree.length b) 0 t.buckets
+
+let parked_bytes t =
+  let acc = ref 0 in
+  Array.iteri (fun i b -> acc := !acc + (Lockfree.length b * (i + 1) * t.page_size)) t.buckets;
+  !acc
+
+let capacity_bytes t = t.bucket_cap * t.nbuckets * (t.nbuckets + 1) / 2 * t.page_size
+
+let takes t = Array.fold_left (fun acc b -> acc + Lockfree.pops b) 0 t.buckets
+
+let parks t = Array.fold_left (fun acc b -> acc + Lockfree.pushes b) 0 t.buckets
+
+let retries t = Array.fold_left (fun acc b -> acc + Lockfree.retries b) 0 t.buckets
+
+let iter t f =
+  Array.iteri (fun i b -> Lockfree.iter b (fun addr -> f ~addr ~mapped:((i + 1) * t.page_size))) t.buckets
+
+(* Quiescent structural + residency check: every parked region must be
+   mapped and decommitted (a resident parked region is the
+   park-ordering bug), buckets within capacity, stacks uncorrupted
+   (Lockfree.iter fails on the ABA-loss signatures). *)
+let check t =
+  Array.iteri
+    (fun i b ->
+      if Lockfree.length b > t.bucket_cap then
+        failwith (Printf.sprintf "Large_cache: bucket %d over capacity (%d > %d)" (i + 1) (Lockfree.length b) t.bucket_cap);
+      Lockfree.iter b (fun addr ->
+          match t.pf.Platform.page_residency ~addr with
+          | Vmem.Decommitted -> ()
+          | Vmem.Resident -> failwith (Printf.sprintf "Large_cache: parked region %#x still resident" addr)
+          | Vmem.Unmapped -> failwith (Printf.sprintf "Large_cache: parked region %#x not mapped" addr)))
+    t.buckets

@@ -1,0 +1,59 @@
+(** Lock-free MPSC cache of large-object regions in front of
+    {!Large_alloc}: freed regions park decommitted-but-mapped in
+    bounded per-page-count {!Lockfree} buckets; an allocation of the
+    same page count takes one back with pop → commit instead of a map.
+    Decommit happens before the publishing push and commit after the
+    privatising pop, so no schedule can observe a parked resident
+    region (same discipline as the superblock reservoir). *)
+
+type t
+
+val create :
+  Platform.t ->
+  name:string ->
+  cap:int ->
+  ?nbuckets:int ->
+  ?aba_tag:bool ->
+  ?on_retry:(unit -> unit) ->
+  unit ->
+  t
+(** [cap] bounds each bucket (0 disables the cache: every park reports
+    [`Uncacheable]). [nbuckets] (default 16) buckets cache regions of
+    1..nbuckets pages; larger regions are uncacheable. [aba_tag:false]
+    plants the ["large-cache-no-aba"] mutant (frozen Treiber tags on
+    every bucket); [on_retry] fires on each failed CAS. *)
+
+val cacheable : t -> mapped:int -> bool
+
+val park : t -> addr:int -> mapped:int -> [ `Parked | `Bounced | `Uncacheable ]
+(** Park a privately-owned region of exactly [mapped] bytes.
+    [`Parked]: the cache owns it (decommitted). [`Bounced]: bucket
+    full — the region is still the caller's, now decommitted, and must
+    be unmapped. [`Uncacheable]: wrong size or cache disabled; the
+    caller proceeds as without a cache (no decommit happened). *)
+
+val take : t -> mapped:int -> int option
+(** Pop a parked region of exactly [mapped] bytes and commit its pages.
+    [None] on an empty bucket or uncacheable size. *)
+
+val length : t -> int
+(** Regions parked across all buckets (exact at quiescence). *)
+
+val parked_bytes : t -> int
+
+val capacity_bytes : t -> int
+(** Worst-case mapped bytes the cache can hold: the blowup envelope's
+    slop term for a cache-enabled configuration. *)
+
+val takes : t -> int
+
+val parks : t -> int
+
+val retries : t -> int
+
+val iter : t -> (addr:int -> mapped:int -> unit) -> unit
+(** Quiescent-only walk of every parked region. *)
+
+val check : t -> unit
+(** Quiescent structural + residency check: buckets within capacity,
+    stacks uncorrupted, every parked region mapped and decommitted. *)

@@ -1,30 +1,106 @@
-type t = { large : Large_alloc.t; lock : Platform.lock; threshold : int }
+type t = {
+  pf : Platform.t;
+  large : Large_alloc.t;
+  lock : Platform.lock;
+  threshold : int;
+  cache : Large_cache.t option;
+  stats : Alloc_stats.t;
+}
 
-let create ?shard ?ring pf ~owner ~stats ~threshold =
+let create ?shard ?ring ?cache pf ~owner ~stats ~threshold =
   let shard_idx =
     match shard with
     | Some i -> i
     | None -> Alloc_stats.nshards stats - 1
   in
   {
+    pf;
     large = Large_alloc.create ?ring pf ~owner ~stats ~shard:(Alloc_stats.shard stats shard_idx);
     lock = pf.Platform.new_lock "large";
     threshold;
+    cache;
+    stats;
   }
 
 let is_large t size = size > t.threshold
 
-let malloc t size =
-  t.lock.acquire ();
-  let addr = Large_alloc.malloc t.large size in
-  t.lock.release ();
-  addr
+(* Ring writes share the table lock's domain, but the cache protocol runs
+   outside it — so a park's Decommit / Large_unmap trace entries are
+   recorded in a tiny dedicated critical section, and only when a ring
+   exists at all. *)
+let with_ring_lock t f =
+  if Large_alloc.has_ring t.large then begin
+    t.lock.acquire ();
+    f ();
+    t.lock.release ()
+  end
 
+let round_up x align = (x + align - 1) / align * align
+
+(* The cache hit path: pop + commit outside the lock (pure CAS protocol,
+   shared by all threads), then the table insert under it. A miss — or a
+   disabled/unsuitable cache — pays the OS map as before. *)
+let malloc t size =
+  let from_os () =
+    t.lock.acquire ();
+    let addr = Large_alloc.malloc t.large size in
+    t.lock.release ();
+    addr
+  in
+  match t.cache with
+  | None -> from_os ()
+  | Some c ->
+    if size <= 0 then from_os ()
+    else begin
+      let mapped = round_up size t.pf.Platform.page_size in
+      match Large_cache.take c ~mapped with
+      | None -> from_os ()
+      | Some addr ->
+        Alloc_stats.on_recommit t.stats ~bytes:mapped;
+        t.lock.acquire ();
+        Large_alloc.adopt t.large ~addr ~size ~mapped;
+        t.lock.release ();
+        addr
+    end
+
+(* Free with a cache: the table removal (and the free counters) happen
+   under the lock while the region is still accounted; the park itself —
+   decommit, then one CAS — runs outside it. A bounce (bucket full) or an
+   uncacheable size falls back to the seed unmap. Parked regions stay
+   mapped, so held is untouched and only residency drops. *)
 let try_free t ~addr =
-  t.lock.acquire ();
-  let found = Large_alloc.free t.large ~addr in
-  t.lock.release ();
-  found
+  match t.cache with
+  | None ->
+    t.lock.acquire ();
+    let found = Large_alloc.free t.large ~addr in
+    t.lock.release ();
+    found
+  | Some c ->
+    t.lock.acquire ();
+    let released = Large_alloc.release t.large ~addr in
+    t.lock.release ();
+    (match released with
+     | None -> false
+     | Some mapped ->
+       (match Large_cache.park c ~addr ~mapped with
+        | `Parked ->
+          Alloc_stats.on_decommit t.stats ~bytes:mapped;
+          with_ring_lock t (fun () -> Large_alloc.note t.large Event_ring.Decommit ~arg:mapped)
+        | `Bounced ->
+          (* The push lost to a full bucket: the region is ours again,
+             already decommitted — return it to the OS without debiting
+             residency twice. *)
+          t.pf.Platform.page_unmap ~addr;
+          Alloc_stats.on_decommit t.stats ~bytes:mapped;
+          Alloc_stats.on_unmap ~resident:false t.stats ~bytes:mapped;
+          with_ring_lock t (fun () ->
+              Large_alloc.note t.large Event_ring.Decommit ~arg:mapped;
+              Large_alloc.note t.large Event_ring.Large_unmap ~arg:mapped)
+        | `Uncacheable ->
+          t.pf.Platform.page_unmap ~addr;
+          Alloc_stats.on_unmap t.stats ~bytes:mapped;
+          with_ring_lock t (fun () -> Large_alloc.note t.large Event_ring.Large_unmap ~arg:mapped));
+       true)
 
 let usable_size t ~addr =
   (* The table is mutated under [t.lock]; an unlocked read could observe a
@@ -35,3 +111,5 @@ let usable_size t ~addr =
   r
 
 let live_bytes t = Large_alloc.live_bytes t.large
+
+let cache t = t.cache

@@ -8,11 +8,25 @@
 type t
 
 val create :
-  ?shard:int -> ?ring:Event_ring.t -> Platform.t -> owner:int -> stats:Alloc_stats.t -> threshold:int -> t
+  ?shard:int ->
+  ?ring:Event_ring.t ->
+  ?cache:Large_cache.t ->
+  Platform.t ->
+  owner:int ->
+  stats:Alloc_stats.t ->
+  threshold:int ->
+  t
 (** [shard] is the index of the stats shard charged for large
     malloc/free events (the shard's lock domain is this module's internal
     lock); defaults to the last shard of [stats]. [ring], when given,
-    records [Large_map]/[Large_unmap] events under the same lock. *)
+    records [Large_map]/[Large_unmap] events under the same lock.
+
+    [cache], when given, fronts the OS with a lock-free {!Large_cache}:
+    a free of a cacheable region parks it (decommit, then one CAS)
+    instead of unmapping; a later malloc of the same page count takes it
+    back with pop → commit instead of a map. The take/park protocol runs
+    outside the table lock; only the table mutation and its counters
+    stay under it. *)
 
 val is_large : t -> int -> bool
 (** Whether a request of this size takes the large path. *)
@@ -25,3 +39,5 @@ val try_free : t -> addr:int -> bool
 val usable_size : t -> addr:int -> int option
 
 val live_bytes : t -> int
+
+val cache : t -> Large_cache.t option

@@ -22,49 +22,47 @@ let hoard_subjects =
     {
       s_label = "hoard-fe";
       s_describe = "lock-free front end";
-      s_config = Some { Hoard_config.default with Hoard_config.front_end = Allocators.front_end_default };
+      s_config = Some (Hoard_config.make ~front_end:Allocators.front_end_default ());
+    };
+    {
+      s_label = "hoard-df";
+      s_describe = "front end with deferred remote-free lists and the large-object cache";
+      s_config =
+        Some
+          (Hoard_config.make ~front_end:Allocators.front_end_default ~deferred:true
+             ~large_cache:Allocators.large_cache_default ());
+    };
+    {
+      s_label = "hoard-df-san";
+      s_describe = "deferred frees and large cache with the sanitizer on";
+      s_config =
+        Some
+          (Hoard_config.make ~front_end:Allocators.front_end_default ~deferred:true
+             ~large_cache:Allocators.large_cache_default ~sanitize:true ());
     };
     {
       s_label = "hoard-san";
       s_describe = "sanitizer on (poison, canaries, quarantine)";
-      s_config = Some { Hoard_config.default with Hoard_config.sanitize = true };
+      s_config = Some (Hoard_config.make ~sanitize:true ());
     };
     {
       s_label = "hoard-fe-san";
       s_describe = "front end and sanitizer together";
-      s_config =
-        Some
-          {
-            Hoard_config.default with
-            Hoard_config.front_end = Allocators.front_end_default;
-            sanitize = true;
-          };
+      s_config = Some (Hoard_config.make ~front_end:Allocators.front_end_default ~sanitize:true ());
     };
     {
       s_label = "hoard-res";
       s_describe = "superblock reservoir on the first-fit vmem backend, sanitizer on";
+      (* The sanitizer makes decommitted-page touches and
+         recommit-on-reuse part of what this subject checks. *)
       s_config =
-        Some
-          {
-            Hoard_config.default with
-            Hoard_config.reservoir = 4;
-            vmem_backend = Vmem_backend.First_fit;
-            (* The sanitizer makes decommitted-page touches and
-               recommit-on-reuse part of what this subject checks. *)
-            sanitize = true;
-          };
+        Some (Hoard_config.make ~reservoir:4 ~vmem_backend:Vmem_backend.First_fit ~sanitize:true ());
     };
     {
       s_label = "hoard-shelf";
       s_describe = "lock-free shelf and reservoir in front of the global heap, with the front end";
       s_config =
-        Some
-          {
-            Hoard_config.default with
-            Hoard_config.shelf = 4;
-            reservoir = 4;
-            front_end = Allocators.front_end_default;
-          };
+        Some (Hoard_config.make ~shelf:4 ~reservoir:4 ~front_end:Allocators.front_end_default ());
     };
   ]
 
@@ -100,7 +98,15 @@ let blowup_slop cfg ~nprocs ~nthreads =
   let quarantine = if cfg.Hoard_config.sanitize then cfg.Hoard_config.quarantine * Hoard_config.max_small cfg else 0 in
   (* The shelf parks up to [shelf] empty superblocks outside any heap. *)
   let shelf = cfg.Hoard_config.shelf * s in
-  per_heap + retained + in_flight + fe + quarantine + shelf
+  (* Deferred lists are unbounded, but a block only floats between a
+     producer's eviction (at most a cache's worth per flush) and the
+     owner's next fill — the same per-thread granularity as the caches,
+     counted once more per heap since reclaims happen heap by heap. *)
+  let deferred = if cfg.Hoard_config.deferred && cfg.Hoard_config.front_end > 0 then (nthreads + heaps) * s else 0 in
+  (* The large cache keeps up to cap regions per bucket mapped (1..16
+     pages each, 4 KiB pages on every platform we build). *)
+  let large_cache = cfg.Hoard_config.large_cache * (16 * 17 / 2) * 4096 in
+  per_heap + retained + in_flight + fe + quarantine + shelf + deferred + large_cache
 
 type report = {
   c_workload : string;
@@ -116,10 +122,10 @@ type report = {
    Raises Oracle.Oracle_violation / Hoard.Sanitizer_violation (or the
    allocator's own check failure) on any discrepancy. *)
 let run_oracle ?fuzz ?(nprocs = 4) ?nthreads ?(check_blowup = true) ?(expect_no_false_sharing = false)
-    ~workload ~subject () =
+    ?(overrides = fun cfg -> cfg) ~workload ~subject () =
   let s =
     match find_subject subject with
-    | Some s -> s
+    | Some s -> { s with s_config = Option.map overrides s.s_config }
     | None -> invalid_arg (sprintf "Check_run.run_oracle: unknown subject %S" subject)
   in
   let handle = ref None in

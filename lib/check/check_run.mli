@@ -42,6 +42,7 @@ val run_oracle :
   ?nthreads:int ->
   ?check_blowup:bool ->
   ?expect_no_false_sharing:bool ->
+  ?overrides:(Hoard_config.t -> Hoard_config.t) ->
   workload:Workload_intf.t ->
   subject:string ->
   unit ->
@@ -49,7 +50,10 @@ val run_oracle :
 (** One oracle-checked run ([nprocs] defaults to 4). Raises
     {!Oracle.Oracle_violation}, {!Hoard.Sanitizer_violation} or the
     allocator's own check failures on any discrepancy. [fuzz] seeds the
-    schedule fuzzer for interleaving variety. *)
+    schedule fuzzer for interleaving variety; [overrides] is applied to
+    the subject's config when it has one (how the CLI threads
+    [--set knob=value] through), and the blowup envelope is computed
+    from the overridden config. *)
 
 val quick_workloads : unit -> Workload_intf.t list
 (** Quick-scale paper workloads for CI sweeps. *)

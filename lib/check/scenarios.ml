@@ -68,17 +68,8 @@ let locked_update =
    on a 4 KiB superblock so a handful of allocations spans exactly two
    superblocks of one size class. *)
 let race_config ~mutant =
-  {
-    Hoard_config.default with
-    Hoard_config.sb_size = 4096;
-    nheaps = Some 1;
-    slack = 0;
-    empty_fraction = 0.5;
-    path_work = 0;
-    release_to_os = false;
-    front_end = 0;
-    mutant;
-  }
+  Hoard_config.make ~sb_size:4096 ~nheaps:(Some 1) ~slack:0 ~empty_fraction:0.5 ~path_work:0
+    ~release_to_os:false ~front_end:0 ~mutant ()
 
 (* Pick the largest size class whose superblock capacity is at least
    [min_cap] blocks — big blocks keep the setup short, enough capacity
@@ -437,6 +428,127 @@ let shelf_transfer =
             failwith (sprintf "shelf-transfer: %d shelved superblocks above cap %d" len config.Hoard_config.shelf));
   }
 
+(* Producers racing CAS pushes onto one owner's deferred free list, end
+   to end through the allocator: thread 0 (heap 1) allocates two blocks
+   and hands one to each of threads 1 and 2 (heaps 2 and 3); their
+   remote frees land in their front-end caches, and the flushes
+   surrender each block with a push onto heap 1's deferred list — the
+   two pushes race on the list head. The real push retries a failed
+   CAS; the deferred-lost-node mutant treats the failure as success, so
+   in the schedule where one push lands inside the other's load-to-CAS
+   window a block leaves every list and the post-run count comes up
+   short. *)
+let deferred_remote_free ~mutant =
+  {
+    Explorer.sc_name = (if mutant = "" then "deferred-remote-free" else "deferred-remote-free-mutant");
+    sc_describe =
+      (if mutant = "" then "remote flushes racing CAS pushes onto one heap's deferred free list"
+       else "the same push race with the lost-node mutant; a dropped push leaks a block at bound <= 2");
+    sc_nprocs = 3;
+    sc_build =
+      (fun sim pf ->
+        let config =
+          { (race_config ~mutant) with Hoard_config.nheaps = Some 3; front_end = 2; deferred = true }
+        in
+        let h = Hoard.create ~config pf in
+        let a = Hoard.allocator h in
+        let bsize, _ =
+          pick_class (Hoard.size_classes h) ~sb_size:config.Hoard_config.sb_size ~min_cap:7
+        in
+        let barrier = Sim.new_barrier sim ~parties:3 in
+        let t1 = ref 0 and t2 = ref 0 in
+        ignore
+          (Sim.spawn sim ~proc:0 (fun () ->
+               t1 := a.Alloc_intf.malloc bsize;
+               t2 := a.Alloc_intf.malloc bsize;
+               Sim.barrier_wait barrier));
+        List.iter
+          (fun (p, target) ->
+            ignore
+              (Sim.spawn sim ~proc:p (fun () ->
+                   Sim.barrier_wait barrier;
+                   a.Alloc_intf.free !target;
+                   a.Alloc_intf.flush ())))
+          [ (1, t1); (2, t2) ];
+        fun () ->
+          Hoard.check h;
+          let listed = Array.fold_left ( + ) 0 (Hoard.deferred_lengths h) in
+          if listed <> 2 then
+            failwith
+              (sprintf "deferred-remote-free: %d block(s) on the deferred lists, expected 2" listed));
+  }
+
+(* The large-object cache's park/take protocol, raw (the lockfree-stack
+   pattern over a Large_cache bucket): three threads take 1-page regions
+   from a 3-deep bucket while one of them parks a fourth back. The
+   post-run check walks the buckets (Lockfree.iter rejects the
+   structural ABA signatures), re-runs the residency check, and demands
+   every accepted park is accounted for exactly once across takers and
+   the remaining parked set. With the tag frozen
+   (mutant = "large-cache-no-aba"), a taker preempted between its link
+   load and its head CAS can install a stale link after the slot was
+   recycled — caught at preemption bound <= 2 like the reservoir's
+   stack. *)
+let large_cache_churn ~mutant =
+  {
+    Explorer.sc_name = (if mutant = "" then "large-cache-churn" else "large-cache-churn-mutant");
+    sc_describe =
+      (if mutant = "" then "takes racing a park on one large-cache bucket: pop CAS against push CAS"
+       else "the same churn with the ABA tag frozen; a stale take corrupts the bucket at bound <= 2");
+    sc_nprocs = 3;
+    sc_build =
+      (fun sim pf ->
+        let page = pf.Platform.page_size in
+        let cache =
+          Large_cache.create pf ~name:"lcache" ~cap:4 ~aba_tag:(mutant <> "large-cache-no-aba") ()
+        in
+        let regions = Array.make 4 0 in
+        let park i =
+          match Large_cache.park cache ~addr:regions.(i) ~mapped:page with
+          | `Parked -> ()
+          | `Bounced | `Uncacheable -> failwith "large-cache-churn: park into a free slot failed"
+        in
+        let barrier = Sim.new_barrier sim ~parties:3 in
+        let taken = Array.make 3 [] in
+        let note p = function None -> () | Some v -> taken.(p) <- v :: taken.(p) in
+        ignore
+          (Sim.spawn sim ~proc:0 (fun () ->
+               (* page_map is a machine operation: regions are mapped from
+                  inside the simulation, before the others unblock. *)
+               for i = 0 to 3 do
+                 regions.(i) <- pf.Platform.page_map ~bytes:page ~align:page ~owner:0
+               done;
+               park 0;
+               park 1;
+               park 2;
+               Sim.barrier_wait barrier;
+               note 0 (Large_cache.take cache ~mapped:page)));
+        ignore
+          (Sim.spawn sim ~proc:1 (fun () ->
+               Sim.barrier_wait barrier;
+               note 1 (Large_cache.take cache ~mapped:page)));
+        ignore
+          (Sim.spawn sim ~proc:2 (fun () ->
+               Sim.barrier_wait barrier;
+               note 2 (Large_cache.take cache ~mapped:page);
+               park 3));
+        fun () ->
+          Large_cache.check cache;
+          let remaining = ref [] in
+          Large_cache.iter cache (fun ~addr ~mapped:_ -> remaining := addr :: !remaining);
+          let acc = !remaining @ taken.(0) @ taken.(1) @ taken.(2) in
+          if List.length acc <> Large_cache.parks cache then
+            failwith
+              (sprintf "large-cache-churn: %d regions accounted for, %d parks accepted"
+                 (List.length acc) (Large_cache.parks cache));
+          let rec dup = function
+            | a :: (b :: _ as tl) -> a = b || dup tl
+            | _ -> false
+          in
+          if dup (List.sort compare acc) then
+            failwith "large-cache-churn: a region surfaced twice (lost ABA tag?)");
+  }
+
 let all () =
   [
     lost_update;
@@ -452,6 +564,10 @@ let all () =
     park_take_order ~mutant:"";
     park_take_order ~mutant:"park-before-decommit";
     shelf_transfer;
+    deferred_remote_free ~mutant:"";
+    deferred_remote_free ~mutant:"deferred-lost-node";
+    large_cache_churn ~mutant:"";
+    large_cache_churn ~mutant:"large-cache-no-aba";
   ]
 
 let find name = List.find_opt (fun s -> s.Explorer.sc_name = name) (all ())

@@ -53,6 +53,22 @@ val shelf_transfer : Explorer.scenario
     the trim racing CAS pop in the refill), with {!Hoard.check}'s shelf
     validation as the post-run oracle. *)
 
+val deferred_remote_free : mutant:string -> Explorer.scenario
+(** Two remote flushes racing CAS pushes onto one heap's deferred free
+    list, end to end through the allocator. The post-run oracle counts
+    the listed blocks. [mutant = "deferred-lost-node"] treats a failed
+    push CAS as success and leaks a block at preemption bound <= 2;
+    [mutant = ""] passes exhaustively. *)
+
+val large_cache_churn : mutant:string -> Explorer.scenario
+(** The large-object cache's park/take protocol driven raw on one
+    bucket: three takers racing a park, with a conservation walk plus
+    {!Large_cache.check}'s residency validation as the post-run oracle.
+    [mutant = "large-cache-no-aba"] freezes the bucket's ABA tag and is
+    caught at bound <= 2; [mutant = ""] passes exhaustively. Explore
+    under {!Explorer.Chess}: the oracle reads vmem page residency, which
+    step footprints do not see (same caveat as {!park_take_order}). *)
+
 val all : unit -> Explorer.scenario list
 
 val find : string -> Explorer.scenario option

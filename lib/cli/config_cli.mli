@@ -1,0 +1,9 @@
+(** The [--set knob=value] Cmdliner option shared by the three CLIs,
+    backed by the {!Hoard_config} knob registry. *)
+
+val set_opt : string list Cmdliner.Term.t
+(** Repeatable [--set KNOB=VALUE]; empty when not given. *)
+
+val apply : Hoard_config.t -> string list -> Hoard_config.t
+(** Left fold of {!Hoard_config.set} over the overrides; prints the knob
+    registry and exits 1 on an unknown knob or malformed value. *)

@@ -8,6 +8,9 @@ type heap = {
   rq_lock : Platform.lock; (* innermost lock: never held while acquiring any other *)
   mutable rq_blocks : (Superblock.t * int) list; (* remote frees pending a drain, newest first *)
   mutable rq_len : int;
+  (* cfg.deferred: the unbounded deferred free list replacing the bounded
+     queue above — producers CAS-push, the owner exchange-reclaims. *)
+  dfl : Deferred_list.t option;
 }
 
 (* A thread's front-end cache: per size class, up to [front_end] block
@@ -49,6 +52,9 @@ type t = {
   global : heap;
   heaps : heap array; (* per-processor heaps, ids 1..N *)
   large : Locked_large.t;
+  (* cfg.large_cache > 0: the lock-free MPSC cache in front of the large
+     path, held here (as well as inside [large]) for check/introspection. *)
+  lcache : Large_cache.t option;
   reservoir : Sb_reservoir.t option; (* cfg.reservoir > 0: the empty-superblock parking lot *)
   (* cfg.shelf > 0: lock-free stack of empty superblocks in front of the
      global heap. Trim pushes an empty victim, refill pops — one CAS each,
@@ -99,6 +105,13 @@ let create ?(config = Hoard_config.default) ?obs pf =
     | None -> None
     | Some o -> Some (Obs.new_ring o name)
   in
+  (* The lock-free structures share one contention counter and one mutant
+     switch each: "reservoir-no-aba" freezes the ABA tag of the reservoir
+     and the shelf (they run the same protocol), "large-cache-no-aba"
+     that of the large cache, "deferred-lost-node" drops a deferred
+     push's CAS retry. *)
+  let aba_tag = config.mutant <> "reservoir-no-aba" in
+  let on_retry () = Alloc_stats.on_cas_retry stats in
   let mk_heap id =
     {
       core = Heap_core.create ~id ~classes ~ngroups:config.ngroups ~sb_size:config.sb_size ();
@@ -108,14 +121,27 @@ let create ?(config = Hoard_config.default) ?obs pf =
       rq_lock = pf.Platform.new_lock (Printf.sprintf "hoard.rfq%d" id);
       rq_blocks = [];
       rq_len = 0;
+      dfl =
+        (* The deferred list is the front end's eviction channel; without
+           a front end nothing would ever push, so it is not built. *)
+        (if config.deferred && config.front_end > 0 then
+           Some
+             (Deferred_list.create pf
+                ~name:(Printf.sprintf "hoard.dfl%d" id)
+                ~lost_node:(config.mutant = "deferred-lost-node")
+                ~on_retry ())
+         else None);
     }
   in
   let owner = Alloc_intf.next_owner () in
-  (* The lock-free structures share one contention counter and one mutant
-     switch: "reservoir-no-aba" freezes the ABA tag of BOTH stacks (they
-     run the same protocol). *)
-  let aba_tag = config.mutant <> "reservoir-no-aba" in
-  let on_retry () = Alloc_stats.on_cas_retry stats in
+  let lcache =
+    if config.large_cache > 0 then
+      Some
+        (Large_cache.create pf ~name:"hoard.lcache" ~cap:config.large_cache
+           ~aba_tag:(config.mutant <> "large-cache-no-aba")
+           ~on_retry ())
+    else None
+  in
   let t =
     {
       pf;
@@ -127,8 +153,9 @@ let create ?(config = Hoard_config.default) ?obs pf =
       global = mk_heap 0;
       heaps = Array.init n (fun i -> mk_heap (i + 1));
       large =
-        Locked_large.create pf ~owner ~stats ~shard:(n + 1) ?ring:(ring "large")
+        Locked_large.create pf ~owner ~stats ~shard:(n + 1) ?ring:(ring "large") ?cache:lcache
           ~threshold:(Hoard_config.max_small config);
+      lcache;
       reservoir =
         (if config.reservoir > 0 then Some (Sb_reservoir.create ~aba_tag ~on_retry pf ~cap:config.reservoir)
          else None);
@@ -312,6 +339,49 @@ let drain_rq t h ~spill =
     !mine
   end
 
+(* Owner side of the deferred protocol: one exchange detaches the whole
+   list, then every block is freed into [h]'s core. A block whose
+   superblock migrated since its push is re-pushed onto the CURRENT
+   owner's list — one CAS; the list is unbounded, so unlike the bounded
+   queues, forwarding can neither cascade nor spill into the locked
+   path. Caller holds [h]'s lock. *)
+let reclaim_deferred t h =
+  match h.dfl with
+  | None -> 0
+  | Some dfl ->
+    (match Deferred_list.reclaim dfl with
+     | [] -> 0
+     | items ->
+       let mine = ref 0 and forwarded = ref 0 in
+       List.iter
+         (fun (sb, addr) ->
+           let owner_id = Superblock.owner sb in
+           if owner_id = Heap_core.id h.core then begin
+             t.pf.Platform.write ~addr ~len:8;
+             Superblock.clear_cached sb addr;
+             Heap_core.free h.core sb addr;
+             touch_header t sb;
+             Alloc_stats.on_drain h.sh ~usable:(Superblock.block_size sb);
+             incr mine
+           end
+           else begin
+             (match (heap_by_id t owner_id).dfl with
+              | Some dfl' -> Deferred_list.push dfl' sb addr
+              | None -> assert false (* deferred mode builds a list per heap *));
+             incr forwarded;
+             event t h Event_ring.Remote_forward ~sclass:(Superblock.sclass sb) ~arg:addr
+           end)
+         items;
+       if !forwarded > 0 then Alloc_stats.on_remote_forward h.sh ~blocks:!forwarded;
+       Alloc_stats.on_deferred_reclaim h.sh;
+       event t h Event_ring.Deferred_reclaim ~sclass:0 ~arg:!mine;
+       !mine)
+
+(* Return every pending remote free to [h]'s core: the deferred list when
+   configured, the bounded queue otherwise (both, during a transition,
+   costs one extra branch). Caller holds [h]'s lock. *)
+let drain_pending t h ~spill = reclaim_deferred t h + drain_rq t h ~spill
+
 (* Fetch a superblock usable for [sclass]: off the lock-free shelf (one
    CAS, no global lock) when one is stocked, else from the global heap,
    the reservoir, or the OS, and insert it into [h] (whose lock the
@@ -336,9 +406,9 @@ let refill t h ~sclass ~block_size ~spill =
   in
   let from_global () =
     t.global.lock.acquire ();
-    (* Queued frees may hand the global heap exactly the superblock we are
-       about to ask for. *)
-    ignore (drain_rq t t.global ~spill);
+    (* Pending frees may hand the global heap exactly the superblock we
+       are about to ask for. *)
+    ignore (drain_pending t t.global ~spill);
     let sb = Heap_core.take_for_class t.global.core ~sclass in
     (* Flip ownership before releasing the global lock: a concurrent free
        must either see the old owner (and retry against our heap lock,
@@ -491,11 +561,36 @@ let rec dispose_batch t pairs =
     h.lock.release ();
     dispose_batch t !later
 
-(* Route cache-evicted blocks out: partition by owner, push each group
-   onto its owner's remote-free queue in one innermost-lock critical
-   section, and hand whatever the caps reject to the classic locked path
-   in one batch. *)
+(* Route cache-evicted blocks out. Deferred mode: partition by the owner
+   observed now and publish each group as one pre-linked chain — a single
+   CAS per owner heap instead of one per block, no queue lock, no cap, no
+   locked fallback; a block whose superblock migrates between the owner
+   read and the push just lands on the stale owner's list, whose reclaim
+   forwards it. Queue mode: partition by owner, push each group onto its
+   owner's remote-free queue in one innermost-lock critical section, and
+   hand whatever the caps reject to the classic locked path in one batch. *)
 let surrender_many t tc pairs =
+  if t.cfg.deferred then begin
+    let groups = Array.make (Array.length t.heaps + 1) [] in
+    List.iter
+      (fun (addr, sb) -> groups.(Superblock.owner sb) <- (sb, addr) :: groups.(Superblock.owner sb))
+      pairs;
+    Array.iteri
+      (fun id group ->
+        match group with
+        | [] -> ()
+        | _ ->
+          (match (heap_by_id t id).dfl with
+           | Some dfl -> Deferred_list.push_many dfl group
+           | None -> assert false (* deferred mode builds a list per heap *));
+          List.iter
+            (fun (sb, addr) ->
+              Alloc_stats.on_deferred_enqueue tc.tc_sh;
+              event_tc t tc Event_ring.Deferred_enqueue ~sclass:(Superblock.sclass sb) ~arg:addr)
+            group)
+      groups
+  end
+  else begin
   let groups = Array.make (Array.length t.heaps + 1) [] in
   List.iter
     (fun (addr, sb) -> groups.(Superblock.owner sb) <- (sb, addr) :: groups.(Superblock.owner sb))
@@ -527,6 +622,7 @@ let surrender_many t tc pairs =
         end)
     groups;
   dispose_batch t !overflow
+  end
 
 (* Evict the oldest half of an overflowing class so the next [fe/2] frees
    stay lock-free. *)
@@ -629,7 +725,7 @@ let malloc_fill t tc ~size ~sclass ~block_size =
   let h = my_heap t in
   let spill = ref [] in
   h.lock.acquire ();
-  let drained = drain_rq t h ~spill in
+  let drained = drain_pending t h ~spill in
   let want = (t.fe / 2) + 1 in
   let blocks = ref [] and got = ref 0 in
   while !got < want do
@@ -729,7 +825,7 @@ let malloc_many t n size =
       let h = my_heap t in
       let spill = ref [] in
       h.lock.acquire ();
-      ignore (drain_rq t h ~spill);
+      ignore (drain_pending t h ~spill);
       let out = Array.make n 0 and got = ref 0 in
       while !got < n do
         match Heap_core.malloc_batch h.core ~sclass ~block_size ~n:(n - !got) with
@@ -937,7 +1033,7 @@ let flush t =
     let h = my_heap t in
     let spill = ref [] in
     h.lock.acquire ();
-    if drain_rq t h ~spill > 0 then trim_heap ~deep:true t h ~sclass:0;
+    if drain_pending t h ~spill > 0 then trim_heap ~deep:true t h ~sclass:0;
     h.lock.release ();
     if !spill <> [] then dispose_batch t !spill
   end
@@ -991,7 +1087,12 @@ let flush_caches t =
     let items = h.rq_blocks in
     h.rq_blocks <- [];
     h.rq_len <- 0;
-    items
+    match h.dfl with
+    | None -> items
+    | Some dfl ->
+      (* The quiescent drain uses charge-free peek/poke, so it is as
+         cost- and schedule-invisible as the queue grab above. *)
+      List.rev_append (Deferred_list.drain_quiescent dfl) items
   in
   (* At quiescence owners are stable, so one pass routes every queued
      block to its final heap. *)
@@ -1074,7 +1175,29 @@ let heap_info t id =
 let cache_counts t =
   List.rev (IntMap.fold (fun tid tc acc -> (tid, Array.copy tc.tc_count) :: acc) (Atomic.get t.tcaches) [])
 
-let remote_queue_lengths t = Array.init (Array.length t.heaps + 1) (fun id -> (heap_by_id t id).rq_len)
+let remote_queue_lengths t =
+  Array.init
+    (Array.length t.heaps + 1)
+    (fun id ->
+      let h = heap_by_id t id in
+      h.rq_len
+      +
+      match h.dfl with
+      | None -> 0
+      | Some dfl -> Deferred_list.length dfl)
+
+let deferred_lengths t =
+  Array.init
+    (Array.length t.heaps + 1)
+    (fun id ->
+      match (heap_by_id t id).dfl with
+      | None -> 0
+      | Some dfl -> Deferred_list.length dfl)
+
+let large_cache_length t =
+  match t.lcache with
+  | None -> 0
+  | Some c -> Large_cache.length c
 
 let invariant_holds t ~heap_id =
   (* The invariant a free restores: either the heap is not too empty, or
@@ -1120,6 +1243,28 @@ let check t =
          if t.pf.Platform.page_residency ~addr:base <> Vmem.Resident then
            failwith "Hoard.check: shelved superblock not resident");
      if !n > Lockfree.cap shelf then failwith "Hoard.check: shelf over capacity");
+  (* Deferred free lists (quiescent structural walk; [Deferred_list.iter]
+     itself rejects cycles, payload-less nodes and length drift): every
+     listed block is bitmap-live and custody-marked in its superblock —
+     it stays charged to the owning heap until the owner's reclaim,
+     exactly like a queued block. *)
+  let check_dfl h =
+    match h.dfl with
+    | None -> ()
+    | Some dfl ->
+      Deferred_list.iter dfl (fun sb addr ->
+          if not (Superblock.is_block_live sb addr) then
+            failwith (Printf.sprintf "Hoard.check: deferred block %#x not bitmap-live" addr);
+          if not (Superblock.is_block_cached sb addr) then
+            failwith (Printf.sprintf "Hoard.check: deferred block %#x without custody mark" addr))
+  in
+  check_dfl t.global;
+  Array.iter check_dfl t.heaps;
+  (* Large cache: buckets within capacity, stacks structurally sound,
+     every parked region mapped and decommitted. *)
+  (match t.lcache with
+   | None -> ()
+   | Some c -> Large_cache.check c);
   (* Reservoir lifecycle (quiescent, like the heap walks above): parked
      superblocks are empty, unregistered, decommitted, within the cap, and
      the parked-byte accounting matches; the residency bound

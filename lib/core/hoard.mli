@@ -30,7 +30,23 @@
     their superblock, so the emptiness invariant, the blowup bound and
     {!check} are unchanged — the cost is up to
     [K * P * classes + remote_queue_cap * (P+1)] blocks of memory parked
-    in flight. [front_end = 0] is bit-for-bit the paper's algorithm. *)
+    in flight. [front_end = 0] is bit-for-bit the paper's algorithm.
+
+    {b Deferred frees} ([config.deferred], needs the front end): each
+    heap's bounded remote-free queue is replaced by an unbounded
+    intrusive {!Deferred_list} — eviction pushes the block itself with
+    one CAS on the owner's list head (no queue lock, no cap, no locked
+    fallback), and the owner detaches the whole list with a single
+    exchange on its next fill/flush, batching the blocks back through
+    the heap core. The charging discipline is the queue's, so every
+    invariant above still holds exactly.
+
+    {b Large cache} ([config.large_cache = C > 0]): a lock-free MPSC
+    {!Large_cache} fronts the large-object path — freed regions of up
+    to 16 pages park decommitted-but-mapped in bounded buckets (cap [C]
+    each), and an allocation of the same page count takes one back with
+    pop → commit instead of an OS map. Parked regions stay held, so the
+    blowup envelope widens by at most [Large_cache.capacity_bytes]. *)
 
 type t
 
@@ -99,8 +115,17 @@ val cache_counts : t -> (int * int array) list
     Lock-free reads; call at quiescence. *)
 
 val remote_queue_lengths : t -> int array
-(** Queued-block count per heap, index 0 = global. Lock-free reads; call
+(** Pending remote-free count per heap (bounded queue plus deferred
+    list), index 0 = global. Lock-free reads; call at quiescence. *)
+
+val deferred_lengths : t -> int array
+(** Blocks currently parked on each heap's deferred free list, index 0 =
+    global (all zeros without [config.deferred]). Lock-free reads; call
     at quiescence. *)
+
+val large_cache_length : t -> int
+(** Regions currently parked in the large-object cache (0 when
+    [config.large_cache = 0]). Lock-free read; exact at quiescence. *)
 
 val reservoir_length : t -> int
 (** Superblocks currently parked in the reservoir (0 when

@@ -1,4 +1,11 @@
-(** Tunables of the Hoard algorithm, with the paper's defaults. *)
+(** Tunables of the Hoard algorithm, with the paper's defaults.
+
+    Construction goes through {!make} (a labelled builder over the
+    defaults) or {!set}/{!set_all} (textual ["knob=value"] overrides,
+    the engine behind the shared [--set] CLI option). Both are backed by
+    the same knob registry, which also drives {!validate}, {!pp} and the
+    CLI help — adding a knob is one registry entry, not an edit to every
+    record literal and flag parser. *)
 
 type t = {
   sb_size : int;
@@ -59,9 +66,26 @@ type t = {
           hot path; positive values must be at least 2 so that fills and
           flushes can move [front_end / 2] blocks per lock acquisition. *)
   remote_queue_cap : int;
-      (** capacity (blocks) of each heap's remote-free queue. A remote
-          free finding the owner's queue full falls back to the classic
-          lock-the-owner free path. Only meaningful with [front_end > 0]. *)
+      (** capacity (blocks) of each heap's bounded remote-free queue. A
+          remote free finding the owner's queue full falls back to the
+          classic lock-the-owner free path. Only meaningful with
+          [front_end > 0]; ignored entirely under [deferred]. *)
+  deferred : bool;
+      (** replace each heap's bounded remote-free queue with an unbounded
+          intrusive deferred list: a remote free pushes the block onto the
+          owner's list with a single CAS (wait-free fast path, no
+          fallback to locking the owner), and the owner reclaims the
+          whole list with one exchange during its next fill/flush/trim,
+          batching the blocks back through the heap core so the emptiness
+          invariant and blowup envelope stay exact. Only meaningful with
+          [front_end > 0]. Default false. *)
+  large_cache : int;
+      (** per-bucket capacity of the lock-free MPSC large-object cache in
+          front of the large allocator: freed large regions are parked
+          decommitted (still mapped) in per-page-count buckets and reused
+          by take → commit instead of a map round trip; overflow beyond
+          the bucket capacity unmaps as before. 0 (the default) disables
+          the cache, restoring the seed large path. *)
   sanitize : bool;
       (** heap sanitizer: freed blocks are quarantined (and, through the
           checked platform from [Hoard.sanitizer_access_check], poisoned
@@ -92,14 +116,64 @@ val known_mutants : string list
     and shelf stacks, planting the classic Treiber pop-over-recycled-head
     bug; ["park-before-decommit"] publishes a superblock to the reservoir
     BEFORE decommitting its pages, so a concurrent taker can recommit and
-    reuse pages the parker then decommits out from under it. *)
+    reuse pages the parker then decommits out from under it;
+    ["deferred-lost-node"] makes the deferred-list push treat a failed
+    CAS as success (dropping the retry), silently losing the block under
+    producer contention; ["large-cache-no-aba"] freezes the ABA tag of
+    the large-object cache's bucket stacks. *)
 
 val default : t
 
+val make :
+  ?base:t ->
+  ?sb_size:int ->
+  ?empty_fraction:float ->
+  ?slack:int ->
+  ?growth:float ->
+  ?ngroups:int ->
+  ?nheaps:int option ->
+  ?assign_by_tid:bool ->
+  ?release_to_os:bool ->
+  ?release_threshold:int ->
+  ?reservoir:int ->
+  ?shelf:int ->
+  ?vmem_backend:Vmem_backend.kind ->
+  ?path_work:int ->
+  ?front_end:int ->
+  ?remote_queue_cap:int ->
+  ?deferred:bool ->
+  ?large_cache:int ->
+  ?sanitize:bool ->
+  ?quarantine:int ->
+  ?mutant:string ->
+  unit ->
+  t
+(** Labelled builder: every omitted knob takes its value from [?base]
+    (default {!default}). The result is {!validate}d — out-of-range
+    knobs raise [Invalid_argument] at construction, not at first use. *)
+
+val set : t -> string -> t
+(** [set t "knob=value"] parses and applies one textual override, range-
+    checking the result. Knob names accept both ['-'] and ['_'] word
+    separators. Raises [Invalid_argument] (naming the known knobs) on an
+    unknown knob or malformed value. This is the engine behind the
+    [--set] option shared by hoard_bench, hoard_trace and hoard_check. *)
+
+val set_all : t -> string list -> t
+(** Left fold of {!set}. *)
+
+val knob_names : unit -> string list
+
+val knob_doc : unit -> string
+(** One line per knob, ["  name  doc"], for CLI [--set] help text. *)
+
 val validate : t -> unit
-(** Raises [Invalid_argument] on out-of-range parameters. *)
+(** Raises [Invalid_argument] on out-of-range parameters. Driven by the
+    same per-knob range checks as {!set}. *)
 
 val max_small : t -> int
 (** Largest request served from superblocks: S/2, as in the paper. *)
 
 val pp : Format.formatter -> t -> unit
+(** Registry-driven: the core shape knobs always print; every other knob
+    prints only when it differs from {!default}. *)

@@ -1,7 +1,23 @@
 let front_end_default = 16
 
-let hoard_fe ?(front_end = front_end_default) () =
-  let config = { Hoard_config.default with Hoard_config.front_end } in
+let large_cache_default = 4
+
+let fe_config ?(front_end = front_end_default) () = Hoard_config.make ~front_end ()
+
+let df_config ?(front_end = front_end_default) ?(large_cache = large_cache_default) () =
+  Hoard_config.make ~front_end ~deferred:true ~large_cache ()
+
+let san_config ?(quarantine = 32) () = Hoard_config.make ~sanitize:true ~quarantine ()
+
+let res_config ?(reservoir = 8) ?(vmem_backend = Vmem_backend.First_fit) () =
+  Hoard_config.make ~reservoir ~vmem_backend ()
+
+let shelf_config ?(shelf = 8) ?(reservoir = 8) () =
+  Hoard_config.make ~shelf ~reservoir ~front_end:front_end_default ()
+
+let hoard_fe ?front_end () =
+  let config = fe_config ?front_end () in
+  let front_end = config.Hoard_config.front_end in
   {
     (Hoard.factory ~config ()) with
     Alloc_intf.label = "hoard-fe";
@@ -9,8 +25,21 @@ let hoard_fe ?(front_end = front_end_default) () =
       Printf.sprintf "hoard with the lock-free front end (%d cached blocks per class per thread)" front_end;
   }
 
-let hoard_san ?(quarantine = 32) () =
-  let config = { Hoard_config.default with Hoard_config.sanitize = true; quarantine } in
+let hoard_df ?front_end ?large_cache () =
+  let config = df_config ?front_end ?large_cache () in
+  let large_cache = config.Hoard_config.large_cache in
+  {
+    (Hoard.factory ~config ()) with
+    Alloc_intf.label = "hoard-df";
+    description =
+      Printf.sprintf
+        "hoard-fe plus deferred remote-free lists (CAS push, exchange reclaim) and the large-object cache (cap %d per bucket)"
+        large_cache;
+  }
+
+let hoard_san ?quarantine () =
+  let config = san_config ?quarantine () in
+  let quarantine = config.Hoard_config.quarantine in
   {
     (Hoard.factory ~config ()) with
     Alloc_intf.label = "hoard-san";
@@ -18,8 +47,10 @@ let hoard_san ?(quarantine = 32) () =
       Printf.sprintf "hoard with the heap sanitizer (poison-on-free, %d-block quarantine)" quarantine;
   }
 
-let hoard_res ?(reservoir = 8) ?(vmem_backend = Vmem_backend.First_fit) () =
-  let config = { Hoard_config.default with Hoard_config.reservoir; vmem_backend } in
+let hoard_res ?reservoir ?vmem_backend () =
+  let config = res_config ?reservoir ?vmem_backend () in
+  let reservoir = config.Hoard_config.reservoir in
+  let vmem_backend = config.Hoard_config.vmem_backend in
   {
     (Hoard.factory ~config ()) with
     Alloc_intf.label = "hoard-res";
@@ -30,10 +61,10 @@ let hoard_res ?(reservoir = 8) ?(vmem_backend = Vmem_backend.First_fit) () =
         (Vmem_backend.kind_name vmem_backend);
   }
 
-let hoard_shelf ?(shelf = 8) ?(reservoir = 8) () =
-  let config =
-    { Hoard_config.default with Hoard_config.shelf; reservoir; front_end = front_end_default }
-  in
+let hoard_shelf ?shelf ?reservoir () =
+  let config = shelf_config ?shelf ?reservoir () in
+  let shelf = config.Hoard_config.shelf in
+  let reservoir = config.Hoard_config.reservoir in
   {
     (Hoard.factory ~config ()) with
     Alloc_intf.label = "hoard-shelf";
@@ -52,15 +83,35 @@ let all () =
     Private_threshold.factory ();
     Hoard.factory ();
     hoard_fe ();
+    hoard_df ();
   ]
 
 (* Checking configurations: resolvable by [find] but excluded from [all]
-   (sweeps and comparison tables run the seven measurement allocators). *)
+   (sweeps and comparison tables run the eight measurement allocators). *)
 let extras () = [ hoard_san (); hoard_res (); hoard_shelf () ]
 
 let labels () = List.map (fun f -> f.Alloc_intf.label) (all ())
 
 let find label = List.find_opt (fun f -> f.Alloc_intf.label = label) (all () @ extras ())
+
+(* The hoard-family labels and the configs their factories register
+   with — [None] for the non-hoard comparison allocators, which have no
+   knobs to override. *)
+let base_config = function
+  | "hoard" -> Some Hoard_config.default
+  | "hoard-fe" -> Some (fe_config ())
+  | "hoard-df" -> Some (df_config ())
+  | "hoard-san" -> Some (san_config ())
+  | "hoard-res" -> Some (res_config ())
+  | "hoard-shelf" -> Some (shelf_config ())
+  | _ -> None
+
+let with_overrides f label =
+  match (find label, base_config label) with
+  | Some fac, Some cfg ->
+    let config = f cfg in
+    Some { fac with Alloc_intf.instantiate = (Hoard.factory ~config ()).Alloc_intf.instantiate }
+  | _, _ -> None
 
 let help () =
   String.concat "\n"

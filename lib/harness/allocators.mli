@@ -10,7 +10,7 @@
 val all : unit -> Alloc_intf.factory list
 (** Every measurement factory, in presentation order. Checking
     configurations ({!extras}) are not included, so sweeps and tables
-    stay on the seven comparison allocators. *)
+    stay on the eight comparison allocators. *)
 
 val extras : unit -> Alloc_intf.factory list
 (** Checking configurations ([hoard-san], [hoard-res]); resolvable
@@ -21,14 +21,34 @@ val labels : unit -> string list
 val find : string -> Alloc_intf.factory option
 (** Lookup by [Alloc_intf.label], across {!all} and {!extras}. *)
 
+val base_config : string -> Hoard_config.t option
+(** The {!Hoard_config} a hoard-family label's factory registers with;
+    [None] for the non-hoard comparison allocators. *)
+
+val with_overrides :
+  (Hoard_config.t -> Hoard_config.t) -> string -> Alloc_intf.factory option
+(** [with_overrides f label] rebuilds the labelled hoard-family factory
+    over [f base_config] — how the CLIs apply [--set knob=value]
+    overrides on top of an [--allocator] choice. [None] when the label
+    is unknown or has no config ({!base_config}). *)
+
 val help : unit -> string
 (** One "label  description" line per factory, for [--allocator help]. *)
 
 val front_end_default : int
 (** Cache capacity [hoard-fe] registers with. *)
 
+val large_cache_default : int
+(** Per-bucket large-cache capacity [hoard-df] registers with. *)
+
 val hoard_fe : ?front_end:int -> unit -> Alloc_intf.factory
 (** A front-end-enabled hoard factory with an explicit capacity. *)
+
+val hoard_df : ?front_end:int -> ?large_cache:int -> unit -> Alloc_intf.factory
+(** [hoard-fe] plus the deferred remote-free lists
+    (see {!Hoard_config.t.deferred}: CAS push, exchange reclaim, no
+    owner-lock fallback) and the lock-free MPSC large-object cache
+    (see {!Hoard_config.t.large_cache}). *)
 
 val hoard_san : ?quarantine:int -> unit -> Alloc_intf.factory
 (** A sanitizer-enabled hoard factory (see {!Hoard_config.t.sanitize}). *)

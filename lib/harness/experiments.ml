@@ -74,6 +74,16 @@ let prodcons_rounds = function
   | Quick -> [ 5; 10; 20; 40 ]
   | Full -> [ 10; 20; 40; 80 ]
 
+let prodcons_pipelined scale =
+  Producer_consumer.pipelined
+    ~params:
+      {
+        Producer_consumer.default_params with
+        Producer_consumer.rounds = List.nth (prodcons_rounds scale) 2;
+        batch = 200;
+      }
+    ()
+
 (* --- helpers --- *)
 
 let run_one workload alloc ~nprocs = Runner.run (Runner.spec workload alloc ~nprocs)
@@ -539,21 +549,21 @@ let ablation ~id ~title ~describe ~values ~label =
   { id; title; paper_ref = "design ablation"; describe; run }
 
 let abl_f =
-  let cfg f = { Hoard_config.default with Hoard_config.empty_fraction = f } in
+  let cfg f = Hoard_config.make ~empty_fraction:f () in
   ablation ~id:"abl_f" ~title:"Ablation: emptiness fraction f"
     ~describe:"sensitivity of throughput, fragmentation and blowup to the emptiness fraction"
     ~values:[ ("f=1/8", cfg 0.125); ("f=1/4", cfg 0.25); ("f=1/2", cfg 0.5) ]
     ~label:"f"
 
 let abl_k =
-  let cfg k = { Hoard_config.default with Hoard_config.slack = k } in
+  let cfg k = Hoard_config.make ~slack:k () in
   ablation ~id:"abl_k" ~title:"Ablation: slack K"
     ~describe:"sensitivity to the number of superblocks a heap may hold beyond the emptiness fraction"
     ~values:[ ("K=0", cfg 0); ("K=1", cfg 1); ("K=4", cfg 4); ("K=16", cfg 16) ]
     ~label:"K"
 
 let abl_sbsize =
-  let cfg s = { Hoard_config.default with Hoard_config.sb_size = s } in
+  let cfg s = Hoard_config.make ~sb_size:s () in
   ablation ~id:"abl_sbsize" ~title:"Ablation: superblock size S"
     ~describe:"trade-off between transfer granularity and fragmentation"
     ~values:[ ("S=4K", cfg 4096); ("S=8K", cfg 8192); ("S=16K", cfg 16384); ("S=64K", cfg 65536) ]
@@ -949,7 +959,7 @@ let abl_nheaps =
     in
     List.iter
       (fun mult ->
-        let cfg = { Hoard_config.default with Hoard_config.nheaps = Some (mult * p); assign_by_tid = true } in
+        let cfg = Hoard_config.make ~nheaps:(Some (mult * p)) ~assign_by_tid:true () in
         let alloc = hoard_with cfg in
         (* Oversubscribed: two threads per processor, so heap sharing is
            real and extra heaps can pay off. *)
@@ -1045,7 +1055,7 @@ let frag_exp =
       | _ -> 4
     in
     let run_config w (backend, reservoir) ~nprocs =
-      let cfg = { Hoard_config.default with Hoard_config.vmem_backend = backend; reservoir } in
+      let cfg = Hoard_config.make ~vmem_backend:backend ~reservoir () in
       let r = Runner.run (Runner.spec ~vmem_backend:backend w (Hoard.factory ~config:cfg ())  ~nprocs) in
       (* The memory-lifecycle invariant, enforced (not just reported):
          the CI fragmentation smoke runs this experiment and must exit
@@ -1172,6 +1182,7 @@ let server_allocators () =
     Private_ownership.factory ();
     Hoard.factory ();
     Allocators.hoard_fe ();
+    Allocators.hoard_df ();
     Allocators.hoard_shelf ();
   ]
 
@@ -1252,6 +1263,74 @@ let server_exp =
 
 (* --- registry --- *)
 
+(* --- the remote-free path: bounded queues vs deferred lists --- *)
+
+(* The pipelined producer-consumer makes every free remote and concurrent
+   with the owner's allocation burst, so this is where the remote-free
+   discipline shows: hoard-fe's bounded queues drain under the owner's
+   heap lock (and block the producer mid-burst), hoard-df's deferred
+   lists take one CAS per free and one exchange per reclaim. The
+   companion instrumented pass ([--metrics], obs_workload below) exports
+   the per-lock acquisition counts CI gates on. *)
+let remote_exp =
+  let run scale ~procs =
+    let procs =
+      match procs with
+      | Some ps -> ps
+      | None -> ( match scale with Quick -> [ 2; 8 ] | Full -> [ 2; 8; 14 ])
+    in
+    let allocs = [ Allocators.hoard_fe (); Allocators.hoard_df () ] in
+    let tbl =
+      Table.create ~title:"Remote frees: bounded queues (hoard-fe) vs deferred lists (hoard-df)"
+        ~columns:
+          [
+            ("allocator", Table.Left);
+            ("P", Table.Right);
+            ("cycles", Table.Right);
+            ("rq enq", Table.Right);
+            ("deferred enq", Table.Right);
+            ("reclaims", Table.Right);
+            ("blocks/reclaim", Table.Right);
+            ("large maps", Table.Right);
+            ("large hits", Table.Right);
+          ]
+    in
+    List.iter
+      (fun alloc ->
+        List.iter
+          (fun p ->
+            let r = run_one (prodcons_pipelined scale) alloc ~nprocs:p in
+            let s = r.Runner.r_stats in
+            Table.add_row tbl
+              [
+                alloc.Alloc_intf.label;
+                string_of_int p;
+                string_of_int r.Runner.r_cycles;
+                string_of_int s.Alloc_stats.remote_enqueues;
+                string_of_int s.Alloc_stats.deferred_enqueues;
+                string_of_int s.Alloc_stats.deferred_reclaims;
+                (if s.Alloc_stats.deferred_reclaims = 0 then "-"
+                 else
+                   Table.cell_ratio
+                     (float_of_int s.Alloc_stats.deferred_enqueues
+                     /. float_of_int s.Alloc_stats.deferred_reclaims));
+                string_of_int s.Alloc_stats.large_maps;
+                string_of_int s.Alloc_stats.large_cache_hits;
+              ])
+          procs)
+      allocs;
+    tables_only [ tbl ]
+  in
+  {
+    id = "exp_remote";
+    title = "Remote-free discipline";
+    paper_ref = "beyond the paper: deferred remote frees";
+    describe =
+      "pipelined producer-consumer (all frees remote, concurrent with the owner): bounded remote \
+       queues vs CAS-push deferred lists";
+    run;
+  }
+
 let all () =
   [
     taxonomy;
@@ -1279,6 +1358,7 @@ let all () =
     oversub;
     latency_exp;
     contention_exp;
+    remote_exp;
     apps_exp;
     timeline_exp;
     server_exp;
@@ -1306,6 +1386,7 @@ let workload name scale =
   | "barnes-hut" -> Some (barnes scale)
   | "producer-consumer" ->
     Some (producer_consumer ~rounds:(List.nth (prodcons_rounds scale) 2) ~batch:200)
+  | "producer-consumer-pipelined" -> Some (prodcons_pipelined scale)
   | "phased-blowup" -> Some (phased_blowup ~rounds:16)
   | "kv-store" -> Some (kv_store scale)
   | "doc-tree" -> Some (doc_tree scale)
@@ -1317,8 +1398,8 @@ let workload name scale =
 let workload_names =
   [
     "threadtest"; "shbench"; "larson"; "active-false"; "passive-false"; "bem"; "barnes-hut";
-    "producer-consumer"; "phased-blowup"; "kv-store"; "doc-tree"; "server-steady"; "server-bursty";
-    "server-flash";
+    "producer-consumer"; "producer-consumer-pipelined"; "phased-blowup"; "kv-store"; "doc-tree";
+    "server-steady"; "server-bursty"; "server-flash";
   ]
 
 let ids () = List.map (fun e -> e.id) (all ())
@@ -1335,6 +1416,7 @@ let obs_workload id scale =
     | "fig_bem" -> "bem"
     | "fig_barnes" -> "barnes-hut"
     | "exp_blowup" -> "phased-blowup"
+    | "exp_remote" -> "producer-consumer-pipelined"
     | "exp_fragmentation" -> "larson"
     | "exp_apps" -> "kv-store"
     | "exp_server" -> "server-bursty"

@@ -51,12 +51,13 @@ val server_params : Server_mix.profile -> scale -> Server_mix.params
 
 val server_allocators : unit -> Alloc_intf.factory list
 (** The latency-tail comparison set: serial and private-ownership
-    baselines plus hoard, hoard-fe and hoard-shelf. *)
+    baselines plus hoard, hoard-fe, hoard-df and hoard-shelf. *)
 
 val workload : string -> scale -> Workload_intf.t option
 (** The benchmark suite by name ("threadtest", "shbench", "larson",
     "active-false", "passive-false", "bem", "barnes-hut",
-    "producer-consumer", "phased-blowup") at the given scale. *)
+    "producer-consumer", "producer-consumer-pipelined", "phased-blowup")
+    at the given scale. *)
 
 val workload_names : string list
 

@@ -19,11 +19,14 @@ type kind =
   | Remote_forward
   | Req_arrival
   | Req_done
+  | Large_cache_hit
+  | Deferred_enqueue
+  | Deferred_reclaim
 
 let all_kinds =
   [ Sb_map; Sb_unmap; Sb_from_global; Sb_to_global; Emptiness_cross; Remote_free; Large_map; Large_unmap;
     Lock_acquire; Cache_hit; Cache_flush; Remote_enqueue; Remote_drain; Decommit; Recommit; Shelf_push;
-    Shelf_pop; Remote_forward; Req_arrival; Req_done ]
+    Shelf_pop; Remote_forward; Req_arrival; Req_done; Large_cache_hit; Deferred_enqueue; Deferred_reclaim ]
 
 let nkinds = List.length all_kinds
 
@@ -48,6 +51,9 @@ let kind_index = function
   | Remote_forward -> 17
   | Req_arrival -> 18
   | Req_done -> 19
+  | Large_cache_hit -> 20
+  | Deferred_enqueue -> 21
+  | Deferred_reclaim -> 22
 
 let kind_of_index = function
   | 0 -> Sb_map
@@ -70,6 +76,9 @@ let kind_of_index = function
   | 17 -> Remote_forward
   | 18 -> Req_arrival
   | 19 -> Req_done
+  | 20 -> Large_cache_hit
+  | 21 -> Deferred_enqueue
+  | 22 -> Deferred_reclaim
   | i -> invalid_arg (Printf.sprintf "Event_ring.kind_of_index: %d" i)
 
 let kind_name = function
@@ -93,6 +102,9 @@ let kind_name = function
   | Remote_forward -> "remote_forward"
   | Req_arrival -> "req_arrival"
   | Req_done -> "req_done"
+  | Large_cache_hit -> "large_cache_hit"
+  | Deferred_enqueue -> "deferred_enqueue"
+  | Deferred_reclaim -> "deferred_reclaim"
 
 type event = { at : int; kind : kind; who : int; heap : int; sclass : int; arg : int }
 

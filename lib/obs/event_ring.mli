@@ -36,6 +36,9 @@ type kind =
   | Remote_forward  (** drain re-forwarded a migrated block to its new owner; [arg] = addr *)
   | Req_arrival  (** server-mix request arrived (scheduled or issued); [arg] = request id *)
   | Req_done  (** server-mix request completed; [arg] = latency in cycles *)
+  | Large_cache_hit  (** large allocation served by cache take → commit; [arg] = bytes *)
+  | Deferred_enqueue  (** block CAS-pushed onto [heap]'s deferred free list; [arg] = addr *)
+  | Deferred_reclaim  (** [heap] exchanged its deferred list empty; [arg] = block count *)
 
 val all_kinds : kind list
 

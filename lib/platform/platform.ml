@@ -10,6 +10,7 @@ type atomic_int = {
   cas : expected:int -> desired:int -> bool;
   faa : int -> int;
   peek : unit -> int;
+  poke : int -> unit;
   atomic_name : string;
 }
 
@@ -76,6 +77,7 @@ let host ?(page_size = 4096) ?(nprocs = 1) ?(vmem_backend = Vmem_backend.Exact) 
             cas = (fun ~expected ~desired -> Atomic.compare_and_set a expected desired);
             faa = (fun n -> Atomic.fetch_and_add a n);
             peek = (fun () -> Atomic.get a);
+            poke = (fun v -> Atomic.set a v);
             atomic_name;
           });
       now = (fun () -> Atomic.fetch_and_add tick 1);

@@ -31,13 +31,16 @@ type lock = {
     before the addition. [peek] is an inspection hook, not a machine
     operation (like [page_residency]): a charge-free, schedule-invisible
     read for quiescent introspection, callable from outside any simulated
-    thread — never use it inside a protocol. *)
+    thread — never use it inside a protocol. [poke] is its write-side
+    twin: a charge-free, schedule-invisible store for quiescent teardown
+    (post-run cache flushes), equally forbidden inside a protocol. *)
 type atomic_int = {
   load : unit -> int;
   store : int -> unit;
   cas : expected:int -> desired:int -> bool;
   faa : int -> int;
   peek : unit -> int;
+  poke : int -> unit;
   atomic_name : string;
 }
 

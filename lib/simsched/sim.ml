@@ -623,9 +623,10 @@ let platform t =
           store = (fun v -> atomic_store a v);
           cas = (fun ~expected ~desired -> atomic_cas a ~expected ~desired);
           faa = (fun n -> atomic_faa a n);
-          (* Inspection hook: reads the cell directly, charges nothing,
-             perturbs no schedule (cf. page_residency). *)
+          (* Inspection hooks: read/write the cell directly, charge
+             nothing, perturb no schedule (cf. page_residency). *)
           peek = (fun () -> Atomic.get a.a_cell);
+          poke = (fun v -> Atomic.set a.a_cell v);
           atomic_name = name;
         });
     now;

@@ -46,6 +46,54 @@ let make ?(params = default_params) () =
     total_ops = (fun ~nthreads -> 2 * rounds * batch * max 1 (nthreads / 2));
   }
 
+(* Double-buffered hand-off: the producer fills buffer [round land 1]
+   while the consumer drains buffer [(round - 1) land 1], with a single
+   barrier per round between the two half-steps. Unlike [make] (which
+   serialises the pair at two barriers per round), producer mallocs and
+   consumer frees overlap in time — every free is remote AND concurrent
+   with the owner's allocation burst, the adversarial schedule for the
+   remote-free path: bounded queues force the consumer to take the
+   owner's heap lock mid-burst, deferred lists make it one CAS. *)
+let pipelined ?(params = default_params) () =
+  let { rounds; batch; size; _ } = params in
+  let spawn sim (pf : Platform.t) (a : Alloc_intf.t) ~nthreads =
+    let pairs = max 1 (nthreads / 2) in
+    let buffers = Array.init pairs (fun _ -> Array.make 2 [||]) in
+    let barrier = Sim.new_barrier sim ~parties:nthreads in
+    for t = 0 to nthreads - 1 do
+      let pair = t / 2 in
+      let is_producer = t mod 2 = 0 || nthreads = 1 in
+      ignore
+        (Sim.spawn sim (fun () ->
+             (* Round r: producer fills slot r&1; consumer drains slot
+                (r-1)&1, skipping round 0 (nothing produced yet) — and
+                one extra round drains the last buffer. *)
+             for round = 0 to rounds do
+               if is_producer && pair < pairs && round < rounds then
+                 buffers.(pair).(round land 1) <-
+                   Array.init batch (fun _ ->
+                       let p = a.Alloc_intf.malloc size in
+                       pf.Platform.write ~addr:p ~len:(min size 64);
+                       p);
+               if ((not is_producer) || nthreads = 1) && pair < pairs && round > 0 then begin
+                 let slot = (round - 1) land 1 in
+                 Array.iter a.Alloc_intf.free buffers.(pair).(slot);
+                 buffers.(pair).(slot) <- [||]
+               end;
+               Sim.barrier_wait barrier
+             done))
+    done
+  in
+  {
+    Workload_intf.w_name = "producer-consumer-pipelined";
+    w_describe =
+      Printf.sprintf
+        "%d double-buffered rounds of %d x %dB objects: remote frees concurrent with the owner's mallocs"
+        rounds batch size;
+    spawn;
+    total_ops = (fun ~nthreads -> 2 * rounds * batch * max 1 (nthreads / 2));
+  }
+
 let phased ?(params = default_params) () =
   let { rounds; batch; size; _ } = params in
   let spawn sim (pf : Platform.t) (a : Alloc_intf.t) ~nthreads =

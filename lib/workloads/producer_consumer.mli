@@ -18,6 +18,14 @@ val default_params : params
 
 val make : ?params:params -> unit -> Workload_intf.t
 
+val pipelined : ?params:params -> unit -> Workload_intf.t
+(** The double-buffered variant: one barrier per round, the producer
+    filling one buffer while the consumer drains the other — so every
+    free is remote and concurrent with the owner heap's allocation
+    burst. The adversarial schedule for the remote-free path: bounded
+    remote queues make the consumer contend for the owner's heap lock
+    mid-burst, deferred lists make each free one CAS. *)
+
 val phased : ?params:params -> unit -> Workload_intf.t
 (** The O(P) blowup adversary: threads take turns — in each round exactly
     one thread allocates the whole batch and frees it again, so live

@@ -194,6 +194,126 @@ let test_shelf_transfer_explored () =
   Alcotest.(check bool) "explored the tree exhaustively" false o.Explorer.o_truncated
 
 (* ------------------------------------------------------------------ *)
+(* The deferred remote-free list and the large-object cache (PR 8):
+   real protocols explored exhaustively at preemption bound 2, the two
+   seeded mutants caught with a minimized replayable schedule.          *)
+
+let test_deferred_list_protocol_clean () =
+  let o =
+    Explorer.explore ~bound:2 ~max_runs:200_000 (Scenarios.deferred_remote_free ~mutant:"")
+  in
+  (match o.Explorer.o_failure with
+   | None -> ()
+   | Some f ->
+     Alcotest.fail
+       (sprintf "deferred remote free failed under [%s]: %s"
+          (Explorer.schedule_to_string f.Explorer.f_schedule)
+          f.Explorer.f_message));
+  Alcotest.(check bool) "explored the tree exhaustively" false o.Explorer.o_truncated
+
+let test_deferred_lost_node_mutant_caught () =
+  let sc = Scenarios.deferred_remote_free ~mutant:"deferred-lost-node" in
+  let o = Explorer.explore ~bound:2 sc in
+  match o.Explorer.o_failure with
+  | None -> Alcotest.fail "explorer must catch the lost push at bound <= 2"
+  | Some f ->
+    Alcotest.(check bool) "failure counts the missing block" true
+      (Astring.String.is_infix ~affix:"expected 2" f.Explorer.f_message);
+    (match Explorer.replay sc ~schedule:f.Explorer.f_schedule with
+     | Error _ -> ()
+     | Ok () ->
+       Alcotest.fail
+         (sprintf "minimized schedule [%s] must replay to failure"
+            (Explorer.schedule_to_string f.Explorer.f_schedule)))
+
+let test_large_cache_protocol_clean () =
+  (* Chess, not Sleep_dfs: Large_cache.check reads vmem page residency,
+     invisible to step footprints (the park_take_order caveat). The
+     bound-2 tree is ~12k runs. *)
+  let o =
+    Explorer.explore ~strategy:Explorer.Chess ~bound:2 ~max_runs:200_000
+      (Scenarios.large_cache_churn ~mutant:"")
+  in
+  (match o.Explorer.o_failure with
+   | None -> ()
+   | Some f ->
+     Alcotest.fail
+       (sprintf "large-cache churn failed under [%s]: %s"
+          (Explorer.schedule_to_string f.Explorer.f_schedule)
+          f.Explorer.f_message));
+  Alcotest.(check bool) "explored the tree exhaustively" false o.Explorer.o_truncated
+
+let test_large_cache_aba_mutant_caught () =
+  let sc = Scenarios.large_cache_churn ~mutant:"large-cache-no-aba" in
+  let o = Explorer.explore ~bound:2 sc in
+  match o.Explorer.o_failure with
+  | None -> Alcotest.fail "explorer must catch the frozen bucket tag at bound <= 2"
+  | Some f ->
+    Alcotest.(check bool) "failure names the corruption" true
+      (Astring.String.is_infix ~affix:"Lockfree" f.Explorer.f_message
+      || Astring.String.is_infix ~affix:"large-cache-churn" f.Explorer.f_message);
+    (match Explorer.replay sc ~schedule:f.Explorer.f_schedule with
+     | Error _ -> ()
+     | Ok () ->
+       Alcotest.fail
+         (sprintf "minimized schedule [%s] must replay to failure"
+            (Explorer.schedule_to_string f.Explorer.f_schedule)))
+
+(* ------------------------------------------------------------------ *)
+(* Differential fuzz: deferred vs direct frees. The same generated
+   trace replays against every hoard-family factory's base config and
+   against the same config with the deferred lists and the large cache
+   switched on; the allocation-visible outcome (op counts, live bytes
+   after a full flush) must be identical — the deferred path only
+   changes WHEN blocks return to their owner, never whether they do.    *)
+
+let test_deferred_differential_fuzz () =
+  let replay_with config t =
+    let sim = Sim.create ~vmem_backend:config.Hoard_config.vmem_backend ~nprocs:4 () in
+    let pf = Sim.platform sim in
+    let h = Hoard.create ~config pf in
+    let a = Hoard.allocator h in
+    Trace.replay_sim t sim a ~nthreads:4;
+    Sim.run sim;
+    a.Alloc_intf.check ();
+    Hoard.flush_caches h;
+    Hoard.check h;
+    let s = a.Alloc_intf.stats () in
+    (s.Alloc_stats.mallocs, s.Alloc_stats.frees, s.Alloc_stats.live_bytes)
+  in
+  List.iter
+    (fun seed ->
+      (* Sizes straddle the large threshold so the fuzz also covers the
+         large-object cache against the direct map/unmap path. *)
+      let t =
+        Trace.generate ~seed ~ops:2500 ~threads:4 ~live_target:40
+          ~size_dist:(Trace.Uniform (8, 6000)) ()
+      in
+      List.iter
+        (fun f ->
+          let label = f.Alloc_intf.label in
+          match Allocators.base_config label with
+          | None -> () (* non-hoard comparison allocators: no deferred variant *)
+          | Some cfg ->
+            let direct = replay_with { cfg with Hoard_config.deferred = false } t in
+            let deferred =
+              replay_with
+                {
+                  cfg with
+                  Hoard_config.deferred = true;
+                  front_end = max cfg.Hoard_config.front_end 4;
+                  large_cache = 4;
+                }
+                t
+            in
+            let pp (m, fr, lv) = sprintf "mallocs=%d frees=%d live=%d" m fr lv in
+            Alcotest.(check string)
+              (sprintf "%s seed %d: deferred outcome equals direct" label seed)
+              (pp direct) (pp deferred))
+        (Allocators.all () @ Allocators.extras ()))
+    [ 3; 1009 ]
+
+(* ------------------------------------------------------------------ *)
 (* Differential oracle on the paper workloads.                         *)
 
 let test_oracle_workloads_green () =
@@ -275,7 +395,7 @@ let test_oracle_catches_misbehavior () =
 (* ------------------------------------------------------------------ *)
 (* Heap sanitizer diagnostics (S/tentpole layer 3).                    *)
 
-let san_config = { Hoard_config.default with Hoard_config.sanitize = true; quarantine = 8 }
+let san_config = Hoard_config.make ~sanitize:true ~quarantine:8 ()
 
 let with_san_hoard f =
   let pf = Platform.host () in
@@ -371,7 +491,10 @@ let test_fuzz_determinism () =
       Alcotest.(check int) (label ^ ": same cycles") cyc1 cyc2)
     [
       ("hoard", Hoard_config.default);
-      ("hoard-fe", { Hoard_config.default with Hoard_config.front_end = Allocators.front_end_default });
+      ("hoard-fe", Hoard_config.make ~front_end:Allocators.front_end_default ());
+      ( "hoard-df",
+        Hoard_config.make ~front_end:Allocators.front_end_default ~deferred:true
+          ~large_cache:Allocators.large_cache_default () );
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -521,6 +644,14 @@ let () =
           Alcotest.test_case "park/take ordering survives bound 2" `Quick test_park_take_order_clean;
           Alcotest.test_case "park-before-decommit caught" `Quick test_park_before_decommit_mutant_caught;
           Alcotest.test_case "shelf transfer survives" `Quick test_shelf_transfer_explored;
+        ] );
+      ( "deferred",
+        [
+          Alcotest.test_case "deferred list survives bound 2" `Quick test_deferred_list_protocol_clean;
+          Alcotest.test_case "lost push caught" `Quick test_deferred_lost_node_mutant_caught;
+          Alcotest.test_case "large cache survives bound 2" `Quick test_large_cache_protocol_clean;
+          Alcotest.test_case "frozen bucket tag caught" `Quick test_large_cache_aba_mutant_caught;
+          Alcotest.test_case "deferred vs direct differential" `Quick test_deferred_differential_fuzz;
         ] );
       ( "oracle",
         [

@@ -903,17 +903,135 @@ let test_config_validation () =
     (fun bad -> Alcotest.check_raises "rejected" (Invalid_argument bad) (fun () ->
          Hoard_config.validate
            (match bad with
-            | "Hoard_config: sb_size must be a power of two >= 1024" ->
+            | "Hoard_config: sb-size must be a power of two >= 1024" ->
               { cfg with Hoard_config.sb_size = 5000 }
-            | "Hoard_config: empty_fraction must lie in (0, 1)" ->
+            | "Hoard_config: empty-fraction must lie in (0, 1)" ->
               { cfg with Hoard_config.empty_fraction = 1.5 }
             | "Hoard_config: slack must be non-negative" -> { cfg with Hoard_config.slack = -1 }
             | _ -> assert false)))
     [
-      "Hoard_config: sb_size must be a power of two >= 1024";
-      "Hoard_config: empty_fraction must lie in (0, 1)";
+      "Hoard_config: sb-size must be a power of two >= 1024";
+      "Hoard_config: empty-fraction must lie in (0, 1)";
       "Hoard_config: slack must be non-negative";
     ]
+
+(* The large-object cache: a freed large region parks decommitted (no
+   unmap, residency drops, held stays) and the next same-size allocation
+   is a take -> commit instead of a second OS map. *)
+let test_large_cache_roundtrip () =
+  let pf = Platform.host () in
+  let h = Hoard.create ~config:(Hoard_config.make ~large_cache:4 ()) pf in
+  let a = Hoard.allocator h in
+  let size = Hoard_config.max_small cfg + 1 in
+  let p = a.Alloc_intf.malloc size in
+  let s0 = a.Alloc_intf.stats () in
+  Alcotest.(check int) "first allocation paid a map" 1 s0.Alloc_stats.large_maps;
+  a.Alloc_intf.free p;
+  let s1 = a.Alloc_intf.stats () in
+  Alcotest.(check int) "parked, not unmapped" 0 s1.Alloc_stats.os_unmaps;
+  Alcotest.(check int) "still held while parked" s0.Alloc_stats.held_bytes s1.Alloc_stats.held_bytes;
+  Alcotest.(check bool) "residency dropped"
+    true
+    (s1.Alloc_stats.resident_bytes < s0.Alloc_stats.resident_bytes);
+  Alcotest.(check int) "cache length" 1 (Hoard.large_cache_length h);
+  let q = a.Alloc_intf.malloc size in
+  let s2 = a.Alloc_intf.stats () in
+  Alcotest.(check int) "served by the cache" 1 s2.Alloc_stats.large_cache_hits;
+  Alcotest.(check int) "no second map" 1 s2.Alloc_stats.large_maps;
+  Alcotest.(check int) "region reused in place" p q;
+  a.Alloc_intf.free q;
+  Hoard.check h
+
+(* The deferred remote-free lists: a consumer's flushed remote frees are
+   CAS pushes (no remote-queue enqueues), and the owner's next fill
+   reclaims them in one exchange. *)
+let test_deferred_lists_reclaim () =
+  let sim = Sim.create ~nprocs:2 () in
+  let pf = Sim.platform sim in
+  let h =
+    Hoard.create ~config:(Hoard_config.make ~front_end:4 ~deferred:true ()) pf
+  in
+  let a = Hoard.allocator h in
+  let barrier = Sim.new_barrier sim ~parties:2 in
+  let box = ref [||] in
+  ignore
+    (Sim.spawn sim ~proc:0 (fun () ->
+         box := Array.init 32 (fun _ -> a.Alloc_intf.malloc 64);
+         Sim.barrier_wait barrier;
+         (* consumer freed and flushed: the next fills reclaim. *)
+         Sim.barrier_wait barrier;
+         for _ = 1 to 64 do
+           a.Alloc_intf.free (a.Alloc_intf.malloc 64)
+         done;
+         a.Alloc_intf.flush ()));
+  ignore
+    (Sim.spawn sim ~proc:1 (fun () ->
+         Sim.barrier_wait barrier;
+         Array.iter a.Alloc_intf.free !box;
+         a.Alloc_intf.flush ();
+         Sim.barrier_wait barrier));
+  Sim.run sim;
+  Hoard.flush_caches h;
+  Hoard.check h;
+  let s = a.Alloc_intf.stats () in
+  Alcotest.(check int) "no bounded-queue enqueues" 0 s.Alloc_stats.remote_enqueues;
+  Alcotest.(check bool) "remote frees were deferred" true (s.Alloc_stats.deferred_enqueues >= 32);
+  Alcotest.(check bool) "the owner reclaimed" true (s.Alloc_stats.deferred_reclaims >= 1);
+  Alcotest.(check bool) "reclaims batch"
+    true
+    (s.Alloc_stats.deferred_reclaims <= s.Alloc_stats.deferred_enqueues);
+  Alcotest.(check int) "nothing live" 0 s.Alloc_stats.live_bytes
+
+(* The knob registry: make, textual set/set_all, name normalization,
+   registry-driven help and printing. *)
+let test_knob_registry () =
+  (* make with no overrides is the default config. *)
+  Alcotest.(check bool) "make () = default" true (Hoard_config.make () = Hoard_config.default);
+  (* A labelled make equals the textual set of the same knob. *)
+  Alcotest.(check bool) "make ~deferred = set deferred=true" true
+    (Hoard_config.make ~deferred:true ~front_end:4 ()
+    = Hoard_config.set_all Hoard_config.default [ "deferred=true"; "front-end=4" ]);
+  (* One representative knob per value shape. *)
+  let c = Hoard_config.set Hoard_config.default "sb-size=4096" in
+  Alcotest.(check int) "int knob" 4096 c.Hoard_config.sb_size;
+  let c = Hoard_config.set Hoard_config.default "empty-fraction=0.5" in
+  Alcotest.(check (float 1e-9)) "float knob" 0.5 c.Hoard_config.empty_fraction;
+  let c = Hoard_config.set Hoard_config.default "large-cache=7" in
+  Alcotest.(check int) "large-cache knob" 7 c.Hoard_config.large_cache;
+  let c = Hoard_config.set Hoard_config.default "nheaps=3" in
+  Alcotest.(check bool) "nheaps int" true (c.Hoard_config.nheaps = Some 3);
+  let c = Hoard_config.set c "nheaps=auto" in
+  Alcotest.(check bool) "nheaps auto" true (c.Hoard_config.nheaps = None);
+  (* Underscores normalize to dashes. *)
+  let c = Hoard_config.set Hoard_config.default "front_end=9" in
+  Alcotest.(check int) "underscore alias" 9 c.Hoard_config.front_end;
+  (* Unknown knobs and malformed or out-of-range values are rejected. *)
+  let rejects s =
+    match Hoard_config.set Hoard_config.default s with
+    | _ -> Alcotest.fail (Printf.sprintf "%S must be rejected" s)
+    | exception Invalid_argument _ -> ()
+  in
+  rejects "bogus=1";
+  rejects "deferred";
+  rejects "deferred=maybe";
+  rejects "sb-size=5000";
+  rejects "empty-fraction=2.0";
+  (* The registry drives the CLI help and the printer. *)
+  let names = Hoard_config.knob_names () in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " registered") true (List.mem n names);
+      Alcotest.(check bool) (n ^ " documented") true
+        (Astring.String.is_infix ~affix:n (Hoard_config.knob_doc ())))
+    [ "sb-size"; "empty-fraction"; "deferred"; "large-cache"; "front-end"; "mutant" ];
+  let printed =
+    Format.asprintf "%a" Hoard_config.pp
+      (Hoard_config.make ~deferred:true ~front_end:4 ~large_cache:2 ())
+  in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " printed") true (Astring.String.is_infix ~affix:n printed))
+    [ "deferred"; "large-cache"; "front-end" ]
 
 let () =
   Alcotest.run "hoard"
@@ -930,6 +1048,9 @@ let () =
           Alcotest.test_case "reuse after free" `Quick test_memory_reused_after_free;
           Alcotest.test_case "stats" `Quick test_stats_requested_bytes;
           Alcotest.test_case "config validation" `Quick test_config_validation;
+          Alcotest.test_case "knob registry" `Quick test_knob_registry;
+          Alcotest.test_case "large cache roundtrip" `Quick test_large_cache_roundtrip;
+          Alcotest.test_case "deferred lists reclaim" `Quick test_deferred_lists_reclaim;
         ] );
       ( "algorithm",
         [

@@ -156,7 +156,7 @@ let test_front_end_storm () =
      must be exact. *)
   let rounds = 20 and batch = 64 in
   let pf = Platform.host ~nprocs:ndomains () in
-  let h = Hoard.create ~config:{ Hoard_config.default with Hoard_config.front_end = 16 } pf in
+  let h = Hoard.create ~config:(Hoard_config.make ~front_end:16 ()) pf in
   let a = Hoard.allocator h in
   let slots = Array.init ndomains (fun _ -> Array.make batch 0) in
   let barrier = make_barrier ndomains in
