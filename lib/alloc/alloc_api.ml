@@ -36,7 +36,7 @@ let generic_aligned_alloc (pf : Platform.t) ~malloc ~large_threshold ~align ~siz
     malloc (max size (large_threshold + 1))
 
 let make ~pf ~name ~owner ~large_threshold ~malloc ~free ~usable_size ~stats ~check ?malloc_batch
-    ?free_batch ?flush ?realloc () =
+    ?free_batch ?flush ?thread_exit ?realloc () =
   let malloc_batch =
     match malloc_batch with
     | Some f -> f
@@ -51,6 +51,13 @@ let make ~pf ~name ~owner ~large_threshold ~malloc ~free ~usable_size ~stats ~ch
     match flush with
     | Some f -> f
     | None -> fun () -> ()
+  in
+  (* Allocators without per-thread heap assignments have nothing to adopt
+     on exit: flushing the front end is the whole obligation. *)
+  let thread_exit =
+    match thread_exit with
+    | Some f -> f
+    | None -> flush
   in
   let realloc =
     match realloc with
@@ -69,6 +76,7 @@ let make ~pf ~name ~owner ~large_threshold ~malloc ~free ~usable_size ~stats ~ch
     malloc_batch;
     free_batch;
     flush;
+    thread_exit;
     realloc;
     calloc = (fun ~count ~size -> generic_calloc pf ~malloc ~count ~size);
     aligned_alloc = (fun ~align ~size -> generic_aligned_alloc pf ~malloc ~large_threshold ~align ~size);

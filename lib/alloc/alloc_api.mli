@@ -24,13 +24,16 @@ val make :
   ?malloc_batch:(int -> int -> int array) ->
   ?free_batch:(int array -> unit) ->
   ?flush:(unit -> unit) ->
+  ?thread_exit:(unit -> unit) ->
   ?realloc:(addr:int -> size:int -> int) ->
   unit ->
   Alloc_intf.t
 (** Defaults for the optional members: [malloc_batch] loops [malloc],
-    [free_batch] loops [free], [flush] is a no-op, [realloc] is the
-    generic allocate-copy-free, and [calloc]/[aligned_alloc] are always
-    the generic forms built over [malloc]. *)
+    [free_batch] loops [free], [flush] is a no-op, [thread_exit] falls
+    back to [flush] (allocators without per-thread heap assignments have
+    nothing further to release), [realloc] is the generic
+    allocate-copy-free, and [calloc]/[aligned_alloc] are always the
+    generic forms built over [malloc]. *)
 
 (** {2 Free-function forms}
 

@@ -10,6 +10,7 @@ type t = {
   malloc_batch : int -> int -> int array;
   free_batch : int array -> unit;
   flush : unit -> unit;
+  thread_exit : unit -> unit;
   realloc : addr:int -> size:int -> int;
   calloc : count:int -> size:int -> int;
   aligned_alloc : align:int -> size:int -> int;

@@ -34,6 +34,13 @@ type t = {
       (** returns whatever the calling thread's front end holds (cached
           blocks, queued remote frees) to the shared structure; a no-op
           for allocators without a front end. *)
+  thread_exit : unit -> unit;
+      (** the calling thread is about to retire: release everything it
+          privately holds AND its heap assignment, so superblocks left
+          behind are adopted rather than stranded (see
+          {!Hoard.on_thread_exit}). Defaults to [flush] for allocators
+          without per-thread state. Idempotent — a second call from the
+          same thread is a no-op. *)
   realloc : addr:int -> size:int -> int;
       (** resize, in place when possible; see {!Alloc_api.make} for the
           generic allocate-copy-free default. *)

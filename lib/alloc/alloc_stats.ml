@@ -30,6 +30,7 @@ type snapshot = {
   large_cache_hits : int;
   deferred_enqueues : int;
   deferred_reclaims : int;
+  orphan_adoptions : int;
   cas_retries : int;
 }
 
@@ -58,6 +59,7 @@ type shard = {
   mutable large_cache_hits : int;
   mutable deferred_enqueues : int;
   mutable deferred_reclaims : int;
+  mutable orphan_adoptions : int;
   mutable peers : shard array; (* every shard of the owning [t], for peak merging *)
   merged_peak : int Atomic.t; (* shared with the owning [t] *)
 }
@@ -106,6 +108,7 @@ let new_shard merged_peak =
     large_cache_hits = 0;
     deferred_enqueues = 0;
     deferred_reclaims = 0;
+    orphan_adoptions = 0;
     peers = [||];
     merged_peak;
   }
@@ -234,6 +237,10 @@ let on_deferred_enqueue sh = sh.deferred_enqueues <- sh.deferred_enqueues + 1
 
 let on_deferred_reclaim sh = sh.deferred_reclaims <- sh.deferred_reclaims + 1
 
+(* One orphaned superblock adopted (reassigned or trimmed to the global
+   heap) on a thread's exit path; fired under the adopting heap's lock. *)
+let on_orphan_adopt sh = sh.orphan_adoptions <- sh.orphan_adoptions + 1
+
 let on_cas_retry t = Atomic.incr t.cas_retries
 
 (* Cross-shard reads are unsynchronised (possibly stale, never torn); the
@@ -319,7 +326,8 @@ let snapshot t =
   and large_maps = ref 0
   and large_cache_hits = ref 0
   and deferred_enqueues = ref 0
-  and deferred_reclaims = ref 0 in
+  and deferred_reclaims = ref 0
+  and orphan_adoptions = ref 0 in
   Array.iter
     (fun sh ->
       mallocs := !mallocs + sh.mallocs;
@@ -340,7 +348,8 @@ let snapshot t =
       large_maps := !large_maps + sh.large_maps;
       large_cache_hits := !large_cache_hits + sh.large_cache_hits;
       deferred_enqueues := !deferred_enqueues + sh.deferred_enqueues;
-      deferred_reclaims := !deferred_reclaims + sh.deferred_reclaims)
+      deferred_reclaims := !deferred_reclaims + sh.deferred_reclaims;
+      orphan_adoptions := !orphan_adoptions + sh.orphan_adoptions)
     (Atomic.get t.shards);
   (* Per-shard peaks are NOT summed here: a block malloc'd under one heap
      may be freed under another after its superblock migrates, so the sum
@@ -380,6 +389,7 @@ let snapshot t =
     large_cache_hits = !large_cache_hits;
     deferred_enqueues = !deferred_enqueues;
     deferred_reclaims = !deferred_reclaims;
+    orphan_adoptions = !orphan_adoptions;
     cas_retries = Atomic.get t.cas_retries;
   }
 
@@ -419,6 +429,7 @@ let publish t ?(prefix = "alloc") metrics =
   reg "large_cache_hits" (fun s -> s.large_cache_hits);
   reg "deferred_enqueues" (fun s -> s.deferred_enqueues);
   reg "deferred_reclaims" (fun s -> s.deferred_reclaims);
+  reg "orphan_adoptions" (fun s -> s.orphan_adoptions);
   reg "cas_retries" (fun s -> s.cas_retries);
   Metrics.register metrics ~name:(prefix ^ ".fragmentation") (fun () ->
       Metrics.Float (fragmentation (snapshot t)))
@@ -441,4 +452,5 @@ let pp_snapshot fmt (s : snapshot) =
   if s.large_maps + s.large_cache_hits > 0 then
     Format.fprintf fmt " large_maps=%d large_cache_hits=%d" s.large_maps s.large_cache_hits;
   if s.deferred_enqueues + s.deferred_reclaims > 0 then
-    Format.fprintf fmt " deferred_enq=%d deferred_reclaims=%d" s.deferred_enqueues s.deferred_reclaims
+    Format.fprintf fmt " deferred_enq=%d deferred_reclaims=%d" s.deferred_enqueues s.deferred_reclaims;
+  if s.orphan_adoptions > 0 then Format.fprintf fmt " orphan_adoptions=%d" s.orphan_adoptions

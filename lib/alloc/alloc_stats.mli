@@ -70,6 +70,9 @@ type snapshot = {
   deferred_reclaims : int;
       (** owner-side deferred-list exchanges that returned blocks;
           [deferred_enqueues / deferred_reclaims] is the batching factor *)
+  orphan_adoptions : int;
+      (** superblocks adopted (reassigned or trimmed to the global heap)
+          from exiting threads' heaps by {!Hoard.on_thread_exit} *)
   cas_retries : int;  (** failed CASes in lock-free structures (contention) *)
 }
 
@@ -156,6 +159,10 @@ val on_deferred_enqueue : shard -> unit
 val on_deferred_reclaim : shard -> unit
 (** A non-empty owner-side deferred-list exchange, under the owner's
     heap lock. *)
+
+val on_orphan_adopt : shard -> unit
+(** One orphaned superblock adopted on a thread's exit path, under the
+    lock of the heap giving the superblock up. *)
 
 val on_cas_retry : t -> unit
 (** A failed CAS inside a lock-free structure (reservoir or shelf).

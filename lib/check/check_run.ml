@@ -87,14 +87,22 @@ let subject_help () =
    heap's retained empties; front-end caches and remote queues park whole
    blocks; the quarantine holds back frees; threads keep one allocation
    in flight. All counted at superblock granularity where a superblock
-   could be pinned, so the envelope is generous but still O(U + P). *)
-let blowup_slop cfg ~nprocs ~nthreads =
+   could be pinned, so the envelope is generous but still O(U + P).
+
+   P here is the PEAK LIVE thread population (Sim.peak_live_threads),
+   not the total ever spawned: a retiring thread's exit path flushes its
+   caches and hands its heap's superblocks to the global heap, so under
+   churn the threads that have come and gone must not widen the
+   envelope. Holding the bound to peak-live P is precisely what tests
+   that orphaned-superblock adoption works. *)
+let blowup_slop cfg ~nprocs ~peak_live_threads =
   let s = cfg.Hoard_config.sb_size in
+  let p = peak_live_threads in
   let heaps = (match cfg.Hoard_config.nheaps with Some n -> n | None -> nprocs) + 1 in
   let per_heap = (cfg.Hoard_config.slack + 4) * s * heaps in
   let retained = (cfg.Hoard_config.release_threshold + 1) * s in
-  let in_flight = nthreads * s in
-  let fe = if cfg.Hoard_config.front_end > 0 then (nthreads + heaps) * s else 0 in
+  let in_flight = p * s in
+  let fe = if cfg.Hoard_config.front_end > 0 then (p + heaps) * s else 0 in
   let quarantine = if cfg.Hoard_config.sanitize then cfg.Hoard_config.quarantine * Hoard_config.max_small cfg else 0 in
   (* The shelf parks up to [shelf] empty superblocks outside any heap. *)
   let shelf = cfg.Hoard_config.shelf * s in
@@ -102,7 +110,7 @@ let blowup_slop cfg ~nprocs ~nthreads =
      producer's eviction (at most a cache's worth per flush) and the
      owner's next fill — the same per-thread granularity as the caches,
      counted once more per heap since reclaims happen heap by heap. *)
-  let deferred = if cfg.Hoard_config.deferred && cfg.Hoard_config.front_end > 0 then (nthreads + heaps) * s else 0 in
+  let deferred = if cfg.Hoard_config.deferred && cfg.Hoard_config.front_end > 0 then (p + heaps) * s else 0 in
   (* The large cache keeps up to cap regions per bucket mapped (1..16
      pages each, 4 KiB pages on every platform we build). *)
   let large_cache = cfg.Hoard_config.large_cache * (16 * 17 / 2) * 4096 in
@@ -185,11 +193,7 @@ let run_oracle ?fuzz ?(nprocs = 4) ?nthreads ?(check_blowup = true) ?(expect_no_
           reservoir is on (with R = 0 it degenerates to
           resident <= held). *)
        Oracle.check_residency o ~stats:(a.Alloc_intf.stats ())
-         ~reservoir:cfg.Hoard_config.reservoir ~sb_size:cfg.Hoard_config.sb_size;
-       if check_blowup then
-         Oracle.check_blowup o ~stats:(a.Alloc_intf.stats ())
-           ~empty_fraction:cfg.Hoard_config.empty_fraction
-           ~slop:(blowup_slop cfg ~nprocs ~nthreads:(Option.value nthreads ~default:nprocs)));
+         ~reservoir:cfg.Hoard_config.reservoir ~sb_size:cfg.Hoard_config.sb_size);
     if expect_no_false_sharing && Oracle.active_shared_lines o > 0 then
       raise
         (Oracle.Oracle_violation
@@ -204,6 +208,19 @@ let run_oracle ?fuzz ?(nprocs = 4) ?nthreads ?(check_blowup = true) ?(expect_no_
   let spec = Runner.spec ?nthreads ~vmem_backend workload factory ~nprocs in
   let r = Runner.run_with ?fuzz ~wrap_allocator ~wrap_platform ~post spec in
   let o = Option.get !oracle in
+  (* Blowup is checked after the run, when the simulator can report the
+     peak LIVE thread population — the P of the O(U + P) bound. Under
+     churn workloads this is far below the total thread count; exited
+     threads must not leave memory stranded (that is the adoption
+     path's contract). The stats snapshot is quiescent: [post] flushed
+     every cache before it was taken. *)
+  (match !handle with
+   | Some h when check_blowup ->
+     let cfg = Hoard.config h in
+     Oracle.check_blowup o ~stats:r.Runner.r_stats
+       ~empty_fraction:cfg.Hoard_config.empty_fraction
+       ~slop:(blowup_slop cfg ~nprocs ~peak_live_threads:r.Runner.r_peak_live_threads)
+   | _ -> ());
   {
     c_workload = r.Runner.r_workload;
     c_subject = s.s_label;
@@ -227,6 +244,36 @@ let quick_workloads () =
       ~params:{ Producer_consumer.default_params with Producer_consumer.rounds = 12; batch = 40 }
       ();
     False_sharing.active ~params:{ False_sharing.default_params with False_sharing.loops = 96; writes_per_object = 40 } ();
+    (* Thread churn: every thread retires through the exit path, so the
+       oracle checks adoption end to end and the blowup envelope is held
+       to P = peak live threads. *)
+    Churn.make
+      ~params:{ Churn.default_params with Churn.generations = 2; iterations = 2; objects = 24; spawn_gap = 10_000 }
+      ();
+    Churn.make
+      ~params:
+        {
+          Churn.default_params with
+          Churn.pattern = Churn.Rolling;
+          body = Churn.Larson_body;
+          generations = 2;
+          iterations = 2;
+          objects = 24;
+          spawn_gap = 10_000;
+        }
+      ();
+    Churn.make
+      ~params:
+        {
+          Churn.default_params with
+          Churn.pattern = Churn.Flash;
+          body = Churn.Server_body;
+          generations = 2;
+          iterations = 2;
+          objects = 24;
+          spawn_gap = 10_000;
+        }
+      ();
   ]
 
 let find_workload name = List.find_opt (fun w -> w.Workload_intf.w_name = name) (quick_workloads ())

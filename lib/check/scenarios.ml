@@ -549,6 +549,74 @@ let large_cache_churn ~mutant =
             failwith "large-cache-churn: a region surfaced twice (lost ABA tag?)");
   }
 
+(* The thread-exit adoption protocol. Thread 0 fills one superblock on
+   its heap completely and retires; [Hoard.on_thread_exit] must adopt
+   the full superblock — live blocks and all — into the global heap
+   (full superblocks are exactly what the emptiness trim's victim pick
+   never returns, so adoption walks the heap instead). Thread 1
+   concurrently frees one of thread 0's blocks: its owner snapshot can
+   be taken before, during or after the adoption's owner flip,
+   exercising the lock_owner re-check against an exiting heap; it then
+   refills from the global heap, potentially taking the adopted
+   superblock. Filling the superblock completely keeps thread 0's heap
+   above the emptiness threshold whatever thread 1 does, so exactly one
+   adoption happens on every schedule and the count can be asserted.
+   The orphan-lost-superblock mutant drops the adopted superblock on
+   the floor — heap accounting loses its live blocks and [Hoard.check]'s
+   live-bytes conservation reports it on every schedule. *)
+let exit_adoption ~mutant =
+  {
+    Explorer.sc_name = (if mutant = "" then "exit-adoption" else "exit-adoption-mutant");
+    sc_describe =
+      (if mutant = "" then
+         "a remote free racing thread-exit's orphaned-superblock adoption; passes at every bound"
+       else "the orphan-lost-superblock mutant strands the exiting heap's superblock; fails at bound 0");
+    sc_nprocs = 2;
+    sc_build =
+      (fun sim pf ->
+        let config = { (race_config ~mutant) with Hoard_config.nheaps = Some 2 } in
+        let h = Hoard.create ~config pf in
+        let a = Hoard.allocator h in
+        let sb_size = config.Hoard_config.sb_size in
+        let bsize, cap = pick_class (Hoard.size_classes h) ~sb_size ~min_cap:7 in
+        let barrier = Sim.new_barrier sim ~parties:2 in
+        let hand = ref 0 in
+        let kept = ref [] in
+        ignore
+          (Sim.spawn sim ~proc:0 (fun () ->
+               (* Fill one superblock completely: the heap stays above
+                  the emptiness threshold whatever thread 1 frees, so
+                  the only way these blocks reach the global heap is the
+                  exit path's adoption. *)
+               let addrs = Array.init cap (fun _ -> a.Alloc_intf.malloc bsize) in
+               hand := addrs.(0);
+               kept := Array.to_list (Array.sub addrs 1 (cap - 1));
+               Sim.barrier_wait barrier;
+               a.Alloc_intf.thread_exit ()));
+        ignore
+          (Sim.spawn sim ~proc:1 (fun () ->
+               Sim.barrier_wait barrier;
+               (* Races the adoption: the owner snapshot can be stale by
+                  the time the heap lock is acquired. *)
+               a.Alloc_intf.free !hand;
+               (* Refill from the global heap — possibly with the adopted
+                  superblock — then return the block. *)
+               let mine = a.Alloc_intf.malloc bsize in
+               a.Alloc_intf.free mine));
+        fun () ->
+          Hoard.check h;
+          let s = (Hoard.allocator h).Alloc_intf.stats () in
+          if s.Alloc_stats.orphan_adoptions <> 1 then
+            failwith
+              (sprintf "exit-adoption: %d superblocks adopted, expected exactly 1"
+                 s.Alloc_stats.orphan_adoptions);
+          List.iter
+            (fun addr ->
+              let u = a.Alloc_intf.usable_size addr in
+              if u < bsize then failwith (sprintf "exit-adoption: survivor block usable %d < %d" u bsize))
+            !kept);
+  }
+
 let all () =
   [
     lost_update;
@@ -568,6 +636,8 @@ let all () =
     deferred_remote_free ~mutant:"deferred-lost-node";
     large_cache_churn ~mutant:"";
     large_cache_churn ~mutant:"large-cache-no-aba";
+    exit_adoption ~mutant:"";
+    exit_adoption ~mutant:"orphan-lost-superblock";
   ]
 
 let find name = List.find_opt (fun s -> s.Explorer.sc_name = name) (all ())

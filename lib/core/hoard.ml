@@ -73,6 +73,7 @@ type t = {
   trim_slack : int;
   skip_owner_recheck : bool;
   park_before_decommit : bool;
+  orphan_lost : bool;
 }
 
 exception Sanitizer_violation of string
@@ -176,6 +177,7 @@ let create ?(config = Hoard_config.default) ?obs pf =
       trim_slack = (config.slack + if config.mutant = "emptiness-off-by-one" then 1 else 0);
       skip_owner_recheck = config.mutant = "skip-owner-recheck";
       park_before_decommit = config.mutant = "park-before-decommit";
+      orphan_lost = config.mutant = "orphan-lost-superblock";
     }
   in
   (match obs with
@@ -1038,6 +1040,65 @@ let flush t =
     if !spill <> [] then dispose_batch t !spill
   end
 
+(* Thread retirement: the front-end cache is flushed AND retired (a
+   recycled thread id starts from a fresh cache instead of inheriting
+   stale slots), pending remote frees are drained, and then the heap
+   assignment itself is released — every superblock still on the exiting
+   thread's heap is adopted by the global heap. Under per-tid assignment
+   no live thread maps to this heap any more, so without adoption its
+   superblocks would be stranded: unreachable for reuse yet still counted
+   against the held envelope, inflating blowup beyond O(U + P) as threads
+   churn. Threads sharing the heap (per-proc assignment, or a tid hash
+   collision) simply refill from the global heap afterwards — adoption is
+   a transfer, never a release, so no live block moves or dies.
+
+   Idempotent: a second call finds no cache and an empty heap. *)
+let on_thread_exit t =
+  drain_quarantine t;
+  let tid = t.pf.Platform.self_tid () in
+  if t.fe > 0 then begin
+    match IntMap.find_opt tid (Atomic.get t.tcaches) with
+    | Some tc ->
+      flush_tcache t tc;
+      Mutex.lock t.tc_mu;
+      Atomic.set t.tcaches (IntMap.remove tid (Atomic.get t.tcaches));
+      Mutex.unlock t.tc_mu
+    | None -> ()
+  end;
+  let h = my_heap t in
+  let spill = ref [] in
+  h.lock.acquire ();
+  ignore (drain_pending t h ~spill);
+  let orphans = ref [] in
+  Heap_core.iter h.core (fun sb -> orphans := sb :: !orphans);
+  List.iter
+    (fun sb ->
+      Heap_core.remove h.core sb;
+      Alloc_stats.on_orphan_adopt h.sh;
+      event t h Event_ring.Orphan_adopt ~sclass:(Superblock.sclass sb) ~arg:(Superblock.base sb);
+      if t.orphan_lost then begin
+        (* MUTANT: the superblock was unhooked from the exiting heap but
+           never inserted into the global heap — its blocks (and its held
+           bytes) leak out of every heap's accounting, which [check]'s
+           live-bytes conservation reports and the schedule explorer is
+           expected to find. *)
+        Superblock.set_owner sb 0;
+        touch_header t sb
+      end
+      else begin
+        t.global.lock.acquire ();
+        Heap_core.insert t.global.core sb;
+        touch_header t sb;
+        Alloc_stats.on_transfer_to_global t.global.sh;
+        event t t.global Event_ring.Sb_to_global ~sclass:(Superblock.sclass sb)
+          ~arg:(Superblock.base sb);
+        release_surplus t;
+        t.global.lock.release ()
+      end)
+    !orphans;
+  h.lock.release ();
+  if !spill <> [] then dispose_batch t !spill
+
 (* Quiescent-only: returns every cached and queued block straight to the
    heap cores WITHOUT platform locks, costs or events (on the simulated
    platform those are effects, usable only inside simulated threads).
@@ -1299,6 +1360,7 @@ let allocator t =
     ~check:(fun () -> check t)
     ~malloc_batch:(fun n size -> malloc_many t n size)
     ~flush:(fun () -> flush t)
+    ~thread_exit:(fun () -> on_thread_exit t)
     ~realloc:(fun ~addr ~size -> realloc t ~addr ~size)
     ()
 

@@ -100,6 +100,17 @@ val check : t -> unit
     caches and remote-free queues hold blocks (they stay charged to their
     owning heaps). *)
 
+val on_thread_exit : t -> unit
+(** The calling (simulated) thread is retiring: flushes and retires its
+    front-end cache (a later thread recycling the tid starts fresh),
+    drains the pending remote frees of its heap, then releases the heap
+    assignment by moving every superblock still on that heap to the
+    global heap — orphaned superblocks are adopted for reuse by any
+    processor instead of stranded against the held envelope. Each
+    adoption is counted in [orphan_adoptions] and traced as an
+    [Orphan_adopt] event. Idempotent per thread; exposed through
+    {!Alloc_intf.t.thread_exit}. *)
+
 (** {2 Front end} *)
 
 val flush_caches : t -> unit

@@ -29,6 +29,7 @@ let known_mutants =
     "park-before-decommit";
     "deferred-lost-node";
     "large-cache-no-aba";
+    "orphan-lost-superblock";
   ]
 
 let default =

@@ -61,6 +61,12 @@ let barnes = function
   | Quick -> Barnes_hut.make ~params:{ Barnes_hut.default_params with Barnes_hut.nbodies = 96; steps = 2 } ()
   | Full -> Barnes_hut.make ~params:{ Barnes_hut.default_params with Barnes_hut.nbodies = 320; steps = 4 } ()
 
+let churn ?(pattern = Churn.Wave) ?(body = Churn.Threadtest_body) scale =
+  let base = { Churn.default_params with Churn.pattern; body } in
+  match scale with
+  | Quick -> Churn.make ~params:{ base with Churn.generations = 2; iterations = 2; objects = 32 } ()
+  | Full -> Churn.make ~params:{ base with Churn.generations = 4; iterations = 4; objects = 64 } ()
+
 let producer_consumer ~rounds ~batch =
   Producer_consumer.make ~params:{ Producer_consumer.default_params with Producer_consumer.rounds; batch } ()
 
@@ -569,7 +575,7 @@ let abl_sbsize =
     ~values:[ ("S=4K", cfg 4096); ("S=8K", cfg 8192); ("S=16K", cfg 16384); ("S=64K", cfg 65536) ]
     ~label:"S"
 
-(* --- NUMA topology (future-work extension) --- *)
+(* --- NUMA / two-tier topology --- *)
 
 let numa_exp =
   let run scale ~procs =
@@ -578,53 +584,169 @@ let numa_exp =
       | Some (p :: _) -> p
       | _ -> ( match scale with Quick -> 4 | Full -> 8)
     in
-    let nodes = 2 in
-    let node_of q = q * nodes / p in
+    (* The shared two-tier helper needs sockets * cores_per_socket =
+       nprocs: round an odd request up to the next even machine. *)
+    let p = if p mod 2 = 0 then p else p + 1 in
     let allocs = figure_allocators () in
     let tbl =
       Table.create
-        ~title:(Printf.sprintf "NUMA: threadtest cycles at %d processors, flat vs %d-node topology" p nodes)
+        ~title:(Printf.sprintf "NUMA: threadtest cycles at %d processors, flat vs 2-socket topology" p)
         ~columns:
           [
             ("allocator", Table.Left);
             ("flat cycles", Table.Right);
-            ("numa cycles", Table.Right);
-            ("numa penalty", Table.Right);
+            ("2-socket cycles", Table.Right);
+            ("socket penalty", Table.Right);
             ("cross-node events", Table.Right);
+            ("cross-socket events", Table.Right);
           ]
     in
     List.iter
       (fun alloc ->
-        let run_with topo =
-          let sim =
-            match topo with
-            | None -> Sim.create ~nprocs:p ()
-            | Some node_of -> Sim.create ~node_of ~nprocs:p ()
-          in
-          let pf = Sim.platform sim in
-          let a = alloc.Alloc_intf.instantiate pf in
-          (threadtest scale).Workload_intf.spawn sim pf a ~nthreads:p;
-          Sim.run sim;
-          (Sim.total_cycles sim, Cache.total_cross_node_events (Sim.cache sim))
-        in
-        let flat, _ = run_with None in
-        let numa, cross = run_with (Some node_of) in
+        let flat = Runner.run (Runner.spec (threadtest scale) alloc ~nprocs:p) in
+        let numa = Runner.run (Runner.spec ~topology:(2, p / 2) (threadtest scale) alloc ~nprocs:p) in
         Table.add_row tbl
           [
             alloc.Alloc_intf.label;
-            string_of_int flat;
-            string_of_int numa;
-            Table.cell_ratio (float_of_int numa /. float_of_int flat);
-            string_of_int cross;
+            string_of_int flat.Runner.r_cycles;
+            string_of_int numa.Runner.r_cycles;
+            Table.cell_ratio (float_of_int numa.Runner.r_cycles /. float_of_int flat.Runner.r_cycles);
+            string_of_int numa.Runner.r_cross_node_events;
+            string_of_int numa.Runner.r_cross_socket_events;
           ])
       allocs;
     tables_only [ tbl ]
   in
   {
     id = "exp_numa";
-    title = "NUMA topology (future work)";
-    paper_ref = "future-work extension (the paper targets flat SMPs)";
-    describe = "cross-node coherence surcharge: allocators that localise memory to a processor keep their speed";
+    title = "NUMA two-tier topology";
+    paper_ref = "extension (the paper targets flat SMPs)";
+    describe =
+      "flat vs 2-socket machine via the shared topology helper: socket-crossing coherence pays \
+       cross_node + cross_socket, so allocators that localise memory keep their speed";
+    run;
+  }
+
+(* --- exp_scale: the 64-128P two-tier scale-out matrix --- *)
+
+let scale_procs = function
+  | Quick -> [ 8; 64 ]
+  | Full -> [ 8; 16; 32; 64; 128 ]
+
+(* Topologies applicable at P processors: flat plus every socket count
+   that divides the machine evenly. *)
+let scale_topologies p =
+  ("flat", None)
+  :: List.filter_map
+       (fun sockets ->
+         if p mod sockets = 0 && p / sockets >= 1 && sockets < p then
+           Some (Printf.sprintf "%d-socket" sockets, Some (sockets, p / sockets))
+         else None)
+       [ 2; 4 ]
+
+(* The O(U + P) envelope with P = peak LIVE threads: 2U/(1-f) for the
+   superblock worst case, plus what the configuration legitimately
+   retains per heap and in flight (slack superblocks per heap, the
+   release threshold, front-end caches and queues, one superblock per
+   size class per heap for protect_last). Mirrors Check_run's oracle
+   slop; churn workloads must fit it because exiting threads' heaps are
+   adopted rather than stranded. *)
+let scale_envelope (cfg : Hoard_config.t) ~nprocs ~peak_live_threads ~peak_live_bytes =
+  let nheaps =
+    match cfg.Hoard_config.nheaps with
+    | Some n -> n
+    | None -> nprocs
+  in
+  let heaps = min nheaps (peak_live_threads + 1) + 1 in
+  let classes = 16 in
+  let per_heap = (cfg.Hoard_config.slack + classes) * cfg.Hoard_config.sb_size in
+  let fe_blocks = cfg.Hoard_config.front_end * classes * peak_live_threads in
+  let slop =
+    (heaps * per_heap)
+    + (cfg.Hoard_config.release_threshold * cfg.Hoard_config.sb_size)
+    + (fe_blocks * cfg.Hoard_config.sb_size / 8)
+    + (4 * cfg.Hoard_config.sb_size)
+  in
+  int_of_float (2.0 *. float_of_int peak_live_bytes /. (1.0 -. cfg.Hoard_config.empty_fraction)) + slop
+
+let scale_exp =
+  let run scale ~procs =
+    let procs =
+      match procs with
+      | Some ps -> ps
+      | None -> scale_procs scale
+    in
+    let workloads =
+      [
+        ("threadtest", fun () -> threadtest scale);
+        ("churn-wave", fun () -> churn ~pattern:Churn.Wave scale);
+        ("churn-rolling", fun () -> churn ~pattern:Churn.Rolling scale);
+      ]
+    in
+    let cfg = Hoard_config.default in
+    let tbl =
+      Table.create ~title:"Scale-out matrix: hoard across P x topology (two-tier machines)"
+        ~columns:
+          [
+            ("workload", Table.Left);
+            ("P", Table.Right);
+            ("topology", Table.Left);
+            ("cycles", Table.Right);
+            ("cross-node", Table.Right);
+            ("cross-socket", Table.Right);
+            ("peak live thr", Table.Right);
+            ("peak held", Table.Right);
+            ("envelope", Table.Right);
+            ("held/env", Table.Right);
+          ]
+    in
+    List.iteri
+      (fun wi (wname, mk) ->
+        if wi > 0 then Table.add_separator tbl;
+        List.iter
+          (fun p ->
+            List.iter
+              (fun (tname, topo) ->
+                let r = Runner.run (Runner.spec ?topology:topo (mk ()) (Hoard.factory ()) ~nprocs:p) in
+                let s = r.Runner.r_stats in
+                let env =
+                  scale_envelope cfg ~nprocs:p ~peak_live_threads:r.Runner.r_peak_live_threads
+                    ~peak_live_bytes:s.Alloc_stats.peak_live_bytes
+                in
+                let ratio = float_of_int s.Alloc_stats.peak_held_bytes /. float_of_int (max 1 env) in
+                if s.Alloc_stats.peak_held_bytes > env then
+                  failwith
+                    (Printf.sprintf
+                       "exp_scale: blowup envelope violated on %s at %dP (%s): peak held %d > %d \
+                        (U=%d, P_live=%d)"
+                       wname p tname s.Alloc_stats.peak_held_bytes env s.Alloc_stats.peak_live_bytes
+                       r.Runner.r_peak_live_threads);
+                Table.add_row tbl
+                  [
+                    wname;
+                    string_of_int p;
+                    tname;
+                    string_of_int r.Runner.r_cycles;
+                    string_of_int r.Runner.r_cross_node_events;
+                    string_of_int r.Runner.r_cross_socket_events;
+                    string_of_int r.Runner.r_peak_live_threads;
+                    kib s.Alloc_stats.peak_held_bytes;
+                    kib env;
+                    Table.cell_float ratio;
+                  ])
+              (scale_topologies p))
+          procs)
+      workloads;
+    tables_only [ tbl ]
+  in
+  {
+    id = "exp_scale";
+    title = "Scale-out matrix: P in {8..128} x {flat, 2-socket, 4-socket}";
+    paper_ref = "extension (beyond the paper's 14-processor machine)";
+    describe =
+      "threadtest and churn on two-tier machines up to 128 simulated processors: cycles, cross-node \
+       and cross-socket coherence, and peak-held vs the O(U + P) envelope with P = peak live threads \
+       (enforced)";
     run;
   }
 
@@ -1364,6 +1486,7 @@ let all () =
     server_exp;
     costmodel_exp;
     numa_exp;
+    scale_exp;
     abl_f;
     abl_k;
     abl_sbsize;
@@ -1393,7 +1516,14 @@ let workload name scale =
   | "server-steady" -> Some (Server_mix.make ~params:(server_params Server_mix.Steady scale) ())
   | "server-bursty" -> Some (Server_mix.make ~params:(server_params Server_mix.Bursty scale) ())
   | "server-flash" -> Some (Server_mix.make ~params:(server_params Server_mix.Flash scale) ())
-  | _ -> None
+  | _ ->
+    (* churn-<pattern>-<body>, e.g. "churn-wave-larson". *)
+    (match String.split_on_char '-' name with
+     | [ "churn"; pat; bod ] ->
+       (match (Churn.pattern_of_string pat, Churn.body_of_string bod) with
+        | Some pattern, Some body -> Some (churn ~pattern ~body scale)
+        | _ -> None)
+     | _ -> None)
 
 let workload_names =
   [
@@ -1401,6 +1531,12 @@ let workload_names =
     "producer-consumer"; "producer-consumer-pipelined"; "phased-blowup"; "kv-store"; "doc-tree";
     "server-steady"; "server-bursty"; "server-flash";
   ]
+  @ List.concat_map
+      (fun pat ->
+        List.map
+          (fun bod -> Printf.sprintf "churn-%s-%s" (Churn.pattern_name pat) (Churn.body_name bod))
+          Churn.bodies)
+      Churn.patterns
 
 let ids () = List.map (fun e -> e.id) (all ())
 
@@ -1420,6 +1556,7 @@ let obs_workload id scale =
     | "exp_fragmentation" -> "larson"
     | "exp_apps" -> "kv-store"
     | "exp_server" -> "server-bursty"
+    | "exp_scale" -> "churn-wave-threadtest"
     | _ -> "threadtest"
   in
   match workload name scale with

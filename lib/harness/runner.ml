@@ -6,11 +6,12 @@ type spec = {
   cost : Cost_model.t;
   lock_kind : Sim.lock_kind;
   vmem_backend : Vmem_backend.kind;
+  topology : (int * int) option;
 }
 
 let spec ?nthreads ?(cost = Cost_model.default) ?(lock_kind = Sim.Spin)
-    ?(vmem_backend = Vmem_backend.Exact) workload allocator ~nprocs =
-  { workload; allocator; nprocs; nthreads; cost; lock_kind; vmem_backend }
+    ?(vmem_backend = Vmem_backend.Exact) ?topology workload allocator ~nprocs =
+  { workload; allocator; nprocs; nthreads; cost; lock_kind; vmem_backend; topology }
 
 type result = {
   r_workload : string;
@@ -28,16 +29,19 @@ type result = {
   r_vm_peak_mapped : int;
   r_vm_address_space : int;
   r_vm_resident : int;
+  r_cross_node_events : int;
+  r_cross_socket_events : int;
+  r_peak_live_threads : int;
 }
 
 let run_with ?fuzz ?wrap_platform ?wrap_allocator ?post
-    { workload; allocator; nprocs; nthreads; cost; lock_kind; vmem_backend } =
+    { workload; allocator; nprocs; nthreads; cost; lock_kind; vmem_backend; topology } =
   let nthreads =
     match nthreads with
     | Some n -> n
     | None -> nprocs
   in
-  let sim = Sim.create ~cost ~lock_kind ?fuzz_schedule:fuzz ~vmem_backend ~nprocs () in
+  let sim = Sim.create ~cost ~lock_kind ?fuzz_schedule:fuzz ~vmem_backend ?topology ~nprocs () in
   let pf = Sim.platform sim in
   (* The allocator always sees the raw platform; only the workload's view
      is wrapped (e.g. with the sanitizer's access checker). *)
@@ -80,6 +84,9 @@ let run_with ?fuzz ?wrap_platform ?wrap_allocator ?post
     r_vm_peak_mapped = Vmem.peak_bytes vm;
     r_vm_address_space = Vmem.address_space_bytes vm;
     r_vm_resident = Vmem.resident_bytes vm;
+    r_cross_node_events = Cache.total_cross_node_events (Sim.cache sim);
+    r_cross_socket_events = Cache.total_cross_socket_events (Sim.cache sim);
+    r_peak_live_threads = Sim.peak_live_threads sim;
   }
 
 let run spec = run_with spec

@@ -12,6 +12,9 @@ type spec = {
   vmem_backend : Vmem_backend.kind;
       (** address-space reuse policy of the simulated OS (defaults to
           {!Vmem_backend.Exact}, the seed behaviour) *)
+  topology : (int * int) option;
+      (** two-tier machine shape [(sockets, cores_per_socket)] handed to
+          {!Sim.create}; [None] (the default) builds the flat machine *)
 }
 
 val spec :
@@ -19,6 +22,7 @@ val spec :
   ?cost:Cost_model.t ->
   ?lock_kind:Sim.lock_kind ->
   ?vmem_backend:Vmem_backend.kind ->
+  ?topology:int * int ->
   Workload_intf.t ->
   Alloc_intf.factory ->
   nprocs:int ->
@@ -46,6 +50,15 @@ type result = {
           to extend the mapping area; the fragmentation experiments'
           reuse metric *)
   r_vm_resident : int;  (** committed (resident) bytes at exit *)
+  r_cross_node_events : int;
+      (** coherence events that crossed a NUMA node boundary (0 on flat
+          machines) *)
+  r_cross_socket_events : int;
+      (** coherence events that crossed a socket boundary of the
+          two-tier topology (0 without one) *)
+  r_peak_live_threads : int;
+      (** peak concurrently-live threads — the P of the blowup envelope
+          under thread churn (equals nthreads for non-churn workloads) *)
 }
 
 val run : spec -> result

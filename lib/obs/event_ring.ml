@@ -22,11 +22,12 @@ type kind =
   | Large_cache_hit
   | Deferred_enqueue
   | Deferred_reclaim
+  | Orphan_adopt
 
 let all_kinds =
   [ Sb_map; Sb_unmap; Sb_from_global; Sb_to_global; Emptiness_cross; Remote_free; Large_map; Large_unmap;
     Lock_acquire; Cache_hit; Cache_flush; Remote_enqueue; Remote_drain; Decommit; Recommit; Shelf_push;
-    Shelf_pop; Remote_forward; Req_arrival; Req_done; Large_cache_hit; Deferred_enqueue; Deferred_reclaim ]
+    Shelf_pop; Remote_forward; Req_arrival; Req_done; Large_cache_hit; Deferred_enqueue; Deferred_reclaim; Orphan_adopt ]
 
 let nkinds = List.length all_kinds
 
@@ -54,6 +55,7 @@ let kind_index = function
   | Large_cache_hit -> 20
   | Deferred_enqueue -> 21
   | Deferred_reclaim -> 22
+  | Orphan_adopt -> 23
 
 let kind_of_index = function
   | 0 -> Sb_map
@@ -79,6 +81,7 @@ let kind_of_index = function
   | 20 -> Large_cache_hit
   | 21 -> Deferred_enqueue
   | 22 -> Deferred_reclaim
+  | 23 -> Orphan_adopt
   | i -> invalid_arg (Printf.sprintf "Event_ring.kind_of_index: %d" i)
 
 let kind_name = function
@@ -105,6 +108,7 @@ let kind_name = function
   | Large_cache_hit -> "large_cache_hit"
   | Deferred_enqueue -> "deferred_enqueue"
   | Deferred_reclaim -> "deferred_reclaim"
+  | Orphan_adopt -> "orphan_adopt"
 
 type event = { at : int; kind : kind; who : int; heap : int; sclass : int; arg : int }
 

@@ -38,7 +38,8 @@ type kind =
   | Req_done  (** server-mix request completed; [arg] = latency in cycles *)
   | Large_cache_hit  (** large allocation served by cache take → commit; [arg] = bytes *)
   | Deferred_enqueue  (** block CAS-pushed onto [heap]'s deferred free list; [arg] = addr *)
-  | Deferred_reclaim  (** [heap] exchanged its deferred list empty; [arg] = block count *)
+  | Deferred_reclaim
+  | Orphan_adopt  (** an orphaned superblock adopted on a thread's exit path *)  (** [heap] exchanged its deferred list empty; [arg] = block count *)
 
 val all_kinds : kind list
 

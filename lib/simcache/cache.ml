@@ -8,6 +8,7 @@ type summary = {
   coherence_misses : int;
   invalidations_sent : int;
   cross_node_events : int;
+  cross_socket_events : int;
 }
 
 type proc_stats = {
@@ -20,8 +21,9 @@ type proc_stats = {
 }
 
 (* Directory entry: which processors hold the line, and whether one of them
-   holds it exclusively (dirty). [mask] is a processor bit set. *)
-type line_state = { mutable mask : int; mutable exclusive : bool }
+   holds it exclusively (dirty). [mask] is a processor set (multi-word bit
+   set, so machines wider than 62 processors work). *)
+type line_state = { mask : Procset.t; mutable exclusive : bool }
 
 type counters = {
   mutable hits : int;
@@ -41,17 +43,48 @@ type t = {
   line_shift : int;
   nprocs : int;
   capacity_lines : int option;
-  node_of : int -> int;
+  nodes : int array; (* processor -> NUMA node, validated at creation *)
+  sockets : int array; (* processor -> socket, validated at creation *)
   directory : (int, line_state) Hashtbl.t; (* line index -> state *)
   counters : counters array;
   lrus : lru array; (* used only when capacity_lines is set *)
   mutable cross_node_total : int;
+  mutable cross_socket_total : int;
 }
 
-let create ?(line_size = 64) ?capacity_lines ?(node_of = fun _ -> 0) ~nprocs () =
+let max_procs = 1024
+
+(* Materialise and validate a processor -> domain-id map. Out-of-range or
+   non-contiguous ids would silently miscount [cross_node_events] (a
+   processor mapped to a node nobody else can reach makes every event
+   "remote"), so both are rejected loudly. *)
+let validated_domain_map ~what ~nprocs f =
+  let a = Array.init nprocs f in
+  Array.iteri
+    (fun p d ->
+      if d < 0 || d >= nprocs then
+        invalid_arg
+          (Printf.sprintf "Cache.create: %s maps processor %d to id %d, outside [0, %d)" what p d
+             nprocs))
+    a;
+  let max_id = Array.fold_left max 0 a in
+  let seen = Array.make (max_id + 1) false in
+  Array.iter (fun d -> seen.(d) <- true) a;
+  Array.iteri
+    (fun d used ->
+      if not used then
+        invalid_arg
+          (Printf.sprintf "Cache.create: %s ids are non-contiguous: id %d appears but %d is unused"
+             what max_id d))
+    seen;
+  a
+
+let create ?(line_size = 64) ?capacity_lines ?(node_of = fun _ -> 0) ?(socket_of = fun _ -> 0)
+    ~nprocs () =
   if line_size <= 0 || line_size land (line_size - 1) <> 0 then
     invalid_arg "Cache.create: line_size must be a positive power of two";
-  if nprocs < 1 || nprocs > 62 then invalid_arg "Cache.create: nprocs must be in [1, 62]";
+  if nprocs < 1 || nprocs > max_procs then
+    invalid_arg (Printf.sprintf "Cache.create: nprocs must be in [1, %d]" max_procs);
   (match capacity_lines with
    | Some c when c < 1 -> invalid_arg "Cache.create: capacity_lines must be >= 1"
    | _ -> ());
@@ -61,31 +94,31 @@ let create ?(line_size = 64) ?capacity_lines ?(node_of = fun _ -> 0) ~nprocs () 
     line_shift = log2 line_size;
     nprocs;
     capacity_lines;
-    node_of;
+    nodes = validated_domain_map ~what:"node_of" ~nprocs node_of;
+    sockets = validated_domain_map ~what:"socket_of" ~nprocs socket_of;
     directory = Hashtbl.create 4096;
     counters =
       Array.init nprocs (fun _ -> { hits = 0; cold = 0; coher = 0; inval_sent = 0; inval_recv = 0; evictions = 0 });
     lrus = Array.init nprocs (fun _ -> { order = Dlist.create (); nodes = Hashtbl.create 256 });
     cross_node_total = 0;
+    cross_socket_total = 0;
   }
 
 let line_size t = t.line_size
 
 let nprocs t = t.nprocs
 
+let node_of t p = t.nodes.(p)
+
+let socket_of t p = t.sockets.(p)
+
 let line_of_addr t addr = addr lsr t.line_shift
 
-let popcount mask =
-  let rec loop m acc = if m = 0 then acc else loop (m land (m - 1)) (acc + 1) in
-  loop mask 0
-
-let credit_invalidations t p remote_mask =
-  let n = popcount remote_mask in
+let credit_invalidations t p remote =
+  let n = Procset.count remote in
   if n > 0 then begin
     t.counters.(p).inval_sent <- t.counters.(p).inval_sent + n;
-    for q = 0 to t.nprocs - 1 do
-      if remote_mask land (1 lsl q) <> 0 then t.counters.(q).inval_recv <- t.counters.(q).inval_recv + 1
-    done
+    Procset.iter (fun q -> t.counters.(q).inval_recv <- t.counters.(q).inval_recv + 1) remote
   end;
   n
 
@@ -93,28 +126,23 @@ let state_of t line =
   match Hashtbl.find_opt t.directory line with
   | Some s -> s
   | None ->
-    let s = { mask = 0; exclusive = false } in
+    let s = { mask = Procset.make ~width:t.nprocs; exclusive = false } in
     Hashtbl.replace t.directory line s;
     s
 
-(* Coherence events whose peer lives on another node. For an invalidating
-   write, each remote copy is an event; for a served miss, one event if any
-   current holder is remote-node. *)
-let cross_node_of_mask t p mask =
-  let my = t.node_of p in
-  let n = ref 0 in
-  for q = 0 to t.nprocs - 1 do
-    if mask land (1 lsl q) <> 0 && t.node_of q <> my then incr n
-  done;
-  !n
+(* Coherence events whose peer lives on another domain (node or socket).
+   For an invalidating write, each remote copy is an event; for a served
+   miss, one event if any current holder is remote. *)
+let cross_of_mask domains p mask =
+  let my = domains.(p) in
+  Procset.fold (fun q n -> if domains.(q) <> my then n + 1 else n) mask 0
 
 let access_line t p line ~is_write =
   let s = state_of t line in
-  let bit = 1 lsl p in
-  let holds = s.mask land bit <> 0 in
-  let remote = s.mask land lnot bit in
+  let holds = Procset.mem s.mask p in
+  let nremote = Procset.count_excluding s.mask p in
   if is_write then
-    if holds && remote = 0 then begin
+    if holds && nremote = 0 then begin
       (* Already sole holder: silent upgrade to exclusive. *)
       s.exclusive <- true;
       t.counters.(p).hits <- t.counters.(p).hits + 1;
@@ -122,21 +150,22 @@ let access_line t p line ~is_write =
     end
     else if holds then begin
       (* Upgrade: kill the other copies but the data is local. *)
-      let n = credit_invalidations t p remote in
-      s.mask <- bit;
+      Procset.remove s.mask p;
+      let n = credit_invalidations t p s.mask in
+      Procset.assign_singleton s.mask p;
       s.exclusive <- true;
       t.counters.(p).hits <- t.counters.(p).hits + 1;
       (Hit, n)
     end
-    else if remote <> 0 then begin
-      let n = credit_invalidations t p remote in
-      s.mask <- bit;
+    else if nremote > 0 then begin
+      let n = credit_invalidations t p s.mask in
+      Procset.assign_singleton s.mask p;
       s.exclusive <- true;
       t.counters.(p).coher <- t.counters.(p).coher + 1;
       (Coherence_miss, n)
     end
     else begin
-      s.mask <- bit;
+      Procset.assign_singleton s.mask p;
       s.exclusive <- true;
       t.counters.(p).cold <- t.counters.(p).cold + 1;
       (Cold_miss, 0)
@@ -145,16 +174,16 @@ let access_line t p line ~is_write =
     t.counters.(p).hits <- t.counters.(p).hits + 1;
     (Hit, 0)
   end
-  else if remote <> 0 then begin
+  else if nremote > 0 then begin
     (* Served cache-to-cache; an exclusive holder is downgraded to shared
        (no invalidation: the remote copy survives). *)
-    s.mask <- s.mask lor bit;
+    Procset.add s.mask p;
     s.exclusive <- false;
     t.counters.(p).coher <- t.counters.(p).coher + 1;
     (Coherence_miss, 0)
   end
   else begin
-    s.mask <- bit;
+    Procset.assign_singleton s.mask p;
     s.exclusive <- false;
     t.counters.(p).cold <- t.counters.(p).cold + 1;
     (Cold_miss, 0)
@@ -182,32 +211,48 @@ let lru_touch t p line =
         Hashtbl.remove lru.nodes victim;
         (match Hashtbl.find_opt t.directory victim with
          | Some st ->
-           st.mask <- st.mask land lnot (1 lsl p);
-           if st.mask = 0 then st.exclusive <- false
+           Procset.remove st.mask p;
+           if Procset.is_empty st.mask then st.exclusive <- false
          | None -> ());
         t.counters.(p).evictions <- t.counters.(p).evictions + 1
 
 let access t p ~addr ~len ~is_write =
   if len <= 0 then invalid_arg "Cache.access: len must be positive";
   if p < 0 || p >= t.nprocs then invalid_arg "Cache.access: bad processor id";
+  let acc =
+    ref
+      {
+        hits = 0;
+        cold_misses = 0;
+        coherence_misses = 0;
+        invalidations_sent = 0;
+        cross_node_events = 0;
+        cross_socket_events = 0;
+      }
+  in
   let first = line_of_addr t addr and last = line_of_addr t (addr + len - 1) in
-  let acc = ref { hits = 0; cold_misses = 0; coherence_misses = 0; invalidations_sent = 0; cross_node_events = 0 } in
   for line = first to last do
     (* Snapshot the holder set before the transition to attribute
        cross-node traffic. *)
     let pre_mask =
       match Hashtbl.find_opt t.directory line with
-      | Some s -> s.mask land lnot (1 lsl p)
-      | None -> 0
+      | Some s ->
+        let m = Procset.copy s.mask in
+        Procset.remove m p;
+        m
+      | None -> Procset.make ~width:t.nprocs
     in
     let outcome, invals = access_line t p line ~is_write in
     lru_touch t p line;
-    let cross =
-      if is_write && invals > 0 then cross_node_of_mask t p pre_mask
-      else if outcome = Coherence_miss then min 1 (cross_node_of_mask t p pre_mask)
+    let cross_counts domains =
+      if is_write && invals > 0 then cross_of_mask domains p pre_mask
+      else if outcome = Coherence_miss then min 1 (cross_of_mask domains p pre_mask)
       else 0
     in
+    let cross = cross_counts t.nodes in
+    let cross_sock = cross_counts t.sockets in
     t.cross_node_total <- t.cross_node_total + cross;
+    t.cross_socket_total <- t.cross_socket_total + cross_sock;
     let a = !acc in
     acc :=
       {
@@ -216,6 +261,7 @@ let access t p ~addr ~len ~is_write =
         coherence_misses = (a.coherence_misses + if outcome = Coherence_miss then 1 else 0);
         invalidations_sent = a.invalidations_sent + invals;
         cross_node_events = a.cross_node_events + cross;
+        cross_socket_events = a.cross_socket_events + cross_sock;
       }
   done;
   !acc
@@ -237,6 +283,8 @@ let stats t p =
 
 let total_cross_node_events t = t.cross_node_total
 
+let total_cross_socket_events t = t.cross_socket_total
+
 let total_invalidations t = Array.fold_left (fun acc c -> acc + c.inval_recv) 0 t.counters
 
 let total_coherence_misses t = Array.fold_left (fun acc c -> acc + c.coher) 0 t.counters
@@ -244,9 +292,7 @@ let total_coherence_misses t = Array.fold_left (fun acc c -> acc + c.coher) 0 t.
 let sharers t ~line =
   match Hashtbl.find_opt t.directory line with
   | None -> []
-  | Some s ->
-    let rec loop q acc = if q < 0 then acc else loop (q - 1) (if s.mask land (1 lsl q) <> 0 then q :: acc else acc) in
-    loop (t.nprocs - 1) []
+  | Some s -> List.rev (Procset.fold (fun q acc -> q :: acc) s.mask [])
 
 let reset_stats t =
   Array.iter

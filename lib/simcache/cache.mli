@@ -34,6 +34,9 @@ type summary = {
   cross_node_events : int;
       (** coherence events (miss service or invalidation) whose peer sits
           on a different NUMA node; 0 on flat machines *)
+  cross_socket_events : int;
+      (** coherence events whose peer sits on a different socket (the
+          two-tier topology's outer tier); 0 on single-socket machines *)
 }
 (** Aggregate over the (possibly several) lines an access spans. *)
 
@@ -46,12 +49,27 @@ type proc_stats = {
   p_evictions : int;  (** capacity evictions (finite caches only) *)
 }
 
-val create : ?line_size:int -> ?capacity_lines:int -> ?node_of:(proc -> int) -> nprocs:int -> unit -> t
+val create :
+  ?line_size:int ->
+  ?capacity_lines:int ->
+  ?node_of:(proc -> int) ->
+  ?socket_of:(proc -> int) ->
+  nprocs:int ->
+  unit ->
+  t
 (** [line_size] defaults to 64 bytes and must be a power of two. [nprocs]
-    must be in [\[1, 62\]] (processor sets are bit masks).
+    must be in [\[1, 1024\]] (processor sets are multi-word bit sets).
     [node_of], when given, assigns each processor to a NUMA node;
     coherence events between processors on different nodes are counted in
-    [cross_node_events] (the simulator charges them extra).
+    [cross_node_events] (the simulator charges them extra). [socket_of]
+    likewise assigns each processor to a socket for the two-tier
+    topology; socket-crossing events are counted in
+    [cross_socket_events] and charged the steeper
+    {!Cost_model.t.cross_socket} surcharge. Both maps are materialised
+    and validated at creation: ids must lie in [\[0, nprocs)] and be
+    contiguous (every id up to the maximum used), otherwise
+    [Invalid_argument] is raised — a silently out-of-range id would
+    miscount cross-domain events.
     [capacity_lines], when given, bounds each processor's cache to that
     many lines with LRU replacement; a line evicted for capacity must be
     fetched again on the next access (classified as a cold miss when no
@@ -69,6 +87,14 @@ val write : t -> proc -> addr:int -> len:int -> summary
 val stats : t -> proc -> proc_stats
 
 val total_cross_node_events : t -> int
+
+val total_cross_socket_events : t -> int
+
+val node_of : t -> proc -> int
+(** NUMA node of a processor under the validated map. *)
+
+val socket_of : t -> proc -> int
+(** Socket of a processor under the validated map. *)
 
 val total_invalidations : t -> int
 (** Sum over processors of invalidations received. *)

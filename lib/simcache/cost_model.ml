@@ -11,6 +11,7 @@ type t = {
   page_decommit : int;
   page_commit : int;
   cross_node : int;
+  cross_socket : int;
   atomic_op : int;
 }
 
@@ -28,6 +29,7 @@ let default =
     page_decommit = 120;
     page_commit = 180;
     cross_node = 120;
+    cross_socket = 300;
     atomic_op = 30;
   }
 
@@ -45,6 +47,7 @@ let uniform_memory =
     page_decommit = 1;
     page_commit = 1;
     cross_node = 0;
+    cross_socket = 0;
     atomic_op = 1;
   }
 
@@ -62,6 +65,7 @@ let cheap_memory =
     page_decommit = 12;
     page_commit = 18;
     cross_node = 6;
+    cross_socket = 15;
     atomic_op = 5;
   }
 
@@ -79,5 +83,6 @@ let expensive_memory =
     page_decommit = 360;
     page_commit = 540;
     cross_node = 360;
+    cross_socket = 900;
     atomic_op = 90;
   }

@@ -22,6 +22,12 @@ type t = {
       (** additional cycles per coherence event (miss service or
           invalidation) that crosses a NUMA node boundary; only charged
           when the machine is given a topology (see {!Cache.create}). *)
+  cross_socket : int;
+      (** additional cycles per coherence event that crosses a socket
+          boundary in the two-tier topology — remote-socket miss service
+          and cross-socket invalidations ride the inter-socket link, so
+          this is charged on top of [cross_node] and is distinctly
+          larger; 0 on single-socket machines. *)
   atomic_op : int;
       (** one hardware atomic (CAS, fetch-and-add, atomic load/store):
           the RMW round-trip beyond the cache traffic on the operand's

@@ -1,0 +1,45 @@
+(* Two-tier machine topology: [sockets] sockets of [cores_per_socket]
+   processors each, numbered socket-major (processor p sits on socket
+   p / cores_per_socket). A socket is both the coherence domain boundary
+   and the memory node: traffic that leaves a socket pays the cost
+   model's [cross_node] surcharge plus the steeper [cross_socket] one.
+   The shared helper exists so the simulator, the cache directory and the
+   experiments all derive the same placement instead of hand-rolling
+   divisor tricks per call site. *)
+
+type t = { sockets : int; cores_per_socket : int }
+
+let make ~sockets ~cores_per_socket =
+  if sockets < 1 then invalid_arg "Topology.make: sockets must be >= 1";
+  if cores_per_socket < 1 then invalid_arg "Topology.make: cores_per_socket must be >= 1";
+  { sockets; cores_per_socket }
+
+let flat ~nprocs = make ~sockets:1 ~cores_per_socket:nprocs
+
+let of_pair (sockets, cores_per_socket) = make ~sockets ~cores_per_socket
+
+let sockets t = t.sockets
+
+let cores_per_socket t = t.cores_per_socket
+
+let nprocs t = t.sockets * t.cores_per_socket
+
+let socket_of t p =
+  if p < 0 || p >= nprocs t then
+    invalid_arg
+      (Printf.sprintf "Topology.socket_of: processor %d outside [0, %d)" p (nprocs t));
+  p / t.cores_per_socket
+
+let is_flat t = t.sockets = 1
+
+let describe t =
+  if is_flat t then Printf.sprintf "flat (%d procs)" (nprocs t)
+  else Printf.sprintf "%d sockets x %d cores" t.sockets t.cores_per_socket
+
+(* Check that a topology matches a machine width: every processor must
+   have a socket, and no socket may be empty. *)
+let check ~nprocs:n t =
+  if nprocs t <> n then
+    invalid_arg
+      (Printf.sprintf "Topology.check: %s covers %d processors, machine has %d" (describe t)
+         (nprocs t) n)

@@ -1,0 +1,36 @@
+(** Two-tier (socket/core) machine topology shared by the simulator, the
+    cache directory and the experiments.
+
+    Processors are numbered socket-major: processor [p] lives on socket
+    [p / cores_per_socket]. The socket doubles as the memory node, so a
+    coherence event that crosses a socket boundary is charged both the
+    {!Cost_model.t.cross_node} and the steeper
+    {!Cost_model.t.cross_socket} surcharge by the simulator. *)
+
+type t
+
+val make : sockets:int -> cores_per_socket:int -> t
+(** Raises [Invalid_argument] unless both dimensions are >= 1. *)
+
+val flat : nprocs:int -> t
+(** Single-socket machine: no cross-socket traffic is possible. *)
+
+val of_pair : int * int -> t
+(** [(sockets, cores_per_socket)], the form [Sim.create ~topology] takes. *)
+
+val sockets : t -> int
+
+val cores_per_socket : t -> int
+
+val nprocs : t -> int
+
+val socket_of : t -> int -> int
+(** Socket of a processor; raises [Invalid_argument] out of range. *)
+
+val is_flat : t -> bool
+
+val describe : t -> string
+
+val check : nprocs:int -> t -> unit
+(** Raises [Invalid_argument] when the topology's processor count does
+    not equal the machine's. *)

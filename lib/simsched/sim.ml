@@ -76,6 +76,7 @@ type schedule = Exact | Fuzzed of Rng.t | Controlled of (choice -> int)
 
 type t = {
   nprocs : int;
+  topology : Topology.t option;
   lock_kind : lock_kind;
   schedule : schedule;
   cost : Cost_model.t;
@@ -84,6 +85,14 @@ type t = {
   clocks : int array;
   runq : thread Queue.t array;
   mutable live : int;
+  (* Threads that have started (or were spawned for time 0) and not yet
+     finished: the churn envelope's P is the peak of this gauge, not the
+     total number of threads ever created. *)
+  mutable cur_active : int;
+  mutable peak_active : int;
+  (* Deferred thread creations, sorted by (start time, tid): activated by
+     the engine once the machine's next event reaches their start time. *)
+  mutable pending_spawns : (int * thread) list;
   mutable next_tid : int;
   mutable next_meta : int; (* addresses for lock/barrier words *)
   mutable locks_rev : lock list;
@@ -127,12 +136,28 @@ type _ Effect.t +=
   | E_atomic : (atom * atomic_op) -> int Effect.t
 
 let create ?(cost = Cost_model.default) ?(lock_kind = Spin) ?fuzz_schedule ?control ?(line_size = 64)
-    ?cache_capacity_lines ?node_of ?(page_size = 4096) ?(vmem_backend = Vmem_backend.Exact) ~nprocs () =
+    ?cache_capacity_lines ?node_of ?topology ?(page_size = 4096) ?(vmem_backend = Vmem_backend.Exact)
+    ~nprocs () =
   if nprocs < 1 then invalid_arg "Sim.create: nprocs must be >= 1";
   if fuzz_schedule <> None && control <> None then
     invalid_arg "Sim.create: fuzz_schedule and control are mutually exclusive";
+  if node_of <> None && topology <> None then
+    invalid_arg "Sim.create: node_of and topology are mutually exclusive";
+  let topology = Option.map Topology.of_pair topology in
+  (match topology with Some topo -> Topology.check ~nprocs topo | None -> ());
+  (* Under the two-tier topology the socket is also the memory node, so
+     cross-socket traffic pays both surcharges (cross_node + the steeper
+     cross_socket) while intra-socket coherence pays neither. *)
+  let node_of, socket_of =
+    match topology with
+    | Some topo ->
+      let f p = Topology.socket_of topo p in
+      (Some f, Some f)
+    | None -> (node_of, None)
+  in
   {
     nprocs;
+    topology;
     lock_kind;
     schedule =
       (match fuzz_schedule, control with
@@ -141,11 +166,14 @@ let create ?(cost = Cost_model.default) ?(lock_kind = Spin) ?fuzz_schedule ?cont
        | None, Some f -> Controlled f
        | Some _, Some _ -> assert false);
     cost;
-    cch = Cache.create ~line_size ?capacity_lines:cache_capacity_lines ?node_of ~nprocs ();
+    cch = Cache.create ~line_size ?capacity_lines:cache_capacity_lines ?node_of ?socket_of ~nprocs ();
     vm = Vmem.create ~page_size ~backend:vmem_backend ();
     clocks = Array.make nprocs 0;
     runq = Array.init nprocs (fun _ -> Queue.create ());
     live = 0;
+    cur_active = 0;
+    peak_active = 0;
+    pending_spawns = [];
     next_tid = 0;
     next_meta = 0x0800_0000; (* below the Vmem base: never collides with heap data *)
     locks_rev = [];
@@ -164,6 +192,12 @@ let create ?(cost = Cost_model.default) ?(lock_kind = Spin) ?fuzz_schedule ?cont
   }
 
 let nprocs t = t.nprocs
+
+let topology t = t.topology
+
+let live_threads t = t.cur_active
+
+let peak_live_threads t = t.peak_active
 
 let cache t = t.cch
 
@@ -246,6 +280,7 @@ let charge_access t p (s : Cache.summary) =
     + (s.coherence_misses * c.coherence_miss)
     + (s.invalidations_sent * c.invalidation)
     + (s.cross_node_events * c.cross_node)
+    + (s.cross_socket_events * c.cross_socket)
 
 let charge t p n = t.clocks.(p) <- t.clocks.(p) + n
 
@@ -270,7 +305,11 @@ let note_sync t name = if t.observing then t.rep_sync <- Some name
    it has no cost. *)
 let handler t th =
   {
-    retc = (fun () -> th.pending <- Done; t.live <- t.live - 1);
+    retc =
+      (fun () ->
+        th.pending <- Done;
+        t.live <- t.live - 1;
+        t.cur_active <- t.cur_active - 1);
     exnc = (fun e -> raise e);
     effc =
       (fun (type a) (eff : a Effect.t) ->
@@ -394,8 +433,11 @@ let handler t th =
         | _ -> None);
   }
 
-let spawn t ?proc body =
-  if t.started then invalid_arg "Sim.spawn: simulation already running";
+let mark_active t =
+  t.cur_active <- t.cur_active + 1;
+  if t.cur_active > t.peak_active then t.peak_active <- t.cur_active
+
+let fresh_thread t ?proc body =
   let tid = t.next_tid in
   t.next_tid <- tid + 1;
   let proc =
@@ -406,10 +448,58 @@ let spawn t ?proc body =
     | None -> tid mod t.nprocs
   in
   let th = { tid; proc; pending = Start body; cur_spins = 0 } in
-  Queue.push th t.runq.(proc);
   t.threads_rev <- th :: t.threads_rev;
   t.live <- t.live + 1;
-  tid
+  th
+
+let spawn t ?proc body =
+  if t.started then invalid_arg "Sim.spawn: simulation already running";
+  let th = fresh_thread t ?proc body in
+  Queue.push th t.runq.(th.proc);
+  mark_active t;
+  th.tid
+
+(* Deferred creation: the thread exists (it has a tid and a processor) but
+   joins its run queue only once the machine reaches [at]. Callable both
+   before [run] and from inside a running thread, so workloads can model
+   churn — populations that are born, serve a burst, and retire. *)
+let spawn_at t ~at ?proc body =
+  if at < 0 then invalid_arg "Sim.spawn_at: at must be >= 0";
+  let th = fresh_thread t ?proc body in
+  let rec insert = function
+    | [] -> [ (at, th) ]
+    | (at', th') :: rest when at' < at || (at' = at && th'.tid < th.tid) -> (at', th') :: insert rest
+    | later -> (at, th) :: later
+  in
+  t.pending_spawns <- insert t.pending_spawns;
+  th.tid
+
+(* Move every deferred spawn whose start time has come onto its run queue.
+   "Has come" means at or before the machine's next event (the minimum
+   clock over runnable processors); when the machine is idle the earliest
+   pending spawn defines the next event and time jumps forward to it. *)
+let activate_due_spawns t =
+  match t.pending_spawns with
+  | [] -> ()
+  | _ ->
+    let next_event () =
+      let m = ref max_int in
+      for p = 0 to t.nprocs - 1 do
+        if (not (Queue.is_empty t.runq.(p))) && t.clocks.(p) < !m then m := t.clocks.(p)
+      done;
+      !m
+    in
+    let rec loop () =
+      match t.pending_spawns with
+      | (at, th) :: rest when at <= next_event () ->
+        t.pending_spawns <- rest;
+        if Queue.is_empty t.runq.(th.proc) && t.clocks.(th.proc) < at then t.clocks.(th.proc) <- at;
+        Queue.push th t.runq.(th.proc);
+        mark_active t;
+        loop ()
+      | _ -> ()
+    in
+    loop ()
 
 (* Whether the thread could advance its pending acquisition right now: a
    spinner on a held lock (or a non-head ticket waiter) only burns a retry. *)
@@ -565,6 +655,7 @@ let run ?(max_steps = 2_000_000_000) t =
   while t.live > 0 do
     incr steps;
     if !steps > max_steps then failwith "Sim.run: max_steps exceeded (livelock?)";
+    activate_due_spawns t;
     let p = pick_proc t in
     if p < 0 then raise (Deadlock (deadlock_message t));
     let th = Queue.pop t.runq.(p) in

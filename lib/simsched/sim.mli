@@ -67,6 +67,7 @@ val create :
   ?line_size:int ->
   ?cache_capacity_lines:int ->
   ?node_of:(int -> int) ->
+  ?topology:int * int ->
   ?page_size:int ->
   ?vmem_backend:Vmem_backend.kind ->
   nprocs:int ->
@@ -76,7 +77,17 @@ val create :
     caches are infinite (see {!Cache.create}).
 
     [node_of] assigns processors to NUMA nodes; coherence events crossing
-    nodes pay the cost model's [cross_node] surcharge.
+    nodes pay the cost model's [cross_node] surcharge. The map is
+    validated at creation (ids in range and contiguous — see
+    {!Cache.create}).
+
+    [topology (sockets, cores_per_socket)] builds the two-tier machine:
+    processor [p] sits on socket [p / cores_per_socket], which is also
+    its memory node, so remote-socket miss service and cross-socket
+    invalidations pay [cross_node] {e plus} the distinctly larger
+    [cross_socket] surcharge while intra-socket coherence pays neither.
+    [sockets * cores_per_socket] must equal [nprocs]; mutually exclusive
+    with [node_of].
 
     [fuzz_schedule seed] replaces min-clock scheduling with a seeded
     random choice among runnable processors: a schedule *fuzzer* for
@@ -95,6 +106,9 @@ val create :
 
 val nprocs : t -> int
 
+val topology : t -> Topology.t option
+(** The two-tier topology the machine was created with, if any. *)
+
 val cache : t -> Cache.t
 
 val vmem : t -> Vmem.t
@@ -103,6 +117,23 @@ val spawn : t -> ?proc:int -> (unit -> unit) -> int
 (** [spawn t fn] registers a thread to run when {!run} is called; returns
     its thread id. Threads are placed round-robin on processors unless
     [proc] pins them. Must be called before {!run}. *)
+
+val spawn_at : t -> at:int -> ?proc:int -> (unit -> unit) -> int
+(** [spawn_at t ~at fn] registers a thread that joins its processor's run
+    queue once the machine's virtual time reaches [at] (an idle machine
+    jumps forward to it). Unlike {!spawn} it may also be called from
+    inside a running thread, so workloads can create and retire thread
+    populations mid-run (churn). A thread exits by returning from its
+    body; {!live_threads} and {!peak_live_threads} track the resulting
+    population. Placement and tid assignment follow {!spawn}. *)
+
+val live_threads : t -> int
+(** Threads started (or spawned for time 0) and not yet finished. *)
+
+val peak_live_threads : t -> int
+(** High-water mark of {!live_threads}: the P in the blowup envelope
+    [O(U + P)] under thread churn — peak concurrently-live threads, not
+    the total ever created. *)
 
 val run : ?max_steps:int -> t -> unit
 (** Executes all spawned threads to completion. [max_steps] (default

@@ -1,0 +1,50 @@
+(** Thread-churn workload family: wave, rolling and flash-crowd thread
+    populations over threadtest/larson/server-style allocation bodies.
+
+    Threads are created mid-run with {!Sim.spawn_at} and retire through
+    {!Alloc_intf.t.thread_exit}, so these workloads exercise the
+    allocator's exit path — front-end cache retirement and
+    orphaned-superblock adoption — under concurrency. A shared exchange
+    stack routes a fraction of frees through peer threads, building up
+    remote-free state on heaps whose owner is about to exit. Runs are
+    leak-free: the last thread to retire drains the exchange.
+
+    The blowup envelope for churn runs uses P = {!Sim.peak_live_threads}
+    (peak concurrently-live population), not the total thread count. *)
+
+type pattern = Wave | Rolling | Flash
+
+val pattern_name : pattern -> string
+
+val pattern_of_string : string -> pattern option
+
+val patterns : pattern list
+
+type body = Threadtest_body | Larson_body | Server_body
+
+val body_name : body -> string
+
+val body_of_string : string -> body option
+
+val bodies : body list
+
+type params = {
+  pattern : pattern;
+  body : body;
+  generations : int;  (** waves / chain links / flash crowds *)
+  spawn_gap : int;  (** cycles between waves, respawns or crowds *)
+  iterations : int;  (** body rounds per thread *)
+  objects : int;  (** live objects a body keeps in flight *)
+  min_size : int;
+  max_size : int;
+  post_pct : int;  (** % of frees routed through the shared exchange *)
+  work_per_op : int;
+  seed : int;
+}
+
+val default_params : params
+
+val make : ?params:params -> unit -> Workload_intf.t
+(** [nthreads] at spawn time is the population parameter: threads per
+    wave (Wave), concurrent chains (Rolling), or crowd size (Flash,
+    which adds [max 1 (nthreads/2)] long-lived base threads). *)

@@ -173,6 +173,41 @@ let test_numa_costs_charged_in_sim () =
   let flat = run false and numa = run true in
   Alcotest.(check bool) (Printf.sprintf "numa (%d) > flat (%d)" numa flat) true (numa > flat)
 
+(* --- domain-map validation: out-of-range and non-contiguous ids --- *)
+
+let expect_invalid name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  | exception Invalid_argument _ -> ()
+
+let test_reject_out_of_range_ids () =
+  expect_invalid "negative node id" (fun () ->
+      Cache.create ~node_of:(fun p -> if p = 1 then -1 else 0) ~nprocs:4 ());
+  expect_invalid "node id >= nprocs" (fun () ->
+      Cache.create ~node_of:(fun p -> if p = 3 then 4 else 0) ~nprocs:4 ());
+  expect_invalid "socket id out of range" (fun () -> Cache.create ~socket_of:(fun _ -> 7) ~nprocs:4 ())
+
+let test_reject_non_contiguous_ids () =
+  (* Node ids {0, 2}: id 1 unused — a gap would make every event against
+     the phantom node "remote" and silently skew the counters. *)
+  expect_invalid "gap in node ids" (fun () ->
+      Cache.create ~node_of:(fun p -> if p < 2 then 0 else 2) ~nprocs:4 ());
+  expect_invalid "gap in socket ids" (fun () ->
+      Cache.create ~socket_of:(fun p -> if p = 0 then 0 else 2) ~nprocs:4 ());
+  (* Id 0 itself unused. *)
+  expect_invalid "ids not starting at 0" (fun () -> Cache.create ~node_of:(fun _ -> 1) ~nprocs:4 ())
+
+let test_valid_maps_accepted_and_queried () =
+  let c = Cache.create ~node_of:(fun p -> p / 2) ~socket_of:(fun p -> p / 2) ~nprocs:4 () in
+  Alcotest.(check int) "node of proc 0" 0 (Cache.node_of c 0);
+  Alcotest.(check int) "node of proc 3" 1 (Cache.node_of c 3);
+  Alcotest.(check int) "socket of proc 2" 1 (Cache.socket_of c 2);
+  (* A socket-crossing write counts in both cross-domain counters. *)
+  ignore (Cache.write c 0 ~addr:0 ~len:8);
+  ignore (Cache.write c 2 ~addr:0 ~len:8);
+  Alcotest.(check int) "cross-node counted" 1 (Cache.total_cross_node_events c);
+  Alcotest.(check int) "cross-socket counted" 1 (Cache.total_cross_socket_events c)
+
 (* Property: invalidations sent and received balance globally, and every
    access is classified exactly once. *)
 let test_counters_balance =
@@ -220,6 +255,12 @@ let () =
           Alcotest.test_case "cross-node counted" `Quick test_cross_node_counted;
           Alcotest.test_case "flat has none" `Quick test_flat_machine_no_cross_node;
           Alcotest.test_case "sim charges surcharge" `Quick test_numa_costs_charged_in_sim;
+        ] );
+      ( "topology validation",
+        [
+          Alcotest.test_case "out-of-range ids rejected" `Quick test_reject_out_of_range_ids;
+          Alcotest.test_case "non-contiguous ids rejected" `Quick test_reject_non_contiguous_ids;
+          Alcotest.test_case "valid maps accepted" `Quick test_valid_maps_accepted_and_queried;
         ] );
       ( "capacity",
         [

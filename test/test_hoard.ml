@@ -1005,6 +1005,10 @@ let test_knob_registry () =
   (* Underscores normalize to dashes. *)
   let c = Hoard_config.set Hoard_config.default "front_end=9" in
   Alcotest.(check int) "underscore alias" 9 c.Hoard_config.front_end;
+  (* The seeded mutants round-trip through the registry; unknown mutant
+     names are rejected by validation. *)
+  let c = Hoard_config.set Hoard_config.default "mutant=orphan-lost-superblock" in
+  Alcotest.(check string) "mutant knob" "orphan-lost-superblock" c.Hoard_config.mutant;
   (* Unknown knobs and malformed or out-of-range values are rejected. *)
   let rejects s =
     match Hoard_config.set Hoard_config.default s with
@@ -1033,6 +1037,59 @@ let test_knob_registry () =
       Alcotest.(check bool) (n ^ " printed") true (Astring.String.is_infix ~affix:n printed))
     [ "deferred"; "large-cache"; "front-end" ]
 
+(* Fuzz: a textual [set_all] over a random subset of knobs must land on
+   exactly the config the labelled builder produces for the same subset —
+   the two front doors of the registry can never diverge. The mutant knob
+   draws from [known_mutants], covering the newly seeded ones. *)
+let test_set_all_matches_labelled_make =
+  QCheck.Test.make ~name:"set_all = labelled make on random knob subsets" ~count:300
+    QCheck.(pair (int_bound 0x3FFF) (int_bound 1000))
+    (fun (mask, vseed) ->
+      let bit i = mask land (1 lsl i) <> 0 in
+      let pick i l = List.nth l ((vseed + i) mod List.length l) in
+      let opt i l = if bit i then Some (pick i l) else None in
+      let sb_size = opt 0 [ 4096; 8192; 32768 ] in
+      let empty_fraction = opt 1 [ 0.125; 0.25; 0.5 ] in
+      let slack = opt 2 [ 0; 2; 4 ] in
+      let nheaps = opt 3 [ Some 1; Some 3; Some 9; None ] in
+      let release_threshold = opt 4 [ 0; 2; 8 ] in
+      let front_end = opt 5 [ 0; 4; 16 ] in
+      let deferred = opt 6 [ true; false ] in
+      let large_cache = opt 7 [ 0; 2; 8 ] in
+      let sanitize = opt 8 [ true; false ] in
+      let quarantine = opt 9 [ 0; 8; 64 ] in
+      let mutant = opt 10 Hoard_config.known_mutants in
+      let shelf = opt 11 [ 0; 2; 4 ] in
+      let reservoir = opt 12 [ 0; 2; 4 ] in
+      let assign_by_tid = opt 13 [ true; false ] in
+      let labelled =
+        Hoard_config.make ?sb_size ?empty_fraction ?slack ?nheaps ?release_threshold ?front_end
+          ?deferred ?large_cache ?sanitize ?quarantine ?mutant ?shelf ?reservoir ?assign_by_tid ()
+      in
+      let textual =
+        List.filter_map
+          (fun x -> x)
+          [
+            Option.map (Printf.sprintf "sb-size=%d") sb_size;
+            Option.map (Printf.sprintf "empty-fraction=%g") empty_fraction;
+            Option.map (Printf.sprintf "slack=%d") slack;
+            Option.map
+              (function Some n -> Printf.sprintf "nheaps=%d" n | None -> "nheaps=auto")
+              nheaps;
+            Option.map (Printf.sprintf "release-threshold=%d") release_threshold;
+            Option.map (Printf.sprintf "front-end=%d") front_end;
+            Option.map (Printf.sprintf "deferred=%b") deferred;
+            Option.map (Printf.sprintf "large-cache=%d") large_cache;
+            Option.map (Printf.sprintf "sanitize=%b") sanitize;
+            Option.map (Printf.sprintf "quarantine=%d") quarantine;
+            Option.map (Printf.sprintf "mutant=%s") mutant;
+            Option.map (Printf.sprintf "shelf=%d") shelf;
+            Option.map (Printf.sprintf "reservoir=%d") reservoir;
+            Option.map (Printf.sprintf "assign-by-tid=%b") assign_by_tid;
+          ]
+      in
+      labelled = Hoard_config.set_all Hoard_config.default textual)
+
 let () =
   Alcotest.run "hoard"
     [
@@ -1049,6 +1106,7 @@ let () =
           Alcotest.test_case "stats" `Quick test_stats_requested_bytes;
           Alcotest.test_case "config validation" `Quick test_config_validation;
           Alcotest.test_case "knob registry" `Quick test_knob_registry;
+          QCheck_alcotest.to_alcotest test_set_all_matches_labelled_make;
           Alcotest.test_case "large cache roundtrip" `Quick test_large_cache_roundtrip;
           Alcotest.test_case "deferred lists reclaim" `Quick test_deferred_lists_reclaim;
         ] );

@@ -224,6 +224,81 @@ let test_stats_exact () =
   done;
   Platform.host_release pf
 
+(* --- domain churn: create / serve / exit waves --- *)
+
+let test_churn_waves () =
+  (* Successive waves of domains are born, serve one batch (with every
+     free crossing to a neighbour's heap through the front-end cache),
+     retire through [thread_exit] and die. The runtime recycles domain
+     ids across waves, so a tcache that exit failed to retire would be
+     inherited — stale — by a later wave's domain. thread_exit is called
+     twice per domain: the second call must find no cache and an empty
+     heap (exit is idempotent; a double exit-flush would double-count
+     frees). After each wave, a global [Hoard.flush_caches] settles the
+     remote-free queues the exits legitimately left behind (an exiting
+     thread's evictions can land on a heap whose own thread is already
+     gone) — but it must find ZERO blocks still sitting in any front-end
+     cache: [cache_flushes] may not move during it. That is the leaked-
+     tcache probe; conservation after the settle is exact. *)
+  let waves = 5 and batch = 48 in
+  let pf = Platform.host ~nprocs:ndomains () in
+  let h = Hoard.create ~config:(Hoard_config.make ~front_end:8 ()) pf in
+  let a = Hoard.allocator h in
+  let failures = Atomic.make 0 in
+  for wave = 1 to waves do
+    let stash = Array.init ndomains (fun _ -> Array.make batch 0) in
+    let barrier = make_barrier ndomains in
+    spawn_domains ndomains (fun d ->
+        let rng = Random.State.make [| 0xc4a0; wave; d |] in
+        for i = 0 to batch - 1 do
+          let size = 8 + Random.State.int rng 1016 in
+          let addr = a.Alloc_intf.malloc size in
+          if a.Alloc_intf.usable_size addr < size then Atomic.incr failures;
+          stash.(d).(i) <- addr
+        done;
+        barrier ();
+        (* Serve: free the neighbour's batch — remote frees batching
+           through this domain's cache onto other heaps' queues. *)
+        let victim = stash.((d + 1) mod ndomains) in
+        for i = 0 to batch - 1 do
+          a.Alloc_intf.free victim.(i)
+        done;
+        barrier ();
+        (* Retire; exits of different domains race each other's heap
+           adoptions on the global heap. *)
+        a.Alloc_intf.thread_exit ();
+        a.Alloc_intf.thread_exit ());
+    (* Every domain retired: no cache may still hold blocks, so the
+       settling flush must not flush a single one. *)
+    let before = (a.Alloc_intf.stats ()).Alloc_stats.cache_flushes in
+    Hoard.flush_caches h;
+    let s = a.Alloc_intf.stats () in
+    Alcotest.(check int)
+      (Printf.sprintf "wave %d no leaked tcache blocks" wave)
+      before s.Alloc_stats.cache_flushes;
+    let expected = wave * ndomains * batch in
+    Alcotest.(check int) (Printf.sprintf "wave %d exact mallocs" wave) expected s.Alloc_stats.mallocs;
+    Alcotest.(check int) (Printf.sprintf "wave %d exact frees" wave) expected s.Alloc_stats.frees;
+    Alcotest.(check int) (Printf.sprintf "wave %d no live bytes" wave) 0 s.Alloc_stats.live_bytes;
+    Hoard.check h;
+    (* Per-processor heaps only: the global heap is the designed home
+       for adopted superblocks whose blocks the settle just freed, so
+       the per-processor emptiness invariant does not apply to it. *)
+    for id = 1 to Hoard.nheaps h do
+      Alcotest.(check bool)
+        (Printf.sprintf "wave %d invariant heap %d" wave id)
+        true
+        (Hoard.invariant_holds h ~heap_id:id)
+    done
+  done;
+  Alcotest.(check int) "no usable_size failures" 0 (Atomic.get failures);
+  let s = a.Alloc_intf.stats () in
+  Alcotest.(check bool)
+    (Printf.sprintf "orphan adoptions recorded (%d)" s.Alloc_stats.orphan_adoptions)
+    true
+    (s.Alloc_stats.orphan_adoptions >= 1);
+  Platform.host_release pf
+
 (* --- the same storm under fuzzed simulator schedules --- *)
 
 let test_sim_fuzzed_storm () =
@@ -307,6 +382,7 @@ let () =
           Alcotest.test_case "front-end free storm" `Quick test_front_end_storm;
           Alcotest.test_case "producer-consumer ring" `Quick test_producer_consumer;
           Alcotest.test_case "stats exact across domains" `Quick test_stats_exact;
+          Alcotest.test_case "churn waves create/serve/exit" `Quick test_churn_waves;
           Alcotest.test_case "registry concurrent ops" `Quick test_registry_concurrent;
         ] );
       ("simsched", [ Alcotest.test_case "fuzzed-schedule storm" `Quick test_sim_fuzzed_storm ]);

@@ -343,6 +343,92 @@ let test_page_map_via_platform () =
   Sim.run sim;
   Alcotest.(check int) "8 KiB accounted" 8192 !got
 
+(* --- two-tier topology and thread lifecycle --- *)
+
+let expect_invalid name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  | exception Invalid_argument _ -> ()
+
+let test_topology_validated () =
+  (* Shape must cover the machine exactly. *)
+  expect_invalid "sockets*cores <> nprocs" (fun () -> Sim.create ~topology:(2, 3) ~nprocs:4 ());
+  expect_invalid "zero sockets" (fun () -> Sim.create ~topology:(0, 4) ~nprocs:4 ());
+  (* topology derives node_of; giving both is ambiguous. *)
+  expect_invalid "node_of with topology" (fun () ->
+      Sim.create ~node_of:(fun p -> p) ~topology:(2, 2) ~nprocs:4 ());
+  (* A well-formed topology is queryable after creation. *)
+  let sim = Sim.create ~topology:(2, 2) ~nprocs:4 () in
+  Alcotest.(check bool) "topology retained" true (Sim.topology sim <> None);
+  Alcotest.(check int) "socket-major placement" 1 (Cache.socket_of (Sim.cache sim) 2)
+
+let test_topology_charges_cross_socket () =
+  (* Two procs ping-ponging one line: on the 2-socket machine every
+     coherence event crosses the socket and pays the surcharge. *)
+  let run topo =
+    let sim =
+      match topo with
+      | false -> Sim.create ~nprocs:2 ()
+      | true -> Sim.create ~topology:(2, 1) ~nprocs:2 ()
+    in
+    for _ = 0 to 1 do
+      ignore
+        (Sim.spawn sim (fun () ->
+             for _ = 1 to 50 do
+               Sim.write ~addr:4096 ~len:8
+             done))
+    done;
+    Sim.run sim;
+    (Sim.total_cycles sim, Cache.total_cross_socket_events (Sim.cache sim))
+  in
+  let flat_cycles, flat_cross = run false in
+  let numa_cycles, numa_cross = run true in
+  Alcotest.(check int) "flat machine has no socket crossings" 0 flat_cross;
+  Alcotest.(check bool) "socket crossings counted" true (numa_cross > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "2-socket (%d) costs more than flat (%d)" numa_cycles flat_cycles)
+    true
+    (numa_cycles > flat_cycles)
+
+let test_spawn_at_activates_later () =
+  let sim = Sim.create ~cost:um ~nprocs:2 () in
+  let t0 = ref (-1) and t1 = ref (-1) in
+  ignore (Sim.spawn sim (fun () -> Sim.work 100));
+  ignore (Sim.spawn_at sim ~at:500 (fun () -> t0 := Sim.now ()));
+  (* An idle machine jumps forward to the next pending spawn. *)
+  ignore (Sim.spawn_at sim ~at:2000 (fun () -> t1 := Sim.now ()));
+  Sim.run sim;
+  Alcotest.(check bool) (Printf.sprintf "not before its time (%d)" !t0) true (!t0 >= 500);
+  Alcotest.(check bool) (Printf.sprintf "idle jump (%d)" !t1) true (!t1 >= 2000);
+  expect_invalid "negative at" (fun () ->
+      let sim = Sim.create ~nprocs:1 () in
+      ignore (Sim.spawn_at sim ~at:(-1) (fun () -> ())))
+
+let test_peak_live_threads_tracks_churn () =
+  (* Overlapping waves: the second wave starts while the first is still
+     working, so the peak sees both. *)
+  let sim = Sim.create ~cost:um ~nprocs:4 () in
+  for _ = 1 to 2 do
+    ignore (Sim.spawn sim (fun () -> Sim.work 1000))
+  done;
+  for _ = 1 to 2 do
+    ignore (Sim.spawn_at sim ~at:100 (fun () -> Sim.work 100))
+  done;
+  Sim.run sim;
+  Alcotest.(check int) "overlapping waves peak at 4" 4 (Sim.peak_live_threads sim);
+  Alcotest.(check int) "all retired" 0 (Sim.live_threads sim);
+  (* Disjoint waves: the first is long gone when the second starts, so
+     the peak stays at the wave size — total threads never enter it. *)
+  let sim = Sim.create ~cost:um ~nprocs:4 () in
+  for _ = 1 to 2 do
+    ignore (Sim.spawn sim (fun () -> Sim.work 10))
+  done;
+  for _ = 1 to 2 do
+    ignore (Sim.spawn_at sim ~at:10_000 (fun () -> Sim.work 10))
+  done;
+  Sim.run sim;
+  Alcotest.(check int) "disjoint waves peak at 2" 2 (Sim.peak_live_threads sim)
+
 let () =
   Alcotest.run "sim"
     [
@@ -380,5 +466,12 @@ let () =
           Alcotest.test_case "work zero" `Quick test_work_zero_is_noop;
           Alcotest.test_case "fuzz deterministic per seed" `Quick test_fuzzed_schedule_deterministic_per_seed;
           Alcotest.test_case "fuzz keeps exclusion" `Quick test_fuzzed_schedule_locks_still_exclude;
+        ] );
+      ( "topology & lifecycle",
+        [
+          Alcotest.test_case "topology validated" `Quick test_topology_validated;
+          Alcotest.test_case "cross-socket charged" `Quick test_topology_charges_cross_socket;
+          Alcotest.test_case "spawn_at activates later" `Quick test_spawn_at_activates_later;
+          Alcotest.test_case "peak live threads" `Quick test_peak_live_threads_tracks_churn;
         ] );
     ]
