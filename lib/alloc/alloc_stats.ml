@@ -32,6 +32,9 @@ type snapshot = {
   deferred_reclaims : int;
   orphan_adoptions : int;
   cas_retries : int;
+  cas_retries_by : (string * int) list;
+  global_pushes : int;
+  global_pops : int;
 }
 
 (* One shard per lock domain (a heap, a size class, the large allocator, a
@@ -83,6 +86,11 @@ type t = {
   parks : int Atomic.t;
   drops : int Atomic.t;
   cas_retries : int Atomic.t; (* failed CASes in lock-free structures; fired with no lock held *)
+  retry_by : (string * int Atomic.t) list Atomic.t;
+      (* per-structure breakdown of [cas_retries], in registration order;
+         appended under [grow_mu], read lock-free *)
+  global_pushes : int Atomic.t; (* superblocks published to the lock-free global index *)
+  global_pops : int Atomic.t; (* superblocks acquired from it *)
   peak_live : int Atomic.t; (* merged high-water, refreshed on map/unmap/snapshot *)
 }
 
@@ -133,6 +141,9 @@ let create ?(shards = 1) () =
     parks = Atomic.make 0;
     drops = Atomic.make 0;
     cas_retries = Atomic.make 0;
+    retry_by = Atomic.make [];
+    global_pushes = Atomic.make 0;
+    global_pops = Atomic.make 0;
     peak_live;
   }
 
@@ -242,6 +253,35 @@ let on_deferred_reclaim sh = sh.deferred_reclaims <- sh.deferred_reclaims + 1
 let on_orphan_adopt sh = sh.orphan_adoptions <- sh.orphan_adoptions + 1
 
 let on_cas_retry t = Atomic.incr t.cas_retries
+
+(* Labelled retry accounting: every lock-free structure obtains its hook
+   once at construction (under [grow_mu], so concurrent allocators sharing
+   a [t] stay safe) and fires it on each failed CAS. The hook bumps both
+   the unified total and the structure's own counter, so
+   [cas_retries = sum of cas_retries_by] holds at every quiescent point. *)
+let retry_hook t ~label =
+  Mutex.lock t.grow_mu;
+  let counter =
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.grow_mu)
+      (fun () ->
+        let cur = Atomic.get t.retry_by in
+        match List.assoc_opt label cur with
+        | Some c -> c
+        | None ->
+            let c = Atomic.make 0 in
+            Atomic.set t.retry_by (cur @ [ (label, c) ]);
+            c)
+  in
+  fun () ->
+    Atomic.incr t.cas_retries;
+    Atomic.incr counter
+
+(* Global-index traffic: pushes/pops happen with no lock held (that is the
+   point of the index), so they live on [t]-level atomics, not a shard. *)
+let on_global_push t = Atomic.incr t.global_pushes
+
+let on_global_pop t = Atomic.incr t.global_pops
 
 (* Cross-shard reads are unsynchronised (possibly stale, never torn); the
    sum is exact on the deterministic simulator and at quiescent points on
@@ -391,6 +431,9 @@ let snapshot t =
     deferred_reclaims = !deferred_reclaims;
     orphan_adoptions = !orphan_adoptions;
     cas_retries = Atomic.get t.cas_retries;
+    cas_retries_by = List.map (fun (l, c) -> (l, Atomic.get c)) (Atomic.get t.retry_by);
+    global_pushes = Atomic.get t.global_pushes;
+    global_pops = Atomic.get t.global_pops;
   }
 
 let fragmentation (s : snapshot) =
@@ -431,6 +474,22 @@ let publish t ?(prefix = "alloc") metrics =
   reg "deferred_reclaims" (fun s -> s.deferred_reclaims);
   reg "orphan_adoptions" (fun s -> s.orphan_adoptions);
   reg "cas_retries" (fun s -> s.cas_retries);
+  reg "global_pushes" (fun s -> s.global_pushes);
+  reg "global_pops" (fun s -> s.global_pops);
+  (* One gauge per retry label registered so far (structures obtain their
+     hooks at allocator construction, before publish). *)
+  List.iter
+    (fun (label, _) ->
+      reg ("cas_retries." ^ label) (fun s ->
+          match List.assoc_opt label s.cas_retries_by with
+          | Some n -> n
+          | None -> 0))
+    (Atomic.get t.retry_by);
+  if List.mem_assoc "global" (Atomic.get t.retry_by) then
+    reg "global_cas_retries" (fun s ->
+        match List.assoc_opt "global" s.cas_retries_by with
+        | Some n -> n
+        | None -> 0);
   Metrics.register metrics ~name:(prefix ^ ".fragmentation") (fun () ->
       Metrics.Float (fragmentation (snapshot t)))
 
@@ -447,10 +506,16 @@ let pp_snapshot fmt (s : snapshot) =
   if s.cache_hits + s.cache_fills + s.remote_enqueues > 0 then
     Format.fprintf fmt " cache_hits=%d fills=%d flushes=%d enq=%d drained=%d fwd=%d" s.cache_hits s.cache_fills
       s.cache_flushes s.remote_enqueues s.remote_drains s.remote_forwards;
-  if s.shelf_pushes + s.shelf_pops + s.cas_retries > 0 then
+  if s.shelf_pushes + s.shelf_pops + s.cas_retries > 0 then begin
     Format.fprintf fmt " shelf_pushes=%d shelf_pops=%d cas_retries=%d" s.shelf_pushes s.shelf_pops s.cas_retries;
+    List.iter
+      (fun (label, c) -> if c > 0 then Format.fprintf fmt "[%s=%d]" label c)
+      s.cas_retries_by
+  end;
   if s.large_maps + s.large_cache_hits > 0 then
     Format.fprintf fmt " large_maps=%d large_cache_hits=%d" s.large_maps s.large_cache_hits;
   if s.deferred_enqueues + s.deferred_reclaims > 0 then
     Format.fprintf fmt " deferred_enq=%d deferred_reclaims=%d" s.deferred_enqueues s.deferred_reclaims;
-  if s.orphan_adoptions > 0 then Format.fprintf fmt " orphan_adoptions=%d" s.orphan_adoptions
+  if s.orphan_adoptions > 0 then Format.fprintf fmt " orphan_adoptions=%d" s.orphan_adoptions;
+  if s.global_pushes + s.global_pops > 0 then
+    Format.fprintf fmt " global_pushes=%d global_pops=%d" s.global_pushes s.global_pops

@@ -74,6 +74,13 @@ type snapshot = {
       (** superblocks adopted (reassigned or trimmed to the global heap)
           from exiting threads' heaps by {!Hoard.on_thread_exit} *)
   cas_retries : int;  (** failed CASes in lock-free structures (contention) *)
+  cas_retries_by : (string * int) list;
+      (** per-structure breakdown of [cas_retries] by hook label (e.g.
+          ["reservoir"], ["shelf"], ["deferred"], ["large-cache"],
+          ["global"]), in hook-registration order; the labels sum to
+          [cas_retries] at quiescent points *)
+  global_pushes : int;  (** superblocks published to the lock-free global index *)
+  global_pops : int;  (** superblocks acquired from the lock-free global index *)
 }
 
 val create : ?shards:int -> unit -> t
@@ -165,8 +172,25 @@ val on_orphan_adopt : shard -> unit
     lock of the heap giving the superblock up. *)
 
 val on_cas_retry : t -> unit
-(** A failed CAS inside a lock-free structure (reservoir or shelf).
-    Atomic — fired with no lock held, from any domain. *)
+(** A failed CAS inside a lock-free structure, unlabelled (total only).
+    Atomic — fired with no lock held, from any domain. Prefer
+    {!retry_hook}, which also feeds the per-structure breakdown. *)
+
+val retry_hook : t -> label:string -> unit -> unit
+(** [retry_hook t ~label] returns the retry callback for one lock-free
+    structure: each call counts into both the unified [cas_retries] total
+    and the [label]'s own slot of [cas_retries_by] (created on first use).
+    Obtain hooks at allocator construction — {!publish} registers one
+    [<prefix>.cas_retries.<label>] gauge per label known at publish time.
+    Atomic — callable with no lock held, from any domain. *)
+
+val on_global_push : t -> unit
+(** A superblock published to the lock-free global index (transfer
+    heap -> global without the heap-0 lock). Atomic, no lock held. *)
+
+val on_global_pop : t -> unit
+(** A superblock acquired from the lock-free global index (transfer
+    global -> heap without the heap-0 lock). Atomic, no lock held. *)
 
 (** {2 OS-map events — atomic, callable from any domain} *)
 

@@ -13,8 +13,20 @@ type t = {
 
 (* Group encoding stored in each superblock: bins 0..ngroups-1 are partial
    fullness ranges, bin ngroups is "full", bin ngroups+1 means "in the
-   empties pool", -1 means unlinked. *)
-let empties_bin t = t.ngroups + 1
+   empties pool", -1 means unlinked. The pure bin math is exported so the
+   lock-free global index (which has no Heap_core.t) bins identically —
+   a superblock migrating between a per-thread heap and the global index
+   must land in the same fullness group either side. *)
+let empties_bin_index ~ngroups = ngroups + 1
+
+let full_bin_index ~ngroups = ngroups
+
+let bin_index ~ngroups ~used ~cap =
+  if used = 0 then empties_bin_index ~ngroups
+  else if used = cap then full_bin_index ~ngroups
+  else used * ngroups / cap
+
+let empties_bin t = empties_bin_index ~ngroups:t.ngroups
 
 let create ~id ~classes ?(ngroups = 8) ~sb_size () =
   if ngroups < 1 then invalid_arg "Heap_core.create: ngroups must be >= 1";
@@ -35,6 +47,8 @@ let id t = t.heap_id
 
 let sb_size t = t.sbsz
 
+let ngroups t = t.ngroups
+
 let u t = t.in_use
 
 let a t = t.held
@@ -42,9 +56,7 @@ let a t = t.held
 let usable_a t = t.usable
 
 let bin_of t sb =
-  if Superblock.is_empty sb then empties_bin t
-  else if Superblock.is_full sb then t.ngroups
-  else Superblock.used sb * t.ngroups / Superblock.n_blocks sb
+  bin_index ~ngroups:t.ngroups ~used:(Superblock.used sb) ~cap:(Superblock.n_blocks sb)
 
 let list_for t sb bin = if bin = empties_bin t then t.empties else t.groups.(Superblock.sclass sb).(bin)
 

@@ -21,6 +21,19 @@ val id : t -> int
 
 val sb_size : t -> int
 
+val ngroups : t -> int
+
+val bin_index : ngroups:int -> used:int -> cap:int -> int
+(** The fullness-group bin for a superblock with [used] of [cap] blocks
+    allocated: bins [0 .. ngroups-1] partition the partial fullness range
+    ([used * ngroups / cap]), bin [ngroups] is "completely full" and bin
+    [ngroups + 1] "completely empty". Pure — shared with the lock-free
+    global index so both sides of a superblock transfer bin identically. *)
+
+val full_bin_index : ngroups:int -> int
+
+val empties_bin_index : ngroups:int -> int
+
 val u : t -> int
 (** Bytes in use by the program from this heap's superblocks. *)
 

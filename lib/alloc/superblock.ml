@@ -21,6 +21,11 @@ type t = {
   mutable own : int;
   mutable grp : int;
   mutable node : t Dlist.node option;
+  (* Slot id in the lock-free global index, assigned once on the
+     superblock's first publication there and stable for its lifetime
+     (reformat keeps it: the slot is identity, not membership). -1 until
+     first published. *)
+  mutable gslot : int;
 }
 
 let capacity_for size bsize = (size - header_bytes) / bsize
@@ -44,6 +49,7 @@ let create ~base ~sb_size ~sclass ~block_size =
     own = -1;
     grp = -1;
     node = None;
+    gslot = -1;
   }
 
 let base t = t.sb_base
@@ -169,6 +175,10 @@ let reformat t ~sclass ~block_size =
   Array.fill t.next_free 0 (Array.length t.next_free) (-1);
   Bytes.fill t.live 0 (Bytes.length t.live) '\000';
   Bytes.fill t.cached 0 (Bytes.length t.cached) '\000'
+
+let gslot t = t.gslot
+
+let set_gslot t i = t.gslot <- i
 
 let group_index t = t.grp
 

@@ -107,6 +107,12 @@ val reformat : t -> sclass:int -> block_size:int -> unit
 
 (** {2 Fullness-group bookkeeping (used by {!Heap_core})} *)
 
+val gslot : t -> int
+(** Slot id in the lock-free global index: assigned once on first
+    publication there, stable across reinit/reformat, -1 before. *)
+
+val set_gslot : t -> int -> unit
+
 val group_index : t -> int
 (** Current fullness-group slot, or -1 when unlinked. *)
 

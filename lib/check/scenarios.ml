@@ -617,6 +617,216 @@ let exit_adoption ~mutant =
             !kept);
   }
 
+(* The lock-free global heap end to end: with [global = Lockfree], heap
+   0 is the CAS-published fullness index and every path below runs
+   without the heap-0 lock. Thread 0 engineers the transfer-free-race
+   setup (two superblocks on the emptiness threshold) and its free
+   publishes SB1 — two blocks still live inside — to the index. Thread 1
+   frees one of those blocks: its owner snapshot races the publish's
+   owner flip, so the free lands either in heap 1 (locked) or on the
+   global deferred list; its flush then reclaims through the index's
+   Busy handshake. Thread 2 mallocs on an empty heap: its refill
+   reclaims the deferred list (racing thread 1's reclaim — the Requeue
+   path) and claims SB1 out of the index with the pop/revalidate/claim
+   CAS, racing the free throughout. [Hoard.check] — index walk,
+   member validation, live-byte conservation — is the post-run oracle. *)
+let global_transfer =
+  {
+    Explorer.sc_name = "global-transfer";
+    sc_describe =
+      "superblock transfer through the lock-free global index: publish racing claim racing the Busy-handshake free";
+    sc_nprocs = 3;
+    sc_build =
+      (fun sim pf ->
+        let config =
+          {
+            (race_config ~mutant:"") with
+            Hoard_config.nheaps = Some 3;
+            ngroups = 2;
+            global = Hoard_config.Lockfree;
+          }
+        in
+        let h = Hoard.create ~config pf in
+        let a = Hoard.allocator h in
+        let sb_size = config.Hoard_config.sb_size in
+        let bsize, cap = pick_class (Hoard.size_classes h) ~sb_size ~min_cap:7 in
+        let barrier = Sim.new_barrier sim ~parties:3 in
+        let a_target = ref 0 and b_target = ref 0 in
+        ignore
+          (Sim.spawn sim ~proc:0 (fun () ->
+               (* The transfer-free-race setup: SB1 keeps 2 live blocks
+                  (one is thread 1's target), SB2 keeps cap-2, the heap
+                  sits exactly on the emptiness threshold. *)
+               let addrs = Array.init (2 * cap) (fun _ -> a.Alloc_intf.malloc bsize) in
+               let base1 = sb_base ~sb_size addrs.(0) in
+               let g1, g2 = Array.to_list addrs |> List.partition (fun x -> sb_base ~sb_size x = base1) in
+               if List.length g1 <> cap || List.length g2 <> cap then
+                 failwith "global-transfer: allocations did not split 2 superblocks evenly";
+               (match g1 with
+                | keep :: _ :: rest ->
+                  b_target := keep;
+                  List.iter a.Alloc_intf.free rest
+                | _ -> assert false);
+               (match g2 with
+                | x :: y :: next :: _ ->
+                  a.Alloc_intf.free x;
+                  a.Alloc_intf.free y;
+                  a_target := next
+                | _ -> assert false);
+               Sim.barrier_wait barrier;
+               (* Crosses the threshold: the trim publishes SB1 to the
+                  index with one CAS-published word, no heap-0 lock. *)
+               a.Alloc_intf.free !a_target));
+        ignore
+          (Sim.spawn sim ~proc:1 (fun () ->
+               Sim.barrier_wait barrier;
+               (* Owner snapshot races the publish: the free lands in
+                  heap 1 or on the global deferred list; the flush then
+                  reclaims it through the index's Busy handshake. *)
+               a.Alloc_intf.free !b_target;
+               a.Alloc_intf.flush ()));
+        ignore
+          (Sim.spawn sim ~proc:2 (fun () ->
+               Sim.barrier_wait barrier;
+               (* Empty heap: the refill reclaims the deferred list and
+                  claims SB1 with the pop/revalidate/claim CAS. *)
+               let mine = a.Alloc_intf.malloc bsize in
+               a.Alloc_intf.free mine));
+        fun () ->
+          Hoard.check h;
+          for id = 1 to 3 do
+            if not (Hoard.invariant_holds h ~heap_id:id) then
+              failwith (sprintf "global-transfer: emptiness invariant violated on heap %d" id)
+          done);
+  }
+
+(* The index's entry stacks driven raw (the lockfree-stack pattern over
+   the empties stack): thread 0 publishes three empty superblocks, then
+   all three threads race [take_empty] while thread 2 publishes a
+   fourth — claim pops and publish pushes CAS-racing on the empties
+   head with entry nodes recycling through the free list. The post-run
+   oracle is [Global_index.check]'s exhaustive walk plus conservation.
+   With the tag frozen (mutant = "global-no-aba", the same flag
+   [Hoard.create] wires from [Hoard_config.mutant]), a popper preempted
+   between its link load and its head CAS can resume after the top node
+   was recycled under a republish and splice a stale tail — the walk
+   then finds a node reachable twice or stranded. *)
+let global_index_churn ~mutant =
+  {
+    Explorer.sc_name = (if mutant = "" then "global-index-churn" else "global-index-churn-mutant");
+    sc_describe =
+      (if mutant = "" then "empty superblocks churning through the global index's tagged entry stacks"
+       else "the same churn with the ABA tag frozen; a stale splice corrupts a stack at bound <= 2");
+    sc_nprocs = 3;
+    sc_build =
+      (fun sim pf ->
+        let gi =
+          Global_index.create pf ~name:"gidx" ~nclasses:1 ~ngroups:2
+            ~aba_tag:(mutant <> "global-no-aba") ()
+        in
+        let sbs =
+          Array.init 4 (fun i -> Superblock.create ~base:(i * 4096) ~sb_size:4096 ~sclass:0 ~block_size:512)
+        in
+        let barrier = Sim.new_barrier sim ~parties:3 in
+        let popped = Array.make 3 [] in
+        let note p = function None -> () | Some s -> popped.(p) <- s :: popped.(p) in
+        ignore
+          (Sim.spawn sim ~proc:0 (fun () ->
+               Global_index.publish gi sbs.(0);
+               Global_index.publish gi sbs.(1);
+               Global_index.publish gi sbs.(2);
+               Sim.barrier_wait barrier;
+               note 0 (Global_index.take_empty gi)));
+        ignore
+          (Sim.spawn sim ~proc:1 (fun () ->
+               Sim.barrier_wait barrier;
+               note 1 (Global_index.take_empty gi)));
+        ignore
+          (Sim.spawn sim ~proc:2 (fun () ->
+               Sim.barrier_wait barrier;
+               note 2 (Global_index.take_empty gi);
+               Global_index.publish gi sbs.(3)));
+        fun () ->
+          Global_index.check gi;
+          let claimed = popped.(0) @ popped.(1) @ popped.(2) in
+          (* Entries always outnumber the takers, so every take claims. *)
+          if List.length claimed <> 3 then
+            failwith (sprintf "global-index-churn: %d takes claimed, expected 3" (List.length claimed));
+          let rec dup = function
+            | a :: (b :: _ as tl) -> a = b || dup tl
+            | _ -> false
+          in
+          if dup (List.sort compare (List.map Superblock.base claimed)) then
+            failwith "global-index-churn: a superblock claimed twice (lost ABA tag?)";
+          if Global_index.members gi <> 1 then
+            failwith (sprintf "global-index-churn: %d members left, expected 1" (Global_index.members gi)));
+  }
+
+(* The claim CAS against the Busy-handshake free, raw: one partial
+   member (2 live blocks), two threads freeing one block each through
+   [free_block] while a third races [acquire]. The real claim is a CAS
+   Idle -> Absent that fails if a reclaimer got the word first; the
+   skip-revalidate mutant (the same flag [Hoard.create] wires from
+   [Hoard_config.mutant]) claims with a blind store, which can stomp a
+   concurrent reclaimer's Busy — the reclaimer's closing store then
+   resurrects the word and [Global_index.check] finds a member the
+   gauges say was claimed away. *)
+let global_index_free ~mutant =
+  {
+    Explorer.sc_name = (if mutant = "" then "global-index-free" else "global-index-free-mutant");
+    sc_describe =
+      (if mutant = "" then "frees through the Busy handshake racing an acquire's claim CAS on one member"
+       else "the same race claiming with a blind store; it stomps a Busy word at bound <= 2");
+    sc_nprocs = 3;
+    sc_build =
+      (fun sim pf ->
+        let gi =
+          Global_index.create pf ~name:"gidx" ~nclasses:1 ~ngroups:2
+            ~skip_revalidate:(mutant = "global-skip-revalidate") ()
+        in
+        let sb = Superblock.create ~base:4096 ~sb_size:4096 ~sclass:0 ~block_size:512 in
+        let a1 = Superblock.alloc_block sb in
+        let a2 = Superblock.alloc_block sb in
+        let barrier = Sim.new_barrier sim ~parties:3 in
+        let freed = Array.make 3 0 in
+        let claimed = ref None in
+        (* Requeues and Not_members are legitimate outcomes (a Busy
+           holder or a finished claim); only completed frees count. *)
+        let free_one p addr =
+          match Global_index.free_block gi sb ~addr with
+          | Global_index.Freed _ -> freed.(p) <- 1
+          | Global_index.Requeue | Global_index.Not_member _ -> ()
+        in
+        ignore
+          (Sim.spawn sim ~proc:0 (fun () ->
+               Global_index.publish gi sb;
+               Sim.barrier_wait barrier;
+               free_one 0 a1));
+        ignore
+          (Sim.spawn sim ~proc:1 (fun () ->
+               Sim.barrier_wait barrier;
+               claimed := Global_index.acquire gi ~sclass:0));
+        ignore
+          (Sim.spawn sim ~proc:2 (fun () ->
+               Sim.barrier_wait barrier;
+               free_one 2 a2));
+        fun () ->
+          Global_index.check gi;
+          let nfreed = freed.(0) + freed.(2) in
+          if Superblock.used sb <> 2 - nfreed then
+            failwith
+              (sprintf "global-index-free: %d completed frees but %d blocks live" nfreed (Superblock.used sb));
+          match !claimed with
+          | Some s ->
+            if Superblock.base s <> Superblock.base sb then
+              failwith "global-index-free: acquire claimed a different superblock";
+            if Global_index.members gi <> 0 then
+              failwith "global-index-free: claimed superblock still a member"
+          | None ->
+            if Global_index.members gi <> 1 then
+              failwith "global-index-free: unclaimed superblock left the index");
+  }
+
 let all () =
   [
     lost_update;
@@ -638,6 +848,11 @@ let all () =
     large_cache_churn ~mutant:"large-cache-no-aba";
     exit_adoption ~mutant:"";
     exit_adoption ~mutant:"orphan-lost-superblock";
+    global_transfer;
+    global_index_churn ~mutant:"";
+    global_index_churn ~mutant:"global-no-aba";
+    global_index_free ~mutant:"";
+    global_index_free ~mutant:"global-skip-revalidate";
   ]
 
 let find name = List.find_opt (fun s -> s.Explorer.sc_name = name) (all ())

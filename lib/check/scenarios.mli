@@ -69,6 +69,28 @@ val large_cache_churn : mutant:string -> Explorer.scenario
     under {!Explorer.Chess}: the oracle reads vmem page residency, which
     step footprints do not see (same caveat as {!park_take_order}). *)
 
+val global_transfer : Explorer.scenario
+(** The lock-free global heap end to end ([Hoard_config.global] =
+    [Lockfree]): a trim's index publish racing a refill's claim CAS
+    racing a deferred free's Busy-handshake reclaim, with
+    {!Hoard.check}'s index walk and live-byte conservation as the
+    post-run oracle. Passes exhaustively at preemption bound 2. *)
+
+val global_index_churn : mutant:string -> Explorer.scenario
+(** {!Global_index}'s ABA-tagged entry stacks driven raw: three racing
+    [take_empty] claims against concurrent publishes, with the index's
+    exhaustive walk plus a conservation count as the post-run oracle.
+    [mutant = "global-no-aba"] freezes the stack tags (the flag
+    {!Hoard.create} wires from [Hoard_config.mutant]) and a stale splice
+    is caught at bound <= 2; [mutant = ""] passes exhaustively. *)
+
+val global_index_free : mutant:string -> Explorer.scenario
+(** {!Global_index.free_block}'s Busy handshake racing an [acquire]'s
+    claim CAS on one partial member, driven raw.
+    [mutant = "global-skip-revalidate"] claims with a blind store that
+    stomps a concurrent Busy word — caught at bound <= 2;
+    [mutant = ""] passes exhaustively. *)
+
 val all : unit -> Explorer.scenario list
 
 val find : string -> Explorer.scenario option

@@ -61,6 +61,11 @@ type t = {
      no global lock. Shelved superblocks stay registered, resident and
      owned by heap 0, so they remain inside the held/resident envelopes. *)
   shelf : Superblock.t Lockfree.t option;
+  (* cfg.global = Lockfree: heap 0's Dlist fullness groups are replaced by
+     the CAS-published fullness index — its core stays empty, its lock is
+     never taken on the transfer path, and frees into global superblocks
+     run through heap 0's deferred list + the index's Busy protocol. *)
+  gindex : Global_index.t option;
   obs : Obs.t option;
   fe : int; (* cached [cfg.front_end]; 0 = the paper's exact algorithm *)
   rq_cap : int;
@@ -112,7 +117,12 @@ let create ?(config = Hoard_config.default) ?obs pf =
      that of the large cache, "deferred-lost-node" drops a deferred
      push's CAS retry. *)
   let aba_tag = config.mutant <> "reservoir-no-aba" in
-  let on_retry () = Alloc_stats.on_cas_retry stats in
+  (* Every lock-free structure gets its own labelled retry hook, so the
+     unified alloc.cas_retries total breaks down per structure in exports. *)
+  let retry label = Alloc_stats.retry_hook stats ~label in
+  let lockfree_global = config.global = Hoard_config.Lockfree in
+  let use_dfl = (config.deferred && config.front_end > 0) || lockfree_global in
+  let deferred_retry = if use_dfl then retry "deferred" else fun () -> () in
   let mk_heap id =
     {
       core = Heap_core.create ~id ~classes ~ngroups:config.ngroups ~sb_size:config.sb_size ();
@@ -124,13 +134,15 @@ let create ?(config = Hoard_config.default) ?obs pf =
       rq_len = 0;
       dfl =
         (* The deferred list is the front end's eviction channel; without
-           a front end nothing would ever push, so it is not built. *)
-        (if config.deferred && config.front_end > 0 then
+           a front end nothing would ever push, so it is not built — except
+           heap 0's under the lock-free global index, where it is the
+           universal no-lock channel for frees into global superblocks. *)
+        (if (config.deferred && config.front_end > 0) || (id = 0 && lockfree_global) then
            Some
              (Deferred_list.create pf
                 ~name:(Printf.sprintf "hoard.dfl%d" id)
                 ~lost_node:(config.mutant = "deferred-lost-node")
-                ~on_retry ())
+                ~on_retry:deferred_retry ())
          else None);
     }
   in
@@ -140,7 +152,7 @@ let create ?(config = Hoard_config.default) ?obs pf =
       Some
         (Large_cache.create pf ~name:"hoard.lcache" ~cap:config.large_cache
            ~aba_tag:(config.mutant <> "large-cache-no-aba")
-           ~on_retry ())
+           ~on_retry:(retry "large-cache") ())
     else None
   in
   let t =
@@ -158,11 +170,21 @@ let create ?(config = Hoard_config.default) ?obs pf =
           ~threshold:(Hoard_config.max_small config);
       lcache;
       reservoir =
-        (if config.reservoir > 0 then Some (Sb_reservoir.create ~aba_tag ~on_retry pf ~cap:config.reservoir)
+        (if config.reservoir > 0 then
+           Some (Sb_reservoir.create ~aba_tag ~on_retry:(retry "reservoir") pf ~cap:config.reservoir)
          else None);
       shelf =
         (if config.shelf > 0 then
-           Some (Lockfree.create pf ~name:"hoard.shelf" ~cap:config.shelf ~aba_tag ~on_retry ())
+           Some (Lockfree.create pf ~name:"hoard.shelf" ~cap:config.shelf ~aba_tag ~on_retry:(retry "shelf") ())
+         else None);
+      gindex =
+        (if lockfree_global then
+           Some
+             (Global_index.create pf ~name:"hoard.gindex" ~nclasses:(Size_class.count classes)
+                ~ngroups:config.ngroups
+                ~aba_tag:(config.mutant <> "global-no-aba")
+                ~skip_revalidate:(config.mutant = "global-skip-revalidate")
+                ~on_retry:(retry "global") ())
          else None);
       obs;
       fe = config.front_end;
@@ -232,63 +254,103 @@ let event_tc t tc kind ~sclass ~arg =
     Event_ring.record r ~at:(t.pf.Platform.now ()) ~kind ~who:(t.pf.Platform.self_proc ())
       ~heap:(Heap_core.id (my_heap t).core) ~sclass ~arg
 
-(* Global heap: drop surplus empty superblocks. With a reservoir they are
-   parked — unregistered, decommitted, still mapped — so a later refill
-   pays a commit instead of an OS map; past the cap R (and always without
-   one) they go back to the OS. Caller holds the global lock; the
-   reservoir lock is innermost. *)
+(* Dispose of one empty superblock the caller holds privately (already
+   removed from its heap / the index, still registered). With a reservoir
+   it is parked — unregistered, decommitted, still mapped — so a later
+   refill pays a commit instead of an OS map; past the cap R (and always
+   without one) it goes back to the OS. [h] is the lock domain whose ring
+   records the disposal (the caller holds its lock); the reservoir lock
+   is innermost. *)
+let drop_empty_superblock t h sb =
+  Sb_registry.unregister t.reg sb;
+  let bytes = Superblock.sb_size sb in
+  match t.reservoir with
+  | Some res when t.park_before_decommit ->
+    (* MUTANT: publish first, decommit after. A concurrent refill
+       can take, recommit and start allocating from the superblock
+       before our decommit lands — which then drops pages out from
+       under live blocks: exactly the race the real path's
+       decommit-before-park ordering forbids, for the schedule
+       explorer to find. *)
+    if Sb_reservoir.park res sb then begin
+      t.pf.Platform.page_decommit ~addr:(Superblock.base sb);
+      Alloc_stats.on_decommit t.stats ~bytes;
+      Alloc_stats.on_park t.stats ~bytes;
+      Alloc_stats.on_park_commit t.stats;
+      event t h Event_ring.Decommit ~sclass:(Superblock.sclass sb) ~arg:bytes
+    end
+    else begin
+      t.pf.Platform.page_unmap ~addr:(Superblock.base sb);
+      Alloc_stats.on_unmap t.stats ~bytes;
+      event t h Event_ring.Sb_unmap ~sclass:(Superblock.sclass sb) ~arg:bytes
+    end
+  | Some res ->
+    (* Decommit and record stats while the superblock is still
+       private: the moment [park] publishes it, a concurrent refill
+       may take, recommit and reformat it, so a decommit (or a
+       held/reservoir gauge update) after that point would race the
+       taker — dropping pages under a live superblock. *)
+    t.pf.Platform.page_decommit ~addr:(Superblock.base sb);
+    Alloc_stats.on_decommit t.stats ~bytes;
+    Alloc_stats.on_park t.stats ~bytes;
+    event t h Event_ring.Decommit ~sclass:(Superblock.sclass sb) ~arg:bytes;
+    if Sb_reservoir.park res sb then Alloc_stats.on_park_commit t.stats
+    else begin
+      (* Bounced on a full reservoir: the superblock is still ours
+         and already decommitted — return it to the OS, as the
+         no-reservoir path would have. *)
+      t.pf.Platform.page_unmap ~addr:(Superblock.base sb);
+      Alloc_stats.on_park_bounce t.stats ~bytes;
+      event t h Event_ring.Sb_unmap ~sclass:(Superblock.sclass sb) ~arg:bytes
+    end
+  | None ->
+    t.pf.Platform.page_unmap ~addr:(Superblock.base sb);
+    Alloc_stats.on_unmap t.stats ~bytes;
+    event t h Event_ring.Sb_unmap ~sclass:(Superblock.sclass sb) ~arg:bytes
+
+(* Global heap, locked structure: drop surplus empty superblocks. Caller
+   holds the global lock. *)
 let release_surplus t =
   if t.cfg.release_to_os then
     while Heap_core.empty_superblock_count t.global.core > t.cfg.release_threshold do
       match Heap_core.pick_victim t.global.core ~max_fullness:0.0 with
       | None -> assert false (* the count said an empty superblock exists *)
-      | Some sb ->
-        Sb_registry.unregister t.reg sb;
-        let bytes = Superblock.sb_size sb in
-        (match t.reservoir with
-         | Some res when t.park_before_decommit ->
-           (* MUTANT: publish first, decommit after. A concurrent refill
-              can take, recommit and start allocating from the superblock
-              before our decommit lands — which then drops pages out from
-              under live blocks: exactly the race the real path's
-              decommit-before-park ordering forbids, for the schedule
-              explorer to find. *)
-           if Sb_reservoir.park res sb then begin
-             t.pf.Platform.page_decommit ~addr:(Superblock.base sb);
-             Alloc_stats.on_decommit t.stats ~bytes;
-             Alloc_stats.on_park t.stats ~bytes;
-             Alloc_stats.on_park_commit t.stats;
-             event t t.global Event_ring.Decommit ~sclass:(Superblock.sclass sb) ~arg:bytes
-           end
-           else begin
-             t.pf.Platform.page_unmap ~addr:(Superblock.base sb);
-             Alloc_stats.on_unmap t.stats ~bytes;
-             event t t.global Event_ring.Sb_unmap ~sclass:(Superblock.sclass sb) ~arg:bytes
-           end
-         | Some res ->
-           (* Decommit and record stats while the superblock is still
-              private: the moment [park] publishes it, a concurrent refill
-              may take, recommit and reformat it, so a decommit (or a
-              held/reservoir gauge update) after that point would race the
-              taker — dropping pages under a live superblock. *)
-           t.pf.Platform.page_decommit ~addr:(Superblock.base sb);
-           Alloc_stats.on_decommit t.stats ~bytes;
-           Alloc_stats.on_park t.stats ~bytes;
-           event t t.global Event_ring.Decommit ~sclass:(Superblock.sclass sb) ~arg:bytes;
-           if Sb_reservoir.park res sb then Alloc_stats.on_park_commit t.stats
-           else begin
-             (* Bounced on a full reservoir: the superblock is still ours
-                and already decommitted — return it to the OS, as the
-                no-reservoir path would have. *)
-             t.pf.Platform.page_unmap ~addr:(Superblock.base sb);
-             Alloc_stats.on_park_bounce t.stats ~bytes;
-             event t t.global Event_ring.Sb_unmap ~sclass:(Superblock.sclass sb) ~arg:bytes
-           end
-         | None ->
-           t.pf.Platform.page_unmap ~addr:(Superblock.base sb);
-           Alloc_stats.on_unmap t.stats ~bytes;
-           event t t.global Event_ring.Sb_unmap ~sclass:(Superblock.sclass sb) ~arg:bytes)
+      | Some sb -> drop_empty_superblock t t.global sb
     done
+
+(* Global heap, lock-free index: surplus release by claiming empties off
+   the index — each take is a CAS, no heap-0 lock. Bounded per call (the
+   gauge may be momentarily stale and another releaser may be racing us;
+   a later trim finishes the job), which also keeps the loop explorable.
+   Caller holds [h]'s lock (for the disposal events). *)
+let maybe_release_global t h gi =
+  if t.cfg.release_to_os then begin
+    let budget = ref 8 in
+    while !budget > 0 && Global_index.empties gi > t.cfg.release_threshold do
+      decr budget;
+      match
+        Global_index.take_empty gi ~record:(fun kind ~arg -> event t h kind ~sclass:(-1) ~arg)
+      with
+      | None -> budget := 0
+      | Some sb ->
+        Alloc_stats.on_global_pop t.stats;
+        drop_empty_superblock t h sb
+    done
+  end
+
+(* Transfer a privately-held superblock to the lock-free global heap: flip
+   the owner while it is still unreachable, then one index publish — no
+   heap-0 lock. Stats and events land on the calling heap's domain (the
+   caller holds [h]'s lock); snapshot sums shards, so totals are
+   unchanged. *)
+let publish_global t h gi sb =
+  let sclass = Superblock.sclass sb in
+  Superblock.set_owner sb 0;
+  touch_header t sb;
+  Global_index.publish gi sb ~record:(fun kind ~arg -> event t h kind ~sclass ~arg);
+  Alloc_stats.on_global_push t.stats;
+  Alloc_stats.on_transfer_to_global h.sh;
+  event t h Event_ring.Sb_to_global ~sclass ~arg:(Superblock.base sb)
 
 (* Return queued remote frees to [h]'s core. Caller holds [h]'s lock; the
    queue lock is innermost, so the swap can never deadlock. A block whose
@@ -319,6 +381,16 @@ let drain_rq t h ~spill =
           touch_header t sb;
           Alloc_stats.on_drain h.sh ~usable:(Superblock.block_size sb);
           incr mine
+        end
+        else if owner_id = 0 && t.gindex <> None then begin
+          (* Migrated to the lock-free global heap: its deferred list is
+             the universal owner-0 channel — one CAS, never heap 0's
+             lock or queue. *)
+          (match t.global.dfl with
+           | Some dfl -> Deferred_list.push dfl sb addr
+           | None -> assert false (* the lock-free index forces heap 0's list *));
+          incr forwarded;
+          event t h Event_ring.Remote_forward ~sclass:(Superblock.sclass sb) ~arg:addr
         end
         else begin
           let h' = heap_by_id t owner_id in
@@ -384,6 +456,51 @@ let reclaim_deferred t h =
    costs one extra branch). Caller holds [h]'s lock. *)
 let drain_pending t h ~spill = reclaim_deferred t h + drain_rq t h ~spill
 
+(* Reclaim heap 0's deferred list through the lock-free index: one
+   exchange detaches it, then each block runs the Busy handshake — no
+   heap-0 lock anywhere. Blocks whose superblock was claimed away since
+   the push are re-routed: to [spill] (the locked [dispose_batch], run by
+   the caller after releasing [h]'s lock) when a heap owns it now, back
+   onto the list when it is still in transit or another reclaimer holds
+   it Busy. Caller holds [h]'s lock — stats and events land there. *)
+let reclaim_global_lockfree t h gi ~spill =
+  match t.global.dfl with
+  | None -> 0
+  | Some dfl ->
+    (match Deferred_list.reclaim dfl with
+     | [] -> 0
+     | items ->
+       let mine = ref 0 and forwarded = ref 0 in
+       List.iter
+         (fun (sb, addr) ->
+           Superblock.clear_cached sb addr;
+           match Global_index.free_block gi sb ~addr with
+           | Global_index.Freed { now_empty = _ } ->
+             t.pf.Platform.write ~addr ~len:8;
+             touch_header t sb;
+             Alloc_stats.on_drain h.sh ~usable:(Superblock.block_size sb);
+             incr mine
+           | Global_index.Requeue ->
+             (* Another reclaimer holds the superblock Busy; hand the
+                block back rather than spin against it. *)
+             Superblock.mark_cached sb addr;
+             Deferred_list.push dfl sb addr
+           | Global_index.Not_member { owner } ->
+             Superblock.mark_cached sb addr;
+             if owner = 0 then Deferred_list.push dfl sb addr (* claim in transit *)
+             else begin
+               incr forwarded;
+               event t h Event_ring.Remote_forward ~sclass:(Superblock.sclass sb) ~arg:addr;
+               spill := (sb, addr) :: !spill
+             end)
+         items;
+       if !forwarded > 0 then Alloc_stats.on_remote_forward h.sh ~blocks:!forwarded;
+       if !mine > 0 then begin
+         Alloc_stats.on_deferred_reclaim h.sh;
+         event t h Event_ring.Deferred_reclaim ~sclass:0 ~arg:!mine
+       end;
+       !mine)
+
 (* Fetch a superblock usable for [sclass]: off the lock-free shelf (one
    CAS, no global lock) when one is stocked, else from the global heap,
    the reservoir, or the OS, and insert it into [h] (whose lock the
@@ -407,19 +524,34 @@ let refill t h ~sclass ~block_size ~spill =
          Some sb)
   in
   let from_global () =
-    t.global.lock.acquire ();
-    (* Pending frees may hand the global heap exactly the superblock we
-       are about to ask for. *)
-    ignore (drain_pending t t.global ~spill);
-    let sb = Heap_core.take_for_class t.global.core ~sclass in
-    (* Flip ownership before releasing the global lock: a concurrent free
-       must either see the old owner (and retry against our heap lock,
-       which we hold) or block here until the handoff is complete. *)
-    (match sb with
-     | Some sb -> Superblock.set_owner sb (Heap_core.id h.core)
-     | None -> ());
-    t.global.lock.release ();
-    sb
+    match t.gindex with
+    | Some gi ->
+      (* Pending frees may hand the index exactly the superblock we are
+         about to ask for — and the reclaim is lock-free too. *)
+      ignore (reclaim_global_lockfree t h gi ~spill);
+      (match Global_index.acquire gi ~sclass ~record:(fun kind ~arg -> event t h kind ~sclass ~arg) with
+       | None -> None
+       | Some sb ->
+         (* The claim CAS made the superblock private; a free racing the
+            owner flip sees owner 0 + word Absent and parks the block on
+            heap 0's deferred list, whose next reclaim forwards it to us. *)
+         Superblock.set_owner sb (Heap_core.id h.core);
+         Alloc_stats.on_global_pop t.stats;
+         Some sb)
+    | None ->
+      t.global.lock.acquire ();
+      (* Pending frees may hand the global heap exactly the superblock we
+         are about to ask for. *)
+      ignore (drain_pending t t.global ~spill);
+      let sb = Heap_core.take_for_class t.global.core ~sclass in
+      (* Flip ownership before releasing the global lock: a concurrent free
+         must either see the old owner (and retry against our heap lock,
+         which we hold) or block here until the handoff is complete. *)
+      (match sb with
+       | Some sb -> Superblock.set_owner sb (Heap_core.id h.core)
+       | None -> ());
+      t.global.lock.release ();
+      sb
   in
   let from_reservoir () =
     match t.reservoir with
@@ -469,19 +601,24 @@ let refill t h ~sclass ~block_size ~spill =
 
 (* Lock the heap owning [sb], re-checking ownership after acquisition: the
    superblock may migrate to the global heap between the read and the lock
-   (the paper's free protocol). *)
+   (the paper's free protocol). Under the lock-free index an owner-0
+   superblock has no lock to take — it returns [None] and the caller
+   routes the block through heap 0's deferred list instead. *)
 let rec lock_owner t sb =
   let id = Superblock.owner sb in
-  let h = heap_by_id t id in
-  h.lock.acquire ();
-  (* The skip-owner-recheck mutant returns without re-reading the owner:
-     the superblock may have migrated to the global heap between the read
-     above and the acquisition, and the caller then frees into the wrong
-     heap — the bug the schedule explorer is expected to find. *)
-  if t.skip_owner_recheck || Superblock.owner sb = Heap_core.id h.core then h
+  if id = 0 && t.gindex <> None then None
   else begin
-    h.lock.release ();
-    lock_owner t sb
+    let h = heap_by_id t id in
+    h.lock.acquire ();
+    (* The skip-owner-recheck mutant returns without re-reading the owner:
+       the superblock may have migrated to the global heap between the read
+       above and the acquisition, and the caller then frees into the wrong
+       heap — the bug the schedule explorer is expected to find. *)
+    if t.skip_owner_recheck || Superblock.owner sb = Heap_core.id h.core then Some h
+    else begin
+      h.lock.release ();
+      lock_owner t sb
+    end
   end
 
 (* The paper's post-free bookkeeping, factored so queue drains share it.
@@ -522,14 +659,21 @@ let trim_heap ?(deep = false) t h ~sclass =
            | _ -> false
          in
          if not shelved then begin
-           t.global.lock.acquire ();
-           Heap_core.insert t.global.core victim;
-           touch_header t victim;
-           Alloc_stats.on_transfer_to_global t.global.sh;
-           event t t.global Event_ring.Sb_to_global ~sclass:(Superblock.sclass victim)
-             ~arg:(Superblock.base victim);
-           release_surplus t;
-           t.global.lock.release ()
+           match t.gindex with
+           | Some gi ->
+             (* The non-blocking transfer: one index publish, any
+                fullness, never heap 0's lock. *)
+             publish_global t h gi victim;
+             maybe_release_global t h gi
+           | None ->
+             t.global.lock.acquire ();
+             Heap_core.insert t.global.core victim;
+             touch_header t victim;
+             Alloc_stats.on_transfer_to_global t.global.sh;
+             event t t.global Event_ring.Sb_to_global ~sclass:(Superblock.sclass victim)
+               ~arg:(Superblock.base victim);
+             release_surplus t;
+             t.global.lock.release ()
          end);
       if not deep then continue_ := false
     done
@@ -541,27 +685,40 @@ let trim_heap ?(deep = false) t h ~sclass =
    mid-round are retried next round. The first block's owner is pinned by
    [lock_owner], so every round frees at least one block. *)
 let rec dispose_batch t pairs =
+  (* Under the lock-free index, owner-0 blocks have no heap to lock:
+     they go to heap 0's deferred list in one pre-linked CAS (custody
+     marks stay on until the reclaim clears them). *)
+  let pairs =
+    match (t.gindex, t.global.dfl) with
+    | Some _, Some dfl ->
+      let global, rest = List.partition (fun (sb, _) -> Superblock.owner sb = 0) pairs in
+      if global <> [] then Deferred_list.push_many dfl global;
+      rest
+    | _ -> pairs
+  in
   match pairs with
   | [] -> ()
   | (sb0, _) :: _ ->
-    let h = lock_owner t sb0 in
-    let id = Heap_core.id h.core in
-    let later = ref [] and n = ref 0 in
-    List.iter
-      (fun (sb, addr) ->
-        if Superblock.owner sb = id then begin
-          t.pf.Platform.write ~addr ~len:8;
-          Superblock.clear_cached sb addr;
-          Heap_core.free h.core sb addr;
-          touch_header t sb;
-          Alloc_stats.on_drain h.sh ~usable:(Superblock.block_size sb);
-          incr n
-        end
-        else later := (sb, addr) :: !later)
-      pairs;
-    if !n > 0 then trim_heap ~deep:true t h ~sclass:(Superblock.sclass sb0);
-    h.lock.release ();
-    dispose_batch t !later
+    (match lock_owner t sb0 with
+     | None -> dispose_batch t pairs (* migrated to owner 0 since the partition: redo it *)
+     | Some h ->
+       let id = Heap_core.id h.core in
+       let later = ref [] and n = ref 0 in
+       List.iter
+         (fun (sb, addr) ->
+           if Superblock.owner sb = id then begin
+             t.pf.Platform.write ~addr ~len:8;
+             Superblock.clear_cached sb addr;
+             Heap_core.free h.core sb addr;
+             touch_header t sb;
+             Alloc_stats.on_drain h.sh ~usable:(Superblock.block_size sb);
+             incr n
+           end
+           else later := (sb, addr) :: !later)
+         pairs;
+       if !n > 0 then trim_heap ~deep:true t h ~sclass:(Superblock.sclass sb0);
+       h.lock.release ();
+       dispose_batch t !later)
 
 (* Route cache-evicted blocks out. Deferred mode: partition by the owner
    observed now and publish each group as one pre-linked chain — a single
@@ -602,6 +759,18 @@ let surrender_many t tc pairs =
     (fun id group ->
       match group with
       | [] -> ()
+      | _ when id = 0 && t.gindex <> None ->
+        (* Queue mode, lock-free global heap: heap 0 has no drained queue,
+           so owner-0 evictions go to its deferred list — one pre-linked
+           CAS, no cap, no locked fallback. *)
+        (match t.global.dfl with
+         | Some dfl -> Deferred_list.push_many dfl group
+         | None -> assert false (* the lock-free index forces heap 0's list *));
+        List.iter
+          (fun (sb, addr) ->
+            Alloc_stats.on_deferred_enqueue tc.tc_sh;
+            event_tc t tc Event_ring.Deferred_enqueue ~sclass:(Superblock.sclass sb) ~arg:addr)
+          group
       | (sb0, _) :: _ ->
         let h = heap_by_id t id in
         h.rq_lock.acquire ();
@@ -871,18 +1040,39 @@ let free_now t addr =
       t.pf.Platform.write ~addr ~len:8
     end
     else begin
-      let h = lock_owner t sb in
-      let my = my_heap t in
-      if h != my && h != t.global then begin
-        Alloc_stats.on_remote_free h.sh;
-        event t h Event_ring.Remote_free ~sclass:(Superblock.sclass sb) ~arg:addr
-      end;
-      t.pf.Platform.write ~addr ~len:8;
-      Heap_core.free h.core sb addr;
-      touch_header t sb;
-      Alloc_stats.on_free h.sh ~usable:(Superblock.block_size sb);
-      trim_heap t h ~sclass:(Superblock.sclass sb);
-      h.lock.release ()
+      match lock_owner t sb with
+      | Some h ->
+        let my = my_heap t in
+        if h != my && h != t.global then begin
+          Alloc_stats.on_remote_free h.sh;
+          event t h Event_ring.Remote_free ~sclass:(Superblock.sclass sb) ~arg:addr
+        end;
+        t.pf.Platform.write ~addr ~len:8;
+        Heap_core.free h.core sb addr;
+        touch_header t sb;
+        Alloc_stats.on_free h.sh ~usable:(Superblock.block_size sb);
+        trim_heap t h ~sclass:(Superblock.sclass sb);
+        h.lock.release ()
+      | None ->
+        (* The superblock lives in the lock-free global heap: park the
+           block on heap 0's deferred list (one CAS; the next reclaim
+           completes the free through the Busy handshake). The block
+           enters front-end-style custody — counted as freed now, still
+           charged to live bytes until reclaimed — and only MY heap's
+           lock is taken, for its stats shard and ring. *)
+        if (not (Superblock.is_block_live sb addr)) || Superblock.is_block_cached sb addr then
+          failwith "Hoard.free: double free";
+        let h = my_heap t in
+        h.lock.acquire ();
+        t.pf.Platform.write ~addr ~len:8;
+        Superblock.mark_cached sb addr;
+        (match t.global.dfl with
+         | Some dfl -> Deferred_list.push dfl sb addr
+         | None -> assert false (* the lock-free index forces heap 0's list *));
+        Alloc_stats.on_cached_free h.sh;
+        Alloc_stats.on_deferred_enqueue h.sh;
+        event t h Event_ring.Deferred_enqueue ~sclass:(Superblock.sclass sb) ~arg:addr;
+        h.lock.release ()
     end
   | None -> if not (Locked_large.try_free t.large ~addr) then invalid_arg "Hoard.free: foreign pointer"
 
@@ -1028,14 +1218,26 @@ let quarantine_length t =
    the calling thread's own heap. *)
 let flush t =
   drain_quarantine t;
-  if t.fe > 0 then begin
-    (match IntMap.find_opt (t.pf.Platform.self_tid ()) (Atomic.get t.tcaches) with
-     | Some tc -> flush_tcache t tc
-     | None -> ());
+  if t.fe > 0 then
+    match IntMap.find_opt (t.pf.Platform.self_tid ()) (Atomic.get t.tcaches) with
+    | Some tc -> flush_tcache t tc
+    | None -> ()
+
+(* ... then drain and trim the calling thread's own heap, plus (under the
+   lock-free index) heap 0's deferred list — all without the heap-0
+   lock. *)
+let flush t =
+  flush t;
+  if t.fe > 0 || t.gindex <> None then begin
     let h = my_heap t in
     let spill = ref [] in
     h.lock.acquire ();
     if drain_pending t h ~spill > 0 then trim_heap ~deep:true t h ~sclass:0;
+    (match t.gindex with
+     | Some gi ->
+       ignore (reclaim_global_lockfree t h gi ~spill);
+       maybe_release_global t h gi
+     | None -> ());
     h.lock.release ();
     if !spill <> [] then dispose_batch t !spill
   end
@@ -1075,27 +1277,43 @@ let on_thread_exit t =
     (fun sb ->
       Heap_core.remove h.core sb;
       Alloc_stats.on_orphan_adopt h.sh;
-      event t h Event_ring.Orphan_adopt ~sclass:(Superblock.sclass sb) ~arg:(Superblock.base sb);
-      if t.orphan_lost then begin
-        (* MUTANT: the superblock was unhooked from the exiting heap but
-           never inserted into the global heap — its blocks (and its held
-           bytes) leak out of every heap's accounting, which [check]'s
-           live-bytes conservation reports and the schedule explorer is
-           expected to find. *)
-        Superblock.set_owner sb 0;
-        touch_header t sb
-      end
-      else begin
-        t.global.lock.acquire ();
-        Heap_core.insert t.global.core sb;
-        touch_header t sb;
-        Alloc_stats.on_transfer_to_global t.global.sh;
-        event t t.global Event_ring.Sb_to_global ~sclass:(Superblock.sclass sb)
-          ~arg:(Superblock.base sb);
-        release_surplus t;
-        t.global.lock.release ()
-      end)
+      event t h Event_ring.Orphan_adopt ~sclass:(Superblock.sclass sb) ~arg:(Superblock.base sb))
     !orphans;
+  (if t.orphan_lost then
+     (* MUTANT: the superblocks were unhooked from the exiting heap but
+        never inserted into the global heap — their blocks (and their held
+        bytes) leak out of every heap's accounting, which [check]'s
+        live-bytes conservation reports and the schedule explorer is
+        expected to find. *)
+     List.iter
+       (fun sb ->
+         Superblock.set_owner sb 0;
+         touch_header t sb)
+       !orphans
+   else
+     match t.gindex with
+     | Some gi ->
+       (* Lock-free adoption: one index publish per superblock; the whole
+          exit path completes without ever touching the heap-0 lock. *)
+       List.iter (fun sb -> publish_global t h gi sb) !orphans;
+       if !orphans <> [] then maybe_release_global t h gi
+     | None ->
+       (* Batched locked adoption: ONE heap-0 critical section covers the
+          whole orphan batch — insert everything, then a single surplus
+          sweep — instead of an acquire/release per superblock. *)
+       if !orphans <> [] then begin
+         t.global.lock.acquire ();
+         List.iter
+           (fun sb ->
+             Heap_core.insert t.global.core sb;
+             touch_header t sb;
+             Alloc_stats.on_transfer_to_global t.global.sh;
+             event t t.global Event_ring.Sb_to_global ~sclass:(Superblock.sclass sb)
+               ~arg:(Superblock.base sb))
+           !orphans;
+         release_surplus t;
+         t.global.lock.release ()
+       end);
   h.lock.release ();
   if !spill <> [] then dispose_batch t !spill
 
@@ -1108,9 +1326,16 @@ let on_thread_exit t =
 let flush_caches t =
   let dispose (sb, addr) =
     Superblock.clear_cached sb addr;
-    let h = heap_by_id t (Superblock.owner sb) in
-    Heap_core.free h.core sb addr;
-    Alloc_stats.on_drain h.sh ~usable:(Superblock.block_size sb)
+    match (t.gindex, Superblock.owner sb) with
+    | Some gi, 0 ->
+      (* Lock-free mode: heap 0's core is empty, the member lives in the
+         index — complete the free through its quiescent path. *)
+      Global_index.q_free gi sb ~addr;
+      Alloc_stats.on_drain t.global.sh ~usable:(Superblock.block_size sb)
+    | _ ->
+      let h = heap_by_id t (Superblock.owner sb) in
+      Heap_core.free h.core sb addr;
+      Alloc_stats.on_drain h.sh ~usable:(Superblock.block_size sb)
   in
   (* Quarantined blocks first: the program already freed them, so complete
      those frees (counting them as frees, not drains) before rebalancing. *)
@@ -1126,10 +1351,15 @@ let flush_caches t =
        (fun addr ->
          match Sb_registry.lookup t.reg ~addr with
          | None -> assert false
-         | Some sb ->
-           let h = heap_by_id t (Superblock.owner sb) in
-           Heap_core.free h.core sb addr;
-           Alloc_stats.on_free h.sh ~usable:(Superblock.block_size sb))
+         | Some sb -> (
+           match (t.gindex, Superblock.owner sb) with
+           | Some gi, 0 ->
+             Global_index.q_free gi sb ~addr;
+             Alloc_stats.on_free t.global.sh ~usable:(Superblock.block_size sb)
+           | _ ->
+             let h = heap_by_id t (Superblock.owner sb) in
+             Heap_core.free h.core sb addr;
+             Alloc_stats.on_free h.sh ~usable:(Superblock.block_size sb)))
        items);
   IntMap.iter
     (fun _ tc ->
@@ -1165,9 +1395,15 @@ let flush_caches t =
       while !continue_ && too_empty t h.core do
         match Heap_core.pick_victim ~protect_last:true h.core ~max_fullness:(1.0 -. t.cfg.empty_fraction) with
         | None -> continue_ := false
-        | Some victim ->
-          Heap_core.insert t.global.core victim;
-          Alloc_stats.on_transfer_to_global t.global.sh
+        | Some victim -> (
+          match t.gindex with
+          | Some gi ->
+            Superblock.set_owner victim 0;
+            Global_index.q_publish gi victim;
+            Alloc_stats.on_transfer_to_global t.global.sh
+          | None ->
+            Heap_core.insert t.global.core victim;
+            Alloc_stats.on_transfer_to_global t.global.sh)
       done)
     t.heaps
 
@@ -1224,14 +1460,26 @@ let fullness_profile t =
   Array.append [| profile t.global |] (Array.map profile t.heaps)
 
 let heap_info t id =
-  let h = heap_by_id t id in
-  {
-    heap_id = id;
-    u_bytes = Heap_core.u h.core;
-    a_bytes = Heap_core.a h.core;
-    superblocks = Heap_core.superblock_count h.core;
-    empty_superblocks = Heap_core.empty_superblock_count h.core;
-  }
+  match (id, t.gindex) with
+  | 0, Some gi ->
+    (* Lock-free mode: heap 0's holdings live in the index, not the core. *)
+    let members = Global_index.members gi in
+    {
+      heap_id = 0;
+      u_bytes = Global_index.u_bytes gi;
+      a_bytes = members * t.cfg.sb_size;
+      superblocks = members;
+      empty_superblocks = Global_index.empties gi;
+    }
+  | _ ->
+    let h = heap_by_id t id in
+    {
+      heap_id = id;
+      u_bytes = Heap_core.u h.core;
+      a_bytes = Heap_core.a h.core;
+      superblocks = Heap_core.superblock_count h.core;
+      empty_superblocks = Heap_core.empty_superblock_count h.core;
+    }
 
 let cache_counts t =
   List.rev (IntMap.fold (fun tid tc acc -> (tid, Array.copy tc.tc_count) :: acc) (Atomic.get t.tcaches) [])
@@ -1281,8 +1529,32 @@ let shelf_length t =
 let check t =
   Heap_core.check t.global.core;
   Array.iter (fun h -> Heap_core.check h.core) t.heaps;
+  (* Lock-free global index: the heap-0 core must be empty (every global
+     superblock lives in the index), the index structurally sound, and
+     every member owned by heap 0, registered and resident — membership
+     is a transfer, never a release. *)
+  (match t.gindex with
+   | None -> ()
+   | Some gi ->
+     if Heap_core.superblock_count t.global.core <> 0 then
+       failwith "Hoard.check: heap-0 core holds superblocks in lock-free mode";
+     Global_index.check gi;
+     Global_index.iter_members gi (fun sb ->
+         if Superblock.owner sb <> 0 then failwith "Hoard.check: global member not owned by heap 0";
+         let base = Superblock.base sb in
+         if Sb_registry.lookup t.reg ~addr:(base + Superblock.header_bytes) = None then
+           failwith "Hoard.check: global member not registered";
+         if t.pf.Platform.page_residency ~addr:base <> Vmem.Resident then
+           failwith "Hoard.check: global member not resident"));
   let s = Alloc_stats.snapshot t.stats in
   let total_u = Array.fold_left (fun acc h -> acc + Heap_core.u h.core) (Heap_core.u t.global.core) t.heaps in
+  let total_u =
+    total_u
+    +
+    match t.gindex with
+    | Some gi -> Global_index.u_bytes gi
+    | None -> 0
+  in
   if total_u + Locked_large.live_bytes t.large <> s.live_bytes then
     failwith "Hoard.check: live-bytes accounting mismatch";
   (* Shelf invariants (quiescent walk via charge-free peeks; [Lockfree.iter]
@@ -1372,16 +1644,11 @@ let factory ?(config = Hoard_config.default) ?obs () =
   }
 
 let pp_heaps fmt t =
-  let pp_heap h =
-    let core = h.core in
-    let label = if Heap_core.id core = 0 then "global" else Printf.sprintf "heap %d" (Heap_core.id core) in
-    Format.fprintf fmt "@[<v 2>%s: %d superblocks, u=%dB a=%dB (%d empty)@," label
-      (Heap_core.superblock_count core) (Heap_core.u core) (Heap_core.a core)
-      (Heap_core.empty_superblock_count core);
-    (* Aggregate per size class. *)
+  (* Aggregate per size class over any superblock iterator. *)
+  let pp_classes iter =
     let nclasses = Size_class.count t.classes in
     let count = Array.make nclasses 0 and used = Array.make nclasses 0 and cap = Array.make nclasses 0 in
-    Heap_core.iter core (fun sb ->
+    iter (fun sb ->
         let c = Superblock.sclass sb in
         count.(c) <- count.(c) + 1;
         used.(c) <- used.(c) + Superblock.used sb;
@@ -1395,7 +1662,23 @@ let pp_heaps fmt t =
     done;
     Format.fprintf fmt "@]@,"
   in
+  let pp_heap h =
+    let core = h.core in
+    let label = if Heap_core.id core = 0 then "global" else Printf.sprintf "heap %d" (Heap_core.id core) in
+    Format.fprintf fmt "@[<v 2>%s: %d superblocks, u=%dB a=%dB (%d empty)@," label
+      (Heap_core.superblock_count core) (Heap_core.u core) (Heap_core.a core)
+      (Heap_core.empty_superblock_count core);
+    pp_classes (Heap_core.iter core)
+  in
   Format.fprintf fmt "@[<v>";
-  pp_heap t.global;
+  (match t.gindex with
+   | Some gi ->
+     let members = Global_index.members gi in
+     Format.fprintf fmt "@[<v 2>global (lock-free index): %d superblocks, u=%dB a=%dB (%d empty)@,"
+       members (Global_index.u_bytes gi)
+       (members * t.cfg.sb_size)
+       (Global_index.empties gi);
+     pp_classes (Global_index.iter_members gi)
+   | None -> pp_heap t.global);
   Array.iter pp_heap t.heaps;
   Format.fprintf fmt "@]"

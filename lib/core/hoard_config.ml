@@ -1,3 +1,21 @@
+(* How the global heap (heap 0) is structured: [Locked] is the classic
+   Dlist fullness groups behind the heap-0 lock; [Lockfree] replaces them
+   with the CAS-published fullness index (Global_index) so the transfer
+   path never takes the heap-0 lock. *)
+type global_mode =
+  | Locked
+  | Lockfree
+
+let global_mode_name = function
+  | Locked -> "locked"
+  | Lockfree -> "lockfree"
+
+let global_mode_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "locked" | "lock" -> Some Locked
+  | "lockfree" | "lock-free" | "lock_free" -> Some Lockfree
+  | _ -> None
+
 type t = {
   sb_size : int;
   empty_fraction : float;
@@ -16,6 +34,7 @@ type t = {
   remote_queue_cap : int;
   deferred : bool;
   large_cache : int;
+  global : global_mode;
   sanitize : bool;
   quarantine : int;
   mutant : string;
@@ -30,6 +49,8 @@ let known_mutants =
     "deferred-lost-node";
     "large-cache-no-aba";
     "orphan-lost-superblock";
+    "global-no-aba";
+    "global-skip-revalidate";
   ]
 
 let default =
@@ -51,6 +72,7 @@ let default =
     remote_queue_cap = 256;
     deferred = false;
     large_cache = 0;
+    global = Locked;
     sanitize = false;
     quarantine = 32;
     mutant = "";
@@ -218,6 +240,17 @@ let knobs =
       ~get:(fun t -> t.large_cache)
       ~store:(fun t v -> { t with large_cache = v })
       ~check:(non_negative "large-cache");
+    {
+      k_name = "global";
+      k_doc = "Global-heap structure: locked (Dlist groups) or lockfree (CAS fullness index).";
+      k_get = (fun t -> global_mode_name t.global);
+      k_parse =
+        (fun t s ->
+          match global_mode_of_string s with
+          | Some m -> { t with global = m }
+          | None -> bad "global" "unknown mode %S (locked, lockfree)" s);
+      k_check = (fun _ -> None);
+    };
     bool_knob "sanitize" "Heap sanitizer: poison-on-free, quarantine, double-free diagnosis."
       ~get:(fun t -> t.sanitize)
       ~store:(fun t v -> { t with sanitize = v });
@@ -278,7 +311,7 @@ let set_all t specs = List.fold_left set t specs
 
 let make ?(base = default) ?sb_size ?empty_fraction ?slack ?growth ?ngroups ?nheaps ?assign_by_tid
     ?release_to_os ?release_threshold ?reservoir ?shelf ?vmem_backend ?path_work ?front_end
-    ?remote_queue_cap ?deferred ?large_cache ?sanitize ?quarantine ?mutant () =
+    ?remote_queue_cap ?deferred ?large_cache ?global ?sanitize ?quarantine ?mutant () =
   let v field = function Some x -> x | None -> field in
   let t =
     {
@@ -299,6 +332,7 @@ let make ?(base = default) ?sb_size ?empty_fraction ?slack ?growth ?ngroups ?nhe
       remote_queue_cap = v base.remote_queue_cap remote_queue_cap;
       deferred = v base.deferred deferred;
       large_cache = v base.large_cache large_cache;
+      global = v base.global global;
       sanitize = v base.sanitize sanitize;
       quarantine = v base.quarantine quarantine;
       mutant = v base.mutant mutant;

@@ -7,6 +7,20 @@
     CLI help — adding a knob is one registry entry, not an edit to every
     record literal and flag parser. *)
 
+(** Structure of the global heap (heap 0). [Locked]: the classic Dlist
+    fullness groups behind the heap-0 lock (the paper's presentation).
+    [Lockfree]: the CAS-published fullness index ([Global_index]) — every
+    superblock transfer to/from the global heap, every free into a
+    global superblock and every surplus release runs without ever
+    acquiring the heap-0 lock. *)
+type global_mode =
+  | Locked
+  | Lockfree
+
+val global_mode_name : global_mode -> string
+
+val global_mode_of_string : string -> global_mode option
+
 type t = {
   sb_size : int;
       (** S: superblock size in bytes; power of two (paper: 8 KiB). *)
@@ -86,6 +100,9 @@ type t = {
           by take → commit instead of a map round trip; overflow beyond
           the bucket capacity unmaps as before. 0 (the default) disables
           the cache, restoring the seed large path. *)
+  global : global_mode;
+      (** how the global heap is structured; see {!global_mode}. Default
+          [Locked] (the seed structure). *)
   sanitize : bool;
       (** heap sanitizer: freed blocks are quarantined (and, through the
           checked platform from [Hoard.sanitizer_access_check], poisoned
@@ -120,7 +137,14 @@ val known_mutants : string list
     ["deferred-lost-node"] makes the deferred-list push treat a failed
     CAS as success (dropping the retry), silently losing the block under
     producer contention; ["large-cache-no-aba"] freezes the ABA tag of
-    the large-object cache's bucket stacks. *)
+    the large-object cache's bucket stacks; ["global-no-aba"] freezes the
+    ABA tags of the lock-free global index's per-bin membership stacks
+    (a pop over a concurrently recycled head then splices a stale tail,
+    stranding superblocks the index check finds unreachable);
+    ["global-skip-revalidate"] makes the index's acquire skip the
+    claim-CAS revalidation after popping a membership entry, so a
+    concurrent deferred-free reclaimer holding the superblock Busy
+    mutates it while the acquiring heap inserts and allocates from it. *)
 
 val default : t
 
@@ -143,6 +167,7 @@ val make :
   ?remote_queue_cap:int ->
   ?deferred:bool ->
   ?large_cache:int ->
+  ?global:global_mode ->
   ?sanitize:bool ->
   ?quarantine:int ->
   ?mutant:string ->

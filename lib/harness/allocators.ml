@@ -15,6 +15,9 @@ let res_config ?(reservoir = 8) ?(vmem_backend = Vmem_backend.First_fit) () =
 let shelf_config ?(shelf = 8) ?(reservoir = 8) () =
   Hoard_config.make ~shelf ~reservoir ~front_end:front_end_default ()
 
+let gl_config ?(front_end = front_end_default) () =
+  Hoard_config.make ~front_end ~deferred:true ~global:Hoard_config.Lockfree ()
+
 let hoard_fe ?front_end () =
   let config = fe_config ?front_end () in
   let front_end = config.Hoard_config.front_end in
@@ -74,6 +77,15 @@ let hoard_shelf ?shelf ?reservoir () =
         shelf reservoir;
   }
 
+let hoard_gl ?front_end () =
+  let config = gl_config ?front_end () in
+  {
+    (Hoard.factory ~config ()) with
+    Alloc_intf.label = "hoard-gl";
+    description =
+      "hoard-df with the lock-free global heap: CAS-published fullness index, no heap-0 lock on any transfer";
+  }
+
 let all () =
   [
     Serial_alloc.factory ();
@@ -88,7 +100,7 @@ let all () =
 
 (* Checking configurations: resolvable by [find] but excluded from [all]
    (sweeps and comparison tables run the eight measurement allocators). *)
-let extras () = [ hoard_san (); hoard_res (); hoard_shelf () ]
+let extras () = [ hoard_san (); hoard_res (); hoard_shelf (); hoard_gl () ]
 
 let labels () = List.map (fun f -> f.Alloc_intf.label) (all ())
 
@@ -104,6 +116,7 @@ let base_config = function
   | "hoard-san" -> Some (san_config ())
   | "hoard-res" -> Some (res_config ())
   | "hoard-shelf" -> Some (shelf_config ())
+  | "hoard-gl" -> Some (gl_config ())
   | _ -> None
 
 let with_overrides f label =

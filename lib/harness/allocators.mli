@@ -67,3 +67,10 @@ val hoard_shelf : ?shelf:int -> ?reservoir:int -> unit -> Alloc_intf.factory
     and the reservoir behind it, plus the front end — the configuration
     where refills and trims of empty superblocks bypass the global lock
     entirely. *)
+
+val hoard_gl : ?front_end:int -> unit -> Alloc_intf.factory
+(** [hoard-df] with the lock-free global heap (see
+    {!Hoard_config.t.global} = [Lockfree]): heap 0's Dlist fullness
+    groups replaced by the CAS-published {!Global_index}, so superblock
+    transfer in either direction — and frees into global superblocks —
+    never acquire the heap-0 lock. *)

@@ -683,7 +683,16 @@ let scale_exp =
         ("churn-rolling", fun () -> churn ~pattern:Churn.Rolling scale);
       ]
     in
-    let cfg = Hoard_config.default in
+    (* Same config twice over, except for the global heap's structure:
+       the lockfree rows isolate the index and must show ZERO heap-0
+       lock acquisitions (enforced) — the tentpole's acceptance bar at
+       scale, where heap-0 is the natural serialization point. *)
+    let modes =
+      [
+        ("locked", Hoard_config.default);
+        ("lockfree", { Hoard_config.default with Hoard_config.global = Hoard_config.Lockfree });
+      ]
+    in
     let tbl =
       Table.create ~title:"Scale-out matrix: hoard across P x topology (two-tier machines)"
         ~columns:
@@ -691,10 +700,12 @@ let scale_exp =
             ("workload", Table.Left);
             ("P", Table.Right);
             ("topology", Table.Left);
+            ("global", Table.Left);
             ("cycles", Table.Right);
             ("cross-node", Table.Right);
             ("cross-socket", Table.Right);
             ("peak live thr", Table.Right);
+            ("heap0 locks", Table.Right);
             ("peak held", Table.Right);
             ("envelope", Table.Right);
             ("held/env", Table.Right);
@@ -707,33 +718,54 @@ let scale_exp =
           (fun p ->
             List.iter
               (fun (tname, topo) ->
-                let r = Runner.run (Runner.spec ?topology:topo (mk ()) (Hoard.factory ()) ~nprocs:p) in
-                let s = r.Runner.r_stats in
-                let env =
-                  scale_envelope cfg ~nprocs:p ~peak_live_threads:r.Runner.r_peak_live_threads
-                    ~peak_live_bytes:s.Alloc_stats.peak_live_bytes
-                in
-                let ratio = float_of_int s.Alloc_stats.peak_held_bytes /. float_of_int (max 1 env) in
-                if s.Alloc_stats.peak_held_bytes > env then
-                  failwith
-                    (Printf.sprintf
-                       "exp_scale: blowup envelope violated on %s at %dP (%s): peak held %d > %d \
-                        (U=%d, P_live=%d)"
-                       wname p tname s.Alloc_stats.peak_held_bytes env s.Alloc_stats.peak_live_bytes
-                       r.Runner.r_peak_live_threads);
-                Table.add_row tbl
-                  [
-                    wname;
-                    string_of_int p;
-                    tname;
-                    string_of_int r.Runner.r_cycles;
-                    string_of_int r.Runner.r_cross_node_events;
-                    string_of_int r.Runner.r_cross_socket_events;
-                    string_of_int r.Runner.r_peak_live_threads;
-                    kib s.Alloc_stats.peak_held_bytes;
-                    kib env;
-                    Table.cell_float ratio;
-                  ])
+                List.iter
+                  (fun (mname, cfg) ->
+                    let r =
+                      Runner.run
+                        (Runner.spec ?topology:topo (mk ()) (Hoard.factory ~config:cfg ()) ~nprocs:p)
+                    in
+                    let s = r.Runner.r_stats in
+                    let heap0_locks =
+                      List.fold_left
+                        (fun acc (lname, n, _) -> if lname = "hoard.heap0" then acc + n else acc)
+                        0 r.Runner.r_lock_stats
+                    in
+                    if mname = "lockfree" && heap0_locks > 0 then
+                      failwith
+                        (Printf.sprintf
+                           "exp_scale: lock-free global heap took %d heap-0 lock acquisitions on \
+                            %s at %dP (%s)"
+                           heap0_locks wname p tname);
+                    let env =
+                      scale_envelope cfg ~nprocs:p ~peak_live_threads:r.Runner.r_peak_live_threads
+                        ~peak_live_bytes:s.Alloc_stats.peak_live_bytes
+                    in
+                    let ratio =
+                      float_of_int s.Alloc_stats.peak_held_bytes /. float_of_int (max 1 env)
+                    in
+                    if s.Alloc_stats.peak_held_bytes > env then
+                      failwith
+                        (Printf.sprintf
+                           "exp_scale: blowup envelope violated on %s at %dP (%s, %s): peak held \
+                            %d > %d (U=%d, P_live=%d)"
+                           wname p tname mname s.Alloc_stats.peak_held_bytes env
+                           s.Alloc_stats.peak_live_bytes r.Runner.r_peak_live_threads);
+                    Table.add_row tbl
+                      [
+                        wname;
+                        string_of_int p;
+                        tname;
+                        mname;
+                        string_of_int r.Runner.r_cycles;
+                        string_of_int r.Runner.r_cross_node_events;
+                        string_of_int r.Runner.r_cross_socket_events;
+                        string_of_int r.Runner.r_peak_live_threads;
+                        string_of_int heap0_locks;
+                        kib s.Alloc_stats.peak_held_bytes;
+                        kib env;
+                        Table.cell_float ratio;
+                      ])
+                  modes)
               (scale_topologies p))
           procs)
       workloads;

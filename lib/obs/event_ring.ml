@@ -23,11 +23,15 @@ type kind =
   | Deferred_enqueue
   | Deferred_reclaim
   | Orphan_adopt
+  | Global_push
+  | Global_pop
+  | Global_revalidate
 
 let all_kinds =
   [ Sb_map; Sb_unmap; Sb_from_global; Sb_to_global; Emptiness_cross; Remote_free; Large_map; Large_unmap;
     Lock_acquire; Cache_hit; Cache_flush; Remote_enqueue; Remote_drain; Decommit; Recommit; Shelf_push;
-    Shelf_pop; Remote_forward; Req_arrival; Req_done; Large_cache_hit; Deferred_enqueue; Deferred_reclaim; Orphan_adopt ]
+    Shelf_pop; Remote_forward; Req_arrival; Req_done; Large_cache_hit; Deferred_enqueue; Deferred_reclaim;
+    Orphan_adopt; Global_push; Global_pop; Global_revalidate ]
 
 let nkinds = List.length all_kinds
 
@@ -56,6 +60,9 @@ let kind_index = function
   | Deferred_enqueue -> 21
   | Deferred_reclaim -> 22
   | Orphan_adopt -> 23
+  | Global_push -> 24
+  | Global_pop -> 25
+  | Global_revalidate -> 26
 
 let kind_of_index = function
   | 0 -> Sb_map
@@ -82,6 +89,9 @@ let kind_of_index = function
   | 21 -> Deferred_enqueue
   | 22 -> Deferred_reclaim
   | 23 -> Orphan_adopt
+  | 24 -> Global_push
+  | 25 -> Global_pop
+  | 26 -> Global_revalidate
   | i -> invalid_arg (Printf.sprintf "Event_ring.kind_of_index: %d" i)
 
 let kind_name = function
@@ -109,6 +119,9 @@ let kind_name = function
   | Deferred_enqueue -> "deferred_enqueue"
   | Deferred_reclaim -> "deferred_reclaim"
   | Orphan_adopt -> "orphan_adopt"
+  | Global_push -> "global_push"
+  | Global_pop -> "global_pop"
+  | Global_revalidate -> "global_revalidate"
 
 type event = { at : int; kind : kind; who : int; heap : int; sclass : int; arg : int }
 

@@ -38,8 +38,13 @@ type kind =
   | Req_done  (** server-mix request completed; [arg] = latency in cycles *)
   | Large_cache_hit  (** large allocation served by cache take → commit; [arg] = bytes *)
   | Deferred_enqueue  (** block CAS-pushed onto [heap]'s deferred free list; [arg] = addr *)
-  | Deferred_reclaim
-  | Orphan_adopt  (** an orphaned superblock adopted on a thread's exit path *)  (** [heap] exchanged its deferred list empty; [arg] = block count *)
+  | Deferred_reclaim  (** [heap] exchanged its deferred list empty; [arg] = block count *)
+  | Orphan_adopt  (** an orphaned superblock adopted on a thread's exit path *)
+  | Global_push  (** superblock published to the lock-free global index; [arg] = base *)
+  | Global_pop  (** superblock acquired from the lock-free global index; [arg] = base *)
+  | Global_revalidate
+      (** a popped membership entry failed revalidation and was repushed;
+          [arg] = base *)
 
 val all_kinds : kind list
 

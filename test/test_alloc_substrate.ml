@@ -152,6 +152,100 @@ let test_sb_model =
       && List.for_all (fun a -> Superblock.is_block_live sb a) !live
       && List.sort_uniq compare !live = List.sort compare !live)
 
+(* --- Superblock fullness and fullness-group boundary math ---
+
+   Locked in before the global-heap refactor swaps callers: the lock-free
+   global index must bin superblocks exactly as Heap_core always has. *)
+
+let test_sb_fullness_math () =
+  let sb = mk_sb () in
+  let cap = Superblock.n_blocks sb in
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Superblock.fullness sb);
+  let addrs = Array.init cap (fun _ -> Superblock.alloc_block sb) in
+  Alcotest.(check (float 1e-9)) "full" 1.0 (Superblock.fullness sb);
+  Superblock.free_block sb addrs.(0);
+  Alcotest.(check (float 1e-9))
+    "one below full"
+    (float_of_int (cap - 1) /. float_of_int cap)
+    (Superblock.fullness sb);
+  Alcotest.(check bool) "not full" false (Superblock.is_full sb);
+  Alcotest.(check bool) "not empty" false (Superblock.is_empty sb)
+
+let test_bin_index_boundaries () =
+  let ngroups = 8 and cap = 127 in
+  let bin used = Heap_core.bin_index ~ngroups ~used ~cap in
+  Alcotest.(check int) "empty is the empties bin" (Heap_core.empties_bin_index ~ngroups) (bin 0);
+  Alcotest.(check int) "empties bin is ngroups+1" (ngroups + 1) (Heap_core.empties_bin_index ~ngroups);
+  Alcotest.(check int) "full is the full bin" (Heap_core.full_bin_index ~ngroups) (bin cap);
+  Alcotest.(check int) "full bin is ngroups" ngroups (Heap_core.full_bin_index ~ngroups);
+  Alcotest.(check int) "one block is bin 0" 0 (bin 1);
+  Alcotest.(check int) "one below full is last partial bin" (ngroups - 1) (bin (cap - 1));
+  (* Exact group boundaries: used = ceil(k * cap / ngroups) is the first
+     occupancy in bin k. *)
+  for k = 1 to ngroups - 1 do
+    let first_in_k = ((k * cap) + ngroups - 1) / ngroups in
+    Alcotest.(check int) (Printf.sprintf "first occupancy of bin %d" k) k (bin first_in_k);
+    Alcotest.(check int) (Printf.sprintf "below the bin-%d boundary" k) (k - 1) (bin (first_in_k - 1))
+  done
+
+let test_bin_index_single_group () =
+  (* ngroups = 1 degenerates to empty / partial / full. *)
+  for used = 1 to 9 do
+    Alcotest.(check int) "partial" 0 (Heap_core.bin_index ~ngroups:1 ~used ~cap:10)
+  done;
+  Alcotest.(check int) "empty" 2 (Heap_core.bin_index ~ngroups:1 ~used:0 ~cap:10);
+  Alcotest.(check int) "full" 1 (Heap_core.bin_index ~ngroups:1 ~used:10 ~cap:10)
+
+let test_bin_index_model =
+  QCheck.Test.make ~name:"bin_index is monotone, in range, and agrees with fullness" ~count:500
+    QCheck.(pair (int_range 1 16) (int_range 1 1000))
+    (fun (ngroups, cap) ->
+      let ok = ref true in
+      let prev = ref (-1) in
+      for used = 0 to cap do
+        let b = Heap_core.bin_index ~ngroups ~used ~cap in
+        (* Range: partials in [0, ngroups), full = ngroups, empty = ngroups+1. *)
+        (if used = 0 then ok := !ok && b = ngroups + 1
+         else if used = cap then ok := !ok && b = ngroups
+         else begin
+           ok := !ok && b >= 0 && b < ngroups;
+           (* Partial bins equal the floor of fullness * ngroups. *)
+           ok := !ok && b = used * ngroups / cap;
+           (* Monotone over the partial range. *)
+           if !prev >= 0 then ok := !ok && b >= !prev;
+           prev := b
+         end)
+      done;
+      !ok)
+
+(* Heap_core.bin placement must agree with the pure math on a real
+   superblock as occupancy sweeps the whole range. *)
+let test_heap_core_binning_matches_bin_index () =
+  let heap = Heap_core.create ~id:1 ~classes ~sb_size:8192 () in
+  let sb = Superblock.create ~base:8192 ~sb_size:8192 ~sclass:5 ~block_size:512 in
+  Heap_core.insert heap sb;
+  let ngroups = Heap_core.ngroups heap in
+  let cap = Superblock.n_blocks sb in
+  let addrs = ref [] in
+  for used = 1 to cap do
+    (match Heap_core.malloc heap ~sclass:5 ~block_size:512 with
+     | Some (a, _) -> addrs := a :: !addrs
+     | None -> Alcotest.fail "heap ran dry");
+    Alcotest.(check int)
+      (Printf.sprintf "group at used=%d" used)
+      (Heap_core.bin_index ~ngroups ~used ~cap)
+      (Superblock.group_index sb)
+  done;
+  List.iter
+    (fun a ->
+      Heap_core.free heap sb a;
+      Alcotest.(check int)
+        (Printf.sprintf "group at used=%d (freeing)" (Superblock.used sb))
+        (Heap_core.bin_index ~ngroups ~used:(Superblock.used sb) ~cap)
+        (Superblock.group_index sb))
+    !addrs;
+  Heap_core.check heap
+
 (* --- Heap_core --- *)
 
 let mk_heap () = Heap_core.create ~id:1 ~classes ~sb_size:8192 ()
@@ -415,7 +509,15 @@ let () =
           Alcotest.test_case "LIFO reuse" `Quick test_sb_lifo_reuse;
           Alcotest.test_case "reinit" `Quick test_sb_reinit;
           Alcotest.test_case "reformat" `Quick test_sb_reformat;
+          Alcotest.test_case "fullness math" `Quick test_sb_fullness_math;
           QCheck_alcotest.to_alcotest test_sb_model;
+        ] );
+      ( "fullness-bins",
+        [
+          Alcotest.test_case "boundaries" `Quick test_bin_index_boundaries;
+          Alcotest.test_case "single group" `Quick test_bin_index_single_group;
+          Alcotest.test_case "heap-core agreement" `Quick test_heap_core_binning_matches_bin_index;
+          QCheck_alcotest.to_alcotest test_bin_index_model;
         ] );
       ( "heap-core",
         [

@@ -260,6 +260,93 @@ let test_large_cache_aba_mutant_caught () =
             (Explorer.schedule_to_string f.Explorer.f_schedule)))
 
 (* ------------------------------------------------------------------ *)
+(* The lock-free global heap (PR 10): the Global_index entry stacks and
+   Busy handshake explored raw, the end-to-end transfer race through the
+   real allocator, and the two seeded mutants caught with a minimized
+   replayable schedule.                                                 *)
+
+let test_global_index_churn_clean () =
+  (* Bound 2 under sleep-set DFS is exhaustive at ~15k runs (~1s): node
+     allocation is host-side bump allocation, so the tree holds only the
+     protocol's own CAS steps, not free-list seeding noise. *)
+  let o =
+    Explorer.explore ~strategy:Explorer.Sleep_dfs ~bound:2 ~max_runs:200_000
+      (Scenarios.global_index_churn ~mutant:"")
+  in
+  (match o.Explorer.o_failure with
+   | None -> ()
+   | Some f ->
+     Alcotest.fail
+       (sprintf "global index churn failed under [%s]: %s"
+          (Explorer.schedule_to_string f.Explorer.f_schedule)
+          f.Explorer.f_message));
+  Alcotest.(check bool) "explored the tree exhaustively" false o.Explorer.o_truncated
+
+let test_global_no_aba_mutant_caught () =
+  let sc = Scenarios.global_index_churn ~mutant:"global-no-aba" in
+  let o = Explorer.explore ~bound:2 sc in
+  match o.Explorer.o_failure with
+  | None -> Alcotest.fail "explorer must catch the frozen entry-stack tag at bound <= 2"
+  | Some f ->
+    Alcotest.(check bool) "failure names the duplicated node" true
+      (Astring.String.is_infix ~affix:"reachable twice" f.Explorer.f_message);
+    (match Explorer.replay sc ~schedule:f.Explorer.f_schedule with
+     | Error _ -> ()
+     | Ok () ->
+       Alcotest.fail
+         (sprintf "minimized schedule [%s] must replay to failure"
+            (Explorer.schedule_to_string f.Explorer.f_schedule)))
+
+let test_global_index_free_clean () =
+  (* Frees' Busy handshake racing a claim CAS: the full bound-2 sleep
+     tree is ~3k interleavings. *)
+  let o =
+    Explorer.explore ~strategy:Explorer.Sleep_dfs ~bound:2 ~max_runs:200_000
+      (Scenarios.global_index_free ~mutant:"")
+  in
+  (match o.Explorer.o_failure with
+   | None -> ()
+   | Some f ->
+     Alcotest.fail
+       (sprintf "global index free failed under [%s]: %s"
+          (Explorer.schedule_to_string f.Explorer.f_schedule)
+          f.Explorer.f_message));
+  Alcotest.(check bool) "explored the tree exhaustively" false o.Explorer.o_truncated
+
+let test_global_skip_revalidate_mutant_caught () =
+  let sc = Scenarios.global_index_free ~mutant:"global-skip-revalidate" in
+  let o = Explorer.explore ~bound:2 sc in
+  match o.Explorer.o_failure with
+  | None -> Alcotest.fail "explorer must catch the blind claim store at bound <= 2"
+  | Some f ->
+    Alcotest.(check bool) "failure names the stomped gauge" true
+      (Astring.String.is_infix ~affix:"gauge" f.Explorer.f_message);
+    (match Explorer.replay sc ~schedule:f.Explorer.f_schedule with
+     | Error _ -> ()
+     | Ok () ->
+       Alcotest.fail
+         (sprintf "minimized schedule [%s] must replay to failure"
+            (Explorer.schedule_to_string f.Explorer.f_schedule)))
+
+let test_global_transfer_explored () =
+  (* End to end through the real allocator (trim publish vs refill claim
+     vs deferred-free reclaim). Bound 1 sleep is exhaustive at ~1.3k
+     runs; the bound-2 sleep tree (~44k runs, ~16s) is certified in
+     deep-check. *)
+  let o =
+    Explorer.explore ~strategy:Explorer.Sleep_dfs ~bound:1 ~max_runs:200_000
+      Scenarios.global_transfer
+  in
+  (match o.Explorer.o_failure with
+   | None -> ()
+   | Some f ->
+     Alcotest.fail
+       (sprintf "global transfer failed under [%s]: %s"
+          (Explorer.schedule_to_string f.Explorer.f_schedule)
+          f.Explorer.f_message));
+  Alcotest.(check bool) "explored the tree exhaustively" false o.Explorer.o_truncated
+
+(* ------------------------------------------------------------------ *)
 (* Differential fuzz: deferred vs direct frees. The same generated
    trace replays against every hoard-family factory's base config and
    against the same config with the deferred lists and the large cache
@@ -363,6 +450,19 @@ let test_oracle_shelf_workloads_green () =
       let r = Check_run.run_oracle ~fuzz:17 ~workload:w ~subject:"hoard-shelf" () in
       Alcotest.(check bool)
         (sprintf "hoard-shelf/%s ran" r.Check_run.c_workload)
+        true (r.Check_run.c_mallocs > 0))
+    (Check_run.quick_workloads ())
+
+let test_oracle_global_workloads_green () =
+  (* The lock-free global heap under the oracle: every quick workload on
+     hoard-gl, whose post-run check walks the Global_index (owner-0
+     membership, slot words, gauge conservation) instead of heap 0's
+     Dlist fullness groups. *)
+  List.iter
+    (fun w ->
+      let r = Check_run.run_oracle ~fuzz:29 ~workload:w ~subject:"hoard-gl" () in
+      Alcotest.(check bool)
+        (sprintf "hoard-gl/%s ran" r.Check_run.c_workload)
         true (r.Check_run.c_mallocs > 0))
     (Check_run.quick_workloads ())
 
@@ -653,12 +753,21 @@ let () =
           Alcotest.test_case "frozen bucket tag caught" `Quick test_large_cache_aba_mutant_caught;
           Alcotest.test_case "deferred vs direct differential" `Quick test_deferred_differential_fuzz;
         ] );
+      ( "global",
+        [
+          Alcotest.test_case "index churn survives bound 2" `Quick test_global_index_churn_clean;
+          Alcotest.test_case "frozen entry tag caught" `Quick test_global_no_aba_mutant_caught;
+          Alcotest.test_case "busy handshake survives bound 2" `Quick test_global_index_free_clean;
+          Alcotest.test_case "blind claim store caught" `Quick test_global_skip_revalidate_mutant_caught;
+          Alcotest.test_case "end-to-end transfer survives" `Quick test_global_transfer_explored;
+        ] );
       ( "oracle",
         [
           Alcotest.test_case "paper workloads green" `Quick test_oracle_workloads_green;
           Alcotest.test_case "workloads green with sanitizer" `Quick test_oracle_sanitizer_workloads_green;
           Alcotest.test_case "workloads green with reservoir" `Quick test_oracle_reservoir_workloads_green;
           Alcotest.test_case "workloads green with shelf" `Quick test_oracle_shelf_workloads_green;
+          Alcotest.test_case "workloads green with lock-free global" `Quick test_oracle_global_workloads_green;
           Alcotest.test_case "false sharing verdicts" `Quick test_oracle_false_sharing_verdicts;
           Alcotest.test_case "oracle catches misbehavior" `Quick test_oracle_catches_misbehavior;
         ] );

@@ -800,6 +800,121 @@ let test_shelf_cuts_global_lock_traffic () =
         (shelved < base))
     [ "larson"; "threadtest" ]
 
+(* --- the lock-free global heap (Global_index) --- *)
+
+let test_global_locked_by_default () =
+  Alcotest.(check bool) "default global mode" true
+    (Hoard_config.default.Hoard_config.global = Hoard_config.Locked);
+  let _, a = mk () in
+  let ps = List.init 3000 (fun _ -> a.Alloc_intf.malloc 64) in
+  List.iter a.Alloc_intf.free ps;
+  let s = a.Alloc_intf.stats () in
+  Alcotest.(check int) "no index pushes" 0 s.Alloc_stats.global_pushes;
+  Alcotest.(check int) "no index pops" 0 s.Alloc_stats.global_pops
+
+let test_global_lockfree_roundtrip () =
+  (* Exiled superblocks take the publish route into the index; the next
+     refill claims them back (reinitialised to the needed class) without
+     ever touching a heap-0 lock. *)
+  let pf = Platform.host () in
+  let config =
+    { cfg with Hoard_config.global = Hoard_config.Lockfree; slack = 0; release_to_os = false }
+  in
+  let h = Hoard.create ~config pf in
+  let a = Hoard.allocator h in
+  let ps = List.init 3000 (fun _ -> a.Alloc_intf.malloc 64) in
+  List.iter a.Alloc_intf.free ps;
+  let s = a.Alloc_intf.stats () in
+  Alcotest.(check bool) "exiles published to the index" true (s.Alloc_stats.global_pushes > 0);
+  Alcotest.(check bool) "index holds the exiles" true
+    ((Hoard.heap_info h 0).Hoard.superblocks > 0);
+  a.Alloc_intf.check ();
+  (* A different size class: the claim must reinitialise an empty member. *)
+  let qs = List.init 200 (fun _ -> a.Alloc_intf.malloc 256) in
+  let s = a.Alloc_intf.stats () in
+  Alcotest.(check bool) "claims recorded" true (s.Alloc_stats.global_pops > 0);
+  List.iter a.Alloc_intf.free qs;
+  a.Alloc_intf.check ();
+  (* Frees into index members ride heap 0's deferred list and stay
+     charged until drained; the quiescent flush settles them. *)
+  Hoard.flush_caches h;
+  a.Alloc_intf.check ();
+  Alcotest.(check int) "nothing live" 0 (a.Alloc_intf.stats ()).Alloc_stats.live_bytes;
+  Platform.host_release pf
+
+let test_global_lockfree_zero_heap0_lock () =
+  (* The tentpole's acceptance bar: the lock-free index does not cut
+     heap-0 lock traffic, it eliminates it — zero acquisitions on a
+     transfer-heavy multiprocessor workload, against a locked baseline
+     that must show real traffic on the same run. *)
+  let nprocs = 8 in
+  let heap0_acqs config =
+    let w =
+      match Experiments.workload "threadtest" Experiments.Quick with
+      | Some w -> w
+      | None -> Alcotest.fail "unknown workload threadtest"
+    in
+    let r = Runner.run (Runner.spec w (Hoard.factory ~config ()) ~nprocs) in
+    List.fold_left
+      (fun acc (lname, n, _) -> if lname = "hoard.heap0" then acc + n else acc)
+      0 r.Runner.r_lock_stats
+  in
+  let locked = { cfg with Hoard_config.front_end = 16; deferred = true; slack = 0 } in
+  let base = heap0_acqs locked in
+  let gl = heap0_acqs { locked with Hoard_config.global = Hoard_config.Lockfree } in
+  Alcotest.(check bool)
+    (Printf.sprintf "locked baseline exercises heap 0 (%d acquisitions)" base)
+    true (base > 0);
+  Alcotest.(check int) "lock-free global: zero heap-0 acquisitions" 0 gl
+
+let test_orphan_adoptions_match_events () =
+  (* Satellite: every adoption the exit path counts must trace exactly
+     one Orphan_adopt event, in both global-heap modes — the lockfree
+     exit publishes the whole orphan batch to the index, the locked exit
+     moves it under one global-lock acquisition, and both account
+     identically. *)
+  List.iter
+    (fun gmode ->
+      let name = Hoard_config.global_mode_name gmode in
+      let sim = Sim.create ~nprocs:2 () in
+      let pf = Sim.platform sim in
+      let obs = Obs.create () in
+      let config =
+        {
+          cfg with
+          Hoard_config.nheaps = Some 2;
+          release_to_os = false;
+          front_end = 4;
+          deferred = (gmode = Hoard_config.Lockfree);
+          global = gmode;
+        }
+      in
+      let h = Hoard.create ~config ~obs pf in
+      let a = Hoard.allocator h in
+      let ps = ref [] in
+      ignore
+        (Sim.spawn sim ~proc:0 (fun () ->
+             (* Leave every block live: the exit must orphan this heap's
+                superblocks into the global heap, not release them. *)
+             ps := List.init 120 (fun _ -> a.Alloc_intf.malloc 64);
+             a.Alloc_intf.thread_exit ()));
+      Sim.run sim;
+      let s = a.Alloc_intf.stats () in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: adoptions happened (%d)" name s.Alloc_stats.orphan_adoptions)
+        true
+        (s.Alloc_stats.orphan_adoptions > 0);
+      let ev =
+        List.fold_left
+          (fun acc (_, r) -> acc + Event_ring.recorded_kind r Event_ring.Orphan_adopt)
+          0 (Obs.rings obs)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "%s: one event per adoption" name)
+        s.Alloc_stats.orphan_adoptions ev;
+      Hoard.check h)
+    [ Hoard_config.Locked; Hoard_config.Lockfree ]
+
 (* --- the superblock reservoir --- *)
 
 let mk_res ?(reservoir = 4) ?(release_threshold = 0) () =
@@ -1043,7 +1158,7 @@ let test_knob_registry () =
    draws from [known_mutants], covering the newly seeded ones. *)
 let test_set_all_matches_labelled_make =
   QCheck.Test.make ~name:"set_all = labelled make on random knob subsets" ~count:300
-    QCheck.(pair (int_bound 0x3FFF) (int_bound 1000))
+    QCheck.(pair (int_bound 0x7FFF) (int_bound 1000))
     (fun (mask, vseed) ->
       let bit i = mask land (1 lsl i) <> 0 in
       let pick i l = List.nth l ((vseed + i) mod List.length l) in
@@ -1062,9 +1177,11 @@ let test_set_all_matches_labelled_make =
       let shelf = opt 11 [ 0; 2; 4 ] in
       let reservoir = opt 12 [ 0; 2; 4 ] in
       let assign_by_tid = opt 13 [ true; false ] in
+      let global = opt 14 [ Hoard_config.Locked; Hoard_config.Lockfree ] in
       let labelled =
         Hoard_config.make ?sb_size ?empty_fraction ?slack ?nheaps ?release_threshold ?front_end
-          ?deferred ?large_cache ?sanitize ?quarantine ?mutant ?shelf ?reservoir ?assign_by_tid ()
+          ?deferred ?large_cache ?sanitize ?quarantine ?mutant ?shelf ?reservoir ?assign_by_tid
+          ?global ()
       in
       let textual =
         List.filter_map
@@ -1086,6 +1203,9 @@ let test_set_all_matches_labelled_make =
             Option.map (Printf.sprintf "shelf=%d") shelf;
             Option.map (Printf.sprintf "reservoir=%d") reservoir;
             Option.map (Printf.sprintf "assign-by-tid=%b") assign_by_tid;
+            Option.map
+              (fun g -> Printf.sprintf "global=%s" (Hoard_config.global_mode_name g))
+              global;
           ]
       in
       labelled = Hoard_config.set_all Hoard_config.default textual)
@@ -1157,5 +1277,12 @@ let () =
           Alcotest.test_case "off by default" `Quick test_shelf_off_by_default;
           Alcotest.test_case "push/pop roundtrip" `Quick test_shelf_roundtrip;
           Alcotest.test_case "cuts global lock traffic" `Quick test_shelf_cuts_global_lock_traffic;
+        ] );
+      ( "global heap",
+        [
+          Alcotest.test_case "locked by default" `Quick test_global_locked_by_default;
+          Alcotest.test_case "lockfree roundtrip" `Quick test_global_lockfree_roundtrip;
+          Alcotest.test_case "zero heap-0 lock acquisitions" `Quick test_global_lockfree_zero_heap0_lock;
+          Alcotest.test_case "orphan adoptions match events" `Quick test_orphan_adoptions_match_events;
         ] );
     ]

@@ -129,6 +129,87 @@ let test_dlist_model =
         ops;
       Dlist.to_list l = !model && Dlist.length l = List.length !model)
 
+let test_dlist_empty_edges () =
+  let l = Dlist.create () in
+  Alcotest.(check bool) "is_empty" true (Dlist.is_empty l);
+  Alcotest.(check int) "length" 0 (Dlist.length l);
+  Alcotest.(check (option int)) "pop_front" None (Dlist.pop_front l);
+  Alcotest.(check (option int)) "peek_front" None (Dlist.peek_front l);
+  Alcotest.(check (option int)) "peek_back" None (Dlist.peek_back l);
+  let visited = ref 0 in
+  Dlist.iter (fun _ -> incr visited) l;
+  Alcotest.(check int) "iter no-op" 0 !visited;
+  Alcotest.(check (list int)) "to_list" [] (Dlist.to_list l)
+
+(* Removing the node currently being visited must not derail the walk:
+   [iter] captures the successor before calling [f]. This is exactly the
+   reposition-while-scanning pattern of Heap_core's fullness groups. *)
+let test_dlist_remove_current_while_iterating () =
+  let l = Dlist.create () in
+  let nodes = List.map (fun x -> (x, Dlist.push_back l x)) [ 1; 2; 3; 4 ] in
+  let visited = ref [] in
+  Dlist.iter
+    (fun v ->
+      visited := v :: !visited;
+      if v mod 2 = 0 then Dlist.remove l (List.assoc v nodes))
+    l;
+  Alcotest.(check (list int)) "all visited" [ 1; 2; 3; 4 ] (List.rev !visited);
+  Alcotest.(check (list int)) "evens removed" [ 1; 3 ] (Dlist.to_list l);
+  Alcotest.(check int) "length tracks" 2 (Dlist.length l)
+
+(* Remove-and-relink mid-iteration: the moved node is pushed to the front
+   of the SAME list while the walk is past it, so it must not be visited
+   twice — the walk follows captured successors, not the mutated head. *)
+let test_dlist_reposition_while_iterating () =
+  let l = Dlist.create () in
+  let n2 = ref None in
+  ignore (Dlist.push_back l 1);
+  n2 := Some (Dlist.push_back l 2);
+  ignore (Dlist.push_back l 3);
+  let visited = ref [] in
+  Dlist.iter
+    (fun v ->
+      visited := v :: !visited;
+      if v = 2 then begin
+        (match !n2 with
+         | Some n -> Dlist.remove l n
+         | None -> assert false);
+        ignore (Dlist.push_front l 2)
+      end)
+    l;
+  Alcotest.(check (list int)) "each visited once" [ 1; 2; 3 ] (List.rev !visited);
+  Alcotest.(check (list int)) "repositioned to front" [ 2; 1; 3 ] (Dlist.to_list l)
+
+let test_dlist_remove_head_and_tail_edges () =
+  let l = Dlist.create () in
+  let a = Dlist.push_back l 'a' in
+  let b = Dlist.push_back l 'b' in
+  let c = Dlist.push_back l 'c' in
+  Dlist.remove l a;
+  Alcotest.(check (option char)) "new head" (Some 'b') (Dlist.peek_front l);
+  Dlist.remove l c;
+  Alcotest.(check (option char)) "new tail" (Some 'b') (Dlist.peek_back l);
+  Dlist.remove l b;
+  Alcotest.(check bool) "empty after removing singleton" true (Dlist.is_empty l);
+  Alcotest.(check (option char)) "no head" None (Dlist.peek_front l);
+  Alcotest.(check (option char)) "no tail" None (Dlist.peek_back l);
+  (* The emptied list is immediately reusable (the empty-bin edge: a
+     fullness group drained by transfers keeps serving). *)
+  ignore (Dlist.push_back l 'z');
+  Alcotest.(check (list char)) "reusable" [ 'z' ] (Dlist.to_list l)
+
+let test_dlist_node_reuse_across_lists_rejected () =
+  let l1 = Dlist.create () and l2 = Dlist.create () in
+  let n = Dlist.push_back l1 1 in
+  Dlist.remove l1 n;
+  (* A detached node is homeless; only the list that created it via push
+     may ever hold it, and a remove through a stale handle must fail even
+     against its original list. *)
+  Alcotest.check_raises "stale node" (Invalid_argument "Dlist.remove: node not in this list") (fun () ->
+      Dlist.remove l1 n);
+  Alcotest.check_raises "foreign list" (Invalid_argument "Dlist.remove: node not in this list") (fun () ->
+      Dlist.remove l2 n)
+
 (* --- Histogram --- *)
 
 let test_histogram_buckets () =
@@ -299,6 +380,11 @@ let () =
           Alcotest.test_case "foreign remove" `Quick test_dlist_remove_foreign_rejected;
           Alcotest.test_case "double remove" `Quick test_dlist_double_remove_rejected;
           Alcotest.test_case "find" `Quick test_dlist_find;
+          Alcotest.test_case "empty edges" `Quick test_dlist_empty_edges;
+          Alcotest.test_case "remove while iterating" `Quick test_dlist_remove_current_while_iterating;
+          Alcotest.test_case "reposition while iterating" `Quick test_dlist_reposition_while_iterating;
+          Alcotest.test_case "head/tail removal edges" `Quick test_dlist_remove_head_and_tail_edges;
+          Alcotest.test_case "stale node rejected" `Quick test_dlist_node_reuse_across_lists_rejected;
           qt test_dlist_model;
         ] );
       ( "histogram",
